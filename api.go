@@ -1,0 +1,319 @@
+// Package macro3d is a from-scratch Go implementation of the Macro-3D
+// physical-design methodology for face-to-face-stacked heterogeneous
+// 3D ICs (Bamberg et al., DATE 2020), together with the complete
+// physical-design substrate it needs — synthetic 28 nm technology and
+// cell/SRAM libraries, an OpenPiton-like benchmark generator,
+// placement, clock-tree synthesis, global routing, RC extraction,
+// static timing, power analysis, timing optimization — and the three
+// baseline flows the paper compares against (2D, Shrunk-2D,
+// Compact-2D).
+//
+// The quickest route through the API:
+//
+//	cfg := macro3d.FlowConfig{Piton: macro3d.SmallCache(), Seed: 1}
+//	ppa2d, _, err := macro3d.Run2D(cfg)
+//	ppa3d, _, _, err := macro3d.RunMacro3D(cfg)
+//
+// and for the paper's experiments:
+//
+//	t2, err := macro3d.RunTableII(1)
+//	fmt.Print(t2.Format())
+//
+// The packages under internal/ hold the implementation; this package
+// re-exports the stable surface.
+package macro3d
+
+import (
+	"io"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/core"
+	"macro3d/internal/flows"
+	"macro3d/internal/gds"
+	"macro3d/internal/geom"
+	"macro3d/internal/lefdef"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+	"macro3d/internal/report"
+	"macro3d/internal/tech"
+	"macro3d/internal/viz"
+)
+
+// --- Benchmark generation ---
+
+// TileConfig selects the OpenPiton-like tile architecture.
+type TileConfig = piton.Config
+
+// Tile is a generated benchmark netlist plus its tiling port plan.
+type Tile = piton.Tile
+
+// SmallCache returns the paper's small-cache tile configuration
+// (8 kB L1I, 16 kB L1D, 16 kB L2, 256 kB L3).
+func SmallCache() TileConfig { return piton.SmallCache() }
+
+// LargeCache returns the paper's modern/large-cache tile configuration
+// (16 kB L1I/L1D, 128 kB L2, 1 MB L3).
+func LargeCache() TileConfig { return piton.LargeCache() }
+
+// GenerateTile builds the benchmark netlist for a configuration.
+func GenerateTile(cfg TileConfig) (*Tile, error) { return piton.Generate(cfg) }
+
+// SensorConfig describes a sensor-on-logic SoC (the paper's second
+// heterogeneous use case).
+type SensorConfig = piton.SensorConfig
+
+// DefaultSensorSoC returns a 16-sensor imaging-style SoC configuration.
+func DefaultSensorSoC() SensorConfig { return piton.DefaultSensorSoC() }
+
+// GenerateSensorSoC builds a sensor-on-logic netlist. Run it through
+// Run2D/RunMacro3D by setting FlowConfig.Generator:
+//
+//	cfg := macro3d.FlowConfig{Generator: func() (*macro3d.Tile, error) {
+//		return macro3d.GenerateSensorSoC(macro3d.DefaultSensorSoC())
+//	}}
+func GenerateSensorSoC(cfg SensorConfig) (*Tile, error) { return piton.GenerateSensorSoC(cfg) }
+
+// --- Technology ---
+
+// Tech bundles the process node: cell grid, supply, BEOL, corners.
+type Tech = tech.Tech
+
+// BEOL is an ordered metal stack.
+type BEOL = tech.BEOL
+
+// F2FSpec is the face-to-face bonding via technology.
+type F2FSpec = tech.F2FSpec
+
+// New28 returns the synthetic 28 nm technology with the given
+// logic-die metal count.
+func New28(logicMetals int) (*Tech, error) { return tech.New28(logicMetals) }
+
+// NewBEOL28 builds a single-die 28 nm metal stack.
+func NewBEOL28(name string, layers int) (*BEOL, error) { return tech.NewBEOL28(name, layers) }
+
+// CombineBEOL builds the Macro-3D combined two-die stack: logic
+// metals, the F2F via, then the macro-die metals renamed with "_MD".
+func CombineBEOL(logic, macro *BEOL, f2f F2FSpec) (*BEOL, error) {
+	return tech.Combine(logic, macro, f2f)
+}
+
+// DefaultF2F returns the paper's F2F via parameters (1 µm pitch,
+// 0.5 µm bump, 44 mΩ, 1.0 fF).
+func DefaultF2F() F2FSpec { return tech.DefaultF2F() }
+
+// --- Cells and netlists ---
+
+// Cell is a library master (standard cell or hard macro).
+type Cell = cell.Cell
+
+// Library is a set of masters with sizing families.
+type Library = cell.Library
+
+// SRAMSpec requests a memory macro from the synthetic compiler.
+type SRAMSpec = cell.SRAMSpec
+
+// NewSRAM compiles a memory macro: capacity-scaled area/timing/energy,
+// pins on M4, M1–M4 obstructions.
+func NewSRAM(spec SRAMSpec) (*Cell, error) { return cell.NewSRAM(spec) }
+
+// NewSensor compiles a sensor/analog macro for sensor-on-logic stacks.
+func NewSensor(name string, w, h float64, dataBits int) (*Cell, error) {
+	return cell.NewSensor(name, w, h, dataBits)
+}
+
+// NewStdLib28 builds the synthetic 28 nm standard-cell library.
+func NewStdLib28(opt cell.LibOptions) *Library { return cell.NewStdLib28(opt) }
+
+// DefaultLibOptions returns the 28 nm library defaults.
+func DefaultLibOptions() cell.LibOptions { return cell.DefaultLibOptions() }
+
+// Design is a flat gate-level netlist with placement state.
+type Design = netlist.Design
+
+// NewDesign returns an empty design over a library.
+func NewDesign(name string, lib *Library) *Design { return netlist.NewDesign(name, lib) }
+
+// --- The Macro-3D core transformations ---
+
+// MoLDesign is a design prepared for single-pass true-3D P&R.
+type MoLDesign = core.MoLDesign
+
+// DieLayout is one separated per-die production layout.
+type DieLayout = core.DieLayout
+
+// EditMacroForMacroDie produces the Macro-3D view of a macro: _MD pin
+// and obstruction layers at unchanged geometry, filler-sized
+// substrate footprint.
+func EditMacroForMacroDie(m *Cell, fillerW, fillerH float64) (*Cell, error) {
+	return core.EditMacroForMacroDie(m, fillerW, fillerH)
+}
+
+// --- Flows ---
+
+// FlowConfig selects benchmark and flow parameters.
+type FlowConfig = flows.Config
+
+// PPA is a flow outcome — one column of the paper's tables.
+type PPA = flows.PPA
+
+// FlowState exposes the implementation objects of a finished flow.
+type FlowState = flows.State
+
+// Run2D executes the baseline single-die flow.
+func Run2D(cfg FlowConfig) (*PPA, *FlowState, error) { return flows.Run2D(cfg) }
+
+// RunMacro3D executes the paper's flow.
+func RunMacro3D(cfg FlowConfig) (*PPA, *FlowState, *MoLDesign, error) {
+	return flows.RunMacro3D(cfg)
+}
+
+// RunS2D executes the Shrunk-2D baseline; balanced selects the BF S2D
+// variant.
+func RunS2D(cfg FlowConfig, balanced bool) (*PPA, *FlowState, error) {
+	return flows.RunS2D(cfg, balanced)
+}
+
+// RunC2D executes the Compact-2D baseline.
+func RunC2D(cfg FlowConfig) (*PPA, *FlowState, error) { return flows.RunC2D(cfg) }
+
+// SeparateDies splits a signed-off Macro-3D design into its two
+// production layouts (both carry the F2F bump locations).
+func SeparateDies(md *MoLDesign, st *FlowState) (logic, macro *DieLayout, err error) {
+	return core.Separate(md, st.Routes, st.DB)
+}
+
+// AbutTiles stitches nx×ny copies of a placed tile into one flat
+// design (paper §V-1: aligned half-cycle pins connect by abutment).
+func AbutTiles(t *Tile, die geom.Rect, nx, ny int) (*Design, geom.Rect, error) {
+	return piton.Abut(t, die, nx, ny)
+}
+
+// ArrayReport is the outcome of flat re-verification of a tile array.
+type ArrayReport = flows.ArrayReport
+
+// VerifyTileArray composes a signed-off flow result into an nx×ny
+// array (routes replicated verbatim, abutment nets stitched) and runs
+// full STA — the executable form of the paper's arbitrary-core-count
+// claim.
+func VerifyTileArray(cfg FlowConfig, st *FlowState, t *Tech, nx, ny int) (*ArrayReport, error) {
+	return flows.VerifyTileArray(cfg, st, t, nx, ny)
+}
+
+// --- Experiments (the paper's tables) ---
+
+// TableI is the small-cache flow comparison.
+type TableI = report.TableI
+
+// TableII is the in-depth 2D vs Macro-3D comparison.
+type TableII = report.TableII
+
+// TableIII is the M6–M4 heterogeneous-BEOL ablation.
+type TableIII = report.TableIII
+
+// IsoPerf is the §V-A iso-performance power comparison.
+type IsoPerf = report.IsoPerf
+
+// RunTableI reproduces Table I.
+func RunTableI(seed uint64) (*TableI, error) { return report.RunTableI(seed) }
+
+// RunTableII reproduces Table II.
+func RunTableII(seed uint64) (*TableII, error) { return report.RunTableII(seed) }
+
+// RunTableIII reproduces Table III.
+func RunTableIII(seed uint64) (*TableIII, error) { return report.RunTableIII(seed) }
+
+// RunIsoPerf reproduces the iso-performance comparison for one tile.
+func RunIsoPerf(cfg TileConfig, seed uint64) (*IsoPerf, error) {
+	return report.RunIsoPerf(cfg, seed)
+}
+
+// BlockageSweep is the S2D blockage-resolution ablation.
+type BlockageSweep = report.BlockageSweep
+
+// PitchSweep is the F2F bump-pitch ablation.
+type PitchSweep = report.PitchSweep
+
+// RunBlockageSweep quantifies the S2D partial-blockage rasterization
+// mechanism across resolutions (nil = default set).
+func RunBlockageSweep(seed uint64, resolutions []float64) (*BlockageSweep, error) {
+	return report.RunBlockageSweep(seed, resolutions)
+}
+
+// RunPitchSweep quantifies Macro-3D sensitivity to the F2F bump pitch
+// (nil = default set).
+func RunPitchSweep(seed uint64, pitches []float64) (*PitchSweep, error) {
+	return report.RunPitchSweep(seed, pitches)
+}
+
+// HeteroTechSweep is the future-work extension: macro dies in
+// different process nodes.
+type HeteroTechSweep = report.HeteroTechSweep
+
+// MacroProcess scales macro electrical properties relative to the
+// logic node.
+type MacroProcess = piton.MacroProcess
+
+// RunHeteroTechSweep runs Macro-3D with same-node, low-leakage and
+// fast-bin macro-die technologies.
+func RunHeteroTechSweep(seed uint64) (*HeteroTechSweep, error) {
+	return report.RunHeteroTechSweep(seed)
+}
+
+// --- LEF/DEF interchange ---
+
+// LEFContent is a parsed LEF stream (stack and/or library).
+type LEFContent = lefdef.LEFContent
+
+// DEFContent is a parsed DEF stream (design and die area).
+type DEFContent = lefdef.DEFContent
+
+// WriteLEF emits a technology stack and/or library in the repository's
+// LEF dialect (either argument may be nil).
+func WriteLEF(w io.Writer, b *BEOL, lib *Library) error { return lefdef.WriteLEF(w, b, lib) }
+
+// ParseLEF reads the dialect WriteLEF emits.
+func ParseLEF(r io.Reader) (*LEFContent, error) { return lefdef.ParseLEF(r) }
+
+// WriteDEF emits a placed design.
+func WriteDEF(w io.Writer, d *Design, die geom.Rect) error { return lefdef.WriteDEF(w, d, die) }
+
+// ParseDEF reads the dialect WriteDEF emits against a library.
+func ParseDEF(r io.Reader, lib *Library) (*DEFContent, error) { return lefdef.ParseDEF(r, lib) }
+
+// RewriteMacroDieLayers performs the paper's scripted LEF edit on
+// text: _MD layer suffixes inside MACRO pin/obstruction sections and
+// the filler-size SIZE shrink.
+func RewriteMacroDieLayers(lef string, fillerW, fillerH float64) string {
+	return lefdef.RewriteMacroDieLayers(lef, fillerW, fillerH)
+}
+
+// WriteGDS exports one separated production die as a GDSII stream —
+// outline, substrate objects, per-layer wires and the shared F2F
+// bumps. Files open in standard viewers (KLayout).
+func WriteGDS(w io.Writer, st *FlowState, part *DieLayout) error {
+	return gds.ExportDie(w, st.Design, part, st.Routes, st.DB)
+}
+
+// --- Visualization ---
+
+// VizOptions controls layout rendering.
+type VizOptions = viz.Options
+
+// LayoutSVG renders a placed design inside its die outline.
+func LayoutSVG(d *Design, die geom.Rect, o VizOptions) string {
+	return viz.LayoutSVG(d, die, o)
+}
+
+// CrossSectionSVG draws the Fig. 1-style stack cross view.
+func CrossSectionSVG(logicMetals, macroMetals int, mol bool) string {
+	return viz.CrossSectionSVG(logicMetals, macroMetals, mol)
+}
+
+// ASCIIDensity renders a terminal density map of a placed design.
+func ASCIIDensity(d *Design, die geom.Rect, cols int, dieFilter *netlist.Die) string {
+	return viz.ASCIIDensity(d, die, cols, dieFilter)
+}
+
+// TinyTile returns a reduced tile configuration for fast tests and
+// demos (same structure as the paper tiles at a fraction of the size).
+func TinyTile() TileConfig { return piton.Tiny() }

@@ -1,0 +1,193 @@
+// Command macro3d runs the physical-design flows and the paper's
+// experiments from the command line.
+//
+// Usage:
+//
+//	macro3d -flow 2d|macro3d|s2d|bfs2d|c2d [-config small|large] [-seed N]
+//	macro3d -experiment table1|table2|table3|isoperf|flowtrace [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"macro3d"
+)
+
+func main() {
+	var (
+		flow       = flag.String("flow", "", "run one flow: 2d, macro3d, s2d, bfs2d, c2d")
+		experiment = flag.String("experiment", "", "run an experiment: table1, table2, table3, isoperf, flowtrace, sweepblockage, sweeppitch, heterotech")
+		config     = flag.String("config", "small", "tile configuration: small, large or tiny")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		metals     = flag.Int("macrodiemetals", 6, "macro-die metal layers (3D flows)")
+		array      = flag.Int("array", 0, "after -flow 2d/macro3d: verify an N×N abutted tile array")
+	)
+	flag.Parse()
+
+	if *flow == "" && *experiment == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*flow, *experiment, *config, *seed, *metals, *array); err != nil {
+		fmt.Fprintln(os.Stderr, "macro3d:", err)
+		os.Exit(1)
+	}
+}
+
+func tileConfig(name string) (macro3d.TileConfig, error) {
+	switch name {
+	case "small":
+		return macro3d.SmallCache(), nil
+	case "large":
+		return macro3d.LargeCache(), nil
+	case "tiny":
+		return macro3d.TinyTile(), nil
+	}
+	return macro3d.TileConfig{}, fmt.Errorf("unknown config %q (want small, large or tiny)", name)
+}
+
+func run(flow, experiment, config string, seed uint64, metals, array int) error {
+	pc, err := tileConfig(config)
+	if err != nil {
+		return err
+	}
+	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals}
+
+	if flow != "" {
+		var ppa *macro3d.PPA
+		var st *macro3d.FlowState
+		switch flow {
+		case "2d":
+			ppa, st, err = macro3d.Run2D(cfg)
+		case "macro3d":
+			ppa, st, _, err = macro3d.RunMacro3D(cfg)
+		case "s2d":
+			ppa, _, err = macro3d.RunS2D(cfg, false)
+		case "bfs2d":
+			ppa, _, err = macro3d.RunS2D(cfg, true)
+		case "c2d":
+			ppa, _, err = macro3d.RunC2D(cfg)
+		default:
+			return fmt.Errorf("unknown flow %q", flow)
+		}
+		if err != nil {
+			return err
+		}
+		printPPA(ppa)
+		if array > 1 {
+			if st == nil {
+				return fmt.Errorf("-array requires -flow 2d or macro3d")
+			}
+			t, err := macro3d.New28(6)
+			if err != nil {
+				return err
+			}
+			rep, err := macro3d.VerifyTileArray(cfg, st, t, array, array)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%dx%d array: tile %.0f ps vs array %.0f ps — timing closes: %v (%d stitched nets, %d bumps)\n",
+				rep.Nx, rep.Ny, rep.TilePeriod, rep.ArrayPeriod, rep.ClosesAtTile, rep.StitchedNets, rep.F2FBumps)
+		}
+	}
+
+	switch experiment {
+	case "":
+	case "table1":
+		t, err := macro3d.RunTableI(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+	case "table2":
+		t, err := macro3d.RunTableII(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+	case "table3":
+		t, err := macro3d.RunTableIII(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+	case "isoperf":
+		for _, pc := range []macro3d.TileConfig{macro3d.SmallCache(), macro3d.LargeCache()} {
+			r, err := macro3d.RunIsoPerf(pc, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Format())
+		}
+	case "flowtrace":
+		return flowTrace(cfg)
+	case "sweepblockage":
+		sw, err := macro3d.RunBlockageSweep(seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sw.Format())
+	case "sweeppitch":
+		sw, err := macro3d.RunPitchSweep(seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sw.Format())
+	case "heterotech":
+		sw, err := macro3d.RunHeteroTechSweep(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sw.Format())
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}
+
+func printPPA(p *macro3d.PPA) {
+	fmt.Println(p)
+	fmt.Printf("  min period     %10.1f ps\n", p.MinPeriodPs)
+	fmt.Printf("  power          %10.1f µW\n", p.PowerUW)
+	fmt.Printf("  logic cells    %10.3f mm²\n", p.LogicCellAreaMM2)
+	fmt.Printf("  metal area     %10.1f mm²\n", p.MetalAreaMM2)
+	fmt.Printf("  Cpin / Cwire   %7.3f / %.3f nF\n", p.CpinNF, p.CwireNF)
+	fmt.Printf("  clk skew       %10.1f ps (depth %d)\n", p.ClkSkewPs, p.ClkDepth)
+	fmt.Printf("  crit path      %10.1f ps over %.2f mm\n", p.CritPathPs, p.CritPathWLmm)
+	fmt.Printf("  route overflow %10d gcell-layers\n", p.RouteOverflow)
+	fmt.Printf("  opt edits      %6d resized, %d buffers\n", p.Resized, p.Buffers)
+}
+
+// flowTrace regenerates Fig. 2: the Macro-3D flow's stages with the
+// live statistics of each step.
+func flowTrace(cfg macro3d.FlowConfig) error {
+	fmt.Println("Macro-3D flow trace (paper Fig. 2):")
+	fmt.Println(" step 1: per-die floorplans — macros placed on the macro die")
+	ppa, st, md, err := macro3d.RunMacro3D(cfg)
+	if err != nil {
+		return err
+	}
+	stats := st.Design.ComputeStats()
+	fmt.Printf("   macros %d (substrate footprint after edit %.4f mm² — shrunk to filler), logic cells %d (%.2f mm²), die %.2f mm²\n",
+		stats.NumMacros, stats.MacroArea/1e6, stats.NumStdCells, stats.StdCellArea/1e6,
+		st.Die.Area()/1e6)
+	fmt.Println(" step 2: combined BEOL + edited macro abstracts")
+	fmt.Printf("   stack: %v\n", md.Combined)
+	fmt.Printf("   edited macros: %d (pins remapped to _MD, footprint shrunk to filler)\n", md.EditedMacros)
+	fmt.Println(" step 3: single-pass 2D P&R over the combined stack")
+	fmt.Printf("   routed %.2f m, %d F2F bumps, overflow %d\n",
+		ppa.TotalWLm, ppa.F2FBumps, ppa.RouteOverflow)
+	fmt.Println(" step 4: separation into production layouts")
+	logic, macro, err := macro3d.SeparateDies(md, st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   logic die: %d cells, layers %v\n", logic.StdCells, logic.Layers)
+	fmt.Printf("   macro die: %d macros, layers %v\n", macro.Macros, macro.Layers)
+	fmt.Printf("   shared F2F bumps: %d\n", len(logic.Bumps))
+	fmt.Println(" sign-off (valid for the 3D stack by construction):")
+	printPPA(ppa)
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command pitongen generates and inspects the OpenPiton-like benchmark
+// netlists (paper Fig. 3: the tile architecture).
+//
+// Usage:
+//
+//	pitongen -config small|large [-stats] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"macro3d"
+	"macro3d/internal/geom"
+)
+
+func main() {
+	var (
+		config = flag.String("config", "small", "tile configuration: small, large or tiny")
+		stats  = flag.Bool("stats", true, "print netlist statistics")
+		seed   = flag.Uint64("seed", 0, "override the configuration seed (0 = default)")
+		lefOut = flag.String("lef", "", "write the cell library + macros as LEF to this file")
+		defOut = flag.String("def", "", "write the (unplaced) netlist as DEF to this file")
+	)
+	flag.Parse()
+
+	var cfg macro3d.TileConfig
+	switch *config {
+	case "small":
+		cfg = macro3d.SmallCache()
+	case "large":
+		cfg = macro3d.LargeCache()
+	case "tiny":
+		cfg = macro3d.TinyTile()
+	default:
+		fmt.Fprintf(os.Stderr, "pitongen: unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	tile, err := macro3d.GenerateTile(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pitongen:", err)
+		os.Exit(1)
+	}
+	if *lefOut != "" {
+		f, err := os.Create(*lefOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, _ := macro3d.NewBEOL28("logic28", 6)
+		if err := macro3d.WriteLEF(f, b, tile.Design.Lib); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", *lefOut)
+	}
+	if *defOut != "" {
+		f, err := os.Create(*defOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := macro3d.WriteDEF(f, tile.Design, geom.R(0, 0, 1000, 1000)); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", *defOut)
+	}
+	if !*stats {
+		return
+	}
+	d := tile.Design
+	st := d.ComputeStats()
+	fmt.Printf("tile %s (Fig. 3 architecture)\n", cfg.Name)
+	fmt.Printf("  caches: L1I %d kB, L1D %d kB, L2 %d kB, L3 %d kB\n",
+		cfg.L1I/1024, cfg.L1D/1024, cfg.L2/1024, cfg.L3/1024)
+	fmt.Printf("  core: %d pipeline stages × %d bits; %d parallel NoCs × %d-bit flits\n",
+		cfg.CoreStages, cfg.CoreWidth, cfg.NoCs, cfg.DataWidth)
+	fmt.Printf("  instances: %d (%d std cells, %d macros, %d sequential)\n",
+		st.NumInstances, st.NumStdCells, st.NumMacros, st.NumSeq)
+	fmt.Printf("  nets: %d, ports: %d (inter-tile ports half-cycle constrained)\n",
+		st.NumNets, st.NumPorts)
+	fmt.Printf("  area: logic %.3f mm², macros %.3f mm² (%.0f%% of cell area)\n",
+		st.StdCellArea/1e6, st.MacroArea/1e6,
+		100*st.MacroArea/(st.MacroArea+st.StdCellArea))
+
+	// Bank inventory per cache level.
+	type lv struct {
+		banks int
+		bytes int
+	}
+	levels := map[string]*lv{}
+	for _, m := range d.Macros() {
+		name := m.Name[:strings.Index(m.Name, "_")]
+		if levels[name] == nil {
+			levels[name] = &lv{}
+		}
+		levels[name].banks++
+		levels[name].bytes += m.Master.Macro.CapacityBytes
+	}
+	names := make([]string, 0, len(levels))
+	for n := range levels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-4s %d bank(s), %d kB total\n", n, levels[n].banks, levels[n].bytes/1024)
+	}
+}

@@ -1,0 +1,3 @@
+module macro3d
+
+go 1.22

@@ -1,0 +1,290 @@
+// Package cell models the building blocks placed by the flow: a
+// synthetic standard-cell library with a slew-aware linear delay model
+// (the usual k·R·C abstraction of NLDM tables), and an SRAM macro
+// compiler producing memory blocks with capacity-scaled area, timing
+// and energy, pins on M4 and full M1–M4 internal-routing obstructions —
+// matching the macro properties the Macro-3D paper relies on.
+//
+// Units: µm, kΩ, fF, ps, fJ, nW (leakage).
+package cell
+
+import (
+	"fmt"
+	"sort"
+
+	"macro3d/internal/geom"
+)
+
+// PinDir is the signal direction of a cell pin.
+type PinDir uint8
+
+// Pin directions.
+const (
+	DirIn PinDir = iota
+	DirOut
+	DirInOut
+)
+
+func (d PinDir) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	default:
+		return "inout"
+	}
+}
+
+// Pin is a physical + electrical pin of a cell master.
+type Pin struct {
+	Name   string
+	Dir    PinDir
+	Cap    float64    // input capacitance, fF (0 for outputs)
+	Offset geom.Point // location in the cell's local frame, µm
+	Layer  string     // metal layer the pin shape sits on
+	Clock  bool       // true for clock inputs
+}
+
+// Kind classifies cell masters.
+type Kind uint8
+
+// Cell kinds.
+const (
+	KindComb   Kind = iota // combinational gate
+	KindSeq                // flip-flop / latch
+	KindBuf                // buffer (used by CTS and net buffering)
+	KindInv                // inverter
+	KindFiller             // filler cell (also the Macro-3D shrink target)
+	KindMacro              // hard macro (SRAM, sensor, ADC, …)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindComb:
+		return "comb"
+	case KindSeq:
+		return "seq"
+	case KindBuf:
+		return "buf"
+	case KindInv:
+		return "inv"
+	case KindFiller:
+		return "filler"
+	case KindMacro:
+		return "macro"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Obstruction is an internal-routing blockage of a master on one layer.
+type Obstruction struct {
+	Layer string
+	Rect  geom.Rect // local frame
+}
+
+// Cell is a library master: a standard cell or a hard macro.
+type Cell struct {
+	Name   string
+	Kind   Kind
+	Family string // sizing family, e.g. "INV", "NAND2", "DFF"
+	Drive  int    // drive strength (X1, X2, …); 0 for macros/fillers
+
+	Width  float64 // µm
+	Height float64 // µm (row height for standard cells)
+
+	Pins []Pin
+
+	// Linear delay model: for an in→out arc,
+	//   delay = Intrinsic + DriveRes·Cload + SlewSens·inputSlew
+	//   outSlew = SlewIntrinsic + SlewRes·Cload
+	Intrinsic     float64 // ps
+	DriveRes      float64 // kΩ
+	SlewSens      float64 // ps delay per ps of input slew
+	SlewIntrinsic float64 // ps
+	SlewRes       float64 // kΩ (slew per fF of load)
+
+	// Sequential timing (KindSeq and clocked macros).
+	ClkQ  float64 // clock-to-output delay, ps
+	Setup float64 // setup requirement at data inputs, ps
+	Hold  float64 // hold requirement, ps
+
+	// Energy.
+	InternalEnergy float64 // fJ per output toggle (short-circuit + internal)
+	Leakage        float64 // nW
+
+	// Macro-only data.
+	Obstructions []Obstruction
+	Macro        *MacroInfo
+}
+
+// MacroInfo carries SRAM-compiler metadata for KindMacro cells.
+type MacroInfo struct {
+	Words           int
+	Bits            int
+	CapacityBytes   int
+	EnergyPerAccess float64 // fJ
+}
+
+// Area returns the footprint area in µm².
+func (c *Cell) Area() float64 { return c.Width * c.Height }
+
+// Pin returns the named pin, or nil.
+func (c *Cell) Pin(name string) *Pin {
+	for i := range c.Pins {
+		if c.Pins[i].Name == name {
+			return &c.Pins[i]
+		}
+	}
+	return nil
+}
+
+// Output returns the first output pin, or nil. Standard cells here have
+// exactly one output.
+func (c *Cell) Output() *Pin {
+	for i := range c.Pins {
+		if c.Pins[i].Dir == DirOut {
+			return &c.Pins[i]
+		}
+	}
+	return nil
+}
+
+// Inputs returns all input pins (including clocks).
+func (c *Cell) Inputs() []*Pin {
+	var ins []*Pin
+	for i := range c.Pins {
+		if c.Pins[i].Dir == DirIn {
+			ins = append(ins, &c.Pins[i])
+		}
+	}
+	return ins
+}
+
+// ClockPin returns the clock input, or nil.
+func (c *Cell) ClockPin() *Pin {
+	for i := range c.Pins {
+		if c.Pins[i].Clock {
+			return &c.Pins[i]
+		}
+	}
+	return nil
+}
+
+// IsSequential reports whether the master launches/captures on a clock
+// (flip-flops and clocked macros).
+func (c *Cell) IsSequential() bool {
+	return c.Kind == KindSeq || (c.Kind == KindMacro && c.ClockPin() != nil)
+}
+
+// Delay evaluates the arc delay for a load and input slew, in ps.
+func (c *Cell) Delay(loadFF, inSlewPs float64) float64 {
+	return c.Intrinsic + c.DriveRes*loadFF + c.SlewSens*inSlewPs
+}
+
+// OutSlew evaluates the output slew for a load, in ps.
+func (c *Cell) OutSlew(loadFF float64) float64 {
+	return c.SlewIntrinsic + c.SlewRes*loadFF
+}
+
+// Clone returns a deep copy of the master (pins and obstructions
+// included). The Macro-3D layer-editing step works on clones so the
+// original library is never mutated.
+func (c *Cell) Clone() *Cell {
+	d := *c
+	d.Pins = append([]Pin(nil), c.Pins...)
+	d.Obstructions = append([]Obstruction(nil), c.Obstructions...)
+	if c.Macro != nil {
+		m := *c.Macro
+		d.Macro = &m
+	}
+	return &d
+}
+
+// Library is a set of masters with sizing-family indices.
+type Library struct {
+	Name  string
+	cells map[string]*Cell
+	// families maps a family name ("INV") to its masters sorted by
+	// ascending drive.
+	families map[string][]*Cell
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary(name string) *Library {
+	return &Library{
+		Name:     name,
+		cells:    make(map[string]*Cell),
+		families: make(map[string][]*Cell),
+	}
+}
+
+// Add registers a master. It panics on duplicate names — libraries are
+// constructed once by generators, so a duplicate is a programming bug.
+func (l *Library) Add(c *Cell) {
+	if _, dup := l.cells[c.Name]; dup {
+		panic(fmt.Sprintf("cell: duplicate master %q", c.Name))
+	}
+	l.cells[c.Name] = c
+	if c.Family != "" {
+		fam := l.families[c.Family]
+		fam = append(fam, c)
+		sort.Slice(fam, func(i, j int) bool { return fam[i].Drive < fam[j].Drive })
+		l.families[c.Family] = fam
+	}
+}
+
+// Cell returns the named master, or nil.
+func (l *Library) Cell(name string) *Cell { return l.cells[name] }
+
+// MustCell returns the named master or panics.
+func (l *Library) MustCell(name string) *Cell {
+	c := l.cells[name]
+	if c == nil {
+		panic(fmt.Sprintf("cell: unknown master %q", name))
+	}
+	return c
+}
+
+// Family returns the masters of a sizing family in ascending drive.
+func (l *Library) Family(name string) []*Cell { return l.families[name] }
+
+// NextSizeUp returns the next stronger master in c's family, or nil
+// when c is already the strongest.
+func (l *Library) NextSizeUp(c *Cell) *Cell {
+	fam := l.families[c.Family]
+	for i, m := range fam {
+		if m.Name == c.Name && i+1 < len(fam) {
+			return fam[i+1]
+		}
+	}
+	return nil
+}
+
+// NextSizeDown returns the next weaker master, or nil.
+func (l *Library) NextSizeDown(c *Cell) *Cell {
+	fam := l.families[c.Family]
+	for i, m := range fam {
+		if m.Name == c.Name && i > 0 {
+			return fam[i-1]
+		}
+	}
+	return nil
+}
+
+// Cells returns all masters in deterministic (name-sorted) order.
+func (l *Library) Cells() []*Cell {
+	names := make([]string, 0, len(l.cells))
+	for n := range l.cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Cell, len(names))
+	for i, n := range names {
+		out[i] = l.cells[n]
+	}
+	return out
+}
+
+// Len returns the master count.
+func (l *Library) Len() int { return len(l.cells) }

@@ -1,0 +1,269 @@
+// Package core implements the Macro-3D methodology itself — the
+// paper's contribution (§IV). The flow's trick is to let a standard 2D
+// engine perform a *true* 3D placement and routing by editing only the
+// technology views and macro abstracts:
+//
+//  1. Combined BEOL: the full two-die metal stack — logic-die metals,
+//     the F2F_VIA bonding layer, then the macro-die metals renamed
+//     with the "_MD" suffix — handed to P&R and extraction as one
+//     stack (tech.Combine).
+//  2. Macro editing: every macro assigned to the macro die keeps its
+//     pin and obstruction (x, y) geometry but has the layers remapped
+//     onto the _MD names, and its substrate footprint shrunk to a
+//     filler cell's (commercial tools do not allow zero area) so it
+//     consumes no logic-die placement area.
+//  3. Superimposition: the macro-die floorplan and logic-die floorplan
+//     overlay into a single 2D floorplan over the combined stack.
+//  4. Separation: after sign-off, the single design splits into the
+//     two production layouts; the F2F_VIA layer appears in both.
+//
+// Because the engine sees the physical truth, its P&R and PPA results
+// are *directly* valid for the 3D stack — no tier partitioning, via
+// planning or incremental rerouting afterwards.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// EditMacroForMacroDie returns the Macro-3D view of a macro master:
+// pin layers and obstruction layers renamed with the _MD suffix at
+// unchanged (x, y) geometry, and the substrate footprint shrunk to the
+// filler-cell size. The original master is not modified.
+func EditMacroForMacroDie(m *cell.Cell, fillerW, fillerH float64) (*cell.Cell, error) {
+	if m.Kind != cell.KindMacro {
+		return nil, fmt.Errorf("core: %s is not a macro", m.Name)
+	}
+	if strings.HasSuffix(m.Name, "_MD") {
+		return nil, fmt.Errorf("core: %s already edited", m.Name)
+	}
+	e := m.Clone()
+	e.Name = m.Name + "_MD"
+	for i := range e.Pins {
+		if e.Pins[i].Layer != "" && !strings.HasSuffix(e.Pins[i].Layer, tech.MDSuffix) {
+			e.Pins[i].Layer += tech.MDSuffix
+		}
+	}
+	for i := range e.Obstructions {
+		if !strings.HasSuffix(e.Obstructions[i].Layer, tech.MDSuffix) {
+			e.Obstructions[i].Layer += tech.MDSuffix
+		}
+	}
+	// Shrink the substrate footprint only; pins/obstructions keep
+	// their absolute offsets (they live in the other die's metal).
+	e.Width = fillerW
+	e.Height = fillerH
+	return e, nil
+}
+
+// MoLDesign is a design prepared for single-pass 3D P&R.
+type MoLDesign struct {
+	Design   *netlist.Design
+	Combined *tech.BEOL
+	FP       *floorplan.Floorplan
+
+	// Layer name sets of the separated production layouts.
+	LogicLayers []string
+	MacroLayers []string
+
+	EditedMacros int
+}
+
+// PrepareMoL performs steps 1–3 of the methodology on a design whose
+// macros have already been floorplanned (macro-die macros carry
+// Die == MacroDie with fixed locations — floorplan.PlaceMacros with
+// StyleMoL). logicBeol/macroBeol are the per-die stacks; die is the 3D
+// footprint.
+func PrepareMoL(d *netlist.Design, logicBeol, macroBeol *tech.BEOL, f2f tech.F2FSpec,
+	die geom.Rect, fillerW, fillerH float64) (*MoLDesign, error) {
+
+	combined, err := tech.Combine(logicBeol, macroBeol, f2f)
+	if err != nil {
+		return nil, err
+	}
+	ll, ml, err := tech.Separate(combined)
+	if err != nil {
+		return nil, err
+	}
+
+	md := &MoLDesign{
+		Design:      d,
+		Combined:    combined,
+		LogicLayers: ll,
+		MacroLayers: ml,
+		FP:          &floorplan.Floorplan{Die: die},
+	}
+
+	// Edit every macro-die macro.
+	for _, m := range d.Macros() {
+		if m.Die != netlist.MacroDie {
+			continue
+		}
+		if !m.Placed {
+			return nil, fmt.Errorf("core: macro %s not floorplanned", m.Name)
+		}
+		edited, err := EditMacroForMacroDie(m.Master, fillerW, fillerH)
+		if err != nil {
+			return nil, err
+		}
+		m.Master = edited
+		md.EditedMacros++
+	}
+
+	// Superimposed floorplan: logic-die macros still block placement;
+	// macro-die macros (now filler-sized) do not. Routing blockages
+	// from both dies land in one floorplan because the edited layers
+	// are distinct.
+	floorplan.BuildBlockages(md.FP, d, netlist.LogicDie)
+	buildMacroDieBlockages(md.FP, d)
+	return md, nil
+}
+
+// buildMacroDieBlockages adds the _MD routing obstructions of edited
+// macros. The obstruction rects are stored in the master's local frame
+// at their original (pre-shrink) extents.
+func buildMacroDieBlockages(fp *floorplan.Floorplan, d *netlist.Design) {
+	for _, m := range d.Macros() {
+		if m.Die != netlist.MacroDie || !m.Placed {
+			continue
+		}
+		for _, o := range m.Master.Obstructions {
+			fp.RouteBlk = append(fp.RouteBlk, floorplan.RouteBlockage{
+				Layer: o.Layer,
+				Rect:  o.Rect.Translate(m.Loc),
+			})
+		}
+	}
+}
+
+// DieLayout is one production layout produced by separation — the
+// stand-in for a per-die GDSII stream.
+type DieLayout struct {
+	Name    string
+	Die     netlist.Die
+	Outline geom.Rect
+	Layers  []string
+
+	StdCells int
+	Macros   int
+
+	// WirelengthByLayer holds routed wire per layer present in this
+	// die, µm.
+	WirelengthByLayer map[string]float64
+
+	// Bumps are the F2F bonding via locations (shared by both parts).
+	Bumps []geom.Point
+}
+
+// Separate performs step 4: splitting the signed-off combined design
+// into the two per-die layouts. Both receive the F2F_VIA bump
+// locations.
+func Separate(md *MoLDesign, routes *route.Result, db *route.DB) (logic, macro *DieLayout, err error) {
+	d := md.Design
+	logic = &DieLayout{
+		Name: d.Name + "_logic_die", Die: netlist.LogicDie,
+		Outline: md.FP.Die, Layers: md.LogicLayers,
+		WirelengthByLayer: map[string]float64{},
+	}
+	macro = &DieLayout{
+		Name: d.Name + "_macro_die", Die: netlist.MacroDie,
+		Outline: md.FP.Die, Layers: md.MacroLayers,
+		WirelengthByLayer: map[string]float64{},
+	}
+
+	// Substrate objects: all placed cells (and filler-sized macro
+	// stand-ins) belong to the logic die; the real macros to the macro
+	// die.
+	for _, inst := range d.Instances {
+		if inst.IsMacro() && inst.Die == netlist.MacroDie {
+			macro.Macros++
+			continue
+		}
+		if inst.IsMacro() {
+			logic.Macros++
+			continue
+		}
+		logic.StdCells++
+	}
+
+	// Wire geometry per layer.
+	for li, l := range md.Combined.Layers {
+		wl := routes.WLPerLayer[li]
+		if l.MacroDie {
+			macro.WirelengthByLayer[l.Name] = wl
+		} else {
+			logic.WirelengthByLayer[l.Name] = wl
+		}
+	}
+
+	// Bump locations from F2F via crossings; both parts carry them.
+	f2fIdx := md.Combined.F2FViaIndex()
+	if f2fIdx < 0 {
+		return nil, nil, fmt.Errorf("core: combined stack lost its F2F via")
+	}
+	seen := map[[2]int]int{}
+	for _, r := range routes.Routes {
+		if r == nil {
+			continue
+		}
+		for _, s := range r.Segments {
+			if !s.IsVia() {
+				continue
+			}
+			lo := s.A.L
+			if s.B.L < lo {
+				lo = s.B.L
+			}
+			if lo != f2fIdx {
+				continue
+			}
+			// Offset repeated bumps in a gcell onto the bump grid.
+			key := [2]int{s.A.X, s.A.Y}
+			k := seen[key]
+			seen[key] = k + 1
+			c := db.Grid.BinCenter(s.A.X, s.A.Y)
+			pitch := md.Combined.Vias[f2fIdx].Pitch
+			per := int(db.Grid.DX / pitch)
+			if per < 1 {
+				per = 1
+			}
+			off := geom.Pt(float64(k%per)*pitch, float64(k/per)*pitch)
+			p := c.Add(off)
+			logic.Bumps = append(logic.Bumps, p)
+			macro.Bumps = append(macro.Bumps, p)
+		}
+	}
+	return logic, macro, nil
+}
+
+// CellForDie returns a view of a standard-cell master for a given die
+// of an F2F stack: macro-die copies get _MD pin layers. Used by the
+// S2D/C2D baselines after tier partitioning (Macro-3D itself never
+// needs this — its standard cells all live in the logic die, which is
+// the heterogeneity the flow exploits).
+func CellForDie(m *cell.Cell, die netlist.Die) *cell.Cell {
+	if die == netlist.LogicDie {
+		return m
+	}
+	e := m.Clone()
+	e.Name = m.Name + "_MD"
+	for i := range e.Pins {
+		if e.Pins[i].Layer != "" && !strings.HasSuffix(e.Pins[i].Layer, tech.MDSuffix) {
+			e.Pins[i].Layer += tech.MDSuffix
+		}
+	}
+	for i := range e.Obstructions {
+		if !strings.HasSuffix(e.Obstructions[i].Layer, tech.MDSuffix) {
+			e.Obstructions[i].Layer += tech.MDSuffix
+		}
+	}
+	return e
+}

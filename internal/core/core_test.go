@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+func TestEditMacroForMacroDie(t *testing.T) {
+	sram, err := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 2048, Bits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := EditMacroForMacroDie(sram, 0.19, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint shrunk to filler size.
+	if e.Width != 0.19 || e.Height != 1.2 {
+		t.Fatalf("footprint %v×%v, want filler size", e.Width, e.Height)
+	}
+	// Pin layers remapped, geometry untouched.
+	for i, p := range e.Pins {
+		if p.Layer != "M4_MD" {
+			t.Fatalf("pin %s layer %s, want M4_MD", p.Name, p.Layer)
+		}
+		if p.Offset != sram.Pins[i].Offset {
+			t.Fatalf("pin %s offset moved", p.Name)
+		}
+	}
+	// Obstructions remapped at original extents.
+	for i, o := range e.Obstructions {
+		if !strings.HasSuffix(o.Layer, "_MD") {
+			t.Fatalf("obstruction layer %s not remapped", o.Layer)
+		}
+		if o.Rect != sram.Obstructions[i].Rect {
+			t.Fatal("obstruction rect changed")
+		}
+	}
+	// Original untouched.
+	if sram.Width == 0.19 || sram.Pins[0].Layer != "M4" {
+		t.Fatal("EditMacroForMacroDie mutated the original master")
+	}
+	// Double-editing rejected.
+	if _, err := EditMacroForMacroDie(e, 0.19, 1.2); err == nil {
+		t.Fatal("edited macro accepted twice")
+	}
+	// Non-macros rejected.
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	if _, err := EditMacroForMacroDie(lib.MustCell("INV_X1"), 0.19, 1.2); err == nil {
+		t.Fatal("standard cell accepted")
+	}
+}
+
+func prepared(t *testing.T) (*MoLDesign, *piton.Tile, floorplan.Sizing) {
+	t.Helper()
+	tile, err := piton.Generate(piton.SmallCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tile.Design
+	sz, err := floorplan.SizeDesign(d, 0.70, 1.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := floorplan.PlaceMacros(d, sz.Die3D, floorplan.StyleMoL); err != nil {
+		t.Fatal(err)
+	}
+	floorplan.AssignPorts(tile, sz.Die3D)
+	logic, _ := tech.NewBEOL28("logic", 6)
+	macro, _ := tech.NewBEOL28("macro", 6)
+	md, err := PrepareMoL(d, logic, macro, tech.DefaultF2F(), sz.Die3D, 0.19, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md, tile, sz
+}
+
+func TestPrepareMoL(t *testing.T) {
+	md, tile, _ := prepared(t)
+	d := tile.Design
+	if md.EditedMacros != len(d.Macros()) {
+		t.Fatalf("edited %d of %d macros", md.EditedMacros, len(d.Macros()))
+	}
+	// Combined stack: 6 + 6 layers, F2F via between.
+	if md.Combined.NumLayers() != 12 || md.Combined.F2FViaIndex() != 5 {
+		t.Fatalf("combined stack wrong: %v", md.Combined)
+	}
+	// No placement blockages: all macros are on the macro die with
+	// filler footprints.
+	if len(md.FP.PlaceBlk) != 0 {
+		t.Fatalf("MoL floorplan has %d placement blockages", len(md.FP.PlaceBlk))
+	}
+	// Routing blockages on _MD layers only, 4 per SRAM.
+	if len(md.FP.RouteBlk) != 4*len(d.Macros()) {
+		t.Fatalf("route blockages = %d", len(md.FP.RouteBlk))
+	}
+	for _, rb := range md.FP.RouteBlk {
+		if !strings.HasSuffix(rb.Layer, "_MD") {
+			t.Fatalf("blockage on logic-die layer %s", rb.Layer)
+		}
+	}
+	// Macro pins remain at their absolute floorplan locations despite
+	// the footprint shrink.
+	m := d.Macros()[0]
+	pl := m.PinLoc("CLK")
+	if !md.FP.Die.Contains(pl) {
+		t.Fatalf("macro pin at %v outside die", pl)
+	}
+	if pl.X <= m.Loc.X {
+		t.Fatal("pin offset lost by shrink")
+	}
+	// Separated layer sets share the F2F layer.
+	if md.LogicLayers[len(md.LogicLayers)-1] != tech.F2FLayerName ||
+		md.MacroLayers[len(md.MacroLayers)-1] != tech.F2FLayerName {
+		t.Fatal("F2F layer missing from separated sets")
+	}
+}
+
+func TestPrepareMoLRequiresFloorplan(t *testing.T) {
+	tile, err := piton.Generate(piton.SmallCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tile.Design
+	for _, m := range d.Macros() {
+		m.Die = netlist.MacroDie // assigned but never placed
+	}
+	logic, _ := tech.NewBEOL28("logic", 6)
+	macro, _ := tech.NewBEOL28("macro", 6)
+	if _, err := PrepareMoL(d, logic, macro, tech.DefaultF2F(),
+		geom.R(0, 0, 100, 100), 0.19, 1.2); err == nil {
+		t.Fatal("unplaced macros accepted")
+	}
+}
+
+func TestSeparateProducesBothParts(t *testing.T) {
+	md, tile, sz := prepared(t)
+	d := tile.Design
+	// Quick placement-free routing: scatter std cells on a coarse grid
+	// (valid, reasonably spread routes without running the placer).
+	cells := d.StdCells()
+	nx := 96
+	inner := sz.Die3D.Expand(-10)
+	for i, inst := range cells {
+		ix, iy := i%nx, (i/nx)%nx
+		inst.Loc = geom.Pt(
+			inner.Lx+inner.W()*float64(ix)/float64(nx),
+			inner.Ly+inner.H()*float64(iy)/float64(nx),
+		)
+		inst.Placed = true
+	}
+	db := route.NewDB(sz.Die3D, md.Combined, md.FP.RouteBlk, route.Options{GCellPitch: 15, MaxIters: 1})
+	res, err := route.RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F2FBumps == 0 {
+		t.Fatal("MoL routing produced no F2F bumps despite macro-die pins")
+	}
+	logic, macro, err := Separate(md, res, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logic.StdCells == 0 || macro.Macros != len(d.Macros()) {
+		t.Fatalf("separation counts: %d cells / %d macros", logic.StdCells, macro.Macros)
+	}
+	// Both parts share the same bump list.
+	if len(logic.Bumps) != len(macro.Bumps) || len(logic.Bumps) != res.F2FBumps {
+		t.Fatalf("bump lists: %d / %d, routed %d", len(logic.Bumps), len(macro.Bumps), res.F2FBumps)
+	}
+	// Wire separation: _MD wirelength only in the macro part.
+	for name := range logic.WirelengthByLayer {
+		if strings.HasSuffix(name, "_MD") {
+			t.Fatalf("logic part carries %s", name)
+		}
+	}
+	for name := range macro.WirelengthByLayer {
+		if !strings.HasSuffix(name, "_MD") {
+			t.Fatalf("macro part carries %s", name)
+		}
+	}
+}
+
+func TestCellForDie(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	inv := lib.MustCell("INV_X1")
+	same := CellForDie(inv, netlist.LogicDie)
+	if same != inv {
+		t.Fatal("logic-die view must be the original master")
+	}
+	md := CellForDie(inv, netlist.MacroDie)
+	if md == inv || md.Pins[0].Layer != "M1_MD" {
+		t.Fatalf("macro-die view wrong: %+v", md.Pins[0])
+	}
+	if inv.Pins[0].Layer != "M1" {
+		t.Fatal("CellForDie mutated original")
+	}
+}

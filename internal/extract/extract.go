@@ -1,0 +1,186 @@
+// Package extract computes net parasitics from global routes: per-net
+// RC trees over the BEOL's layer tables (including via and F2F-bump R
+// and C), total wire/pin capacitances, and Elmore delays from the
+// driver to every sink. Because Macro-3D routes on the combined
+// two-die stack, extraction here *is* the final 3D extraction — no
+// post-partitioning re-estimation exists in that flow, which is the
+// paper's core accuracy argument.
+package extract
+
+import (
+	"macro3d/internal/netlist"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// NetRC is the extracted view of one net.
+type NetRC struct {
+	Net *netlist.Net
+
+	WireC float64 // fF
+	WireR float64 // kΩ (total, for reporting)
+	PinC  float64 // fF (sink pins + port loads)
+
+	// ElmoreTo[i] is the wire Elmore delay from the driver to
+	// Net.Sinks[i], ps.
+	ElmoreTo []float64
+}
+
+// CTotal is the total load the driver sees at DC.
+func (n *NetRC) CTotal() float64 { return n.WireC + n.PinC }
+
+// Design aggregates extraction over all routed nets.
+type Design struct {
+	Nets []*NetRC // indexed by net ID; nil for clock/unrouted nets
+
+	CWireTotal float64 // fF
+	CPinTotal  float64 // fF
+}
+
+// Extract builds RC trees for every routed net at the given corner.
+func Extract(d *netlist.Design, res *route.Result, db *route.DB, corner tech.CornerScale) *Design {
+	out := &Design{Nets: make([]*NetRC, len(d.Nets))}
+	for _, n := range d.Nets {
+		r := res.Routes[n.ID]
+		if r == nil {
+			continue
+		}
+		rc := extractNet(n, r, db, corner)
+		out.Nets[n.ID] = rc
+		out.CWireTotal += rc.WireC
+		out.CPinTotal += rc.PinC
+	}
+	return out
+}
+
+// One re-extracts a single net (after sizing changed its pin caps or a
+// reroute changed its segments) and returns the fresh RC view. The
+// caller is responsible for replacing the entry in Design.Nets and
+// adjusting the design totals.
+func One(n *netlist.Net, r *route.NetRoute, db *route.DB, corner tech.CornerScale) *NetRC {
+	return extractNet(n, r, db, corner)
+}
+
+// Replace swaps the RC entry for a net and maintains the totals. Pass
+// nil rc to remove.
+func (d *Design) Replace(netID int, rc *NetRC) {
+	for netID >= len(d.Nets) {
+		d.Nets = append(d.Nets, nil)
+	}
+	if old := d.Nets[netID]; old != nil {
+		d.CWireTotal -= old.WireC
+		d.CPinTotal -= old.PinC
+	}
+	d.Nets[netID] = rc
+	if rc != nil {
+		d.CWireTotal += rc.WireC
+		d.CPinTotal += rc.PinC
+	}
+}
+
+// node key for the electrical graph.
+type eNode = route.Node
+
+type eEdge struct {
+	to eNode
+	r  float64
+}
+
+// extractNet builds the RC tree of one net and runs Elmore.
+func extractNet(n *netlist.Net, r *route.NetRoute, db *route.DB, corner tech.CornerScale) *NetRC {
+	rc := &NetRC{Net: n, ElmoreTo: make([]float64, len(n.Sinks))}
+
+	adj := make(map[eNode][]eEdge)
+	capAt := make(map[eNode]float64)
+	addEdge := func(a, b eNode, res float64, c float64) {
+		adj[a] = append(adj[a], eEdge{b, res})
+		adj[b] = append(adj[b], eEdge{a, res})
+		capAt[a] += c / 2
+		capAt[b] += c / 2
+		rc.WireR += res
+	}
+
+	for _, s := range r.Segments {
+		if s.IsVia() {
+			lo := s.A.L
+			if s.B.L < lo {
+				lo = s.B.L
+			}
+			v := db.Beol.Vias[lo]
+			res := v.R * corner.WireR
+			c := v.C * corner.WireC
+			rc.WireC += c
+			addEdge(s.A, s.B, res, c)
+			continue
+		}
+		ly := db.Beol.Layers[s.A.L]
+		length := float64(abs(s.B.X-s.A.X))*db.Grid.DX + float64(abs(s.B.Y-s.A.Y))*db.Grid.DY
+		res := length * ly.RPerUm * corner.WireR
+		c := length * ly.CPerUm * corner.WireC
+		rc.WireC += c
+		addEdge(s.A, s.B, res, c)
+	}
+
+	// Pin caps at their nodes.
+	pins := n.Pins()
+	for i, p := range pins {
+		if i == 0 {
+			continue // driver contributes no load to itself
+		}
+		capAt[r.PinNode[i]] += p.Cap()
+		rc.PinC += p.Cap()
+	}
+
+	if len(pins) < 2 {
+		return rc
+	}
+	driver := r.PinNode[0]
+
+	// BFS tree from the driver (the routed graph can contain parallel
+	// connections from overlapping MST paths; first-found parent
+	// wins).
+	parent := map[eNode]*eEdge{}
+	order := []eNode{driver}
+	seen := map[eNode]bool{driver: true}
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for i := range adj[u] {
+			e := adj[u][i]
+			if !seen[e.to] {
+				seen[e.to] = true
+				parent[e.to] = &eEdge{to: u, r: e.r}
+				order = append(order, e.to)
+			}
+		}
+	}
+
+	// Downstream capacitance by reverse BFS order.
+	down := make(map[eNode]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		down[u] += capAt[u]
+		if p := parent[u]; p != nil {
+			down[p.to] += down[u]
+		}
+	}
+
+	// Elmore from driver to each node: delay(u) = delay(parent) +
+	// R_edge × downstream(u). kΩ·fF = ps.
+	delay := make(map[eNode]float64, len(order))
+	for _, u := range order {
+		if p := parent[u]; p != nil {
+			delay[u] = delay[p.to] + p.r*down[u]
+		}
+	}
+	for i := range n.Sinks {
+		rc.ElmoreTo[i] = delay[r.PinNode[i+1]]
+	}
+	return rc
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

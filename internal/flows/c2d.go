@@ -1,0 +1,150 @@
+package flows
+
+import (
+	"fmt"
+	"math"
+
+	"macro3d/internal/extract"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/opt"
+	"macro3d/internal/piton"
+	"macro3d/internal/place"
+	"macro3d/internal/route"
+	"macro3d/internal/sta"
+	"macro3d/internal/tech"
+)
+
+// RunC2D executes the Compact-2D baseline [6]: full-size cells are
+// placed in a floorplan of 2× the target 3D footprint with per-unit
+// interconnect parasitics scaled by 1/√2 (so wire estimates mimic the
+// 3D target despite the inflated floorplan); blockage areas are scaled
+// 2×; after P&R and sizing, cell locations are linearly mapped into
+// the 3D footprint, tiers are partitioned, overlaps legalized, and the
+// combined stack rerouted with only a limited post-partition touch-up
+// — C2D's "post-tier-partitioning optimization and incremental
+// routing".
+func RunC2D(cfg Config) (*PPA, *State, error) {
+	cfg = cfg.withDefaults()
+	t, err := tech.New28(cfg.LogicMetals)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Real design, 3D footprint, MoL macro floorplan.
+	realTile, err := piton.Generate(cfg.Piton)
+	if err != nil {
+		return nil, nil, err
+	}
+	dReal := realTile.Design
+	sz, err := floorplan.SizeDesign(dReal, cfg.Util, 1.0, t.RowHeight)
+	if err != nil {
+		return nil, nil, err
+	}
+	die := sz.Die3D
+	if _, _, err := floorplan.PlaceMacros(dReal, die, floorplan.StyleMoL); err != nil {
+		return nil, nil, err
+	}
+	floorplan.AssignPorts(realTile, die)
+
+	// ---- Phase A: the 2×-footprint pseudo design. ----
+	s := math.Sqrt2
+	dieC := geom.R(die.Lx*s, die.Ly*s, die.Ux*s, die.Uy*s)
+	pseudoTile, err := piton.Generate(cfg.Piton)
+	if err != nil {
+		return nil, nil, err
+	}
+	dP := pseudoTile.Design
+
+	// Macros at linearly scaled locations; blockage rects scaled 2× in
+	// area (√2 per dimension, about the origin — consistent with the
+	// location map).
+	var logicRects, macroRects []geom.Rect
+	for _, m := range dReal.Macros() {
+		pm := dP.Instance(m.Name)
+		if pm == nil {
+			return nil, nil, fmt.Errorf("c2d: pseudo design lacks macro %s", m.Name)
+		}
+		pm.Loc = m.Loc.Scale(s)
+		pm.Fixed, pm.Placed = true, true
+		pm.Die = netlist.LogicDie
+		scaled := m.Bounds().Scale(s)
+		if m.Die == netlist.LogicDie {
+			logicRects = append(logicRects, scaled)
+		} else {
+			macroRects = append(macroRects, scaled)
+		}
+	}
+	floorplan.AssignPorts(pseudoTile, dieC)
+
+	pbm := floorplan.NewPartialBlockageMap(dieC, cfg.BlockageResolution, logicRects, macroRects)
+	fpP := &floorplan.Floorplan{Die: dieC, PlaceBlk: pbm.Blockages()}
+	for _, m := range dReal.Macros() {
+		if m.Die != netlist.LogicDie {
+			continue
+		}
+		for _, o := range m.Master.Obstructions {
+			fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
+				Layer: o.Layer, Rect: o.Rect.Translate(m.Loc).Scale(s),
+			})
+		}
+	}
+
+	// Per-unit parasitics scaled by 1/√2: routes in the inflated
+	// floorplan estimate target-3D RC.
+	scaledBeol := tech.ScaleParasitics(t.Logic, 1/s)
+
+	stP := &State{Design: dP, Tile: pseudoTile, Die: dieC, FP: fpP, Beol: scaledBeol, Sizing: sz}
+	if _, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: cfg.Seed + 4}); err != nil {
+		return nil, nil, fmt.Errorf("c2d pseudo place: %w", err)
+	}
+	buildClock(stP)
+	stP.DB = route.NewDB(dieC, scaledBeol, fpP.RouteBlk, route.Options{})
+	stP.Routes, err = route.RouteDesign(dP, stP.DB)
+	if err != nil {
+		return nil, nil, fmt.Errorf("c2d pseudo route: %w", err)
+	}
+	slow := t.CornerScaleFor(tech.CornerSlow)
+	stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
+	if _, err := opt.Optimize(&opt.Context{
+		Design: dP, DB: stP.DB, Routes: stP.Routes, Ex: stP.ExSlow,
+		Corner: slow, Clock: stP.Tree,
+		FP: fpP, RowHeight: t.RowHeight,
+	}, sta.Options{}, opt.Options{BufferElmore: 1e12}); err != nil {
+		return nil, nil, fmt.Errorf("c2d pseudo opt: %w", err)
+	}
+
+	// ---- Transfer: linear map into the 3D footprint. ----
+	if err := transferPseudoScaled(dP, dReal, 1/s); err != nil {
+		return nil, nil, err
+	}
+
+	// ---- Phase B with C2D's limited post-partition optimization. ----
+	return finish3DBaseline(cfg, t, "C2D", realTile, die, sz,
+		opt.Options{MaxIters: 2, MaxMovesPerIter: 8})
+}
+
+// transferPseudoScaled copies drive choices and linearly mapped cell
+// locations from the pseudo design onto the real one.
+func transferPseudoScaled(dP, dReal *netlist.Design, scale float64) error {
+	for _, c := range dReal.StdCells() {
+		pc := dP.Instance(c.Name)
+		if pc == nil {
+			return fmt.Errorf("flows: pseudo design lacks instance %s", c.Name)
+		}
+		ctr := pc.Center().Scale(scale)
+		c.Loc = geom.Pt(ctr.X-c.Master.Width/2, ctr.Y-c.Master.Height/2)
+		c.Placed = true
+		if pc.Master.Name != c.Master.Name {
+			to := dReal.Lib.Cell(pc.Master.Name)
+			if to == nil {
+				return fmt.Errorf("flows: real library lacks %s", pc.Master.Name)
+			}
+			if err := dReal.Resize(c, to); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package flows
+
+import (
+	"fmt"
+
+	"macro3d/internal/floorplan"
+	"macro3d/internal/netlist"
+	"macro3d/internal/opt"
+	"macro3d/internal/place"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// Run2D executes the baseline single-die flow: periphery macro ring,
+// six metal layers, full timing optimization against true parasitics.
+func Run2D(cfg Config) (*PPA, *State, error) {
+	cfg = cfg.withDefaults()
+	t, err := tech.New28(cfg.LogicMetals)
+	if err != nil {
+		return nil, nil, err
+	}
+	tile, err := cfg.generate()
+	if err != nil {
+		return nil, nil, err
+	}
+	d := tile.Design
+
+	sz, err := floorplan.SizeDesign(d, cfg.Util, 1.0, t.RowHeight)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &State{Design: d, Tile: tile, Die: sz.Die2D, Beol: t.Logic, Sizing: sz}
+
+	fp, _, err := floorplan.PlaceMacros(d, sz.Die2D, floorplan.Style2D)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.FP = fp
+	floorplan.BuildBlockages(fp, d, netlist.LogicDie)
+	floorplan.AssignPorts(tile, sz.Die2D)
+
+	if _, err := place.Place(d, fp, t.RowHeight, place.Options{Seed: cfg.Seed + 1}); err != nil {
+		return nil, nil, fmt.Errorf("2D place: %w", err)
+	}
+
+	buildClock(st)
+
+	st.DB = route.NewDB(sz.Die2D, t.Logic, fp.RouteBlk, route.Options{})
+	st.Routes, err = route.RouteDesign(d, st.DB)
+	if err != nil {
+		return nil, nil, fmt.Errorf("2D route: %w", err)
+	}
+
+	ppa, err := signoff(cfg, st, t, opt.Options{}, 1, cfg.LogicMetals)
+	if err != nil {
+		return nil, nil, err
+	}
+	ppa.Flow = "2D"
+	return ppa, st, nil
+}

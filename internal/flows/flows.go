@@ -1,0 +1,243 @@
+// Package flows implements the four end-to-end physical-design flows
+// the paper compares on the OpenPiton tile:
+//
+//   - Flow2D: the baseline single-die flow (macros ring the periphery,
+//     six metal layers).
+//   - Macro3D: the paper's flow — combined two-die BEOL, edited macro
+//     abstracts, single-pass true 3D P&R, then die separation.
+//   - S2D (Shrunk-2D, [5]): cells shrunk to 50 % area and placed in
+//     the 3D footprint against coarse partial blockages, sized against
+//     the pseudo parasitics, then unshrunk, tier-partitioned,
+//     overlap-legalized and rerouted with frozen optimization.
+//   - C2D (Compact-2D, [6]): cells placed at full size in a 2×
+//     footprint with per-unit parasitics scaled by 1/√2, linearly
+//     mapped into the 3D footprint, then partitioned and rerouted with
+//     frozen optimization.
+//
+// Every flow ends in the same sign-off: slow-corner STA for f_max,
+// typical-corner extraction for power, and the PPA record holding the
+// paper's Table I–III rows.
+package flows
+
+import (
+	"fmt"
+
+	"macro3d/internal/cts"
+	"macro3d/internal/extract"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/opt"
+	"macro3d/internal/piton"
+	"macro3d/internal/power"
+	"macro3d/internal/route"
+	"macro3d/internal/sta"
+	"macro3d/internal/tech"
+)
+
+// Config selects the benchmark and flow parameters.
+type Config struct {
+	// Piton is the tile configuration (piton.SmallCache() /
+	// piton.LargeCache()).
+	Piton piton.Config
+
+	// LogicMetals per die (paper: 6). MacroDieMetals only affects 3D
+	// flows (6 for M6–M6, 4 for the Table III M6–M4 ablation).
+	LogicMetals    int
+	MacroDieMetals int
+
+	// Util is the standard-cell utilization target for die sizing
+	// (default 0.70).
+	Util float64
+
+	// TargetPeriod, when > 0, runs timing optimization only until the
+	// target is met (iso-performance mode); 0 = max performance.
+	TargetPeriod float64
+
+	// BlockageResolution is the partial-blockage rasterization pitch
+	// of the S2D/C2D flows, µm (default 50 — deliberately coarse, the
+	// commercial-tool behaviour the paper observed).
+	BlockageResolution float64
+
+	// F2F overrides the face-to-face via technology (nil = the
+	// paper's defaults). Used by the bump-pitch ablation.
+	F2F *tech.F2FSpec
+
+	// Generator, when set, supplies the benchmark netlist instead of
+	// piton.Generate(Piton) — e.g. a sensor-on-logic SoC. Flows call
+	// it freshly per run because they mutate the design. Only Run2D
+	// and RunMacro3D support it; the S2D/C2D baselines need the
+	// shrunk/scaled pseudo-design regeneration that is specific to the
+	// tile generator.
+	Generator func() (*piton.Tile, error)
+
+	Seed uint64
+}
+
+// generate produces a fresh benchmark netlist for a flow run.
+func (c Config) generate() (*piton.Tile, error) {
+	if c.Generator != nil {
+		return c.Generator()
+	}
+	return piton.Generate(c.Piton)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LogicMetals == 0 {
+		c.LogicMetals = 6
+	}
+	if c.MacroDieMetals == 0 {
+		c.MacroDieMetals = 6
+	}
+	if c.Util == 0 {
+		c.Util = 0.70
+	}
+	if c.BlockageResolution == 0 {
+		c.BlockageResolution = 50
+	}
+	return c
+}
+
+// PPA is the flow outcome — one column of the paper's tables.
+type PPA struct {
+	Flow   string
+	Config string
+
+	FclkMHz     float64 // max clock frequency (slow corner)
+	MinPeriodPs float64
+	EmeanFJ     float64 // energy per cycle, typical corner, at Fclk
+	PowerUW     float64
+	LeakageUW   float64
+
+	FootprintMM2     float64 // per-die footprint (A_footprint)
+	LogicCellAreaMM2 float64 // A_logic-cells
+	MetalAreaMM2     float64 // footprint × metal layers over all dies
+
+	TotalWLm  float64 // routed + clock wire, metres
+	F2FBumps  int
+	CpinNF    float64
+	CwireNF   float64
+	ClkDepth  int
+	ClkSkewPs float64
+
+	CritPathWLmm float64
+	CritPathPs   float64
+
+	RouteOverflow int
+	Dies          int
+
+	// Hold sign-off (extension beyond the paper's setup-only flow).
+	HoldWNSps      float64
+	HoldViolations int
+
+	// Optimization statistics.
+	Resized, Buffers int
+}
+
+// String renders a one-line summary.
+func (p *PPA) String() string {
+	return fmt.Sprintf("%s/%s: fclk %.0f MHz, Emean %.0f fJ/cyc, A %.2f mm², WL %.2f m, bumps %d, clk depth %d, critWL %.2f mm",
+		p.Flow, p.Config, p.FclkMHz, p.EmeanFJ, p.FootprintMM2, p.TotalWLm, p.F2FBumps, p.ClkDepth, p.CritPathWLmm)
+}
+
+// State exposes the full implementation objects of a finished flow for
+// visualization and deeper inspection.
+type State struct {
+	Design *netlist.Design
+	Tile   *piton.Tile
+	Die    geom.Rect
+	FP     *floorplan.Floorplan
+	Beol   *tech.BEOL
+	DB     *route.DB
+	Routes *route.Result
+	Tree   *cts.Tree
+	ExSlow *extract.Design
+	Report *sta.Report
+	Sizing floorplan.Sizing
+}
+
+// signoff runs the common final analysis: slow-corner optimization
+// under the given budget (frozen for S2D, limited for C2D, full for 2D
+// and Macro-3D), typical-corner power, PPA assembly.
+func signoff(cfg Config, st *State, t *tech.Tech, optCfg opt.Options, dies int, metalLayers int) (*PPA, error) {
+	slow := t.CornerScaleFor(tech.CornerSlow)
+	typ := t.CornerScaleFor(tech.CornerTypical)
+
+	st.ExSlow = extract.Extract(st.Design, st.Routes, st.DB, slow)
+
+	octx := &opt.Context{
+		Design: st.Design, DB: st.DB, Routes: st.Routes, Ex: st.ExSlow,
+		Corner: slow, Clock: st.Tree,
+		FP: st.FP, RowHeight: t.RowHeight,
+	}
+	if optCfg.TargetPeriod == 0 {
+		optCfg.TargetPeriod = cfg.TargetPeriod
+	}
+	ores, err := opt.Optimize(octx, sta.Options{}, optCfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: optimization: %w", st.Design.Name, err)
+	}
+	st.Report = ores.Report
+	st.Routes.Recount(st.DB)
+
+	// Hold sign-off on the final state.
+	hold, err := sta.Analyze(st.Design, st.ExSlow, st.Report.MinPeriod, sta.Options{
+		Corner: slow, Clock: st.Tree, CheckHold: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: hold sign-off: %w", st.Design.Name, err)
+	}
+
+	// Power at the typical corner, at the achieved frequency (or the
+	// target, for iso-performance runs).
+	exTyp := extract.Extract(st.Design, st.Routes, st.DB, typ)
+	fclk := 1e6 / st.Report.MinPeriod
+	if cfg.TargetPeriod > 0 {
+		fclk = 1e6 / cfg.TargetPeriod
+	}
+	pw := power.Analyze(st.Design, exTyp, st.Tree, fclk, power.Options{Corner: typ})
+
+	p := &PPA{
+		Config:      st.Design.Name,
+		FclkMHz:     fclk,
+		MinPeriodPs: st.Report.MinPeriod,
+		EmeanFJ:     pw.EnergyPerCycleFJ,
+		PowerUW:     pw.PowerUW(fclk),
+		LeakageUW:   pw.LeakageUW,
+
+		FootprintMM2:     st.Die.Area() / 1e6,
+		LogicCellAreaMM2: opt.LogicCellArea(st.Design) / 1e6,
+		MetalAreaMM2:     st.Die.Area() / 1e6 * float64(metalLayers),
+
+		TotalWLm: (st.Routes.WL + st.Tree.Wirelength) / 1e6,
+		F2FBumps: st.Routes.F2FBumps,
+		CpinNF:   (exTyp.CPinTotal + st.Tree.PinCap) / 1e6,
+		CwireNF:  (exTyp.CWireTotal + st.Tree.WireCap) / 1e6,
+
+		ClkDepth:  st.Tree.Depth,
+		ClkSkewPs: st.Tree.Skew,
+
+		CritPathWLmm: st.Report.Critical.Wirelength / 1e3,
+		CritPathPs:   st.Report.Critical.Delay,
+
+		HoldWNSps:      hold.HoldWNS,
+		HoldViolations: hold.HoldViolations,
+
+		RouteOverflow: st.Routes.Overflow,
+		Dies:          dies,
+		Resized:       ores.Resized,
+		Buffers:       ores.Buffers,
+	}
+	return p, nil
+}
+
+// buildClock synthesizes the clock tree for the placed design.
+func buildClock(st *State) {
+	d := st.Design
+	clk := d.Net("clk")
+	src := geom.Pt(st.Die.Lx, st.Die.Center().Y)
+	if p := d.Port("clk_i"); p != nil {
+		src = p.Loc
+	}
+	st.Tree = cts.Build(d, clk, src, d.Lib, st.Beol, cts.Options{})
+}

@@ -1,0 +1,78 @@
+package flows
+
+import (
+	"fmt"
+
+	"macro3d/internal/core"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/opt"
+	"macro3d/internal/place"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// RunMacro3D executes the paper's flow (§IV): macro-die floorplan,
+// combined BEOL, single-pass 2D P&R that is directly the final 3D
+// result, and die separation.
+func RunMacro3D(cfg Config) (*PPA, *State, *core.MoLDesign, error) {
+	cfg = cfg.withDefaults()
+	t, err := tech.New28(cfg.LogicMetals)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	macroBeol, err := tech.NewBEOL28("macro28", cfg.MacroDieMetals)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tile, err := cfg.generate()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d := tile.Design
+
+	sz, err := floorplan.SizeDesign(d, cfg.Util, 1.0, t.RowHeight)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := &State{Design: d, Tile: tile, Die: sz.Die3D, Sizing: sz}
+
+	// Step 1: the two per-die floorplans (macros → macro die).
+	if _, _, err := floorplan.PlaceMacros(d, sz.Die3D, floorplan.StyleMoL); err != nil {
+		return nil, nil, nil, err
+	}
+	floorplan.AssignPorts(tile, sz.Die3D)
+
+	// Step 2: combined BEOL + macro editing + superimposed floorplan.
+	f2f := t.F2F
+	if cfg.F2F != nil {
+		f2f = *cfg.F2F
+	}
+	filler := d.Lib.MustCell("FILL_X1")
+	md, err := core.PrepareMoL(d, t.Logic, macroBeol, f2f, sz.Die3D, filler.Width, filler.Height)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("macro3d prepare: %w", err)
+	}
+	st.FP = md.FP
+	st.Beol = md.Combined
+
+	// Step 3: standard 2D P&R over the combined stack — the result is
+	// directly valid for the 3D target.
+	if _, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: cfg.Seed + 2}); err != nil {
+		return nil, nil, nil, fmt.Errorf("macro3d place: %w", err)
+	}
+	buildClock(st)
+	st.DB = route.NewDB(sz.Die3D, md.Combined, md.FP.RouteBlk, route.Options{})
+	st.Routes, err = route.RouteDesign(d, st.DB)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("macro3d route: %w", err)
+	}
+
+	// Sign-off with full optimization (the engine sees reality, so
+	// optimization is trustworthy — the paper's key property).
+	ppa, err := signoff(cfg, st, t, opt.Options{}, 2, cfg.LogicMetals+cfg.MacroDieMetals)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ppa.Flow = "Macro-3D"
+	return ppa, st, md, nil
+}

@@ -1,0 +1,178 @@
+// Package gds writes GDSII stream format — the production handoff the
+// paper's separation step produces for each die. The writer emits a
+// standard library with one structure per die containing the die
+// outline, cell and macro footprints, routed wire paths per metal
+// layer, and the F2F bump boxes (present in both dies' streams, as the
+// paper prescribes). Files open in standard viewers (KLayout etc.).
+package gds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record types (GDSII stream spec).
+const (
+	recHEADER   = 0x0002
+	recBGNLIB   = 0x0102
+	recLIBNAME  = 0x0206
+	recUNITS    = 0x0305
+	recENDLIB   = 0x0400
+	recBGNSTR   = 0x0502
+	recSTRNAME  = 0x0606
+	recENDSTR   = 0x0700
+	recBOUNDARY = 0x0800
+	recPATH     = 0x0900
+	recLAYER    = 0x0D02
+	recDATATYPE = 0x0E02
+	recWIDTH    = 0x0F03
+	recXY       = 0x1003
+	recENDEL    = 0x1100
+)
+
+// Writer emits GDSII records. Coordinates are in database units; the
+// stream declares 1 dbu = 1 nm (so µm values are scaled by 1000).
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// DBUPerUm is the database-unit scale: 1000 dbu per µm (1 nm grid).
+const DBUPerUm = 1000
+
+// NewWriter starts a GDSII stream with the given library name.
+func NewWriter(w io.Writer, libName string) *Writer {
+	g := &Writer{w: bufio.NewWriter(w)}
+	g.record(recHEADER, u16(600))
+	// BGNLIB carries modification/access timestamps: 12 int16 values.
+	// A reproduction artifact wants determinism, so they are zero.
+	g.record(recBGNLIB, make([]byte, 24))
+	g.record(recLIBNAME, str(libName))
+	g.record(recUNITS, append(gdsReal(1e-3), gdsReal(1e-9)...))
+	return g
+}
+
+// BeginStruct opens a structure (a die layout).
+func (g *Writer) BeginStruct(name string) {
+	g.record(recBGNSTR, make([]byte, 24))
+	g.record(recSTRNAME, str(name))
+}
+
+// EndStruct closes the open structure.
+func (g *Writer) EndStruct() { g.record(recENDSTR, nil) }
+
+// Boundary emits a rectangle on a layer. Coordinates in µm.
+func (g *Writer) Boundary(layer int16, lx, ly, ux, uy float64) {
+	g.record(recBOUNDARY, nil)
+	g.record(recLAYER, i16(layer))
+	g.record(recDATATYPE, i16(0))
+	// Closed polygon: 5 points, first repeated.
+	pts := []int32{
+		dbu(lx), dbu(ly),
+		dbu(ux), dbu(ly),
+		dbu(ux), dbu(uy),
+		dbu(lx), dbu(uy),
+		dbu(lx), dbu(ly),
+	}
+	g.record(recXY, i32s(pts))
+	g.record(recENDEL, nil)
+}
+
+// Path emits a two-point wire of the given width on a layer (µm).
+func (g *Writer) Path(layer int16, widthUm, x1, y1, x2, y2 float64) {
+	g.record(recPATH, nil)
+	g.record(recLAYER, i16(layer))
+	g.record(recDATATYPE, i16(0))
+	g.record(recWIDTH, i32s([]int32{dbu(widthUm)}))
+	g.record(recXY, i32s([]int32{dbu(x1), dbu(y1), dbu(x2), dbu(y2)}))
+	g.record(recENDEL, nil)
+}
+
+// Close terminates the library and flushes. It returns the first error
+// encountered while writing.
+func (g *Writer) Close() error {
+	g.record(recENDLIB, nil)
+	if g.err != nil {
+		return g.err
+	}
+	return g.w.Flush()
+}
+
+// record writes one GDSII record: u16 total length, u16 type, payload.
+func (g *Writer) record(kind uint16, payload []byte) {
+	if g.err != nil {
+		return
+	}
+	if len(payload)%2 == 1 {
+		payload = append(payload, 0)
+	}
+	total := 4 + len(payload)
+	if total > 0xFFFF {
+		g.err = fmt.Errorf("gds: record 0x%04x too long (%d bytes)", kind, total)
+		return
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:], uint16(total))
+	binary.BigEndian.PutUint16(hdr[2:], kind)
+	if _, err := g.w.Write(hdr[:]); err != nil {
+		g.err = err
+		return
+	}
+	if _, err := g.w.Write(payload); err != nil {
+		g.err = err
+	}
+}
+
+func dbu(um float64) int32 { return int32(math.Round(um * DBUPerUm)) }
+
+func u16(v uint16) []byte {
+	b := make([]byte, 2)
+	binary.BigEndian.PutUint16(b, v)
+	return b
+}
+
+func i16(v int16) []byte { return u16(uint16(v)) }
+
+func i32s(vs []int32) []byte {
+	b := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return b
+}
+
+func str(s string) []byte { return []byte(s) }
+
+// gdsReal encodes an 8-byte GDSII real: sign bit, 7-bit excess-64
+// base-16 exponent, 56-bit mantissa with value = mantissa/2^56 ×
+// 16^(exp−64).
+func gdsReal(v float64) []byte {
+	b := make([]byte, 8)
+	if v == 0 {
+		return b
+	}
+	sign := byte(0)
+	if v < 0 {
+		sign = 0x80
+		v = -v
+	}
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	// v now in [1/16, 1).
+	mant := uint64(v * (1 << 56))
+	b[0] = sign | byte(exp+64)
+	for i := 1; i < 8; i++ {
+		b[i] = byte(mant >> uint(8*(7-i)))
+	}
+	return b
+}

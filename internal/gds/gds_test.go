@@ -1,0 +1,204 @@
+package gds
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"macro3d/internal/core"
+	"macro3d/internal/flows"
+	"macro3d/internal/piton"
+)
+
+// parseRecords splits a stream into (type, payload) records.
+func parseRecords(t *testing.T, b []byte) [][2]interface{} {
+	t.Helper()
+	var out [][2]interface{}
+	for len(b) > 0 {
+		if len(b) < 4 {
+			t.Fatal("truncated record header")
+		}
+		total := int(binary.BigEndian.Uint16(b))
+		kind := binary.BigEndian.Uint16(b[2:])
+		if total < 4 || total > len(b) {
+			t.Fatalf("bad record length %d (have %d)", total, len(b))
+		}
+		out = append(out, [2]interface{}{kind, append([]byte(nil), b[4:total]...)})
+		b = b[total:]
+	}
+	return out
+}
+
+func kinds(recs [][2]interface{}) []uint16 {
+	ks := make([]uint16, len(recs))
+	for i, r := range recs {
+		ks[i] = r[0].(uint16)
+	}
+	return ks
+}
+
+func TestWriterStreamStructure(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewWriter(&buf, "lib")
+	g.BeginStruct("die")
+	g.Boundary(1, 0, 0, 10, 5)
+	g.Path(3, 0.2, 0, 0, 100, 0)
+	g.EndStruct()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseRecords(t, buf.Bytes())
+	ks := kinds(recs)
+	want := []uint16{recHEADER, recBGNLIB, recLIBNAME, recUNITS, recBGNSTR, recSTRNAME,
+		recBOUNDARY, recLAYER, recDATATYPE, recXY, recENDEL,
+		recPATH, recLAYER, recDATATYPE, recWIDTH, recXY, recENDEL,
+		recENDSTR, recENDLIB}
+	if len(ks) != len(want) {
+		t.Fatalf("record count %d, want %d: %v", len(ks), len(want), ks)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("record %d = 0x%04x, want 0x%04x", i, ks[i], want[i])
+		}
+	}
+	// Boundary XY: 5 points closed polygon in nm.
+	var xy []byte
+	for _, r := range recs {
+		if r[0].(uint16) == recXY {
+			xy = r[1].([]byte)
+			break
+		}
+	}
+	if len(xy) != 40 {
+		t.Fatalf("boundary XY payload %d bytes", len(xy))
+	}
+	x0 := int32(binary.BigEndian.Uint32(xy[0:]))
+	x1 := int32(binary.BigEndian.Uint32(xy[8:]))
+	if x0 != 0 || x1 != 10*DBUPerUm {
+		t.Fatalf("coords %d %d", x0, x1)
+	}
+	first := xy[:8]
+	last := xy[32:]
+	if !bytes.Equal(first, last) {
+		t.Fatal("polygon not closed")
+	}
+}
+
+// decodeGDSReal inverts the excess-64 encoding for the test.
+func decodeGDSReal(b []byte) float64 {
+	if isZero(b) {
+		return 0
+	}
+	sign := 1.0
+	if b[0]&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(b[0]&0x7F) - 64
+	var mant uint64
+	for i := 1; i < 8; i++ {
+		mant = mant<<8 | uint64(b[i])
+	}
+	return sign * float64(mant) / math.Pow(2, 56) * math.Pow(16, float64(exp))
+}
+
+func isZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGDSRealRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1e-3, 1e-9, 1, 0.5, 2, 1e6, 3.14159, 1e-12} {
+		got := decodeGDSReal(gdsReal(v))
+		if v == 0 {
+			if got != 0 {
+				t.Fatalf("zero encodes to %v", got)
+			}
+			continue
+		}
+		if math.Abs(got-v)/v > 1e-12 {
+			t.Fatalf("real %v round-trips to %v", v, got)
+		}
+	}
+	// Negative values.
+	if got := decodeGDSReal(gdsReal(-2.5)); math.Abs(got+2.5) > 1e-12 {
+		t.Fatalf("-2.5 → %v", got)
+	}
+}
+
+func TestLayerNumber(t *testing.T) {
+	cases := []struct {
+		name string
+		want int16
+	}{
+		{"M1", 1}, {"M6", 6}, {"M4_MD", 14}, {"M1_MD", 11}, {"F2F_VIA", LayerF2F},
+	}
+	for _, c := range cases {
+		got, err := LayerNumber(c.name)
+		if err != nil || got != c.want {
+			t.Errorf("LayerNumber(%s) = %d, %v", c.name, got, err)
+		}
+	}
+	if _, err := LayerNumber("poly"); err == nil {
+		t.Fatal("unknown layer accepted")
+	}
+}
+
+func TestExportSeparatedDies(t *testing.T) {
+	cfg := flows.Config{Piton: piton.Tiny(), Seed: 5}
+	_, st, mol, err := flows.RunMacro3D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logicPart, macroPart, err := core.Separate(mol, st.Routes, st.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logicBuf, macroBuf bytes.Buffer
+	if err := ExportDie(&logicBuf, st.Design, logicPart, st.Routes, st.DB); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportDie(&macroBuf, st.Design, macroPart, st.Routes, st.DB); err != nil {
+		t.Fatal(err)
+	}
+	lr := parseRecords(t, logicBuf.Bytes())
+	mr := parseRecords(t, macroBuf.Bytes())
+	countLayer := func(recs [][2]interface{}, layer int16) int {
+		n := 0
+		for _, r := range recs {
+			if r[0].(uint16) == recLAYER {
+				b := r[1].([]byte)
+				if int16(binary.BigEndian.Uint16(b)) == layer {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	// Logic die: cells present, no macro-die wires.
+	if countLayer(lr, LayerCells) == 0 {
+		t.Fatal("logic die has no cell geometry")
+	}
+	if countLayer(lr, macroDieBase+1) != 0 {
+		t.Fatal("logic die carries M1_MD wires")
+	}
+	if countLayer(lr, 5) == 0 {
+		t.Fatal("logic die has no M5 wires")
+	}
+	// Macro die: macros, _MD pins accessed... and no logic metal.
+	if countLayer(mr, LayerMacros) == 0 {
+		t.Fatal("macro die has no macros")
+	}
+	if countLayer(mr, 1) != 0 {
+		t.Fatal("macro die carries M1 wires")
+	}
+	// Both carry the SAME number of F2F bumps.
+	lb, mb := countLayer(lr, LayerF2F), countLayer(mr, LayerF2F)
+	if lb == 0 || lb != mb {
+		t.Fatalf("bump counts differ: %d vs %d", lb, mb)
+	}
+}

@@ -1,0 +1,346 @@
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+)
+
+// WriteDEF emits a placed design: die area, components with locations,
+// orientations and die assignment, pins, and net connectivity.
+func WriteDEF(w io.Writer, d *netlist.Design, die geom.Rect) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS 1000 ;\n", d.Name)
+	fmt.Fprintf(bw, "DIEAREA ( %.4f %.4f ) ( %.4f %.4f ) ;\n\n", die.Lx, die.Ly, die.Ux, die.Uy)
+
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(d.Instances))
+	for _, inst := range d.Instances {
+		status := "UNPLACED"
+		if inst.Fixed {
+			status = "FIXED"
+		} else if inst.Placed {
+			status = "PLACED"
+		}
+		fmt.Fprintf(bw, "  - %s %s + %s ( %.4f %.4f ) %s + PROPERTY die %d ;\n",
+			inst.Name, inst.Master.Name, status, inst.Loc.X, inst.Loc.Y,
+			inst.Orient, inst.Die)
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n\n")
+
+	fmt.Fprintf(bw, "PINS %d ;\n", len(d.Ports))
+	for _, p := range d.Ports {
+		half := 0
+		if p.HalfCycle {
+			half = 1
+		}
+		fmt.Fprintf(bw, "  - %s + DIRECTION %s + LAYER %s ( %.4f %.4f ) + PROPERTY halfcycle %d extcap %.4f extdelay %.4f ;\n",
+			p.Name, lefPinDir(p.Dir), p.Layer, p.Loc.X, p.Loc.Y, half, p.ExtCap, p.ExtDelay)
+	}
+	fmt.Fprintf(bw, "END PINS\n\n")
+
+	fmt.Fprintf(bw, "NETS %d ;\n", len(d.Nets))
+	for _, n := range d.Nets {
+		fmt.Fprintf(bw, "  - %s", n.Name)
+		if n.Clock {
+			fmt.Fprintf(bw, " + USE CLOCK")
+		}
+		writeRef := func(r netlist.PinRef) {
+			if r.Port != nil {
+				fmt.Fprintf(bw, " ( PIN %s )", r.Port.Name)
+			} else {
+				fmt.Fprintf(bw, " ( %s %s )", r.Inst.Name, r.Pin)
+			}
+		}
+		writeRef(n.Driver)
+		for _, s := range n.Sinks {
+			writeRef(s)
+		}
+		fmt.Fprintf(bw, " ;\n")
+	}
+	fmt.Fprintf(bw, "END NETS\n\nEND DESIGN\n")
+	return bw.Flush()
+}
+
+// DEFContent is a parsed design plus its die area.
+type DEFContent struct {
+	Design *netlist.Design
+	Die    geom.Rect
+}
+
+// ParseDEF reads the dialect WriteDEF emits, resolving masters against
+// the given library.
+func ParseDEF(r io.Reader, lib *cell.Library) (*DEFContent, error) {
+	tk := newTokenizer(r)
+	out := &DEFContent{}
+	var d *netlist.Design
+	for {
+		w, ok := tk.next()
+		if !ok {
+			break
+		}
+		switch w {
+		case "DESIGN":
+			name, _ := tk.next()
+			tk.expect(";")
+			d = netlist.NewDesign(name, lib)
+			out.Design = d
+		case "DIEAREA":
+			var v [4]float64
+			vi := 0
+			for vi < 4 {
+				x, _ := tk.next()
+				if f, err := strconv.ParseFloat(x, 64); err == nil {
+					v[vi] = f
+					vi++
+				}
+				if x == ";" {
+					break
+				}
+			}
+			tk.skipStatement()
+			out.Die = rect4(v)
+		case "COMPONENTS":
+			if d == nil {
+				return nil, fmt.Errorf("lefdef: COMPONENTS before DESIGN")
+			}
+			if err := parseComponents(tk, d, lib); err != nil {
+				return nil, err
+			}
+		case "PINS":
+			if d == nil {
+				return nil, fmt.Errorf("lefdef: PINS before DESIGN")
+			}
+			if err := parsePins(tk, d); err != nil {
+				return nil, err
+			}
+		case "NETS":
+			if d == nil {
+				return nil, fmt.Errorf("lefdef: NETS before DESIGN")
+			}
+			if err := parseNets(tk, d); err != nil {
+				return nil, err
+			}
+		default:
+			tk.skipStatement()
+		}
+	}
+	if out.Design == nil {
+		return nil, fmt.Errorf("lefdef: no DESIGN in stream")
+	}
+	return out, nil
+}
+
+func parseComponents(tk *tokenizer, d *netlist.Design, lib *cell.Library) error {
+	tk.skipStatement() // count ;
+	for {
+		w, ok := tk.next()
+		if !ok {
+			return fmt.Errorf("lefdef: unexpected EOF in COMPONENTS")
+		}
+		if w == "END" {
+			tk.next() // COMPONENTS
+			return nil
+		}
+		if w != "-" {
+			continue
+		}
+		name, _ := tk.next()
+		master, _ := tk.next()
+		m := lib.Cell(master)
+		if m == nil {
+			return fmt.Errorf("lefdef: unknown master %q for %s", master, name)
+		}
+		inst := d.AddInstance(name, m)
+		// "+ STATUS ( x y ) ORIENT + PROPERTY die N ;"
+		for {
+			x, ok := tk.next()
+			if !ok {
+				return fmt.Errorf("lefdef: unexpected EOF in component %s", name)
+			}
+			if x == ";" {
+				break
+			}
+			switch x {
+			case "PLACED":
+				inst.Placed = true
+			case "FIXED":
+				inst.Placed = true
+				inst.Fixed = true
+			case "(":
+				lx, err := tk.nextFloat()
+				if err != nil {
+					return err
+				}
+				ly, err := tk.nextFloat()
+				if err != nil {
+					return err
+				}
+				tk.expect(")")
+				inst.Loc = geom.Pt(lx, ly)
+				// Orientation token follows.
+				o, _ := tk.next()
+				inst.Orient = parseOrient(o)
+			case "die":
+				v, err := tk.nextFloat()
+				if err != nil {
+					return err
+				}
+				inst.Die = netlist.Die(int(v))
+			}
+		}
+	}
+}
+
+func parseOrient(s string) geom.Orient {
+	switch s {
+	case "S":
+		return geom.OrientS
+	case "FN":
+		return geom.OrientFN
+	case "FS":
+		return geom.OrientFS
+	}
+	return geom.OrientN
+}
+
+func parsePins(tk *tokenizer, d *netlist.Design) error {
+	tk.skipStatement()
+	for {
+		w, ok := tk.next()
+		if !ok {
+			return fmt.Errorf("lefdef: unexpected EOF in PINS")
+		}
+		if w == "END" {
+			tk.next()
+			return nil
+		}
+		if w != "-" {
+			continue
+		}
+		name, _ := tk.next()
+		var dir cell.PinDir
+		var layer string
+		var x, y, extCap, extDelay float64
+		half := false
+		for {
+			t, ok := tk.next()
+			if !ok {
+				return fmt.Errorf("lefdef: unexpected EOF in pin %s", name)
+			}
+			if t == ";" {
+				break
+			}
+			switch t {
+			case "DIRECTION":
+				s, _ := tk.next()
+				switch s {
+				case "INPUT":
+					dir = cell.DirIn
+				case "OUTPUT":
+					dir = cell.DirOut
+				default:
+					dir = cell.DirInOut
+				}
+			case "LAYER":
+				layer, _ = tk.next()
+				tk.expect("(")
+				var err error
+				if x, err = tk.nextFloat(); err != nil {
+					return err
+				}
+				if y, err = tk.nextFloat(); err != nil {
+					return err
+				}
+				tk.expect(")")
+			case "halfcycle":
+				v, err := tk.nextFloat()
+				if err != nil {
+					return err
+				}
+				half = v != 0
+			case "extcap":
+				v, err := tk.nextFloat()
+				if err != nil {
+					return err
+				}
+				extCap = v
+			case "extdelay":
+				v, err := tk.nextFloat()
+				if err != nil {
+					return err
+				}
+				extDelay = v
+			}
+		}
+		p := d.AddPort(name, dir)
+		p.Layer = layer
+		p.Loc = geom.Pt(x, y)
+		p.HalfCycle = half
+		p.ExtCap = extCap
+		p.ExtDelay = extDelay
+	}
+}
+
+func parseNets(tk *tokenizer, d *netlist.Design) error {
+	tk.skipStatement()
+	for {
+		w, ok := tk.next()
+		if !ok {
+			return fmt.Errorf("lefdef: unexpected EOF in NETS")
+		}
+		if w == "END" {
+			tk.next()
+			return nil
+		}
+		if w != "-" {
+			continue
+		}
+		name, _ := tk.next()
+		clock := false
+		var refs []netlist.PinRef
+		for {
+			t, ok := tk.next()
+			if !ok {
+				return fmt.Errorf("lefdef: unexpected EOF in net %s", name)
+			}
+			if t == ";" {
+				break
+			}
+			switch t {
+			case "USE":
+				u, _ := tk.next()
+				if u == "CLOCK" {
+					clock = true
+				}
+			case "(":
+				a, _ := tk.next()
+				if a == "PIN" {
+					pn, _ := tk.next()
+					p := d.Port(pn)
+					if p == nil {
+						return nil
+					}
+					refs = append(refs, netlist.PPin(p))
+				} else {
+					pin, _ := tk.next()
+					inst := d.Instance(a)
+					if inst == nil {
+						return fmt.Errorf("lefdef: net %s references unknown instance %s", name, a)
+					}
+					refs = append(refs, netlist.IPin(inst, pin))
+				}
+				tk.expect(")")
+			}
+		}
+		if len(refs) == 0 {
+			continue
+		}
+		n := d.AddNet(name, refs[0], refs[1:]...)
+		n.Clock = clock
+	}
+}

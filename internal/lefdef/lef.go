@@ -1,0 +1,491 @@
+// Package lefdef reads and writes a compact LEF/DEF-style text
+// interchange for libraries, technology stacks and placed designs.
+// The dialect is a faithful subset of the real formats: LAYER/VIA
+// sections for the BEOL, MACRO blocks with SIZE/PIN/OBS for masters,
+// and DEF-like DIEAREA/COMPONENTS/PINS/NETS sections for designs.
+//
+// The package also implements the paper's "simple scripted
+// modifications in the lef files" (§IV): RewriteMacroDieLayers applies
+// the Macro-3D macro edit — `_MD` layer suffixes and the filler-size
+// SIZE shrink — directly on LEF text, equivalent to
+// core.EditMacroForMacroDie on the in-memory master.
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/tech"
+)
+
+// WriteLEF emits the technology stack and every master of the library.
+func WriteLEF(w io.Writer, b *tech.BEOL, lib *cell.Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n\n")
+	if b != nil {
+		for i, l := range b.Layers {
+			fmt.Fprintf(bw, "LAYER %s\n  TYPE ROUTING ;\n  DIRECTION %s ;\n  PITCH %.4f ;\n  WIDTH %.4f ;\n  RESISTANCE RPERSQ %.6f ;\n  CAPACITANCE CPERSQDIST %.6f ;\nEND %s\n\n",
+				l.Name, lefDir(l.Dir), l.Pitch, l.Width, l.RPerUm, l.CPerUm, l.Name)
+			if i < len(b.Vias) {
+				v := b.Vias[i]
+				kind := "CUT"
+				if v.F2F {
+					kind = "CUT F2F"
+				}
+				fmt.Fprintf(bw, "LAYER %s\n  TYPE %s ;\n  RESISTANCE %.6f ;\n  CAPACITANCE %.6f ;\n",
+					viaName(b, i), kind, v.R, v.C)
+				if v.F2F {
+					fmt.Fprintf(bw, "  PITCH %.4f ;\n", v.Pitch)
+				}
+				fmt.Fprintf(bw, "END %s\n\n", viaName(b, i))
+			}
+		}
+	}
+	if lib != nil {
+		for _, c := range lib.Cells() {
+			writeMacro(bw, c)
+		}
+	}
+	return bw.Flush()
+}
+
+func viaName(b *tech.BEOL, i int) string {
+	if b.Vias[i].Name != "" {
+		return b.Vias[i].Name
+	}
+	return fmt.Sprintf("VIA%d%d", i+1, i+2)
+}
+
+func lefDir(d tech.Dir) string {
+	if d == tech.DirHorizontal {
+		return "HORIZONTAL"
+	}
+	return "VERTICAL"
+}
+
+func writeMacro(w io.Writer, c *cell.Cell) {
+	fmt.Fprintf(w, "MACRO %s\n", c.Name)
+	fmt.Fprintf(w, "  CLASS %s ;\n", lefClass(c.Kind))
+	fmt.Fprintf(w, "  SIZE %.4f BY %.4f ;\n", c.Width, c.Height)
+	if c.Family != "" {
+		fmt.Fprintf(w, "  PROPERTY family name \"%s\" drive %d ;\n", c.Family, c.Drive)
+	}
+	fmt.Fprintf(w, "  PROPERTY timing intrinsic %.4f driveres %.6f clkq %.4f setup %.4f hold %.4f ;\n",
+		c.Intrinsic, c.DriveRes, c.ClkQ, c.Setup, c.Hold)
+	fmt.Fprintf(w, "  PROPERTY slew sens %.4f intrinsic %.4f res %.6f ;\n",
+		c.SlewSens, c.SlewIntrinsic, c.SlewRes)
+	fmt.Fprintf(w, "  PROPERTY power internal %.4f leakage %.4f ;\n", c.InternalEnergy, c.Leakage)
+	if c.Macro != nil {
+		fmt.Fprintf(w, "  PROPERTY sram words %d bits %d energy %.4f ;\n",
+			c.Macro.Words, c.Macro.Bits, c.Macro.EnergyPerAccess)
+	}
+	for _, p := range c.Pins {
+		fmt.Fprintf(w, "  PIN %s\n    DIRECTION %s ;\n", p.Name, lefPinDir(p.Dir))
+		if p.Clock {
+			fmt.Fprintf(w, "    USE CLOCK ;\n")
+		}
+		fmt.Fprintf(w, "    CAPACITANCE %.4f ;\n", p.Cap)
+		fmt.Fprintf(w, "    PORT\n      LAYER %s ;\n      POINT %.4f %.4f ;\n    END\n", p.Layer, p.Offset.X, p.Offset.Y)
+		fmt.Fprintf(w, "  END %s\n", p.Name)
+	}
+	if len(c.Obstructions) > 0 {
+		fmt.Fprintf(w, "  OBS\n")
+		for _, o := range c.Obstructions {
+			fmt.Fprintf(w, "    LAYER %s ;\n      RECT %.4f %.4f %.4f %.4f ;\n",
+				o.Layer, o.Rect.Lx, o.Rect.Ly, o.Rect.Ux, o.Rect.Uy)
+		}
+		fmt.Fprintf(w, "  END\n")
+	}
+	fmt.Fprintf(w, "END %s\n\n", c.Name)
+}
+
+func lefClass(k cell.Kind) string {
+	switch k {
+	case cell.KindMacro:
+		return "BLOCK"
+	case cell.KindFiller:
+		return "CORE SPACER"
+	case cell.KindSeq:
+		return "CORE SEQUENTIAL"
+	case cell.KindBuf:
+		return "CORE BUFFER"
+	case cell.KindInv:
+		return "CORE INVERTER"
+	}
+	return "CORE"
+}
+
+func lefPinDir(d cell.PinDir) string {
+	switch d {
+	case cell.DirIn:
+		return "INPUT"
+	case cell.DirOut:
+		return "OUTPUT"
+	}
+	return "INOUT"
+}
+
+// LEFContent is the parsed form of a LEF stream.
+type LEFContent struct {
+	Beol *tech.BEOL
+	Lib  *cell.Library
+}
+
+// ParseLEF reads the dialect WriteLEF emits.
+func ParseLEF(r io.Reader) (*LEFContent, error) {
+	tk := newTokenizer(r)
+	out := &LEFContent{Lib: cell.NewLibrary("lef")}
+	var layers []tech.Layer
+	var vias []tech.Via
+	pendingVia := false
+	var curVia tech.Via
+
+	for {
+		w, ok := tk.next()
+		if !ok {
+			break
+		}
+		switch w {
+		case "VERSION", "BUSBITCHARS", "DIVIDERCHAR":
+			tk.skipStatement()
+		case "LAYER":
+			name, _ := tk.next()
+			kind, props, err := parseLayerBody(tk, name)
+			if err != nil {
+				return nil, err
+			}
+			switch kind {
+			case "ROUTING":
+				l := tech.Layer{Name: name,
+					Pitch:  props["PITCH"],
+					Width:  props["WIDTH"],
+					RPerUm: props["RESISTANCE"],
+					CPerUm: props["CAPACITANCE"],
+				}
+				if props["DIRVERT"] != 0 {
+					l.Dir = tech.DirVertical
+				}
+				l.MacroDie = strings.HasSuffix(name, tech.MDSuffix)
+				layers = append(layers, l)
+				if pendingVia {
+					vias = append(vias, curVia)
+					pendingVia = false
+				}
+			case "CUT":
+				curVia = tech.Via{Name: name, R: props["RESISTANCE"], C: props["CAPACITANCE"]}
+				if props["F2F"] != 0 {
+					curVia.F2F = true
+					curVia.Pitch = props["PITCH"]
+				}
+				pendingVia = true
+			}
+		case "MACRO":
+			name, _ := tk.next()
+			c, err := parseMacroBody(tk, name)
+			if err != nil {
+				return nil, err
+			}
+			out.Lib.Add(c)
+		default:
+			tk.skipStatement()
+		}
+	}
+	if len(layers) > 0 {
+		out.Beol = &tech.BEOL{Name: "lef", Layers: layers, Vias: vias}
+		if err := out.Beol.Validate(); err != nil {
+			return nil, fmt.Errorf("lefdef: parsed stack invalid: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// parseLayerBody consumes a LAYER block and returns its TYPE and
+// numeric properties.
+func parseLayerBody(tk *tokenizer, name string) (string, map[string]float64, error) {
+	props := map[string]float64{}
+	kind := ""
+	for {
+		w, ok := tk.next()
+		if !ok {
+			return "", nil, fmt.Errorf("lefdef: unexpected EOF in LAYER %s", name)
+		}
+		switch w {
+		case "TYPE":
+			kind, _ = tk.next()
+			// optional F2F marker before ';'
+			for {
+				x, _ := tk.next()
+				if x == ";" {
+					break
+				}
+				if x == "F2F" {
+					props["F2F"] = 1
+				}
+			}
+		case "DIRECTION":
+			d, _ := tk.next()
+			if d == "VERTICAL" {
+				props["DIRVERT"] = 1
+			}
+			tk.expect(";")
+		case "PITCH", "WIDTH":
+			v, err := tk.nextFloat()
+			if err != nil {
+				return "", nil, err
+			}
+			props[w] = v
+			tk.expect(";")
+		case "RESISTANCE", "CAPACITANCE":
+			// Either "RESISTANCE RPERSQ v ;" or "RESISTANCE v ;".
+			x, _ := tk.next()
+			if v, err := strconv.ParseFloat(x, 64); err == nil {
+				props[w] = v
+				tk.expect(";")
+			} else {
+				v, err := tk.nextFloat()
+				if err != nil {
+					return "", nil, err
+				}
+				props[w] = v
+				tk.expect(";")
+			}
+		case "END":
+			tk.next() // name
+			return kind, props, nil
+		default:
+			tk.skipStatement()
+		}
+	}
+}
+
+// parseMacroBody consumes a MACRO block.
+func parseMacroBody(tk *tokenizer, name string) (*cell.Cell, error) {
+	c := &cell.Cell{Name: name}
+	for {
+		w, ok := tk.next()
+		if !ok {
+			return nil, fmt.Errorf("lefdef: unexpected EOF in MACRO %s", name)
+		}
+		switch w {
+		case "CLASS":
+			var words []string
+			for {
+				x, _ := tk.next()
+				if x == ";" {
+					break
+				}
+				words = append(words, x)
+			}
+			c.Kind = classKind(strings.Join(words, " "))
+		case "SIZE":
+			var err error
+			if c.Width, err = tk.nextFloat(); err != nil {
+				return nil, err
+			}
+			tk.expect("BY")
+			if c.Height, err = tk.nextFloat(); err != nil {
+				return nil, err
+			}
+			tk.expect(";")
+		case "PROPERTY":
+			if err := parseProperty(tk, c); err != nil {
+				return nil, err
+			}
+		case "PIN":
+			pname, _ := tk.next()
+			p, err := parsePinBody(tk, pname)
+			if err != nil {
+				return nil, err
+			}
+			c.Pins = append(c.Pins, *p)
+		case "OBS":
+			if err := parseObs(tk, c); err != nil {
+				return nil, err
+			}
+		case "END":
+			tk.next() // macro name
+			return c, nil
+		default:
+			tk.skipStatement()
+		}
+	}
+}
+
+func classKind(class string) cell.Kind {
+	switch class {
+	case "BLOCK":
+		return cell.KindMacro
+	case "CORE SPACER":
+		return cell.KindFiller
+	case "CORE SEQUENTIAL":
+		return cell.KindSeq
+	case "CORE BUFFER":
+		return cell.KindBuf
+	case "CORE INVERTER":
+		return cell.KindInv
+	}
+	return cell.KindComb
+}
+
+func parseProperty(tk *tokenizer, c *cell.Cell) error {
+	kind, _ := tk.next()
+	vals := map[string]string{}
+	key := ""
+	for {
+		w, ok := tk.next()
+		if !ok {
+			return fmt.Errorf("lefdef: unexpected EOF in PROPERTY")
+		}
+		if w == ";" {
+			break
+		}
+		if key == "" {
+			key = w
+		} else {
+			vals[key] = strings.Trim(w, `"`)
+			key = ""
+		}
+	}
+	f := func(k string) float64 {
+		v, _ := strconv.ParseFloat(vals[k], 64)
+		return v
+	}
+	switch kind {
+	case "family":
+		c.Family = strings.Trim(vals["name"], `"`)
+		if d, err := strconv.Atoi(vals["drive"]); err == nil {
+			c.Drive = d
+		}
+	case "timing":
+		c.Intrinsic = f("intrinsic")
+		c.DriveRes = f("driveres")
+		c.ClkQ = f("clkq")
+		c.Setup = f("setup")
+		c.Hold = f("hold")
+	case "slew":
+		c.SlewSens = f("sens")
+		c.SlewIntrinsic = f("intrinsic")
+		c.SlewRes = f("res")
+	case "power":
+		c.InternalEnergy = f("internal")
+		c.Leakage = f("leakage")
+	case "sram":
+		words, _ := strconv.Atoi(vals["words"])
+		bits, _ := strconv.Atoi(vals["bits"])
+		c.Macro = &cell.MacroInfo{
+			Words: words, Bits: bits,
+			CapacityBytes:   words * bits / 8,
+			EnergyPerAccess: f("energy"),
+		}
+	}
+	return nil
+}
+
+func parsePinBody(tk *tokenizer, name string) (*cell.Pin, error) {
+	p := &cell.Pin{Name: name}
+	for {
+		w, ok := tk.next()
+		if !ok {
+			return nil, fmt.Errorf("lefdef: unexpected EOF in PIN %s", name)
+		}
+		switch w {
+		case "DIRECTION":
+			d, _ := tk.next()
+			switch d {
+			case "INPUT":
+				p.Dir = cell.DirIn
+			case "OUTPUT":
+				p.Dir = cell.DirOut
+			default:
+				p.Dir = cell.DirInOut
+			}
+			tk.expect(";")
+		case "USE":
+			u, _ := tk.next()
+			if u == "CLOCK" {
+				p.Clock = true
+			}
+			tk.expect(";")
+		case "CAPACITANCE":
+			v, err := tk.nextFloat()
+			if err != nil {
+				return nil, err
+			}
+			p.Cap = v
+			tk.expect(";")
+		case "PORT":
+			for {
+				x, _ := tk.next()
+				if x == "LAYER" {
+					p.Layer, _ = tk.next()
+					tk.expect(";")
+				} else if x == "POINT" {
+					var err error
+					if p.Offset.X, err = tk.nextFloat(); err != nil {
+						return nil, err
+					}
+					if p.Offset.Y, err = tk.nextFloat(); err != nil {
+						return nil, err
+					}
+					tk.expect(";")
+				} else if x == "END" {
+					break
+				}
+			}
+		case "END":
+			tk.next() // pin name
+			return p, nil
+		default:
+			tk.skipStatement()
+		}
+	}
+}
+
+func parseObs(tk *tokenizer, c *cell.Cell) error {
+	layer := ""
+	for {
+		w, ok := tk.next()
+		if !ok {
+			return fmt.Errorf("lefdef: unexpected EOF in OBS")
+		}
+		switch w {
+		case "LAYER":
+			layer, _ = tk.next()
+			tk.expect(";")
+		case "RECT":
+			var r [4]float64
+			for i := range r {
+				v, err := tk.nextFloat()
+				if err != nil {
+					return err
+				}
+				r[i] = v
+			}
+			tk.expect(";")
+			c.Obstructions = append(c.Obstructions, cell.Obstruction{
+				Layer: layer,
+				Rect:  rect4(r),
+			})
+		case "END":
+			return nil
+		}
+	}
+}
+
+// SortObstructions orders a master's obstructions deterministically
+// (layer, then coordinates) — useful before comparing round-tripped
+// masters.
+func SortObstructions(c *cell.Cell) {
+	sort.Slice(c.Obstructions, func(i, j int) bool {
+		a, b := c.Obstructions[i], c.Obstructions[j]
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		return a.Rect.Lx < b.Rect.Lx
+	})
+}

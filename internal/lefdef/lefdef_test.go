@@ -1,0 +1,389 @@
+package lefdef
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/core"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+	"macro3d/internal/tech"
+)
+
+func roundTripLEF(t *testing.T, b *tech.BEOL, lib *cell.Library) *LEFContent {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteLEF(&sb, b, lib); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLEF(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse back: %v\n--- LEF ---\n%s", err, head(sb.String(), 2000))
+	}
+	return got
+}
+
+func head(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func TestLEFRoundTripBEOL(t *testing.T) {
+	b, err := tech.NewBEOL28("x", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripLEF(t, b, nil)
+	if got.Beol == nil {
+		t.Fatal("no stack parsed")
+	}
+	if got.Beol.NumLayers() != 6 || len(got.Beol.Vias) != 5 {
+		t.Fatalf("stack shape %d/%d", got.Beol.NumLayers(), len(got.Beol.Vias))
+	}
+	for i, l := range b.Layers {
+		g := got.Beol.Layers[i]
+		if g.Name != l.Name || g.Dir != l.Dir {
+			t.Fatalf("layer %d identity: %+v vs %+v", i, g, l)
+		}
+		if math.Abs(g.Pitch-l.Pitch) > 1e-9 || math.Abs(g.RPerUm-l.RPerUm) > 1e-9 {
+			t.Fatalf("layer %d numbers differ", i)
+		}
+	}
+	for i, v := range b.Vias {
+		if math.Abs(got.Beol.Vias[i].R-v.R) > 1e-9 {
+			t.Fatalf("via %d R differs", i)
+		}
+	}
+}
+
+func TestLEFRoundTripCombinedStack(t *testing.T) {
+	logic, _ := tech.NewBEOL28("l", 6)
+	macro, _ := tech.NewBEOL28("m", 4)
+	comb, err := tech.Combine(logic, macro, tech.DefaultF2F())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTripLEF(t, comb, nil)
+	if got.Beol.F2FViaIndex() != comb.F2FViaIndex() {
+		t.Fatalf("F2F via index %d vs %d", got.Beol.F2FViaIndex(), comb.F2FViaIndex())
+	}
+	v := got.Beol.Vias[got.Beol.F2FViaIndex()]
+	if !v.F2F || math.Abs(v.Pitch-1.0) > 1e-9 {
+		t.Fatalf("F2F via lost: %+v", v)
+	}
+	if got.Beol.MacroDieLayers() != 4 {
+		t.Fatalf("macro-die layers = %d", got.Beol.MacroDieLayers())
+	}
+}
+
+func TestLEFRoundTripLibrary(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	got := roundTripLEF(t, nil, lib)
+	if got.Lib.Len() != lib.Len() {
+		t.Fatalf("master count %d vs %d", got.Lib.Len(), lib.Len())
+	}
+	for _, want := range lib.Cells() {
+		g := got.Lib.Cell(want.Name)
+		if g == nil {
+			t.Fatalf("missing master %s", want.Name)
+		}
+		if g.Kind != want.Kind || g.Family != want.Family || g.Drive != want.Drive {
+			t.Fatalf("%s identity: %v/%s/%d", want.Name, g.Kind, g.Family, g.Drive)
+		}
+		if math.Abs(g.Width-want.Width) > 1e-3 || math.Abs(g.DriveRes-want.DriveRes) > 1e-6 {
+			t.Fatalf("%s numbers differ", want.Name)
+		}
+		if len(g.Pins) != len(want.Pins) {
+			t.Fatalf("%s pins %d vs %d", want.Name, len(g.Pins), len(want.Pins))
+		}
+		for i, p := range want.Pins {
+			gp := g.Pins[i]
+			if gp.Name != p.Name || gp.Dir != p.Dir || gp.Clock != p.Clock || gp.Layer != p.Layer {
+				t.Fatalf("%s pin %s identity", want.Name, p.Name)
+			}
+			if math.Abs(gp.Cap-p.Cap) > 1e-3 || gp.Offset.Dist(p.Offset) > 1e-3 {
+				t.Fatalf("%s pin %s numbers", want.Name, p.Name)
+			}
+		}
+	}
+	// Delay model survives: evaluate an arc on both.
+	a := lib.MustCell("NAND2_X4")
+	b := got.Lib.MustCell("NAND2_X4")
+	if math.Abs(a.Delay(37, 20)-b.Delay(37, 20)) > 1e-6 {
+		t.Fatal("delay model lost in round trip")
+	}
+}
+
+func TestLEFRoundTripSRAM(t *testing.T) {
+	sram, err := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 2048, Bits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewLibrary("x")
+	lib.Add(sram)
+	got := roundTripLEF(t, nil, lib)
+	g := got.Lib.Cell("m")
+	if g == nil || g.Macro == nil {
+		t.Fatal("SRAM metadata lost")
+	}
+	if g.Macro.Words != 2048 || g.Macro.Bits != 16 || g.Macro.CapacityBytes != 4096 {
+		t.Fatalf("SRAM info %+v", g.Macro)
+	}
+	if len(g.Obstructions) != 4 {
+		t.Fatalf("obstructions %d", len(g.Obstructions))
+	}
+	SortObstructions(g)
+	SortObstructions(sram)
+	for i := range g.Obstructions {
+		if g.Obstructions[i].Layer != sram.Obstructions[i].Layer {
+			t.Fatal("obstruction layers differ")
+		}
+	}
+}
+
+func buildTinyDesign(t *testing.T) (*netlist.Design, *cell.Library, geom.Rect) {
+	t.Helper()
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("rt", lib)
+	clk := d.AddPort("clk", cell.DirIn)
+	clk.Layer = "M6"
+	clk.Loc = geom.Pt(0, 30)
+	out := d.AddPort("dout", cell.DirOut)
+	out.Layer = "M6"
+	out.Loc = geom.Pt(100, 30)
+	out.HalfCycle = true
+	out.ExtCap = 7.5
+	u := d.AddInstance("u1", lib.MustCell("INV_X2"))
+	u.Loc = geom.Pt(10, 10)
+	u.Placed = true
+	ff := d.AddInstance("ff1", lib.MustCell("DFF_X1"))
+	ff.Loc = geom.Pt(50, 10)
+	ff.Placed = true
+	ff.Orient = geom.OrientFS
+	ff.Die = netlist.MacroDie
+	d.AddNet("n1", netlist.IPin(u, "Y"), netlist.IPin(ff, "D"))
+	d.AddNet("n2", netlist.IPin(ff, "Q"), netlist.IPin(u, "A"), netlist.PPin(out))
+	cn := d.AddNet("clk", netlist.PPin(clk), netlist.IPin(ff, "CK"))
+	cn.Clock = true
+	return d, lib, geom.R(0, 0, 120, 60)
+}
+
+func TestDEFRoundTrip(t *testing.T) {
+	d, lib, die := buildTinyDesign(t)
+	var sb strings.Builder
+	if err := WriteDEF(&sb, d, die); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDEF(strings.NewReader(sb.String()), lib)
+	if err != nil {
+		t.Fatalf("%v\n--- DEF ---\n%s", err, sb.String())
+	}
+	if got.Die != die {
+		t.Fatalf("die %v vs %v", got.Die, die)
+	}
+	g := got.Design
+	if g.Name != "rt" || len(g.Instances) != 2 || len(g.Nets) != 3 || len(g.Ports) != 2 {
+		t.Fatalf("shape: %d inst %d nets %d ports", len(g.Instances), len(g.Nets), len(g.Ports))
+	}
+	ff := g.Instance("ff1")
+	if ff == nil || ff.Master.Name != "DFF_X1" {
+		t.Fatal("ff1 lost")
+	}
+	if ff.Loc != geom.Pt(50, 10) || ff.Orient != geom.OrientFS || !ff.Placed {
+		t.Fatalf("ff1 placement: %+v", ff)
+	}
+	if ff.Die != netlist.MacroDie {
+		t.Fatal("die assignment lost")
+	}
+	out := g.Port("dout")
+	if out == nil || !out.HalfCycle || math.Abs(out.ExtCap-7.5) > 1e-9 {
+		t.Fatalf("port properties lost: %+v", out)
+	}
+	// Connectivity: clock flagged, driver/sink structure kept.
+	cn := g.Net("clk")
+	if cn == nil || !cn.Clock || cn.Driver.Port == nil {
+		t.Fatal("clock net lost")
+	}
+	n2 := g.Net("n2")
+	if n2 == nil || len(n2.Sinks) != 2 {
+		t.Fatal("n2 connectivity lost")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// HPWL identical after round trip (same locations).
+	if math.Abs(g.TotalHPWL()-d.TotalHPWL()) > 1e-6 {
+		t.Fatal("HPWL changed across round trip")
+	}
+}
+
+func TestRewriteMacroDieLayersMatchesCoreEdit(t *testing.T) {
+	// The textual LEF rewrite must agree with the in-memory edit.
+	sram, err := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 1024, Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewLibrary("x")
+	lib.Add(sram)
+	var sb strings.Builder
+	if err := WriteLEF(&sb, nil, lib); err != nil {
+		t.Fatal(err)
+	}
+	rewritten := RewriteMacroDieLayers(sb.String(), 0.19, 1.2)
+	parsed, err := ParseLEF(strings.NewReader(rewritten))
+	if err != nil {
+		t.Fatalf("%v\n--- rewritten ---\n%s", err, head(rewritten, 1500))
+	}
+	fromText := parsed.Lib.Cell("m")
+	fromMem, err := core.EditMacroForMacroDie(sram, 0.19, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromText.Width != fromMem.Width || fromText.Height != fromMem.Height {
+		t.Fatalf("size: text %vx%v vs mem %vx%v",
+			fromText.Width, fromText.Height, fromMem.Width, fromMem.Height)
+	}
+	for i, p := range fromMem.Pins {
+		tp := fromText.Pins[i]
+		if tp.Layer != p.Layer {
+			t.Fatalf("pin %s layer: text %s vs mem %s", p.Name, tp.Layer, p.Layer)
+		}
+		if tp.Offset.Dist(p.Offset) > 1e-3 {
+			t.Fatalf("pin %s offset moved by rewrite", p.Name)
+		}
+	}
+	SortObstructions(fromText)
+	SortObstructions(fromMem)
+	for i := range fromMem.Obstructions {
+		if fromText.Obstructions[i].Layer != fromMem.Obstructions[i].Layer {
+			t.Fatalf("obstruction %d layer mismatch", i)
+		}
+	}
+}
+
+func TestRewriteLeavesTechLayersAlone(t *testing.T) {
+	b, _ := tech.NewBEOL28("x", 4)
+	var sb strings.Builder
+	if err := WriteLEF(&sb, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	rewritten := RewriteMacroDieLayers(sb.String(), 0.19, 1.2)
+	if strings.Contains(rewritten, "M1_MD") {
+		t.Fatal("technology LAYER section was rewritten")
+	}
+	if rewritten != sb.String() {
+		t.Fatal("stream without macros changed")
+	}
+}
+
+func TestRewriteIdempotent(t *testing.T) {
+	sram, _ := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 512, Bits: 8})
+	lib := cell.NewLibrary("x")
+	lib.Add(sram)
+	var sb strings.Builder
+	if err := WriteLEF(&sb, nil, lib); err != nil {
+		t.Fatal(err)
+	}
+	once := RewriteMacroDieLayers(sb.String(), 0.19, 1.2)
+	twice := RewriteMacroDieLayers(once, 0.19, 1.2)
+	if once != twice {
+		t.Fatal("rewrite not idempotent")
+	}
+	if strings.Contains(once, "_MD_MD") {
+		t.Fatal("double suffix")
+	}
+}
+
+func TestParseLEFRejectsCorruptStack(t *testing.T) {
+	lef := `
+LAYER M1
+  TYPE ROUTING ;
+  DIRECTION HORIZONTAL ;
+  PITCH 0 ;
+  WIDTH 0.05 ;
+END M1
+`
+	if _, err := ParseLEF(strings.NewReader(lef)); err == nil {
+		t.Fatal("zero-pitch stack accepted")
+	}
+}
+
+func TestParseDEFUnknownMaster(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	def := `
+DESIGN x ;
+COMPONENTS 1 ;
+  - u1 NO_SUCH_CELL + PLACED ( 0 0 ) N + PROPERTY die 0 ;
+END COMPONENTS
+END DESIGN
+`
+	if _, err := ParseDEF(strings.NewReader(def), lib); err == nil {
+		t.Fatal("unknown master accepted")
+	}
+}
+
+func TestTokenizer(t *testing.T) {
+	tk := newTokenizer(strings.NewReader("A B ; # comment\nC 1.5 ;\n"))
+	var got []string
+	for {
+		w, ok := tk.next()
+		if !ok {
+			break
+		}
+		got = append(got, w)
+	}
+	want := []string{"A", "B", ";", "C", "1.5", ";"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %q", i, got[i])
+		}
+	}
+}
+
+func TestTokenizerNextFloat(t *testing.T) {
+	tk := newTokenizer(strings.NewReader("2.25 nope"))
+	v, err := tk.nextFloat()
+	if err != nil || v != 2.25 {
+		t.Fatalf("nextFloat = %v, %v", v, err)
+	}
+	if _, err := tk.nextFloat(); err == nil {
+		t.Fatal("non-number accepted")
+	}
+	if _, err := tk.nextFloat(); err == nil {
+		t.Fatal("EOF accepted")
+	}
+}
+
+func TestDEFFullTileRoundTrip(t *testing.T) {
+	// A full benchmark netlist survives the DEF round trip.
+	tile, err := piton.Generate(piton.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tile.Design
+	die := geom.R(0, 0, 500, 500)
+	var sb strings.Builder
+	if err := WriteDEF(&sb, d, die); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDEF(strings.NewReader(sb.String()), d.Lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb2 := got.Design.ComputeStats(), d.ComputeStats()
+	if sa.NumInstances != sb2.NumInstances || sa.NumNets != sb2.NumNets ||
+		sa.NumPorts != sb2.NumPorts || sa.NumMacros != sb2.NumMacros {
+		t.Fatalf("stats differ:\n%+v\n%+v", sa, sb2)
+	}
+	if err := got.Design.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package lefdef
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"macro3d/internal/tech"
+)
+
+// RewriteMacroDieLayers performs the paper's scripted LEF edit (§IV)
+// directly on macro LEF text: every LAYER reference inside PIN PORT
+// and OBS sections gets the "_MD" suffix, and the SIZE statement is
+// replaced by the filler-cell footprint ("their substrate area is
+// shrunk to the minimum possible size, which is the size of a filler
+// cell"). Pin and obstruction (x, y) geometry is left untouched.
+//
+// Only MACRO blocks are edited; a technology LAYER section in the same
+// stream is left alone.
+func RewriteMacroDieLayers(lef string, fillerW, fillerH float64) string {
+	var out strings.Builder
+	lines := strings.Split(lef, "\n")
+	depth := 0 // nesting inside a MACRO block
+	inMacro := false
+
+	sizeRe := regexp.MustCompile(`^(\s*)SIZE\s+[-0-9.eE]+\s+BY\s+[-0-9.eE]+\s*;`)
+	layerRe := regexp.MustCompile(`^(\s*)LAYER\s+(\S+)(\s*;?.*)$`)
+
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "MACRO "):
+			inMacro = true
+			depth = 1
+		case inMacro && strings.HasPrefix(trimmed, "END"):
+			// Block ends reduce macro nesting; MACRO blocks close with
+			// "END <name>" at depth 1.
+			if depth > 0 {
+				depth--
+			}
+			if depth == 0 {
+				inMacro = false
+			}
+		case inMacro && (strings.HasPrefix(trimmed, "PIN ") ||
+			strings.HasPrefix(trimmed, "PORT") || strings.HasPrefix(trimmed, "OBS")):
+			depth++
+		}
+
+		switch {
+		case inMacro && sizeRe.MatchString(line):
+			m := sizeRe.FindStringSubmatch(line)
+			line = fmt.Sprintf("%sSIZE %.4f BY %.4f ;", m[1], fillerW, fillerH)
+		case inMacro && depth >= 2 && layerRe.MatchString(line):
+			m := layerRe.FindStringSubmatch(line)
+			if !strings.HasSuffix(m[2], tech.MDSuffix) {
+				line = m[1] + "LAYER " + m[2] + tech.MDSuffix + m[3]
+			}
+		}
+		out.WriteString(line)
+		if i < len(lines)-1 {
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}

@@ -1,0 +1,77 @@
+package lefdef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"macro3d/internal/geom"
+)
+
+// tokenizer splits a LEF/DEF stream into whitespace-separated words,
+// treating ';' as its own token and '#' comments to end of line.
+type tokenizer struct {
+	s      *bufio.Scanner
+	queued []string
+}
+
+func newTokenizer(r io.Reader) *tokenizer {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<16), 1<<22)
+	return &tokenizer{s: s}
+}
+
+func (t *tokenizer) next() (string, bool) {
+	for len(t.queued) == 0 {
+		if !t.s.Scan() {
+			return "", false
+		}
+		line := t.s.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.ReplaceAll(line, ";", " ; ")
+		t.queued = strings.Fields(line)
+	}
+	w := t.queued[0]
+	t.queued = t.queued[1:]
+	return w, true
+}
+
+// nextFloat parses the next token as a number.
+func (t *tokenizer) nextFloat() (float64, error) {
+	w, ok := t.next()
+	if !ok {
+		return 0, fmt.Errorf("lefdef: unexpected EOF, wanted number")
+	}
+	v, err := strconv.ParseFloat(w, 64)
+	if err != nil {
+		return 0, fmt.Errorf("lefdef: expected number, got %q", w)
+	}
+	return v, nil
+}
+
+// expect consumes one token and checks it.
+func (t *tokenizer) expect(want string) {
+	if w, ok := t.next(); ok && w != want {
+		// Tolerant: push back so callers continue (the dialect is
+		// machine-written; a mismatch indicates trailing options).
+		t.queued = append([]string{w}, t.queued...)
+	}
+}
+
+// skipStatement consumes tokens through the next ';'.
+func (t *tokenizer) skipStatement() {
+	for {
+		w, ok := t.next()
+		if !ok || w == ";" {
+			return
+		}
+	}
+}
+
+func rect4(r [4]float64) geom.Rect {
+	return geom.R(r[0], r[1], r[2], r[3])
+}

@@ -1,0 +1,47 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the design's connectivity as a Graphviz digraph:
+// instances as boxes (macros emphasized), ports as ellipses, one edge
+// per driver→sink pair. Clock nets are dashed. Intended for debugging
+// small designs — the benchmark tiles produce very large graphs.
+func (d *Design) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [fontsize=9];\n", d.Name)
+	for _, inst := range d.Instances {
+		shape := "box"
+		style := ""
+		if inst.IsMacro() {
+			style = ` style=filled fillcolor="#d9a9a9"`
+		} else if inst.Master.IsSequential() {
+			style = ` style=filled fillcolor="#c9d8ef"`
+		}
+		fmt.Fprintf(bw, "  %q [shape=%s%s label=\"%s\\n%s\"];\n",
+			inst.Name, shape, style, inst.Name, inst.Master.Name)
+	}
+	for _, p := range d.Ports {
+		fmt.Fprintf(bw, "  %q [shape=ellipse label=%q];\n", "port:"+p.Name, p.Name)
+	}
+	nodeOf := func(r PinRef) string {
+		if r.Port != nil {
+			return "port:" + r.Port.Name
+		}
+		return r.Inst.Name
+	}
+	for _, n := range d.Nets {
+		attr := ""
+		if n.Clock {
+			attr = ` [style=dashed color="#888888"]`
+		}
+		for _, s := range n.Sinks {
+			fmt.Fprintf(bw, "  %q -> %q%s;\n", nodeOf(n.Driver), nodeOf(s), attr)
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,416 @@
+// Package netlist models the gate-level design handed to the physical
+// flow: cell/macro instances, top-level ports and the nets connecting
+// them. Instances carry their placement state (location, orientation,
+// die, fixed flag) so the same structure flows through floorplanning,
+// placement, optimization and analysis.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/geom"
+)
+
+// Die identifies which die of an F2F stack an object belongs to.
+type Die uint8
+
+// Dies of a macro-on-logic stack. 2D designs use only LogicDie.
+const (
+	LogicDie Die = iota
+	MacroDie
+)
+
+func (d Die) String() string {
+	if d == MacroDie {
+		return "macro"
+	}
+	return "logic"
+}
+
+// Instance is one placed occurrence of a library master.
+type Instance struct {
+	Name   string
+	Master *cell.Cell
+	ID     int // index in Design.Instances
+
+	Loc    geom.Point // lower-left corner, µm
+	Orient geom.Orient
+	Fixed  bool // pre-placed (macros, pads); placers must not move it
+	Die    Die
+
+	// Placed marks instances that have been assigned a legal location.
+	Placed bool
+}
+
+// Bounds returns the occupied substrate rectangle.
+func (i *Instance) Bounds() geom.Rect {
+	return geom.RectWH(i.Loc, i.Master.Width, i.Master.Height)
+}
+
+// Center returns the footprint centre.
+func (i *Instance) Center() geom.Point {
+	return geom.Pt(i.Loc.X+i.Master.Width/2, i.Loc.Y+i.Master.Height/2)
+}
+
+// PinLoc returns the absolute location of the named pin under the
+// instance's orientation.
+func (i *Instance) PinLoc(pin string) geom.Point {
+	p := i.Master.Pin(pin)
+	if p == nil {
+		panic(fmt.Sprintf("netlist: instance %q has no pin %q on %s", i.Name, pin, i.Master.Name))
+	}
+	local := i.Orient.Apply(p.Offset, i.Master.Width, i.Master.Height)
+	return i.Loc.Add(local)
+}
+
+// IsMacro reports whether the master is a hard macro.
+func (i *Instance) IsMacro() bool { return i.Master.Kind == cell.KindMacro }
+
+// Port is a top-level I/O of the design.
+type Port struct {
+	Name  string
+	Dir   cell.PinDir
+	Loc   geom.Point // fixed edge location
+	Layer string     // pin layer (the case study pins everything on M6)
+	ID    int
+
+	// HalfCycle marks inter-tile ports: the path through this port is
+	// constrained to half a clock period so that abutted tile
+	// instances close timing at the full period (paper §V-1).
+	HalfCycle bool
+
+	// ExtCap is the external load seen by output ports, fF.
+	ExtCap float64
+	// ExtDelay is the arrival time offset for input ports, ps.
+	ExtDelay float64
+}
+
+// PinRef identifies one connection point of a net: either an instance
+// pin (Inst != nil) or a top-level port.
+type PinRef struct {
+	Inst *Instance
+	Pin  string // pin name on Inst's master; empty for ports
+	Port *Port
+}
+
+// IsPort reports whether the reference is a top-level port.
+func (r PinRef) IsPort() bool { return r.Port != nil }
+
+// Loc returns the absolute location of the connection point.
+func (r PinRef) Loc() geom.Point {
+	if r.Port != nil {
+		return r.Port.Loc
+	}
+	return r.Inst.PinLoc(r.Pin)
+}
+
+// Layer returns the metal layer of the connection point.
+func (r PinRef) Layer() string {
+	if r.Port != nil {
+		return r.Port.Layer
+	}
+	return r.Inst.Master.Pin(r.Pin).Layer
+}
+
+// Cap returns the input capacitance contributed by this connection, fF.
+func (r PinRef) Cap() float64 {
+	if r.Port != nil {
+		return r.Port.ExtCap
+	}
+	return r.Inst.Master.Pin(r.Pin).Cap
+}
+
+func (r PinRef) String() string {
+	if r.Port != nil {
+		return "port:" + r.Port.Name
+	}
+	return r.Inst.Name + "/" + r.Pin
+}
+
+// Net is a signal with one driver and any number of sinks.
+type Net struct {
+	Name   string
+	ID     int
+	Driver PinRef
+	Sinks  []PinRef
+
+	// Clock marks clock-distribution nets; they are routed by CTS, not
+	// the signal router.
+	Clock bool
+
+	// Weight biases the placer's attraction for this net (criticality).
+	Weight float64
+}
+
+// Pins returns driver and sinks as one slice.
+func (n *Net) Pins() []PinRef {
+	out := make([]PinRef, 0, len(n.Sinks)+1)
+	out = append(out, n.Driver)
+	out = append(out, n.Sinks...)
+	return out
+}
+
+// PinLocs returns the locations of all connection points.
+func (n *Net) PinLocs() []geom.Point {
+	pts := make([]geom.Point, 0, len(n.Sinks)+1)
+	for _, p := range n.Pins() {
+		pts = append(pts, p.Loc())
+	}
+	return pts
+}
+
+// HPWL returns the half-perimeter wirelength of the net, µm.
+func (n *Net) HPWL() float64 { return geom.HPWL(n.PinLocs()) }
+
+// Design is a flat gate-level netlist plus its placement state.
+type Design struct {
+	Name      string
+	Lib       *cell.Library
+	Instances []*Instance
+	Nets      []*Net
+	Ports     []*Port
+
+	instByName map[string]*Instance
+	netByName  map[string]*Net
+	portByName map[string]*Port
+}
+
+// NewDesign returns an empty design over the given library.
+func NewDesign(name string, lib *cell.Library) *Design {
+	return &Design{
+		Name:       name,
+		Lib:        lib,
+		instByName: make(map[string]*Instance),
+		netByName:  make(map[string]*Net),
+		portByName: make(map[string]*Port),
+	}
+}
+
+// AddInstance creates an instance of the named master.
+func (d *Design) AddInstance(name string, master *cell.Cell) *Instance {
+	if master == nil {
+		panic(fmt.Sprintf("netlist: nil master for instance %q", name))
+	}
+	if _, dup := d.instByName[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate instance %q", name))
+	}
+	inst := &Instance{Name: name, Master: master, ID: len(d.Instances)}
+	d.Instances = append(d.Instances, inst)
+	d.instByName[name] = inst
+	return inst
+}
+
+// AddPort creates a top-level port.
+func (d *Design) AddPort(name string, dir cell.PinDir) *Port {
+	if _, dup := d.portByName[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate port %q", name))
+	}
+	p := &Port{Name: name, Dir: dir, ID: len(d.Ports)}
+	d.Ports = append(d.Ports, p)
+	d.portByName[name] = p
+	return p
+}
+
+// AddNet creates a net driven by driver feeding sinks.
+func (d *Design) AddNet(name string, driver PinRef, sinks ...PinRef) *Net {
+	if _, dup := d.netByName[name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate net %q", name))
+	}
+	n := &Net{Name: name, ID: len(d.Nets), Driver: driver, Sinks: sinks, Weight: 1}
+	d.Nets = append(d.Nets, n)
+	d.netByName[name] = n
+	return n
+}
+
+// Instance returns the named instance, or nil.
+func (d *Design) Instance(name string) *Instance { return d.instByName[name] }
+
+// Net returns the named net, or nil.
+func (d *Design) Net(name string) *Net { return d.netByName[name] }
+
+// Port returns the named port, or nil.
+func (d *Design) Port(name string) *Port { return d.portByName[name] }
+
+// IPin makes a PinRef for inst/pin.
+func IPin(inst *Instance, pin string) PinRef { return PinRef{Inst: inst, Pin: pin} }
+
+// PPin makes a PinRef for a top-level port.
+func PPin(p *Port) PinRef { return PinRef{Port: p} }
+
+// Validate checks structural sanity: every net has a legal driver,
+// every referenced pin exists with the right direction, and clock pins
+// are only driven by clock nets.
+func (d *Design) Validate() error {
+	for _, n := range d.Nets {
+		if n.Driver.Inst == nil && n.Driver.Port == nil {
+			return fmt.Errorf("netlist: net %q has no driver", n.Name)
+		}
+		if n.Driver.Inst != nil {
+			p := n.Driver.Inst.Master.Pin(n.Driver.Pin)
+			if p == nil {
+				return fmt.Errorf("netlist: net %q driver pin %s missing", n.Name, n.Driver)
+			}
+			if p.Dir != cell.DirOut {
+				return fmt.Errorf("netlist: net %q driven by non-output %s", n.Name, n.Driver)
+			}
+		} else if n.Driver.Port.Dir != cell.DirIn {
+			return fmt.Errorf("netlist: net %q driven by non-input port %s", n.Name, n.Driver.Port.Name)
+		}
+		for _, s := range n.Sinks {
+			if s.Inst != nil {
+				p := s.Inst.Master.Pin(s.Pin)
+				if p == nil {
+					return fmt.Errorf("netlist: net %q sink pin %s missing", n.Name, s)
+				}
+				if p.Dir != cell.DirIn {
+					return fmt.Errorf("netlist: net %q sinks at non-input %s", n.Name, s)
+				}
+			} else if s.Port == nil {
+				return fmt.Errorf("netlist: net %q has empty sink ref", n.Name)
+			} else if s.Port.Dir != cell.DirOut {
+				return fmt.Errorf("netlist: net %q sinks at non-output port %s", n.Name, s.Port.Name)
+			}
+		}
+	}
+	// No instance pin may be driven by two nets.
+	driven := make(map[string]string)
+	for _, n := range d.Nets {
+		for _, s := range n.Sinks {
+			if s.Inst != nil {
+				key := s.Inst.Name + "/" + s.Pin
+				if prev, dup := driven[key]; dup {
+					return fmt.Errorf("netlist: pin %s driven by both %q and %q", key, prev, n.Name)
+				}
+				driven[key] = n.Name
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the design for reports and generators.
+type Stats struct {
+	NumInstances int
+	NumStdCells  int
+	NumMacros    int
+	NumSeq       int
+	NumNets      int
+	NumPorts     int
+
+	StdCellArea float64 // µm²
+	MacroArea   float64 // µm²
+	TotalHPWL   float64 // µm
+}
+
+// ComputeStats walks the design once.
+func (d *Design) ComputeStats() Stats {
+	var s Stats
+	s.NumInstances = len(d.Instances)
+	s.NumNets = len(d.Nets)
+	s.NumPorts = len(d.Ports)
+	for _, i := range d.Instances {
+		switch {
+		case i.IsMacro():
+			s.NumMacros++
+			s.MacroArea += i.Master.Area()
+		case i.Master.Kind == cell.KindFiller:
+			// fillers are not logic
+		default:
+			s.NumStdCells++
+			s.StdCellArea += i.Master.Area()
+		}
+		if i.Master.IsSequential() {
+			s.NumSeq++
+		}
+	}
+	for _, n := range d.Nets {
+		s.TotalHPWL += n.HPWL()
+	}
+	return s
+}
+
+// TotalHPWL sums net half-perimeter wirelengths, µm.
+func (d *Design) TotalHPWL() float64 {
+	t := 0.0
+	for _, n := range d.Nets {
+		t += n.HPWL()
+	}
+	return t
+}
+
+// NetsOfInstance builds the instance→nets adjacency used by placers
+// and optimizers. The result is indexed by Instance.ID.
+func (d *Design) NetsOfInstance() [][]*Net {
+	adj := make([][]*Net, len(d.Instances))
+	for _, n := range d.Nets {
+		for _, p := range n.Pins() {
+			if p.Inst != nil {
+				adj[p.Inst.ID] = append(adj[p.Inst.ID], n)
+			}
+		}
+	}
+	return adj
+}
+
+// Macros returns all macro instances in deterministic order.
+func (d *Design) Macros() []*Instance {
+	var ms []*Instance
+	for _, i := range d.Instances {
+		if i.IsMacro() {
+			ms = append(ms, i)
+		}
+	}
+	sort.Slice(ms, func(a, b int) bool { return ms[a].Name < ms[b].Name })
+	return ms
+}
+
+// StdCells returns all movable standard-cell instances (excluding
+// macros and fillers).
+func (d *Design) StdCells() []*Instance {
+	var cs []*Instance
+	for _, i := range d.Instances {
+		if !i.IsMacro() && i.Master.Kind != cell.KindFiller {
+			cs = append(cs, i)
+		}
+	}
+	return cs
+}
+
+// Counts returns the current instance and net counts, used together
+// with TruncateTo to checkpoint/rollback incremental edits.
+func (d *Design) Counts() (instances, nets int) {
+	return len(d.Instances), len(d.Nets)
+}
+
+// TruncateTo drops instances and nets appended after a checkpoint
+// (they must be the trailing entries). Name indices are kept
+// consistent. It panics if asked to grow.
+func (d *Design) TruncateTo(instances, nets int) {
+	if instances > len(d.Instances) || nets > len(d.Nets) {
+		panic("netlist: TruncateTo cannot grow a design")
+	}
+	for _, inst := range d.Instances[instances:] {
+		delete(d.instByName, inst.Name)
+	}
+	d.Instances = d.Instances[:instances]
+	for _, n := range d.Nets[nets:] {
+		delete(d.netByName, n.Name)
+	}
+	d.Nets = d.Nets[:nets]
+}
+
+// Resize swaps an instance's master within its sizing family, keeping
+// the connection pin names valid (families share pin names).
+func (d *Design) Resize(inst *Instance, to *cell.Cell) error {
+	if to == nil {
+		return fmt.Errorf("netlist: resize of %q to nil master", inst.Name)
+	}
+	if inst.Master.Family == "" || to.Family != inst.Master.Family {
+		return fmt.Errorf("netlist: resize of %q across families %q→%q",
+			inst.Name, inst.Master.Family, to.Family)
+	}
+	inst.Master = to
+	return nil
+}

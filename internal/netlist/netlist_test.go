@@ -1,0 +1,336 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/geom"
+)
+
+func testLib() *cell.Library { return cell.NewStdLib28(cell.DefaultLibOptions()) }
+
+// tiny builds inv -> dff with a clock port and a data input port.
+func tiny(t *testing.T) *Design {
+	t.Helper()
+	lib := testLib()
+	d := NewDesign("tiny", lib)
+	in := d.AddPort("din", cell.DirIn)
+	clk := d.AddPort("clk", cell.DirIn)
+	out := d.AddPort("dout", cell.DirOut)
+	u1 := d.AddInstance("u1", lib.MustCell("INV_X1"))
+	ff := d.AddInstance("ff", lib.MustCell("DFF_X1"))
+	d.AddNet("n_in", PPin(in), IPin(u1, "A"))
+	d.AddNet("n_mid", IPin(u1, "Y"), IPin(ff, "D"))
+	n := d.AddNet("clk", PPin(clk), IPin(ff, "CK"))
+	n.Clock = true
+	d.AddNet("n_out", IPin(ff, "Q"), PPin(out))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	d := tiny(t)
+	if d.Instance("u1") == nil || d.Instance("zz") != nil {
+		t.Fatal("instance lookup wrong")
+	}
+	if d.Net("n_mid") == nil || d.Net("zz") != nil {
+		t.Fatal("net lookup wrong")
+	}
+	if d.Port("clk") == nil || d.Port("zz") != nil {
+		t.Fatal("port lookup wrong")
+	}
+	if len(d.Instances) != 2 || len(d.Nets) != 4 || len(d.Ports) != 3 {
+		t.Fatal("counts wrong")
+	}
+	if d.Instances[0].ID != 0 || d.Instances[1].ID != 1 {
+		t.Fatal("instance IDs not sequential")
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	d := tiny(t)
+	for name, f := range map[string]func(){
+		"instance": func() { d.AddInstance("u1", testLib().MustCell("INV_X1")) },
+		"net":      func() { d.AddNet("n_in", PPin(d.Ports[0])) },
+		"port":     func() { d.AddPort("clk", cell.DirIn) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("duplicate %s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPinLocWithOrientation(t *testing.T) {
+	d := tiny(t)
+	u1 := d.Instance("u1")
+	u1.Loc = geom.Pt(10, 20)
+	pin := u1.Master.Pin("A")
+	want := geom.Pt(10, 20).Add(pin.Offset)
+	if got := u1.PinLoc("A"); got != want {
+		t.Fatalf("PinLoc N = %v, want %v", got, want)
+	}
+	u1.Orient = geom.OrientFN
+	got := u1.PinLoc("A")
+	wantX := 10 + (u1.Master.Width - pin.Offset.X)
+	if got.X != wantX || got.Y != 20+pin.Offset.Y {
+		t.Fatalf("PinLoc FN = %v", got)
+	}
+}
+
+func TestPinLocUnknownPanics(t *testing.T) {
+	d := tiny(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown pin did not panic")
+		}
+	}()
+	d.Instance("u1").PinLoc("NOPE")
+}
+
+func TestNetHPWL(t *testing.T) {
+	d := tiny(t)
+	u1 := d.Instance("u1")
+	ff := d.Instance("ff")
+	u1.Loc = geom.Pt(0, 0)
+	ff.Loc = geom.Pt(100, 50)
+	n := d.Net("n_mid")
+	h := n.HPWL()
+	if h <= 100 || h >= 200 {
+		t.Fatalf("HPWL = %v, expected ~150", h)
+	}
+	if d.TotalHPWL() < h {
+		t.Fatal("TotalHPWL less than one net")
+	}
+}
+
+func TestValidateCatchesBadNets(t *testing.T) {
+	lib := testLib()
+	d := NewDesign("bad", lib)
+	u1 := d.AddInstance("u1", lib.MustCell("INV_X1"))
+	u2 := d.AddInstance("u2", lib.MustCell("INV_X1"))
+	// Driver at an input pin: invalid.
+	d.AddNet("n1", IPin(u1, "A"), IPin(u2, "A"))
+	if err := d.Validate(); err == nil {
+		t.Fatal("input-pin driver accepted")
+	}
+
+	d2 := NewDesign("bad2", lib)
+	v1 := d2.AddInstance("u1", lib.MustCell("INV_X1"))
+	v2 := d2.AddInstance("u2", lib.MustCell("INV_X1"))
+	// Sink at an output pin: invalid.
+	d2.AddNet("n1", IPin(v1, "Y"), IPin(v2, "Y"))
+	if err := d2.Validate(); err == nil {
+		t.Fatal("output-pin sink accepted")
+	}
+
+	d3 := NewDesign("bad3", lib)
+	w1 := d3.AddInstance("u1", lib.MustCell("INV_X1"))
+	w2 := d3.AddInstance("u2", lib.MustCell("INV_X1"))
+	d3.AddNet("n1", IPin(w1, "Y"), IPin(w2, "A"))
+	d3.AddNet("n2", IPin(w2, "Y"), IPin(w2, "A")) // same sink twice
+	if err := d3.Validate(); err == nil {
+		t.Fatal("doubly-driven pin accepted")
+	}
+
+	d4 := NewDesign("bad4", lib)
+	d4.AddNet("n1", PinRef{})
+	if err := d4.Validate(); err == nil {
+		t.Fatal("driverless net accepted")
+	}
+}
+
+func TestValidatePortDirections(t *testing.T) {
+	lib := testLib()
+	d := NewDesign("p", lib)
+	out := d.AddPort("o", cell.DirOut)
+	u := d.AddInstance("u", lib.MustCell("INV_X1"))
+	// Output port cannot drive.
+	d.AddNet("n", PPin(out), IPin(u, "A"))
+	if err := d.Validate(); err == nil {
+		t.Fatal("output port as driver accepted")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	lib := testLib()
+	d := NewDesign("s", lib)
+	sram, err := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 1024, Bits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddInstance("mem", sram)
+	d.AddInstance("u1", lib.MustCell("INV_X2"))
+	d.AddInstance("ff", lib.MustCell("DFF_X1"))
+	d.AddInstance("fill", lib.MustCell("FILL_X1"))
+	st := d.ComputeStats()
+	if st.NumInstances != 4 || st.NumMacros != 1 || st.NumStdCells != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.NumSeq != 2 { // DFF + clocked SRAM
+		t.Fatalf("NumSeq = %d", st.NumSeq)
+	}
+	if st.MacroArea <= st.StdCellArea {
+		t.Fatal("macro area should dominate")
+	}
+}
+
+func TestNetsOfInstance(t *testing.T) {
+	d := tiny(t)
+	adj := d.NetsOfInstance()
+	u1 := d.Instance("u1")
+	if len(adj[u1.ID]) != 2 {
+		t.Fatalf("u1 net degree = %d", len(adj[u1.ID]))
+	}
+	ff := d.Instance("ff")
+	if len(adj[ff.ID]) != 3 {
+		t.Fatalf("ff net degree = %d", len(adj[ff.ID]))
+	}
+}
+
+func TestMacrosAndStdCells(t *testing.T) {
+	lib := testLib()
+	d := NewDesign("m", lib)
+	s1, _ := cell.NewSRAM(cell.SRAMSpec{Name: "s1", Words: 512, Bits: 16})
+	s2, _ := cell.NewSRAM(cell.SRAMSpec{Name: "s2", Words: 512, Bits: 16})
+	d.AddInstance("z_mem", s1)
+	d.AddInstance("a_mem", s2)
+	d.AddInstance("u1", lib.MustCell("INV_X1"))
+	ms := d.Macros()
+	if len(ms) != 2 || ms[0].Name != "a_mem" {
+		t.Fatalf("Macros order wrong: %v", ms)
+	}
+	if len(d.StdCells()) != 1 {
+		t.Fatal("StdCells wrong")
+	}
+}
+
+func TestResize(t *testing.T) {
+	d := tiny(t)
+	lib := d.Lib
+	u1 := d.Instance("u1")
+	if err := d.Resize(u1, lib.MustCell("INV_X4")); err != nil {
+		t.Fatal(err)
+	}
+	if u1.Master.Name != "INV_X4" {
+		t.Fatal("resize did not swap master")
+	}
+	// Net refs still resolve.
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-family resize rejected.
+	if err := d.Resize(u1, lib.MustCell("NAND2_X1")); err == nil {
+		t.Fatal("cross-family resize accepted")
+	}
+	if err := d.Resize(u1, nil); err == nil {
+		t.Fatal("nil resize accepted")
+	}
+}
+
+func TestPinRefAccessors(t *testing.T) {
+	d := tiny(t)
+	clk := d.Port("clk")
+	clk.Loc = geom.Pt(5, 5)
+	clk.Layer = "M6"
+	r := PPin(clk)
+	if !r.IsPort() || r.Loc() != geom.Pt(5, 5) || r.Layer() != "M6" {
+		t.Fatal("port PinRef accessors wrong")
+	}
+	u1 := d.Instance("u1")
+	ir := IPin(u1, "A")
+	if ir.IsPort() {
+		t.Fatal("instance ref reported as port")
+	}
+	if ir.Cap() <= 0 {
+		t.Fatal("input pin cap zero")
+	}
+	if ir.String() != "u1/A" || r.String() != "port:clk" {
+		t.Fatalf("String: %s %s", ir, r)
+	}
+}
+
+func TestInstanceBounds(t *testing.T) {
+	d := tiny(t)
+	u1 := d.Instance("u1")
+	u1.Loc = geom.Pt(3, 4)
+	b := u1.Bounds()
+	if b.Lx != 3 || b.Ly != 4 ||
+		math.Abs(b.W()-u1.Master.Width) > 1e-9 || math.Abs(b.H()-u1.Master.Height) > 1e-9 {
+		t.Fatalf("Bounds = %v", b)
+	}
+	c := u1.Center()
+	if c.X <= 3 || c.Y <= 4 {
+		t.Fatalf("Center = %v", c)
+	}
+}
+
+func TestDieString(t *testing.T) {
+	if LogicDie.String() != "logic" || MacroDie.String() != "macro" {
+		t.Fatal("die names wrong")
+	}
+}
+
+func TestNetPins(t *testing.T) {
+	d := tiny(t)
+	n := d.Net("n_mid")
+	ps := n.Pins()
+	if len(ps) != 2 || ps[0] != n.Driver {
+		t.Fatal("Pins wrong")
+	}
+}
+
+func TestCountsAndTruncateTo(t *testing.T) {
+	d := tiny(t)
+	nI, nN := d.Counts()
+	if nI != 2 || nN != 4 {
+		t.Fatalf("Counts = %d, %d", nI, nN)
+	}
+	// Append then roll back.
+	extra := d.AddInstance("extra", d.Lib.MustCell("BUF_X1"))
+	d.AddNet("extra_net", IPin(extra, "Y"))
+	d.TruncateTo(nI, nN)
+	if got, gotN := d.Counts(); got != nI || gotN != nN {
+		t.Fatalf("after truncate: %d, %d", got, gotN)
+	}
+	if d.Instance("extra") != nil || d.Net("extra_net") != nil {
+		t.Fatal("truncated entries still resolvable by name")
+	}
+	// Names can be reused after truncation.
+	d.AddInstance("extra", d.Lib.MustCell("BUF_X1"))
+}
+
+func TestTruncateToGrowPanics(t *testing.T) {
+	d := tiny(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("growing TruncateTo did not panic")
+		}
+	}()
+	d.TruncateTo(100, 100)
+}
+
+func TestWriteDOT(t *testing.T) {
+	d := tiny(t)
+	var sb strings.Builder
+	if err := d.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph \"tiny\"", `"u1"`, `"ff"`, `"port:clk"`,
+		`"u1" -> "ff"`, "style=dashed", "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,717 @@
+// Package opt is the timing-driven optimization engine: iterative
+// critical-path gate sizing and long-wire buffer insertion, with
+// incremental reroute and re-extraction of touched nets.
+//
+// Two modes matter for the paper's comparison. In the normal mode the
+// optimizer co-optimizes against the *true* parasitics — which is what
+// Macro-3D (and plain 2D) flows enjoy. In Frozen mode no sizing or
+// buffering changes are allowed; S2D/C2D flows use it after tier
+// partitioning, when the cells were already sized against the shrunk
+// or scaled pseudo-design and the real double-stack parasitics only
+// become visible afterwards (paper §III: over-/under-optimized paths
+// cannot be fixed because the second routing cannot be co-optimized
+// with placement).
+package opt
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/cts"
+	"macro3d/internal/extract"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/place"
+	"macro3d/internal/route"
+	"macro3d/internal/sta"
+	"macro3d/internal/tech"
+)
+
+// Context carries the live design state the optimizer mutates.
+type Context struct {
+	Design *netlist.Design
+	DB     *route.DB
+	Routes *route.Result
+	Ex     *extract.Design
+
+	Corner tech.CornerScale
+	Clock  *cts.Tree
+
+	// FP and RowHeight enable ECO placement: every resize that grows a
+	// cell and every inserted buffer claims legal free space near its
+	// target, so the optimized design stays physically legal. When FP
+	// is nil edits are electrical-only (unit-test mode).
+	FP        *floorplan.Floorplan
+	RowHeight float64
+
+	fs *place.FreeSpace
+}
+
+// Options tunes the loop.
+type Options struct {
+	// MaxIters bounds the sizing/buffering rounds (default 10).
+	MaxIters int
+	// MaxMovesPerIter bounds edits per round (default 24).
+	MaxMovesPerIter int
+	// BufferElmore is the per-arc Elmore delay (ps) above which a
+	// buffer chain is inserted (default 120).
+	BufferElmore float64
+	// BufferSpan is the wire length one buffer drives, µm (default
+	// 300).
+	BufferSpan float64
+	// FanoutCap is the driver load (fF) above which a decoupling
+	// buffer is inserted between the driver and all its sinks
+	// (default 90).
+	FanoutCap float64
+	// TargetPeriod stops optimization once MinPeriod ≤ target (0 =
+	// optimize to the best achievable — max-performance mode).
+	TargetPeriod float64
+	// Frozen forbids all edits; Optimize only analyses.
+	Frozen bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 250
+	}
+	if o.MaxMovesPerIter <= 0 {
+		o.MaxMovesPerIter = 48
+	}
+	if o.BufferElmore <= 0 {
+		o.BufferElmore = 90
+	}
+	if o.BufferSpan <= 0 {
+		o.BufferSpan = 250
+	}
+	if o.FanoutCap <= 0 {
+		o.FanoutCap = 90
+	}
+	return o
+}
+
+// Result wraps the final timing plus edit statistics.
+type Result struct {
+	Report   *sta.Report
+	Resized  int
+	Buffers  int
+	Rerouted int
+	Iters    int
+}
+
+// Optimize runs the loop until timing converges, the target is met, or
+// the budget is spent.
+func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	staOpt.Clock = ctx.Clock
+	staOpt.Corner = ctx.Corner
+	if staOpt.TopPaths == 0 {
+		staOpt.TopPaths = 48
+	}
+	res := &Result{}
+
+	period := opt.TargetPeriod
+	if period <= 0 {
+		period = 1e6
+	}
+	rep, err := sta.Analyze(ctx.Design, ctx.Ex, period, staOpt)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+	if opt.Frozen {
+		return res, nil
+	}
+	if ctx.FP != nil && ctx.RowHeight > 0 {
+		ctx.fs = place.NewFreeSpace(ctx.Design, ctx.FP, ctx.RowHeight)
+	}
+
+	bufSeq := 0
+	fanoutDone := map[int]bool{}
+	chainDone := map[int]bool{}
+	noResize := map[int]bool{}
+	skipPath := map[string]bool{}
+	stale := 0
+	for it := 0; it < opt.MaxIters; it++ {
+		if opt.TargetPeriod > 0 && rep.MinPeriod <= opt.TargetPeriod {
+			break
+		}
+		moves := 0
+		touched := map[int]bool{}    // net IDs needing re-extraction
+		resizedNow := map[int]bool{} // instance IDs resized this iteration
+		markedNow := []mark{}        // buffer markers set this iteration
+		ck := checkpoint(ctx)
+
+		// Work one path per iteration — the most critical one that is
+		// not blocklisted and still has available edits — so
+		// acceptance/rollback operates at path granularity.
+		paths := rep.Paths
+		if len(paths) == 0 {
+			paths = []sta.Path{rep.Critical}
+		}
+		var curKey string
+		for _, p := range paths {
+			if moves >= opt.MaxMovesPerIter {
+				break
+			}
+			k := pathKey(p)
+			if skipPath[k] {
+				continue
+			}
+			m := fixPath(ctx, res, p.Steps, opt, &bufSeq, touched,
+				fanoutDone, chainDone, noResize, resizedNow, &markedNow,
+				opt.MaxMovesPerIter-moves)
+			if m > 0 && curKey == "" {
+				curKey = k
+			}
+			moves += m
+		}
+		if moves == 0 {
+			break
+		}
+		// Touched nets: rerouted (ECO moves shift pins) and re-extracted
+		// in deterministic order.
+		ids := make([]int, 0, len(touched))
+		for id := range touched {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if id >= len(ctx.Routes.Routes) || ctx.Routes.Routes[id] == nil {
+				continue
+			}
+			ctx.DB.ReleaseNet(ctx.Routes.Routes[id])
+			r, err := ctx.DB.RouteNet(ctx.Design.Nets[id])
+			if err != nil {
+				return nil, err
+			}
+			ctx.Routes.SetRoute(id, r)
+			ctx.Ex.Replace(id, extract.One(ctx.Design.Nets[id], r, ctx.DB, ctx.Corner))
+		}
+		res.Rerouted += len(touched)
+		res.Iters = it + 1
+
+		next, err := sta.Analyze(ctx.Design, ctx.Ex, period, staOpt)
+		if err != nil {
+			return nil, err
+		}
+		// Accept the iteration when the worst path improved or, on a
+		// multi-path plateau, when the aggregate of the near-critical
+		// paths improved. Otherwise roll back (the edit markers stay,
+		// so failed edits are not retried).
+		improvedWorst := next.MinPeriod < rep.MinPeriod-0.5
+		improvedSum := pathScore(next) < pathScore(rep)-0.5
+		if !improvedWorst && !improvedSum {
+			rollback(ctx, ck)
+			if ctx.FP != nil && ctx.RowHeight > 0 {
+				ctx.fs = place.NewFreeSpace(ctx.Design, ctx.FP, ctx.RowHeight)
+			}
+			// Clear this iteration's buffer markers (the edits were
+			// undone and may succeed in a different bundle), but
+			// blocklist the path so the identical bundle is not
+			// retried immediately.
+			for _, m := range markedNow {
+				if m.chain {
+					delete(chainDone, m.netID)
+				} else {
+					delete(fanoutDone, m.netID)
+				}
+			}
+			for id := range resizedNow {
+				noResize[id] = true
+			}
+			res.Resized -= len(resizedNow)
+			skipPath[curKey] = true
+			stale++
+			if stale >= 12 {
+				break
+			}
+			continue
+		}
+		rep = next
+		if improvedWorst {
+			stale = 0
+		}
+		if debugTrace {
+			fmt.Fprintf(os.Stderr, "opt it=%d period=%.0f score=%.0f moves=%d accept(w=%v s=%v) stale=%d\n",
+				it, next.MinPeriod, pathScore(next), moves, improvedWorst, improvedSum, stale)
+		}
+	}
+	// The report describes the final design state exactly (every kept
+	// iteration was an improvement; every failed one was rolled back).
+	res.Report = rep
+	return res, nil
+}
+
+// debugTrace enables per-iteration tracing via MACRO3D_OPT_TRACE=1.
+var debugTrace = os.Getenv("MACRO3D_OPT_TRACE") == "1"
+
+// pathScore sums the reported near-critical path delays — the
+// plateau-breaking acceptance metric.
+func pathScore(r *sta.Report) float64 {
+	s := 0.0
+	for _, p := range r.Paths {
+		s += p.Delay
+	}
+	return s
+}
+
+// ckpt captures everything an iteration may touch.
+type ckpt struct {
+	nInst, nNets int
+	masters      []*cell.Cell
+	locs         []geom.Point
+	sinks        [][]netlist.PinRef
+	routes       []*route.NetRoute
+}
+
+func checkpoint(ctx *Context) *ckpt {
+	nInst, nNets := ctx.Design.Counts()
+	c := &ckpt{nInst: nInst, nNets: nNets}
+	c.masters = make([]*cell.Cell, nInst)
+	c.locs = make([]geom.Point, nInst)
+	for i, inst := range ctx.Design.Instances {
+		c.masters[i] = inst.Master
+		c.locs[i] = inst.Loc
+	}
+	c.sinks = make([][]netlist.PinRef, nNets)
+	for i, n := range ctx.Design.Nets {
+		c.sinks[i] = append([]netlist.PinRef(nil), n.Sinks...)
+	}
+	c.routes = append([]*route.NetRoute(nil), ctx.Routes.Routes...)
+	return c
+}
+
+func rollback(ctx *Context, c *ckpt) {
+	ctx.Design.TruncateTo(c.nInst, c.nNets)
+	for i, inst := range ctx.Design.Instances {
+		inst.Master = c.masters[i]
+		inst.Loc = c.locs[i]
+	}
+	for i, n := range ctx.Design.Nets {
+		n.Sinks = c.sinks[i]
+	}
+	ctx.Routes.Routes = ctx.Routes.Routes[:0]
+	ctx.Routes.Routes = append(ctx.Routes.Routes, c.routes...)
+	ctx.DB.RebuildUsage(ctx.Routes)
+	// Parasitics: full re-extraction of the restored state.
+	*ctx.Ex = *extract.Extract(ctx.Design, ctx.Routes, ctx.DB, ctx.Corner)
+}
+
+// fixPath applies sizing and buffering along one path; returns the
+// number of edits made (bounded by budget).
+// mark records a buffer-insertion marker for rollback bookkeeping.
+type mark struct {
+	netID int
+	chain bool
+}
+
+// pathKey identifies a path by its launch and capture points.
+func pathKey(p sta.Path) string {
+	if len(p.Steps) == 0 {
+		return ""
+	}
+	return p.Steps[0].Ref.String() + "→" + p.Steps[len(p.Steps)-1].Ref.String()
+}
+
+func fixPath(ctx *Context, res *Result, steps []sta.PathStep, opt Options, bufSeq *int, touched, fanoutDone, chainDone, noResize, resizedNow map[int]bool, markedNow *[]mark, budget int) int {
+	moves := 0
+	for i := 0; i+1 < len(steps) && moves < budget; i++ {
+		from := steps[i].Ref
+		if from.Inst == nil {
+			continue
+		}
+		inst := from.Inst
+		// Gate sizing: jump straight to the drive strength matched to
+		// the extracted load (R·C_load ≤ ~80 ps), like a real sizer's
+		// load-based lookup, instead of creeping one step per pass.
+		if !inst.IsMacro() && !noResize[inst.ID] && !resizedNow[inst.ID] {
+			if to := sizeForLoad(ctx, inst); to != nil {
+				if ecoResize(ctx, inst, to) {
+					res.Resized++
+					resizedNow[inst.ID] = true
+					moves++
+					for _, n := range netsOf(ctx.Design, inst) {
+						touched[n.ID] = true
+					}
+				}
+			}
+		}
+		// Wire buffering on the arc leaving this step.
+		if n, si := arcNet(ctx, steps, i); n != nil {
+			rc := ctx.Ex.Nets[n.ID]
+			if rc == nil {
+				continue
+			}
+			// High-fanout decoupling: shield the driver from the bulk
+			// of the load first. Each net is wrapped at most once —
+			// the tree grows by splitting the (new) cluster nets on
+			// later passes, never by chaining levels in front of the
+			// root.
+			if rc.CTotal() > opt.FanoutCap && len(n.Sinks) >= 2 && !fanoutDone[n.ID] {
+				if err := insertFanoutBuffer(ctx, n, opt, bufSeq); err == nil {
+					fanoutDone[n.ID] = true
+					*markedNow = append(*markedNow, mark{n.ID, false})
+					res.Buffers++
+					moves++
+					touched[n.ID] = true
+					continue
+				}
+			}
+			// Like fanout wrapping, a chain is inserted at most once
+			// per net; the chain's own nets may be split again later,
+			// which terminates because every level is shorter.
+			if si < len(rc.ElmoreTo) && rc.ElmoreTo[si] > opt.BufferElmore && !chainDone[n.ID] {
+				nb, err := insertBufferChain(ctx, n, si, opt, bufSeq)
+				if err == nil && nb > 0 {
+					chainDone[n.ID] = true
+					*markedNow = append(*markedNow, mark{n.ID, true})
+					res.Buffers += nb
+					moves++
+					touched[n.ID] = true
+				}
+			}
+		}
+	}
+	return moves
+}
+
+// ecoResize swaps the master and, when the footprint grows, relocates
+// the cell into legal free space near its old centre. Returns false
+// when no legal spot exists (the edit is skipped).
+func ecoResize(ctx *Context, inst *netlist.Instance, to *cell.Cell) bool {
+	if ctx.fs == nil || to.Width <= inst.Master.Width+1e-9 {
+		return ctx.Design.Resize(inst, to) == nil
+	}
+	oldB := inst.Bounds()
+	ctx.fs.Release(oldB)
+	loc, ok := ctx.fs.Alloc(to.Width, inst.Center())
+	if !ok {
+		ctx.fs.Occupy(oldB)
+		return false
+	}
+	if err := ctx.Design.Resize(inst, to); err != nil {
+		ctx.fs.Release(geom.RectWH(loc, to.Width, to.Height))
+		ctx.fs.Occupy(oldB)
+		return false
+	}
+	inst.Loc = loc
+	return true
+}
+
+// sizeForLoad returns the smallest family member whose drive meets
+// the delay budget for the instance's extracted output load, or nil
+// when the current size already suffices (or nothing stronger exists).
+func sizeForLoad(ctx *Context, inst *netlist.Instance) *cell.Cell {
+	const budgetPs = 100.0
+	fam := ctx.Design.Lib.Family(inst.Master.Family)
+	if len(fam) == 0 {
+		return nil
+	}
+	// Find the instance's output net load.
+	load := 0.0
+	for _, n := range ctx.Design.Nets {
+		if n.Driver.Inst == inst {
+			if rc := ctx.Ex.Nets[n.ID]; rc != nil {
+				load = rc.CTotal()
+			}
+			break
+		}
+	}
+	if load <= 0 {
+		return nil
+	}
+	for _, m := range fam {
+		if m.DriveRes*load <= budgetPs {
+			if m.Drive > inst.Master.Drive {
+				return m
+			}
+			return nil // current size already adequate
+		}
+	}
+	top := fam[len(fam)-1]
+	if top.Drive > inst.Master.Drive {
+		return top
+	}
+	return nil
+}
+
+func betterOf(a, b *sta.Report) *sta.Report {
+	if b.MinPeriod < a.MinPeriod {
+		return b
+	}
+	return a
+}
+
+// netsOf lists the nets touching an instance.
+func netsOf(d *netlist.Design, inst *netlist.Instance) []*netlist.Net {
+	var out []*netlist.Net
+	for _, n := range d.Nets {
+		if n.Clock {
+			continue
+		}
+		if n.Driver.Inst == inst {
+			out = append(out, n)
+			continue
+		}
+		for _, s := range n.Sinks {
+			if s.Inst == inst {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// arcNet finds the net and sink index connecting step i to step i+1 of
+// the critical path.
+func arcNet(ctx *Context, steps []sta.PathStep, i int) (*netlist.Net, int) {
+	from := steps[i].Ref
+	to := steps[i+1].Ref
+	if from.Inst == nil && from.Port == nil {
+		return nil, -1
+	}
+	for _, n := range ctx.Design.Nets {
+		if n.Clock {
+			continue
+		}
+		if !sameRef(n.Driver, from) {
+			continue
+		}
+		for si, s := range n.Sinks {
+			if s.Inst != nil && to.Inst == s.Inst {
+				return n, si
+			}
+			if s.Port != nil && to.Port == s.Port {
+				return n, si
+			}
+		}
+	}
+	return nil, -1
+}
+
+func sameRef(a, b netlist.PinRef) bool {
+	if a.Port != nil || b.Port != nil {
+		return a.Port == b.Port
+	}
+	return a.Inst == b.Inst
+}
+
+// insertBufferChain splits the driver→sink arc of net n at sink index
+// si with a chain of buffers spaced BufferSpan apart. New nets are
+// routed and extracted incrementally. Returns buffers inserted.
+func insertBufferChain(ctx *Context, n *netlist.Net, si int, opt Options, seq *int) (int, error) {
+	d := ctx.Design
+	sink := n.Sinks[si]
+	a := n.Driver.Loc()
+	b := sink.Loc()
+	distTot := a.Manhattan(b)
+	k := int(distTot / opt.BufferSpan)
+	if k < 1 {
+		k = 1
+	}
+	if k > 10 {
+		k = 10
+	}
+	buf := d.Lib.Cell("BUF_X16")
+	if buf == nil {
+		return 0, fmt.Errorf("opt: no buffer master")
+	}
+
+	// Remove the sink from the original net.
+	n.Sinks = append(n.Sinks[:si], n.Sinks[si+1:]...)
+
+	firstNew := len(d.Nets)
+	prevNet := n
+	for j := 0; j < k; j++ {
+		*seq++
+		frac := float64(j+1) / float64(k+1)
+		loc := a.Add(b.Sub(a).Scale(frac))
+		inst := d.AddInstance(fmt.Sprintf("optbuf_%d_%d", len(d.Instances), *seq), buf)
+		inst.Loc = ecoPlace(ctx, loc, buf)
+		inst.Placed = true
+		// Attach the buffer input to the previous stage.
+		prevNet.Sinks = append(prevNet.Sinks, netlist.IPin(inst, "A"))
+		prevNet = d.AddNet(fmt.Sprintf("optnet_%d_%d", len(d.Nets), *seq), netlist.IPin(inst, "Y"))
+	}
+	// Final stage drives the original sink.
+	prevNet.Sinks = append(prevNet.Sinks, sink)
+
+	// Reroute the modified original net and route the new nets.
+	if old := ctx.Routes.Routes[n.ID]; old != nil {
+		ctx.DB.ReleaseNet(old)
+	}
+	r, err := ctx.DB.RouteNet(n)
+	if err != nil {
+		return 0, err
+	}
+	ctx.Routes.SetRoute(n.ID, r)
+	ctx.Ex.Replace(n.ID, extract.One(n, r, ctx.DB, ctx.Corner))
+	// New nets: route + extract.
+	for id := firstNew; id < len(d.Nets); id++ {
+		nn := d.Nets[id]
+		rr, err := ctx.DB.RouteNet(nn)
+		if err != nil {
+			return 0, err
+		}
+		ctx.Routes.SetRoute(id, rr)
+		ctx.Ex.Replace(id, extract.One(nn, rr, ctx.DB, ctx.Corner))
+	}
+	return k, nil
+}
+
+// insertFanoutBuffer decouples a loaded driver by clustering its sinks
+// geometrically (recursive median split on the wider axis) and giving
+// each cluster its own buffer at the cluster centroid. The driver then
+// sees only the k buffer inputs. Repeated application across
+// iterations builds a fanout tree.
+func insertFanoutBuffer(ctx *Context, n *netlist.Net, opt Options, seq *int) error {
+	d := ctx.Design
+	buf := d.Lib.Cell("BUF_X16")
+	if buf == nil {
+		return fmt.Errorf("opt: no buffer master")
+	}
+	if len(n.Sinks) < 2 {
+		return fmt.Errorf("opt: fanout buffering needs >1 sink")
+	}
+	rc := ctx.Ex.Nets[n.ID]
+	k := 2
+	if rc != nil {
+		k = int(rc.CTotal()/opt.FanoutCap) + 1
+	}
+	if k < 2 {
+		k = 2
+	}
+	if k > 8 {
+		k = 8
+	}
+	if k > len(n.Sinks) {
+		k = len(n.Sinks)
+	}
+	clusters := clusterSinks(n.Sinks, k)
+
+	var newNets []*netlist.Net
+	var drvSinks []netlist.PinRef
+	drv := n.Driver.Loc()
+	for _, cl := range clusters {
+		if len(cl) == 0 {
+			continue
+		}
+		*seq++
+		var cx, cy float64
+		for _, s := range cl {
+			l := s.Loc()
+			cx += l.X
+			cy += l.Y
+		}
+		m := float64(len(cl))
+		// The shield buffer sits NEXT TO THE DRIVER (a short hop toward
+		// its cluster), so the driver's net shrinks to k pin stubs; the
+		// buffer owns the cluster's long wire. Splitting the cluster net
+		// on later passes grows a driver-rooted tree outward.
+		centroid := geom.Pt(cx/m, cy/m)
+		dir := centroid.Sub(drv)
+		dist := drv.Manhattan(centroid)
+		step := 60.0
+		if dist < step {
+			step = dist / 2
+		}
+		var loc geom.Point
+		if dist > 1e-9 {
+			loc = drv.Add(dir.Scale(step / dist))
+		} else {
+			loc = drv
+		}
+		inst := d.AddInstance(fmt.Sprintf("optfbuf_%d_%d", len(d.Instances), *seq), buf)
+		inst.Loc = ecoPlace(ctx, geom.Pt(loc.X-buf.Width/2, loc.Y-buf.Height/2), buf)
+		inst.Placed = true
+		drvSinks = append(drvSinks, netlist.IPin(inst, "A"))
+		newNets = append(newNets, d.AddNet(fmt.Sprintf("optfnet_%d_%d", len(d.Nets), *seq), netlist.IPin(inst, "Y"), cl...))
+	}
+	n.Sinks = drvSinks
+
+	if old := ctx.Routes.Routes[n.ID]; old != nil {
+		ctx.DB.ReleaseNet(old)
+	}
+	r, err := ctx.DB.RouteNet(n)
+	if err != nil {
+		return err
+	}
+	ctx.Routes.SetRoute(n.ID, r)
+	ctx.Ex.Replace(n.ID, extract.One(n, r, ctx.DB, ctx.Corner))
+	for _, nn := range newNets {
+		rr, err := ctx.DB.RouteNet(nn)
+		if err != nil {
+			return err
+		}
+		ctx.Routes.SetRoute(nn.ID, rr)
+		ctx.Ex.Replace(nn.ID, extract.One(nn, rr, ctx.DB, ctx.Corner))
+	}
+	return nil
+}
+
+// ecoPlace claims legal free space near the desired lower-left corner
+// for an inserted buffer; without a FreeSpace (unit tests) it falls
+// back to die clamping.
+func ecoPlace(ctx *Context, ll geom.Point, buf *cell.Cell) geom.Point {
+	if ctx.fs != nil {
+		if loc, ok := ctx.fs.Alloc(buf.Width, geom.Pt(ll.X+buf.Width/2, ll.Y+buf.Height/2)); ok {
+			return loc
+		}
+	}
+	die := ctx.DB.Grid.Region
+	return geom.Pt(
+		geom.Clamp(ll.X, die.Lx, die.Ux-buf.Width),
+		geom.Clamp(ll.Y, die.Ly, die.Uy-buf.Height),
+	)
+}
+
+// clusterSinks splits sinks into k spatial clusters by recursive
+// median bisection along the wider axis.
+func clusterSinks(sinks []netlist.PinRef, k int) [][]netlist.PinRef {
+	groups := [][]netlist.PinRef{append([]netlist.PinRef(nil), sinks...)}
+	for len(groups) < k {
+		// Split the largest group.
+		bi := 0
+		for i, g := range groups {
+			if len(g) > len(groups[bi]) {
+				bi = i
+			}
+		}
+		g := groups[bi]
+		if len(g) < 2 {
+			break
+		}
+		pts := make([]geom.Point, len(g))
+		for i, s := range g {
+			pts[i] = s.Loc()
+		}
+		bb := geom.BoundingBox(pts)
+		byX := bb.W() >= bb.H()
+		sort.Slice(g, func(i, j int) bool {
+			if byX {
+				return g[i].Loc().X < g[j].Loc().X
+			}
+			return g[i].Loc().Y < g[j].Loc().Y
+		})
+		mid := len(g) / 2
+		groups[bi] = g[:mid]
+		groups = append(groups, g[mid:])
+	}
+	return groups
+}
+
+// LogicCellArea sums the standard-cell area after optimization — the
+// paper's A_logic-cells metric (it grows with upsizing).
+func LogicCellArea(d *netlist.Design) float64 {
+	area := 0.0
+	for _, inst := range d.Instances {
+		if !inst.IsMacro() && inst.Master.Kind != cell.KindFiller {
+			area += inst.Master.Area()
+		}
+	}
+	return area
+}

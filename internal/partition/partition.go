@@ -1,0 +1,367 @@
+// Package partition implements the tier-partitioning step of the
+// Shrunk-2D and Compact-2D baseline flows: an area-balanced
+// Fiduccia–Mattheyses-style min-cut bipartition assigning each
+// standard cell to the logic or macro die, followed by per-die overlap
+// legalization against the *real* macro extents.
+//
+// The legalization step is where the paper's observed S2D/C2D failure
+// materializes: the pseudo-2D placement honoured only coarse partial
+// blockages, so after partitioning, cells assigned to a die can sit on
+// top of that die's macros and must be displaced — sometimes far —
+// degrading timing that the frozen post-partition netlist can no
+// longer recover (paper §III).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/place"
+)
+
+// Options tunes the partitioner.
+type Options struct {
+	// BalanceTol is the allowed deviation of either side from half the
+	// movable area (default 0.10).
+	BalanceTol float64
+	// MaxPasses bounds improvement passes (default 6).
+	MaxPasses int
+	Seed      uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BalanceTol <= 0 {
+		o.BalanceTol = 0.10
+	}
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 6
+	}
+	return o
+}
+
+// Result reports partition quality.
+type Result struct {
+	CutNets   int
+	AreaLogic float64 // µm² of movable cells on the logic die
+	AreaMacro float64
+	Moves     int // improvement moves applied
+}
+
+// TierPartition assigns Die to every movable standard cell. Macros
+// keep their floorplanned die; ports anchor to the logic die.
+func TierPartition(d *netlist.Design, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	rng := geom.NewRNG(opt.Seed + 13)
+
+	movable := d.StdCells()
+	if len(movable) == 0 {
+		return &Result{}, nil
+	}
+	var total float64
+	for _, c := range movable {
+		total += c.Master.Area()
+	}
+	half := total / 2
+	tol := total * opt.BalanceTol / 2
+
+	// Initial assignment: zig-zag over a spatially sorted order so the
+	// starting cut is locality-aware, then balance by area.
+	order := append([]*netlist.Instance(nil), movable...)
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := order[i].Center(), order[j].Center()
+		if ci.X != cj.X {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+	var areaA float64 // logic die
+	for _, c := range order {
+		if areaA < half {
+			c.Die = netlist.LogicDie
+			areaA += c.Master.Area()
+		} else {
+			c.Die = netlist.MacroDie
+		}
+	}
+
+	adj := d.NetsOfInstance()
+
+	// dieOf resolves any pin's die (ports → logic die).
+	dieOf := func(p netlist.PinRef) netlist.Die {
+		if p.Port != nil {
+			return netlist.LogicDie
+		}
+		return p.Inst.Die
+	}
+	// Gain of flipping c: nets where c is the sole pin on its side
+	// become uncut (+1); nets currently uncut become cut (−1).
+	gain := func(c *netlist.Instance) int {
+		g := 0
+		for _, n := range adj[c.ID] {
+			if n.Clock {
+				continue
+			}
+			same, other := 0, 0
+			for _, p := range n.Pins() {
+				if p.Inst == c {
+					continue
+				}
+				if dieOf(p) == c.Die {
+					same++
+				} else {
+					other++
+				}
+			}
+			if other == 0 && same > 0 {
+				g-- // flipping cuts this net
+			}
+			if same == 0 && other > 0 {
+				g++ // flipping uncuts it
+			}
+		}
+		return g
+	}
+
+	res := &Result{}
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		moved := 0
+		// Random sweep order decorrelates passes.
+		idx := make([]int, len(movable))
+		for i := range idx {
+			idx[i] = i
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			c := movable[i]
+			g := gain(c)
+			if g <= 0 {
+				continue
+			}
+			// Balance check.
+			a := c.Master.Area()
+			newAreaA := areaA
+			if c.Die == netlist.LogicDie {
+				newAreaA -= a
+			} else {
+				newAreaA += a
+			}
+			if newAreaA < half-tol || newAreaA > half+tol {
+				continue
+			}
+			if c.Die == netlist.LogicDie {
+				c.Die = netlist.MacroDie
+			} else {
+				c.Die = netlist.LogicDie
+			}
+			areaA = newAreaA
+			moved++
+		}
+		res.Moves += moved
+		if moved == 0 {
+			break
+		}
+	}
+
+	// Final accounting.
+	for _, c := range movable {
+		if c.Die == netlist.LogicDie {
+			res.AreaLogic += c.Master.Area()
+		} else {
+			res.AreaMacro += c.Master.Area()
+		}
+	}
+	res.CutNets = CountCutNets(d)
+	return res, nil
+}
+
+// BinBalance enforces the published S2D/C2D tier-partitioning rule
+// that cell area is balanced *per bin*, not just globally — both
+// substrates are meant to be used everywhere. Cells flip dies in
+// unbalanced bins. This locality is exactly what lands cells on the
+// other die's macros when partial blockages were rasterized too
+// coarsely (the paper's overlap mechanism).
+func BinBalance(d *netlist.Design, die geom.Rect, binPitch float64) int {
+	if binPitch <= 0 {
+		binPitch = 40
+	}
+	g := geom.NewGrid(die, binPitch)
+	type binState struct {
+		a, b  float64
+		cells []*netlist.Instance
+	}
+	bins := make([]binState, g.Bins())
+	for _, c := range d.StdCells() {
+		ix, iy := g.Locate(c.Center())
+		i := g.Index(ix, iy)
+		bins[i].cells = append(bins[i].cells, c)
+		if c.Die == netlist.LogicDie {
+			bins[i].a += c.Master.Area()
+		} else {
+			bins[i].b += c.Master.Area()
+		}
+	}
+	flips := 0
+	for i := range bins {
+		bin := &bins[i]
+		total := bin.a + bin.b
+		if total == 0 {
+			continue
+		}
+		// Flip smallest cells from the heavy side until within 30 %.
+		sort.Slice(bin.cells, func(x, y int) bool {
+			return bin.cells[x].Master.Area() < bin.cells[y].Master.Area()
+		})
+		for _, c := range bin.cells {
+			imbalance := bin.a - bin.b
+			if imbalance < 0 {
+				imbalance = -imbalance
+			}
+			if imbalance <= 0.3*total {
+				break
+			}
+			area := c.Master.Area()
+			if bin.a > bin.b && c.Die == netlist.LogicDie {
+				c.Die = netlist.MacroDie
+				bin.a -= area
+				bin.b += area
+				flips++
+			} else if bin.b > bin.a && c.Die == netlist.MacroDie {
+				c.Die = netlist.LogicDie
+				bin.b -= area
+				bin.a += area
+				flips++
+			}
+		}
+	}
+	return flips
+}
+
+// CountCutNets counts nets spanning both dies (each needs at least one
+// F2F bump).
+func CountCutNets(d *netlist.Design) int {
+	cut := 0
+	for _, n := range d.Nets {
+		if n.Clock {
+			continue
+		}
+		sawLogic, sawMacro := false, false
+		for _, p := range n.Pins() {
+			die := netlist.LogicDie
+			if p.Inst != nil {
+				die = p.Inst.Die
+			}
+			if die == netlist.LogicDie {
+				sawLogic = true
+			} else {
+				sawMacro = true
+			}
+		}
+		if sawLogic && sawMacro {
+			cut++
+		}
+	}
+	return cut
+}
+
+// LegalizeTiers re-legalizes each die's cells against that die's real
+// macro extents. It returns per-die displacement statistics — the
+// overlap-fixing cost the paper describes. rowHeight sizes the rows.
+type TierLegalization struct {
+	MeanDisp  float64
+	MaxDisp   float64
+	Displaced int // cells moved more than one row height
+	Spilled   int // cells that found no space and changed dies
+}
+
+func LegalizeTiers(d *netlist.Design, die geom.Rect, rowHeight float64) (*TierLegalization, error) {
+	out := &TierLegalization{}
+	var sum float64
+	var n int
+	account := func(cells []*netlist.Instance, before map[int]geom.Point) {
+		for _, c := range cells {
+			disp := before[c.ID].Manhattan(c.Loc)
+			sum += disp
+			n++
+			if disp > out.MaxDisp {
+				out.MaxDisp = disp
+			}
+			if disp > rowHeight {
+				out.Displaced++
+			}
+		}
+	}
+	fpFor := func(tier netlist.Die) *floorplan.Floorplan {
+		fp := &floorplan.Floorplan{Die: die}
+		// Real macros of this tier are hard blockages now.
+		for _, m := range d.Macros() {
+			if m.Die == tier {
+				fp.PlaceBlk = append(fp.PlaceBlk, floorplan.Blockage{Rect: m.Bounds(), Fraction: 1})
+			}
+		}
+		return fp
+	}
+	// The macro die first: cells that do not fit spill to the logic
+	// die and legalize there with everything else.
+	var spill []*netlist.Instance
+	{
+		fp := fpFor(netlist.MacroDie)
+		var cells []*netlist.Instance
+		before := map[int]geom.Point{}
+		for _, c := range d.StdCells() {
+			if c.Die == netlist.MacroDie {
+				cells = append(cells, c)
+				before[c.ID] = c.Loc
+			}
+		}
+		if len(cells) > 0 {
+			_, _, failed, err := place.LegalizeBestEffort(cells, fp, rowHeight)
+			if err != nil {
+				return nil, fmt.Errorf("partition: macro tier legalization: %w", err)
+			}
+			placed := cells[:0]
+			inFailed := map[int]bool{}
+			for _, f := range failed {
+				inFailed[f.ID] = true
+				f.Die = netlist.LogicDie
+				spill = append(spill, f)
+			}
+			for _, c := range cells {
+				if !inFailed[c.ID] {
+					placed = append(placed, c)
+				}
+			}
+			account(placed, before)
+			out.Spilled = len(failed)
+		}
+	}
+	// Logic die, including spill.
+	{
+		fp := fpFor(netlist.LogicDie)
+		var cells []*netlist.Instance
+		before := map[int]geom.Point{}
+		for _, c := range d.StdCells() {
+			if c.Die == netlist.LogicDie {
+				cells = append(cells, c)
+				before[c.ID] = c.Loc
+			}
+		}
+		if len(cells) > 0 {
+			_, _, failed, err := place.LegalizeBestEffort(cells, fp, rowHeight)
+			if err != nil {
+				return nil, fmt.Errorf("partition: logic tier legalization: %w", err)
+			}
+			if len(failed) > 0 {
+				return nil, fmt.Errorf("partition: %d cells fit neither die", len(failed))
+			}
+			account(cells, before)
+		}
+	}
+	_ = spill
+	if n > 0 {
+		out.MeanDisp = sum / float64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+	"macro3d/internal/place"
+)
+
+// clusters builds two tightly connected clusters joined by a few nets:
+// min-cut should keep clusters intact.
+func clusters(t *testing.T) *netlist.Design {
+	t.Helper()
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("cl", lib)
+	mk := func(prefix string, n int) []*netlist.Instance {
+		out := make([]*netlist.Instance, n)
+		for i := range out {
+			out[i] = d.AddInstance(prefix+itoa(i), lib.MustCell("INV_X1"))
+		}
+		return out
+	}
+	a := mk("a", 40)
+	b := mk("b", 40)
+	wire := func(xs []*netlist.Instance, prefix string) {
+		for i := 0; i+1 < len(xs); i++ {
+			d.AddNet(prefix+itoa(i), netlist.IPin(xs[i], "Y"), netlist.IPin(xs[i+1], "A"))
+		}
+	}
+	wire(a, "na")
+	wire(b, "nb")
+	// Two bridge nets.
+	d.AddNet("bridge0", netlist.IPin(a[39], "Y"), netlist.IPin(b[0], "A"))
+	d.AddNet("bridge1", netlist.IPin(b[39], "Y"), netlist.IPin(a[0], "A"))
+	return d
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestTierPartitionClusters(t *testing.T) {
+	d := clusters(t)
+	res, err := TierPartition(d, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal cut is 2 (the bridges); allow small slack.
+	if res.CutNets > 6 {
+		t.Fatalf("cut = %d, expected near-minimal (2)", res.CutNets)
+	}
+	// Balance: both sides hold roughly half the area.
+	total := res.AreaLogic + res.AreaMacro
+	if math.Abs(res.AreaLogic-total/2) > total*0.15 {
+		t.Fatalf("unbalanced: %v vs %v", res.AreaLogic, res.AreaMacro)
+	}
+}
+
+func TestTierPartitionTile(t *testing.T) {
+	tile, err := piton.Generate(piton.SmallCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tile.Design
+	sz, err := floorplan.SizeDesign(d, 0.70, 1.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MoL macro floorplan (macros → macro die), then partition cells.
+	if _, _, err := floorplan.PlaceMacros(d, sz.Die3D, floorplan.StyleMoL); err != nil {
+		t.Fatal(err)
+	}
+	res, err := TierPartition(d, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tile partition: cut %d nets, areas %.3f / %.3f mm², %d moves",
+		res.CutNets, res.AreaLogic/1e6, res.AreaMacro/1e6, res.Moves)
+	if res.CutNets == 0 {
+		t.Fatal("no cut nets on a balanced bipartition")
+	}
+	total := res.AreaLogic + res.AreaMacro
+	if res.AreaLogic < total*0.38 || res.AreaLogic > total*0.62 {
+		t.Fatalf("area balance broken: %.1f%%", 100*res.AreaLogic/total)
+	}
+	// Macros untouched.
+	for _, m := range d.Macros() {
+		if m.Die != netlist.MacroDie {
+			t.Fatal("partition moved a macro")
+		}
+	}
+}
+
+func TestCountCutNets(t *testing.T) {
+	d := clusters(t)
+	for i, c := range d.StdCells() {
+		if i%2 == 0 {
+			c.Die = netlist.LogicDie
+		} else {
+			c.Die = netlist.MacroDie
+		}
+	}
+	// Alternating assignment cuts every chain net.
+	if got := CountCutNets(d); got < 70 {
+		t.Fatalf("alternating cut = %d, expected ~80", got)
+	}
+	for _, c := range d.StdCells() {
+		c.Die = netlist.LogicDie
+	}
+	if got := CountCutNets(d); got != 0 {
+		t.Fatalf("single-die cut = %d", got)
+	}
+}
+
+func TestLegalizeTiersDisplacesOverlaps(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("ov", lib)
+	sram, err := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 8192, Bits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := d.AddInstance("mem", sram)
+	mem.Loc = geom.Pt(50, 50)
+	mem.Die = netlist.MacroDie
+	mem.Fixed, mem.Placed = true, true
+
+	die := geom.R(0, 0, 600, 600)
+	// Cells placed ON the macro area, assigned to the macro die — the
+	// post-partition overlap scenario.
+	var onMacro []*netlist.Instance
+	for i := 0; i < 30; i++ {
+		c := d.AddInstance("c"+itoa(i), lib.MustCell("NAND2_X1"))
+		c.Loc = geom.Pt(60+float64(i%6)*10, 60+float64(i/6)*10)
+		c.Die = netlist.MacroDie
+		c.Placed = true
+		onMacro = append(onMacro, c)
+	}
+	leg, err := LegalizeTiers(d, die, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leg.Displaced == 0 {
+		t.Fatal("no cells displaced despite macro overlap")
+	}
+	// Every cell now clear of the macro.
+	mb := mem.Bounds()
+	for _, c := range onMacro {
+		if mb.Expand(-1e-7).Intersects(c.Bounds()) {
+			t.Fatalf("%s still on macro after tier legalization", c.Name)
+		}
+	}
+	// Displacement is substantial: at least out of the macro.
+	if leg.MaxDisp < 50 {
+		t.Fatalf("max displacement %v µm, expected macro-scale", leg.MaxDisp)
+	}
+	_ = place.CheckLegal // silence import when assertions change
+}
+
+func TestBinBalance(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("bb", lib)
+	die := geom.R(0, 0, 100, 100)
+	// 100 cells clustered in one bin, all on the logic die.
+	for i := 0; i < 100; i++ {
+		c := d.AddInstance("c"+itoa(i), lib.MustCell("INV_X1"))
+		c.Loc = geom.Pt(10+float64(i%10)*0.5, 10+float64(i/10)*0.5)
+		c.Die = netlist.LogicDie
+	}
+	flips := BinBalance(d, die, 40)
+	if flips == 0 {
+		t.Fatal("no flips despite total imbalance")
+	}
+	a, b := 0, 0
+	for _, c := range d.StdCells() {
+		if c.Die == netlist.LogicDie {
+			a++
+		} else {
+			b++
+		}
+	}
+	// Within the 30% tolerance of the bin total.
+	if a < 30 || b < 30 {
+		t.Fatalf("bin not balanced: %d/%d", a, b)
+	}
+}
+
+func TestBinBalanceAlreadyBalanced(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("bb2", lib)
+	for i := 0; i < 40; i++ {
+		c := d.AddInstance("c"+itoa(i), lib.MustCell("INV_X1"))
+		c.Loc = geom.Pt(5, 5)
+		if i%2 == 0 {
+			c.Die = netlist.LogicDie
+		} else {
+			c.Die = netlist.MacroDie
+		}
+	}
+	if flips := BinBalance(d, geom.R(0, 0, 50, 50), 25); flips != 0 {
+		t.Fatalf("balanced bin flipped %d cells", flips)
+	}
+}

@@ -1,0 +1,234 @@
+package piton
+
+import (
+	"fmt"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+)
+
+// Abut stitches nx×ny copies of a placed tile into one flat design —
+// the paper's §V-1 argument made executable: because associated
+// output/input pins share their edge coordinate and inter-tile paths
+// are half-cycle constrained on each side, tile instances connect by
+// abutment (no extra routing) and the composed system closes timing at
+// the tile's frequency for arbitrary core counts.
+//
+// The tile must have been floorplanned and placed within die; every
+// copy is translated by multiples of the die size. Facing NoC ports of
+// adjacent tiles merge into ordinary nets; ports on the array boundary
+// stay ports. All per-tile clock nets merge into one array clock.
+func Abut(t *Tile, die geom.Rect, nx, ny int) (*netlist.Design, geom.Rect, error) {
+	if nx < 1 || ny < 1 {
+		return nil, geom.Rect{}, fmt.Errorf("piton: abut needs nx, ny >= 1")
+	}
+	src := t.Design
+	for _, p := range src.Ports {
+		if p.Loc == (geom.Point{}) && p.Name != t.ClockPort {
+			return nil, geom.Rect{}, fmt.Errorf("piton: port %s unassigned — floorplan the tile first", p.Name)
+		}
+	}
+
+	arrayDie := geom.R(die.Lx, die.Ly,
+		die.Lx+die.W()*float64(nx), die.Ly+die.H()*float64(ny))
+	out := netlist.NewDesign(fmt.Sprintf("%s_%dx%d", src.Name, nx, ny), src.Lib)
+
+	// Group lookup: for each grouped (NoC) port, its edge and the
+	// pairing name on the neighbouring tile.
+	partnerName := buildPartnerNames(t)
+
+	clkPort := out.AddPort("clk_i", cell.DirIn)
+	clkPort.Layer = "M6"
+	clkPort.Loc = geom.Pt(arrayDie.Lx, arrayDie.Center().Y)
+	var clkSinks []netlist.PinRef
+
+	// Per-copy instance tables for net stitching.
+	type copyKey struct{ ix, iy int }
+	instOf := map[copyKey]map[string]*netlist.Instance{}
+
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			off := geom.Pt(die.W()*float64(ix), die.H()*float64(iy))
+			tag := fmt.Sprintf("t%d_%d_", ix, iy)
+			m := make(map[string]*netlist.Instance, len(src.Instances))
+			for _, inst := range src.Instances {
+				c := out.AddInstance(tag+inst.Name, inst.Master)
+				c.Loc = inst.Loc.Add(off)
+				c.Orient = inst.Orient
+				c.Fixed = inst.Fixed
+				c.Placed = inst.Placed
+				c.Die = inst.Die
+				m[inst.Name] = c
+			}
+			instOf[copyKey{ix, iy}] = m
+		}
+	}
+
+	// exteriorPort creates (once) a boundary port for an unmatched
+	// tile port.
+	madePorts := map[string]*netlist.Port{}
+	exteriorPort := func(tag string, p *netlist.Port, off geom.Point) *netlist.Port {
+		name := tag + p.Name
+		if q := madePorts[name]; q != nil {
+			return q
+		}
+		q := out.AddPort(name, p.Dir)
+		q.Layer = p.Layer
+		q.Loc = p.Loc.Add(off)
+		q.HalfCycle = p.HalfCycle
+		q.ExtCap = p.ExtCap
+		q.ExtDelay = p.ExtDelay
+		madePorts[name] = q
+		return q
+	}
+
+	// Stitch nets copy by copy. Each source net becomes one net per
+	// copy; nets touching an interior-facing port extend into the
+	// neighbour instead of getting a port.
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			key := copyKey{ix, iy}
+			off := geom.Pt(die.W()*float64(ix), die.H()*float64(iy))
+			tag := fmt.Sprintf("t%d_%d_", ix, iy)
+			for _, n := range src.Nets {
+				if n.Clock {
+					// Collect clock sinks; net created at the end.
+					for _, s := range n.Sinks {
+						if s.Inst != nil {
+							clkSinks = append(clkSinks, netlist.IPin(instOf[key][s.Inst.Name], s.Pin))
+						}
+					}
+					continue
+				}
+				// Input-port-driven nets whose port faces an interior
+				// neighbour are handled from the driving side; skip.
+				if n.Driver.Port != nil && n.Driver.Port.Name != t.ClockPort {
+					if _, interior := interiorNeighbor(partnerName, n.Driver.Port.Name, ix, iy, nx, ny); interior {
+						continue
+					}
+				}
+				mapRef := func(r netlist.PinRef) (netlist.PinRef, bool) {
+					if r.Inst != nil {
+						return netlist.IPin(instOf[key][r.Inst.Name], r.Pin), true
+					}
+					// Port sink/driver.
+					p := r.Port
+					if pn, interior := interiorNeighbor(partnerName, p.Name, ix, iy, nx, ny); interior {
+						// Extend into the neighbour: the partner port's
+						// net continues at the partner's sinks.
+						nk := copyKey{pn.ix, pn.iy}
+						pNet := portNet(src, pn.name)
+						if pNet == nil {
+							return netlist.PinRef{}, false
+						}
+						// Replace with the neighbour's first register
+						// sink (input ports drive exactly the input
+						// FFs).
+						for _, s := range pNet.Sinks {
+							if s.Inst != nil {
+								return netlist.IPin(instOf[nk][s.Inst.Name], s.Pin), true
+							}
+						}
+						return netlist.PinRef{}, false
+					}
+					return netlist.PPin(exteriorPort(tag, p, off)), true
+				}
+				drv, ok := mapRef(n.Driver)
+				if !ok {
+					continue
+				}
+				var sinks []netlist.PinRef
+				for _, s := range n.Sinks {
+					if r, ok := mapRef(s); ok {
+						sinks = append(sinks, r)
+					}
+				}
+				out.AddNet(tag+n.Name, drv, sinks...)
+			}
+		}
+	}
+
+	cn := out.AddNet("clk", netlist.PPin(clkPort), clkSinks...)
+	cn.Clock = true
+	if err := out.Validate(); err != nil {
+		return nil, geom.Rect{}, fmt.Errorf("piton: abutted design invalid: %w", err)
+	}
+	return out, arrayDie, nil
+}
+
+// partner describes the tile-relative neighbour a grouped port faces.
+type partner struct {
+	dx, dy int
+	name   string
+}
+
+// buildPartnerNames maps each grouped port name to the facing port on
+// the adjacent tile: out→in of the same pair/bit on the opposite edge.
+func buildPartnerNames(t *Tile) map[string]partner {
+	type key struct {
+		e    Edge
+		pair int
+	}
+	byKey := map[key]PortGroup{}
+	for _, g := range t.Groups {
+		byKey[key{g.Edge, g.Pair}] = g
+	}
+	out := map[string]partner{}
+	for _, g := range t.Groups {
+		opp, ok := byKey[key{g.Edge.Opposite(), g.Pair}]
+		if !ok || len(opp.Names) != len(g.Names) {
+			continue
+		}
+		dx, dy := 0, 0
+		switch g.Edge {
+		case North:
+			dy = 1
+		case South:
+			dy = -1
+		case East:
+			dx = 1
+		case West:
+			dx = -1
+		}
+		for i, n := range g.Names {
+			out[n] = partner{dx: dx, dy: dy, name: opp.Names[i]}
+		}
+	}
+	return out
+}
+
+type neighborRef struct {
+	ix, iy int
+	name   string
+}
+
+// interiorNeighbor resolves whether a port of copy (ix, iy) faces
+// another copy inside the array.
+func interiorNeighbor(partners map[string]partner, port string, ix, iy, nx, ny int) (neighborRef, bool) {
+	p, ok := partners[port]
+	if !ok {
+		return neighborRef{}, false
+	}
+	jx, jy := ix+p.dx, iy+p.dy
+	if jx < 0 || jx >= nx || jy < 0 || jy >= ny {
+		return neighborRef{}, false
+	}
+	return neighborRef{ix: jx, iy: jy, name: p.name}, true
+}
+
+// portNet finds the net driven by (input port) or sinking at (output
+// port) the named port.
+func portNet(d *netlist.Design, port string) *netlist.Net {
+	for _, n := range d.Nets {
+		if n.Driver.Port != nil && n.Driver.Port.Name == port {
+			return n
+		}
+		for _, s := range n.Sinks {
+			if s.Port != nil && s.Port.Name == port {
+				return n
+			}
+		}
+	}
+	return nil
+}

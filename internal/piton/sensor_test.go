@@ -1,0 +1,105 @@
+package piton
+
+import (
+	"testing"
+
+	"macro3d/internal/cell"
+)
+
+func TestGenerateSensorSoC(t *testing.T) {
+	tile, err := GenerateSensorSoC(DefaultSensorSoC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tile.Design
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.ComputeStats()
+	if st.NumMacros != 16 {
+		t.Fatalf("sensors = %d", st.NumMacros)
+	}
+	// Calibrated logic area.
+	if st.StdCellArea < 0.11e6 || st.StdCellArea > 0.13e6 {
+		t.Fatalf("logic area = %.3f mm²", st.StdCellArea/1e6)
+	}
+	// Sensor area dominates (the MoL regime).
+	if st.MacroArea <= st.StdCellArea {
+		t.Fatal("sensors do not dominate")
+	}
+	// Sensor macros use only three metals.
+	for _, m := range d.Macros() {
+		if len(m.Master.Obstructions) != 3 {
+			t.Fatalf("sensor %s has %d obstruction layers", m.Name, len(m.Master.Obstructions))
+		}
+	}
+	// Output ports exist and are full-cycle.
+	p := d.Port("dout_0")
+	if p == nil || p.HalfCycle {
+		t.Fatalf("dout_0 wrong: %+v", p)
+	}
+	// No port groups: a sensor SoC is not tiled.
+	if len(tile.Groups) != 0 {
+		t.Fatalf("sensor SoC has %d port groups", len(tile.Groups))
+	}
+}
+
+func TestSensorSoCDeterministic(t *testing.T) {
+	a, err := GenerateSensorSoC(DefaultSensorSoC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSensorSoC(DefaultSensorSoC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Design.ComputeStats() != b.Design.ComputeStats() {
+		t.Fatal("sensor generation not deterministic")
+	}
+}
+
+func TestSensorSoCRejectsBadConfig(t *testing.T) {
+	bad := DefaultSensorSoC()
+	bad.Sensors = 0
+	if _, err := GenerateSensorSoC(bad); err == nil {
+		t.Fatal("0-sensor config accepted")
+	}
+	bad = DefaultSensorSoC()
+	bad.Stages = 1
+	if _, err := GenerateSensorSoC(bad); err == nil {
+		t.Fatal("1-stage config accepted")
+	}
+}
+
+func TestMacroProcessApply(t *testing.T) {
+	sram, err := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 1024, Bits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clkq, leak, energy := sram.ClkQ, sram.Leakage, sram.Macro.EnergyPerAccess
+	p := MacroProcess{ClkQScale: 2, EnergyScale: 1.5, LeakageScale: 0.25}
+	p.Apply(sram)
+	if sram.ClkQ != 2*clkq || sram.Leakage != leak/4 || sram.Macro.EnergyPerAccess != 1.5*energy {
+		t.Fatalf("scales not applied: %+v", sram)
+	}
+	// Zero value = identity.
+	before := sram.ClkQ
+	MacroProcess{}.Apply(sram)
+	if sram.ClkQ != before {
+		t.Fatal("zero-value process changed the macro")
+	}
+}
+
+func TestTinyConfigGenerates(t *testing.T) {
+	tile, err := Generate(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tile.Design.ComputeStats()
+	if st.NumStdCells > 2000 {
+		t.Fatalf("tiny tile too big: %d cells", st.NumStdCells)
+	}
+	if st.MacroArea <= st.StdCellArea {
+		t.Fatal("tiny tile not macro-dominated")
+	}
+}

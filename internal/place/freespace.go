@@ -1,0 +1,151 @@
+package place
+
+import (
+	"sort"
+
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+)
+
+// FreeSpace tracks the unoccupied row intervals of a legal placement
+// so incremental edits (gate upsizing, buffer insertion) can claim
+// legal locations near their targets — the ECO-placement primitive the
+// timing optimizer uses.
+type FreeSpace struct {
+	rowHeight float64
+	die       geom.Rect
+	byRow     map[int][]*segment
+	maxRow    int
+}
+
+// NewFreeSpace builds the free-interval map: the floorplan's row
+// segments minus every currently placed, non-fixed standard cell and
+// every hard blockage.
+func NewFreeSpace(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64) *FreeSpace {
+	fs := &FreeSpace{
+		rowHeight: rowHeight,
+		die:       fp.Die,
+		byRow:     map[int][]*segment{},
+	}
+	for _, s := range buildSegments(fp, rowHeight) {
+		fs.byRow[s.row] = append(fs.byRow[s.row], s)
+		if s.row > fs.maxRow {
+			fs.maxRow = s.row
+		}
+	}
+	for _, inst := range d.Instances {
+		if !inst.Placed || inst.IsMacro() {
+			continue
+		}
+		fs.occupy(inst.Bounds())
+	}
+	return fs
+}
+
+func (fs *FreeSpace) rowOf(y float64) int {
+	return geom.ClampInt(int((y-fs.die.Ly)/fs.rowHeight), 0, fs.maxRow)
+}
+
+// occupy removes a rectangle's span from its row's free intervals.
+func (fs *FreeSpace) occupy(r geom.Rect) {
+	row := fs.rowOf(r.Ly + 1e-9)
+	for _, s := range fs.byRow[row] {
+		if r.Lx >= s.x0-1e-6 && r.Ux <= s.x1+1e-6 {
+			s.occupy(r.Lx, r.W())
+			return
+		}
+	}
+}
+
+// Occupy claims a rectangle (used to re-claim a footprint after a
+// failed reallocation).
+func (fs *FreeSpace) Occupy(r geom.Rect) { fs.occupy(r) }
+
+// Release returns a cell's old footprint to the free pool (merging
+// with adjacent free intervals).
+func (fs *FreeSpace) Release(r geom.Rect) {
+	row := fs.rowOf(r.Ly + 1e-9)
+	for _, s := range fs.byRow[row] {
+		if r.Lx >= s.x0-1e-6 && r.Ux <= s.x1+1e-6 {
+			s.release(r.Lx, r.W())
+			return
+		}
+	}
+}
+
+// Alloc finds a legal lower-left location for a cell of width w whose
+// centre should sit near target, claims it, and returns it. The search
+// expands row by row; ok is false when nothing fits anywhere.
+func (fs *FreeSpace) Alloc(w float64, target geom.Point) (geom.Point, bool) {
+	wantX := target.X - w/2
+	targetRow := fs.rowOf(target.Y - fs.rowHeight/2)
+	bestCost := -1.0
+	var bestSeg *segment
+	var bestX float64
+	for dr := 0; dr <= fs.maxRow+1; dr++ {
+		for _, sgn := range []int{1, -1} {
+			if dr == 0 && sgn == -1 {
+				continue
+			}
+			r := targetRow + sgn*dr
+			if r < 0 || r > fs.maxRow {
+				continue
+			}
+			dy := float64(dr) * fs.rowHeight
+			if bestCost >= 0 && dy > bestCost {
+				continue
+			}
+			for _, s := range fs.byRow[r] {
+				x, ok := s.bestFit(wantX, w)
+				if !ok {
+					continue
+				}
+				cost := dy + absf(x-wantX)
+				if bestCost < 0 || cost < bestCost {
+					bestCost, bestSeg, bestX = cost, s, x
+				}
+			}
+		}
+		if bestCost >= 0 && float64(dr+1)*fs.rowHeight > bestCost {
+			break
+		}
+	}
+	if bestSeg == nil {
+		return geom.Point{}, false
+	}
+	bestSeg.occupy(bestX, w)
+	return geom.Pt(bestX, bestSeg.y), true
+}
+
+// release merges [x, x+w) back into the free intervals.
+func (s *segment) release(x, w float64) {
+	nf := iv{x, x + w}
+	out := s.free[:0]
+	inserted := false
+	for _, f := range s.free {
+		switch {
+		case f.b < nf.a-1e-9:
+			out = append(out, f)
+		case f.a > nf.b+1e-9:
+			if !inserted {
+				out = append(out, nf)
+				inserted = true
+			}
+			out = append(out, f)
+		default:
+			// Overlapping/adjacent: merge into nf.
+			if f.a < nf.a {
+				nf.a = f.a
+			}
+			if f.b > nf.b {
+				nf.b = f.b
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, nf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].a < out[j].a })
+	s.free = out
+}

@@ -1,0 +1,356 @@
+// Package place implements standard-cell placement: an iterative
+// quadratic-style global placement (net-centroid relaxation with fixed
+// macro-pin and port anchors), bin-based density spreading that honours
+// full and partial blockages, and row-based Tetris legalization.
+//
+// Partial blockages only reduce bin capacity — they are not hard
+// fences. That is exactly how commercial engines treat them, and it is
+// the mechanism behind the S2D/C2D overlap problem the paper reports:
+// cells legally placed in a half-blocked bin can land on top of the
+// real macro once tiers are separated.
+package place
+
+import (
+	"math"
+	"sort"
+
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+)
+
+// Options tunes the placer.
+type Options struct {
+	// BinPitch is the density-bin size, µm (default 40).
+	BinPitch float64
+	// SolveIters is the number of net-centroid relaxation sweeps per
+	// global iteration (default 24).
+	SolveIters int
+	// GlobalIters is the number of solve+spread rounds (default 6).
+	GlobalIters int
+	// MaxFill is the max fraction of a bin's free area filled by cells
+	// (default 0.85).
+	MaxFill float64
+	Seed    uint64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.BinPitch <= 0 {
+		o.BinPitch = 40
+	}
+	if o.SolveIters <= 0 {
+		o.SolveIters = 40
+	}
+	if o.GlobalIters <= 0 {
+		o.GlobalIters = 9
+	}
+	if o.MaxFill <= 0 {
+		o.MaxFill = 0.85
+	}
+	return o
+}
+
+// Result reports placement quality.
+type Result struct {
+	HPWL         float64 // µm after legalization
+	GlobalHPWL   float64 // µm before legalization
+	Displacement float64 // mean legalization displacement, µm
+	MaxDisp      float64
+	Overflow     float64 // residual density overflow fraction
+}
+
+// Place runs global placement and legalization on the design's movable
+// standard cells within the floorplan. Fixed instances (macros, pads)
+// and ports act as anchors. On return every movable cell has a legal,
+// row-aligned, non-overlapping location.
+func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	movable := movableCells(d)
+	if len(movable) == 0 {
+		return &Result{}, nil
+	}
+	die := fp.Die
+	rng := geom.NewRNG(opt.Seed + 7)
+
+	// Positions are cell centres during global placement.
+	pos := make([]geom.Point, len(d.Instances))
+	for _, inst := range d.Instances {
+		if inst.Fixed {
+			pos[inst.ID] = inst.Center()
+		} else {
+			pos[inst.ID] = geom.Pt(
+				die.Center().X+rng.Norm()*die.W()/20,
+				die.Center().Y+rng.Norm()*die.H()/20,
+			)
+		}
+	}
+
+	adj := d.NetsOfInstance()
+	bins := newBinGrid(die, opt.BinPitch, fp.PlaceBlk, opt.MaxFill)
+
+	// Spread anchors: after each spreading round, cells are pulled
+	// toward their spread location with growing weight.
+	anchor := make([]geom.Point, len(d.Instances))
+	anchorW := 0.0
+
+	for gi := 0; gi < opt.GlobalIters; gi++ {
+		solve(d, movable, adj, pos, anchor, anchorW, die, opt.SolveIters)
+		spread(movable, pos, bins, rng)
+		for _, inst := range movable {
+			anchor[inst.ID] = pos[inst.ID]
+		}
+		// Anchor weight ramps up so late rounds preserve the spread.
+		anchorW = 0.2 + 0.4*float64(gi)
+	}
+
+	res := &Result{}
+	// Write back global locations (centres → lower-left).
+	for _, inst := range movable {
+		inst.Loc = geom.Pt(pos[inst.ID].X-inst.Master.Width/2, pos[inst.ID].Y-inst.Master.Height/2)
+		inst.Placed = true
+	}
+	res.GlobalHPWL = d.TotalHPWL()
+	res.Overflow = bins.overflow(movable, pos)
+
+	// Legalization.
+	disp, maxDisp, err := legalize(movable, fp, rowHeight)
+	if err != nil {
+		return nil, err
+	}
+	res.Displacement = disp
+	res.MaxDisp = maxDisp
+	res.HPWL = d.TotalHPWL()
+	return res, nil
+}
+
+// movableCells returns non-fixed standard cells.
+func movableCells(d *netlist.Design) []*netlist.Instance {
+	var out []*netlist.Instance
+	for _, inst := range d.Instances {
+		if !inst.Fixed && !inst.IsMacro() {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// solve relaxes positions toward net centroids (a Jacobi sweep of the
+// star-model quadratic system) with fixed pins as anchors.
+func solve(d *netlist.Design, movable []*netlist.Instance, adj [][]*netlist.Net,
+	pos, anchor []geom.Point, anchorW float64, die geom.Rect, iters int) {
+
+	// Net centroid cache.
+	cx := make([]float64, len(d.Nets))
+	cy := make([]float64, len(d.Nets))
+	deg := make([]float64, len(d.Nets))
+
+	for it := 0; it < iters; it++ {
+		// Phase 1: net centroids from current positions and fixed pins.
+		for _, n := range d.Nets {
+			if n.Clock {
+				continue // clock is routed by CTS, not a placement force
+			}
+			var sx, sy, k float64
+			for _, p := range n.Pins() {
+				if p.Port != nil {
+					sx += p.Port.Loc.X
+					sy += p.Port.Loc.Y
+				} else if p.Inst.Fixed {
+					l := p.Loc()
+					sx += l.X
+					sy += l.Y
+				} else {
+					c := pos[p.Inst.ID]
+					sx += c.X
+					sy += c.Y
+				}
+				k++
+			}
+			if k > 0 {
+				cx[n.ID] = sx / k
+				cy[n.ID] = sy / k
+				deg[n.ID] = k
+			}
+		}
+		// Phase 2: move each movable cell to the weighted average of
+		// its nets' centroids (small nets pull harder).
+		for _, inst := range movable {
+			var sx, sy, w float64
+			for _, n := range adj[inst.ID] {
+				if n.Clock || deg[n.ID] < 2 {
+					continue
+				}
+				nw := n.Weight / (deg[n.ID] - 1)
+				sx += cx[n.ID] * nw
+				sy += cy[n.ID] * nw
+				w += nw
+			}
+			if anchorW > 0 {
+				sx += anchor[inst.ID].X * anchorW
+				sy += anchor[inst.ID].Y * anchorW
+				w += anchorW
+			}
+			if w > 0 {
+				p := geom.Pt(sx/w, sy/w)
+				pos[inst.ID] = die.Expand(-1).ClampPoint(p)
+			}
+		}
+	}
+}
+
+// binGrid tracks per-bin capacity (µm² of placeable area).
+type binGrid struct {
+	grid geom.Grid
+	cap  []float64
+}
+
+func newBinGrid(die geom.Rect, pitch float64, blk []floorplan.Blockage, maxFill float64) *binGrid {
+	g := geom.NewGrid(die, pitch)
+	b := &binGrid{grid: g, cap: make([]float64, g.Bins())}
+	for i := range b.cap {
+		b.cap[i] = g.DX * g.DY
+	}
+	// Subtract blockage area (partial blockages scale by fraction).
+	for _, bl := range blk {
+		x0, y0, x1, y1, ok := g.CoverRange(bl.Rect)
+		if !ok {
+			continue
+		}
+		for iy := y0; iy <= y1; iy++ {
+			for ix := x0; ix <= x1; ix++ {
+				i := g.Index(ix, iy)
+				ov := bl.Rect.Intersect(g.BinRect(ix, iy)).Area()
+				b.cap[i] -= ov * bl.Fraction
+				if b.cap[i] < 0 {
+					b.cap[i] = 0
+				}
+			}
+		}
+	}
+	for i := range b.cap {
+		b.cap[i] *= maxFill
+	}
+	return b
+}
+
+// spread moves cells out of overfilled bins into the nearest bins with
+// headroom, ring-searching outward.
+func spread(movable []*netlist.Instance, pos []geom.Point, b *binGrid, rng *geom.RNG) {
+	g := b.grid
+	usage := make([]float64, g.Bins())
+	members := make([][]*netlist.Instance, g.Bins())
+	for _, inst := range movable {
+		ix, iy := g.Locate(pos[inst.ID])
+		i := g.Index(ix, iy)
+		usage[i] += inst.Master.Area()
+		members[i] = append(members[i], inst)
+	}
+	// Process most-overfilled bins first.
+	order := make([]int, 0, g.Bins())
+	for i := range usage {
+		if usage[i] > b.cap[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, c int) bool {
+		return usage[order[a]]-b.cap[order[a]] > usage[order[c]]-b.cap[order[c]]
+	})
+	for _, i := range order {
+		ix, iy := g.Coords(i)
+		// Evict smallest-degree-of-belonging cells: those farthest
+		// from the bin centre go first.
+		ms := members[i]
+		c := g.BinCenter(ix, iy)
+		sort.Slice(ms, func(a, b2 int) bool {
+			return pos[ms[a].ID].Dist(c) > pos[ms[b2].ID].Dist(c)
+		})
+		for _, inst := range ms {
+			if usage[i] <= b.cap[i] {
+				break
+			}
+			// Ring search for a bin with headroom.
+			tix, tiy, ok := b.nearestFree(ix, iy, usage, inst.Master.Area())
+			if !ok {
+				continue
+			}
+			j := g.Index(tix, tiy)
+			usage[i] -= inst.Master.Area()
+			usage[j] += inst.Master.Area()
+			tc := g.BinCenter(tix, tiy)
+			pos[inst.ID] = geom.Pt(
+				tc.X+(rng.Float64()-0.5)*g.DX*0.8,
+				tc.Y+(rng.Float64()-0.5)*g.DY*0.8,
+			)
+		}
+	}
+}
+
+// nearestFree ring-searches for the closest bin that can absorb area.
+func (b *binGrid) nearestFree(ix, iy int, usage []float64, area float64) (int, int, bool) {
+	g := b.grid
+	maxR := g.NX + g.NY
+	for r := 1; r <= maxR; r++ {
+		bestD := math.MaxFloat64
+		bi, bj := -1, -1
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				if max(abs(dx), abs(dy)) != r {
+					continue
+				}
+				x, y := ix+dx, iy+dy
+				if x < 0 || x >= g.NX || y < 0 || y >= g.NY {
+					continue
+				}
+				i := g.Index(x, y)
+				if usage[i]+area <= b.cap[i] {
+					d := float64(dx*dx + dy*dy)
+					if d < bestD {
+						bestD, bi, bj = d, x, y
+					}
+				}
+			}
+		}
+		if bi >= 0 {
+			return bi, bj, true
+		}
+	}
+	return 0, 0, false
+}
+
+// overflow returns the fraction of total cell area sitting above bin
+// capacity.
+func (b *binGrid) overflow(movable []*netlist.Instance, pos []geom.Point) float64 {
+	g := b.grid
+	usage := make([]float64, g.Bins())
+	total := 0.0
+	for _, inst := range movable {
+		ix, iy := g.Locate(pos[inst.ID])
+		usage[g.Index(ix, iy)] += inst.Master.Area()
+		total += inst.Master.Area()
+	}
+	over := 0.0
+	for i := range usage {
+		if usage[i] > b.cap[i] {
+			over += usage[i] - b.cap[i]
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return over / total
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

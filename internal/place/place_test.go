@@ -1,0 +1,275 @@
+package place
+
+import (
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+)
+
+// chainDesign builds a linear chain of inverters between two ports on
+// opposite die edges — the placer should spread it between them.
+func chainDesign(n int) (*netlist.Design, *floorplan.Floorplan) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("chain", lib)
+	in := d.AddPort("in", cell.DirIn)
+	in.Loc = geom.Pt(0, 50)
+	out := d.AddPort("out", cell.DirOut)
+	out.Loc = geom.Pt(100, 50)
+	prev := netlist.PPin(in)
+	for i := 0; i < n; i++ {
+		u := d.AddInstance(instName(i), lib.MustCell("INV_X1"))
+		d.AddNet(netName(i), prev, netlist.IPin(u, "A"))
+		prev = netlist.IPin(u, "Y")
+	}
+	d.AddNet("n_out", prev, netlist.PPin(out))
+	fp := &floorplan.Floorplan{Die: geom.R(0, 0, 100, 100)}
+	return d, fp
+}
+
+func instName(i int) string { return "u" + itoa(i) }
+func netName(i int) string  { return "n" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestPlaceChain(t *testing.T) {
+	d, fp := chainDesign(50)
+	res, err := Place(d, fp, 1.2, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol := CheckLegal(d, fp); len(viol) > 0 {
+		t.Fatalf("illegal placement: %v", viol[:min(3, len(viol))])
+	}
+	// A 50-cell chain between x=0 and x=100: ideal HPWL ≈ 100 µm plus
+	// row hops. Anything under ~4× ideal is a sane placement.
+	if res.HPWL > 400 {
+		t.Fatalf("chain HPWL = %.1f µm, too long", res.HPWL)
+	}
+	if res.HPWL <= 0 {
+		t.Fatal("zero HPWL")
+	}
+	for _, inst := range d.Instances {
+		if !inst.Placed {
+			t.Fatalf("%s unplaced", inst.Name)
+		}
+	}
+}
+
+func TestPlaceRespectsHardBlockage(t *testing.T) {
+	d, fp := chainDesign(80)
+	blk := geom.R(30, 30, 70, 70)
+	fp.PlaceBlk = append(fp.PlaceBlk, floorplan.Blockage{Rect: blk, Fraction: 1})
+	_, err := Place(d, fp, 1.2, Options{Seed: 2, BinPitch: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range d.Instances {
+		if blk.Expand(-1e-7).Intersects(inst.Bounds()) {
+			t.Fatalf("%s placed on hard blockage", inst.Name)
+		}
+	}
+	if viol := CheckLegal(d, fp); len(viol) > 0 {
+		t.Fatalf("illegal: %v", viol[0])
+	}
+}
+
+func TestPartialBlockageIsSoft(t *testing.T) {
+	// Cells may legally sit inside a 50 % blockage region — the S2D
+	// mechanism — but the region must end up underfilled versus free
+	// area.
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("soft", lib)
+	// A clique of cells pulled to the die centre by a port ring.
+	var prev netlist.PinRef
+	for i := 0; i < 400; i++ {
+		u := d.AddInstance(instName(i), lib.MustCell("NAND2_X1"))
+		if i > 0 {
+			d.AddNet(netName(i), prev, netlist.IPin(u, "A"))
+		}
+		prev = netlist.IPin(u, "Y")
+	}
+	// Die sized so the design needs ~2/3 of the unblocked capacity —
+	// dense enough that the density engine must act.
+	fp := &floorplan.Floorplan{Die: geom.R(0, 0, 42, 42)}
+	// Left half partially blocked.
+	fp.PlaceBlk = append(fp.PlaceBlk, floorplan.Blockage{Rect: geom.R(0, 0, 21, 42), Fraction: 0.5})
+	_, err := Place(d, fp, 1.2, Options{Seed: 3, BinPitch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inLeft := 0
+	for _, inst := range d.Instances {
+		if inst.Center().X < 21 {
+			inLeft++
+		}
+	}
+	// Some cells can use the partially blocked half…
+	if inLeft == 0 {
+		t.Fatal("partial blockage acted as a hard fence")
+	}
+	// …but it must carry meaningfully less than half the population.
+	if inLeft > 190 {
+		t.Fatalf("partially blocked half carries %d/400 cells", inLeft)
+	}
+}
+
+func TestPlacePitonTile2D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tile placement in -short mode")
+	}
+	tile, err := piton.Generate(piton.SmallCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tile.Design
+	sz, err := floorplan.SizeDesign(d, 0.70, 1.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _, err := floorplan.PlaceMacros(d, sz.Die2D, floorplan.Style2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floorplan.BuildBlockages(fp, d, netlist.LogicDie)
+	floorplan.AssignPorts(tile, sz.Die2D)
+
+	res, err := Place(d, fp, 1.2, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tile: HPWL %.2f m (global %.2f m), mean disp %.1f µm, overflow %.3f",
+		res.HPWL/1e6, res.GlobalHPWL/1e6, res.Displacement, res.Overflow)
+	if viol := CheckLegal(d, fp); len(viol) > 0 {
+		t.Fatalf("%d violations, e.g. %v", len(viol), viol[0])
+	}
+	// Paper-scale sanity: total wirelength lands in the metres range
+	// (paper: 6.3 m for the small 2D tile); accept a broad band.
+	if res.HPWL < 0.5e6 || res.HPWL > 20e6 {
+		t.Fatalf("HPWL %.2f m outside plausible band", res.HPWL/1e6)
+	}
+	// Legalization should not explode wirelength.
+	if res.HPWL > 2.5*res.GlobalHPWL {
+		t.Fatalf("legalization blew up HPWL: %.2f → %.2f", res.GlobalHPWL/1e6, res.HPWL/1e6)
+	}
+}
+
+func TestLegalizeDeterministic(t *testing.T) {
+	d1, fp1 := chainDesign(60)
+	d2, fp2 := chainDesign(60)
+	if _, err := Place(d1, fp1, 1.2, Options{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(d2, fp2, 1.2, Options{Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Instances {
+		if d1.Instances[i].Loc != d2.Instances[i].Loc {
+			t.Fatalf("instance %d placed differently across runs", i)
+		}
+	}
+}
+
+func TestPlaceFailsWhenNoRows(t *testing.T) {
+	d, fp := chainDesign(10)
+	// Block the whole die.
+	fp.PlaceBlk = append(fp.PlaceBlk, floorplan.Blockage{Rect: fp.Die, Fraction: 1})
+	if _, err := Place(d, fp, 1.2, Options{Seed: 1}); err == nil {
+		t.Fatal("placement into fully blocked die succeeded")
+	}
+}
+
+func TestBuildSegments(t *testing.T) {
+	fp := &floorplan.Floorplan{Die: geom.R(0, 0, 100, 12)}
+	fp.PlaceBlk = append(fp.PlaceBlk, floorplan.Blockage{Rect: geom.R(40, 0, 60, 12), Fraction: 1})
+	segs := buildSegments(fp, 1.2)
+	// 10 rows × 2 segments.
+	if len(segs) != 20 {
+		t.Fatalf("segments = %d, want 20", len(segs))
+	}
+	for _, s := range segs {
+		if s.x1 <= s.x0 {
+			t.Fatal("empty segment emitted")
+		}
+		if s.x0 < 40 && s.x1 > 40 {
+			t.Fatal("segment crosses blockage")
+		}
+	}
+	// Partial blockages do not split rows.
+	fp2 := &floorplan.Floorplan{Die: geom.R(0, 0, 100, 12)}
+	fp2.PlaceBlk = append(fp2.PlaceBlk, floorplan.Blockage{Rect: geom.R(40, 0, 60, 12), Fraction: 0.5})
+	if got := len(buildSegments(fp2, 1.2)); got != 10 {
+		t.Fatalf("partial blockage split rows: %d segments", got)
+	}
+}
+
+func TestEmptyDesign(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("empty", lib)
+	fp := &floorplan.Floorplan{Die: geom.R(0, 0, 10, 10)}
+	res, err := Place(d, fp, 1.2, Options{})
+	if err != nil || res.HPWL != 0 {
+		t.Fatalf("empty design: %v %v", res, err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestLegalizeBestEffortSpills(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("s", lib)
+	// More cells than the die can hold.
+	var cells []*netlist.Instance
+	for i := 0; i < 200; i++ {
+		c := d.AddInstance(instName(i), lib.MustCell("DFF_X4"))
+		c.Loc = geom.Pt(1, 1)
+		cells = append(cells, c)
+	}
+	fp := &floorplan.Floorplan{Die: geom.R(0, 0, 12, 12)}
+	_, _, failed, err := LegalizeBestEffort(cells, fp, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) == 0 {
+		t.Fatal("overfull die produced no spill")
+	}
+	if len(failed) == len(cells) {
+		t.Fatal("nothing placed at all")
+	}
+	// Placed cells are legal among themselves.
+	placed := map[int]bool{}
+	for _, f := range failed {
+		placed[f.ID] = true
+	}
+	var ok []*netlist.Instance
+	for _, c := range cells {
+		if !placed[c.ID] {
+			ok = append(ok, c)
+		}
+	}
+	for i := 0; i < len(ok); i++ {
+		for j := i + 1; j < len(ok); j++ {
+			if ok[i].Bounds().Expand(-1e-7).Intersects(ok[j].Bounds()) {
+				t.Fatal("placed cells overlap")
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package power computes dynamic and leakage power of an analyzed
+// design following the paper's setup: a toggle ratio of 0.2 per clock
+// cycle for signals and registers, full-rate clock switching through
+// the synthesized tree, per-access macro energy, and leakage at the
+// typical corner. The headline metric is E_mean in fJ/cycle —
+// "equivalent to power-per-megahertz" (Table I).
+package power
+
+import (
+	"macro3d/internal/cell"
+	"macro3d/internal/cts"
+	"macro3d/internal/extract"
+	"macro3d/internal/netlist"
+	"macro3d/internal/tech"
+)
+
+// Options configures the analysis.
+type Options struct {
+	// ToggleRate per cycle for signal nets and macro accesses
+	// (default 0.2 — the paper's value).
+	ToggleRate float64
+	// VDD in volts (default 0.9).
+	VDD    float64
+	Corner tech.CornerScale
+	// ClockBufferName prices clock-buffer internal energy
+	// (default BUF_X8, matching cts).
+	ClockBufferName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.ToggleRate <= 0 {
+		o.ToggleRate = 0.2
+	}
+	if o.VDD <= 0 {
+		o.VDD = 0.9
+	}
+	if o.Corner.Leakage == 0 {
+		o.Corner = tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1}
+	}
+	if o.ClockBufferName == "" {
+		o.ClockBufferName = "BUF_X8"
+	}
+	return o
+}
+
+// Report is the power breakdown.
+type Report struct {
+	// Energy per cycle, fJ.
+	SignalWireFJ   float64 // α/2 · C_wire · V²
+	SignalPinFJ    float64 // α/2 · C_pin · V²
+	CellInternalFJ float64
+	ClockFJ        float64
+	MacroFJ        float64
+
+	EnergyPerCycleFJ float64 // E_mean including leakage at FreqMHz
+	DynamicFJ        float64 // E_mean excluding leakage
+
+	LeakageUW float64
+
+	// Totals echoed for the paper's Table II rows.
+	CWireTotalFF float64
+	CPinTotalFF  float64
+}
+
+// PowerUW converts the report to µW at a clock frequency in MHz.
+func (r *Report) PowerUW(freqMHz float64) float64 {
+	return r.DynamicFJ*freqMHz*1e-3 + r.LeakageUW
+}
+
+// Analyze computes the breakdown. tree may be nil (ideal clock: only
+// sink pin caps switch). freqMHz converts leakage into the per-cycle
+// figure; pass the operating frequency.
+func Analyze(d *netlist.Design, ex *extract.Design, tree *cts.Tree, freqMHz float64, opt Options) *Report {
+	opt = opt.withDefaults()
+	r := &Report{}
+	v2 := opt.VDD * opt.VDD
+	a := opt.ToggleRate
+
+	// Signal switching: each toggle charges/discharges C; energy per
+	// cycle = α · ½CV².
+	r.CWireTotalFF = ex.CWireTotal
+	r.CPinTotalFF = ex.CPinTotal
+	r.SignalWireFJ = a * 0.5 * ex.CWireTotal * v2
+	r.SignalPinFJ = a * 0.5 * ex.CPinTotal * v2
+
+	// Cell internal energy and leakage.
+	var leakNW float64
+	for _, inst := range d.Instances {
+		m := inst.Master
+		switch m.Kind {
+		case cell.KindMacro:
+			if m.Macro != nil {
+				r.MacroFJ += a * m.Macro.EnergyPerAccess
+			}
+			leakNW += m.Leakage
+		case cell.KindFiller:
+			// no activity
+		default:
+			r.CellInternalFJ += a * m.InternalEnergy
+			leakNW += m.Leakage
+		}
+	}
+
+	// Clock: the tree's wire+pin capacitance switches twice per cycle
+	// (two transitions → full CV² per cycle), plus buffer internal
+	// energy at rate 1.
+	if tree != nil {
+		r.ClockFJ = tree.TotalCap() * v2
+		if buf := d.Lib.Cell(opt.ClockBufferName); buf != nil {
+			r.ClockFJ += float64(tree.Buffers) * buf.InternalEnergy
+		}
+	} else {
+		// Ideal clock: sink pins still switch.
+		var ckCap float64
+		for _, inst := range d.Instances {
+			if ck := inst.Master.ClockPin(); ck != nil && inst.Master.IsSequential() {
+				ckCap += ck.Cap
+			}
+		}
+		r.ClockFJ = ckCap * v2
+	}
+
+	r.LeakageUW = leakNW * 1e-3 * opt.Corner.Leakage
+	r.DynamicFJ = r.SignalWireFJ + r.SignalPinFJ + r.CellInternalFJ + r.ClockFJ + r.MacroFJ
+	r.EnergyPerCycleFJ = r.DynamicFJ
+	if freqMHz > 0 {
+		// Leakage folded in per cycle: µW / MHz = fJ/cycle.
+		r.EnergyPerCycleFJ += r.LeakageUW / freqMHz * 1e3
+	}
+	return r
+}
+
+// ModuleBreakdown attributes cell internal + leakage power to module
+// groups by instance-name prefix (up to the second '_', e.g.
+// "u_core_…" → "core", "l3_bank0" → "l3"), the OpenPiton generator's
+// naming convention. Wire/clock energy is not attributable per module
+// from name alone and is reported under "(wires)"/"(clock)".
+type ModuleBreakdown struct {
+	// EnergyFJ per cycle per group.
+	EnergyFJ map[string]float64
+	// LeakageUW per group.
+	LeakageUW map[string]float64
+}
+
+// ByModule computes the breakdown at the given toggle rate.
+func ByModule(d *netlist.Design, ex *extract.Design, tree *cts.Tree, opt Options) *ModuleBreakdown {
+	opt = opt.withDefaults()
+	v2 := opt.VDD * opt.VDD
+	out := &ModuleBreakdown{
+		EnergyFJ:  map[string]float64{},
+		LeakageUW: map[string]float64{},
+	}
+	for _, inst := range d.Instances {
+		g := moduleOf(inst.Name)
+		m := inst.Master
+		switch m.Kind {
+		case cell.KindMacro:
+			if m.Macro != nil {
+				out.EnergyFJ[g] += opt.ToggleRate * m.Macro.EnergyPerAccess
+			}
+		case cell.KindFiller:
+			continue
+		default:
+			out.EnergyFJ[g] += opt.ToggleRate * m.InternalEnergy
+		}
+		out.LeakageUW[g] += m.Leakage * 1e-3 * opt.Corner.Leakage
+	}
+	out.EnergyFJ["(wires)"] = opt.ToggleRate * 0.5 * (ex.CWireTotal + ex.CPinTotal) * v2
+	if tree != nil {
+		out.EnergyFJ["(clock)"] = tree.TotalCap() * v2
+	}
+	return out
+}
+
+// moduleOf extracts the group key from a generated instance name.
+func moduleOf(name string) string {
+	s := name
+	if len(s) > 2 && s[:2] == "u_" {
+		s = s[2:]
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '_' {
+			return s[:i]
+		}
+	}
+	return s
+}

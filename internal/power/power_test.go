@@ -1,0 +1,192 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/cts"
+	"macro3d/internal/extract"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+func typical() tech.CornerScale {
+	return tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1}
+}
+
+// smallDesign: port → inv → ff with an SRAM hanging off the net.
+func smallDesign(t *testing.T) (*netlist.Design, *extract.Design) {
+	t.Helper()
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("p", lib)
+	clk := d.AddPort("clk", cell.DirIn)
+	clk.Loc = geom.Pt(0, 0)
+	u := d.AddInstance("u", lib.MustCell("INV_X2"))
+	u.Loc = geom.Pt(50, 50)
+	ff := d.AddInstance("ff", lib.MustCell("DFF_X1"))
+	ff.Loc = geom.Pt(300, 50)
+	sram, err := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 1024, Bits: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := d.AddInstance("mem", sram)
+	mem.Loc = geom.Pt(100, 200)
+	mem.Fixed, mem.Placed = true, true
+
+	d.AddNet("n1", netlist.IPin(ff, "Q"), netlist.IPin(u, "A"))
+	d.AddNet("n2", netlist.IPin(u, "Y"), netlist.IPin(ff, "D"), netlist.IPin(mem, "D0"))
+	cn := d.AddNet("clk", netlist.PPin(clk), netlist.IPin(ff, "CK"), netlist.IPin(mem, "CLK"))
+	cn.Clock = true
+
+	beol, _ := tech.NewBEOL28("logic", 6)
+	db := route.NewDB(geom.R(0, 0, 600, 600), beol, nil, route.Options{GCellPitch: 10})
+	res, err := route.RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, extract.Extract(d, res, db, typical())
+}
+
+func TestBreakdown(t *testing.T) {
+	d, ex := smallDesign(t)
+	rep := Analyze(d, ex, nil, 400, Options{})
+	if rep.SignalWireFJ <= 0 || rep.SignalPinFJ <= 0 {
+		t.Fatalf("signal energy missing: %+v", rep)
+	}
+	if rep.CellInternalFJ <= 0 {
+		t.Fatal("internal energy missing")
+	}
+	if rep.MacroFJ <= 0 {
+		t.Fatal("macro energy missing")
+	}
+	if rep.ClockFJ <= 0 {
+		t.Fatal("clock energy missing")
+	}
+	if rep.LeakageUW <= 0 {
+		t.Fatal("leakage missing")
+	}
+	want := rep.SignalWireFJ + rep.SignalPinFJ + rep.CellInternalFJ + rep.ClockFJ + rep.MacroFJ
+	if math.Abs(rep.DynamicFJ-want) > 1e-9 {
+		t.Fatal("dynamic sum inconsistent")
+	}
+	if rep.EnergyPerCycleFJ <= rep.DynamicFJ {
+		t.Fatal("E_mean must include leakage share")
+	}
+}
+
+func TestToggleRateScalesSignalEnergy(t *testing.T) {
+	d, ex := smallDesign(t)
+	r1 := Analyze(d, ex, nil, 400, Options{ToggleRate: 0.2})
+	r2 := Analyze(d, ex, nil, 400, Options{ToggleRate: 0.4})
+	if math.Abs(r2.SignalWireFJ/r1.SignalWireFJ-2) > 1e-9 {
+		t.Fatal("signal energy not proportional to toggle rate")
+	}
+	// Clock energy is activity-1 — independent of the signal toggle
+	// rate.
+	if r1.ClockFJ != r2.ClockFJ {
+		t.Fatal("clock energy changed with signal toggle rate")
+	}
+}
+
+func TestPowerConversion(t *testing.T) {
+	d, ex := smallDesign(t)
+	rep := Analyze(d, ex, nil, 400, Options{})
+	p400 := rep.PowerUW(400)
+	p200 := rep.PowerUW(200)
+	// Dynamic scales with f; leakage does not.
+	if p400 <= p200 {
+		t.Fatal("power not increasing with frequency")
+	}
+	wantDelta := rep.DynamicFJ * 200 * 1e-3
+	if math.Abs((p400-p200)-wantDelta) > 1e-9 {
+		t.Fatalf("frequency scaling wrong: %v vs %v", p400-p200, wantDelta)
+	}
+}
+
+func TestClockTreeEnergyCounted(t *testing.T) {
+	d, ex := smallDesign(t)
+	beol, _ := tech.NewBEOL28("logic", 6)
+	tree := cts.Build(d, d.Net("clk"), d.Port("clk").Loc, d.Lib, beol, cts.Options{})
+	withTree := Analyze(d, ex, tree, 400, Options{})
+	ideal := Analyze(d, ex, nil, 400, Options{})
+	if withTree.ClockFJ <= ideal.ClockFJ {
+		t.Fatal("real tree should cost more than ideal clock")
+	}
+}
+
+func TestLargerCacheBurnsMore(t *testing.T) {
+	// Macro energy scales with capacity.
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	build := func(words int) *Report {
+		d := netlist.NewDesign("m", lib)
+		sram, _ := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: words, Bits: 32})
+		d.AddInstance("mem", sram)
+		ex := &extract.Design{Nets: nil}
+		return Analyze(d, ex, nil, 400, Options{})
+	}
+	small := build(1024)
+	large := build(32768)
+	if large.MacroFJ <= small.MacroFJ {
+		t.Fatal("macro energy not monotone in capacity")
+	}
+	if large.LeakageUW <= small.LeakageUW {
+		t.Fatal("macro leakage not monotone in capacity")
+	}
+}
+
+func TestCornerScalesLeakage(t *testing.T) {
+	d, ex := smallDesign(t)
+	typ := Analyze(d, ex, nil, 400, Options{})
+	fast := Analyze(d, ex, nil, 400, Options{Corner: tech.CornerScale{CellDelay: 0.8, WireR: 1, WireC: 1, Leakage: 1.8}})
+	if math.Abs(fast.LeakageUW/typ.LeakageUW-1.8) > 1e-9 {
+		t.Fatal("leakage corner scaling wrong")
+	}
+}
+
+func TestByModule(t *testing.T) {
+	d, ex := smallDesign(t)
+	bd := ByModule(d, ex, nil, Options{})
+	if len(bd.EnergyFJ) == 0 {
+		t.Fatal("no groups")
+	}
+	// The SRAM instance "mem" forms its own group and dominates.
+	if bd.EnergyFJ["mem"] <= 0 {
+		t.Fatalf("mem group missing: %v", bd.EnergyFJ)
+	}
+	if bd.EnergyFJ["(wires)"] <= 0 {
+		t.Fatal("wire bucket missing")
+	}
+	if bd.LeakageUW["mem"] <= 0 {
+		t.Fatal("macro leakage missing")
+	}
+	// Sum of module internal energies ≤ total dynamic (wires/clock are
+	// the remainder buckets).
+	rep := Analyze(d, ex, nil, 400, Options{})
+	var sum float64
+	for g, e := range bd.EnergyFJ {
+		if g != "(wires)" && g != "(clock)" {
+			sum += e
+		}
+	}
+	if sum > rep.DynamicFJ {
+		t.Fatalf("module energies %v exceed dynamic %v", sum, rep.DynamicFJ)
+	}
+}
+
+func TestModuleOf(t *testing.T) {
+	cases := map[string]string{
+		"u_core_s1_ff_12": "core",
+		"l3_bank0":        "l3",
+		"u_noc1_xbar_99":  "noc1",
+		"optbuf_12_3":     "optbuf",
+		"plain":           "plain",
+	}
+	for in, want := range cases {
+		if got := moduleOf(in); got != want {
+			t.Errorf("moduleOf(%s) = %s, want %s", in, got, want)
+		}
+	}
+}

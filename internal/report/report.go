@@ -1,0 +1,216 @@
+// Package report runs the paper's experiments end to end and formats
+// their tables: Table I (max-performance PPA and cost of 2D, MoL S2D,
+// BF S2D and Macro-3D on the small-cache tile), Table II (in-depth 2D
+// versus Macro-3D for both cache configurations), Table III (the
+// heterogeneous-BEOL M6–M4 ablation), and the §V-A iso-performance
+// power comparison.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"macro3d/internal/flows"
+	"macro3d/internal/piton"
+)
+
+// TableI holds the four compared flows on the small-cache tile.
+type TableI struct {
+	TwoD, S2D, BFS2D, Macro3D *flows.PPA
+}
+
+// RunTableI reproduces Table I.
+func RunTableI(seed uint64) (*TableI, error) {
+	cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed}
+	t := &TableI{}
+	var err error
+	if t.TwoD, _, err = flows.Run2D(cfg); err != nil {
+		return nil, fmt.Errorf("table I 2D: %w", err)
+	}
+	if t.S2D, _, err = flows.RunS2D(cfg, false); err != nil {
+		return nil, fmt.Errorf("table I S2D: %w", err)
+	}
+	if t.BFS2D, _, err = flows.RunS2D(cfg, true); err != nil {
+		return nil, fmt.Errorf("table I BF S2D: %w", err)
+	}
+	if t.Macro3D, _, _, err = flows.RunMacro3D(cfg); err != nil {
+		return nil, fmt.Errorf("table I Macro-3D: %w", err)
+	}
+	return t, nil
+}
+
+// Format renders the table in the paper's row layout.
+func (t *TableI) Format() string {
+	cols := []*flows.PPA{t.TwoD, t.S2D, t.BFS2D, t.Macro3D}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — max-performance PPA and cost, small-cache tile\n")
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s\n", "", "2D", "MoL S2D", "BF S2D", "Macro-3D")
+	row := func(name string, f func(p *flows.PPA) string) {
+		fmt.Fprintf(&b, "%-22s", name)
+		for _, p := range cols {
+			fmt.Fprintf(&b, " %10s", f(p))
+		}
+		b.WriteByte('\n')
+	}
+	row("fclk [MHz]", func(p *flows.PPA) string { return fmt.Sprintf("%.0f", p.FclkMHz) })
+	row("Emean [fJ/cycle]", func(p *flows.PPA) string { return fmt.Sprintf("%.1f", p.EmeanFJ) })
+	row("Afootprint [mm²]", func(p *flows.PPA) string { return fmt.Sprintf("%.2f", p.FootprintMM2) })
+	row("F2F bumps", func(p *flows.PPA) string { return fmt.Sprintf("%d", p.F2FBumps) })
+	return b.String()
+}
+
+// TableII holds the in-depth comparison for both configurations.
+type TableII struct {
+	Small2D, SmallM3D *flows.PPA
+	Large2D, LargeM3D *flows.PPA
+}
+
+// RunTableII reproduces Table II.
+func RunTableII(seed uint64) (*TableII, error) {
+	t := &TableII{}
+	var err error
+	cs := flows.Config{Piton: piton.SmallCache(), Seed: seed}
+	if t.Small2D, _, err = flows.Run2D(cs); err != nil {
+		return nil, fmt.Errorf("table II small 2D: %w", err)
+	}
+	if t.SmallM3D, _, _, err = flows.RunMacro3D(cs); err != nil {
+		return nil, fmt.Errorf("table II small Macro-3D: %w", err)
+	}
+	cl := flows.Config{Piton: piton.LargeCache(), Seed: seed}
+	if t.Large2D, _, err = flows.Run2D(cl); err != nil {
+		return nil, fmt.Errorf("table II large 2D: %w", err)
+	}
+	if t.LargeM3D, _, _, err = flows.RunMacro3D(cl); err != nil {
+		return nil, fmt.Errorf("table II large Macro-3D: %w", err)
+	}
+	return t, nil
+}
+
+func pct(n, d float64) string {
+	if d == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("(%+.1f%%)", 100*(n/d-1))
+}
+
+// Format renders the table with the paper's relative deltas.
+func (t *TableII) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — in-depth comparison of 2D and Macro-3D designs\n")
+	fmt.Fprintf(&b, "%-26s %12s %22s %12s %22s\n", "", "Small 2D", "Small Macro-3D", "Large 2D", "Large Macro-3D")
+	row := func(name string, v func(p *flows.PPA) float64, format string) {
+		f := func(x float64) string { return fmt.Sprintf(format, x) }
+		fmt.Fprintf(&b, "%-26s %12s %12s %9s %12s %12s %9s\n", name,
+			f(v(t.Small2D)), f(v(t.SmallM3D)), pct(v(t.SmallM3D), v(t.Small2D)),
+			f(v(t.Large2D)), f(v(t.LargeM3D)), pct(v(t.LargeM3D), v(t.Large2D)))
+	}
+	row("fclk [MHz]", func(p *flows.PPA) float64 { return p.FclkMHz }, "%.0f")
+	row("Emean [fJ/cycle]", func(p *flows.PPA) float64 { return p.EmeanFJ }, "%.1f")
+	row("Afootprint [mm²]", func(p *flows.PPA) float64 { return p.FootprintMM2 }, "%.2f")
+	row("Alogic-cells [mm²]", func(p *flows.PPA) float64 { return p.LogicCellAreaMM2 }, "%.3f")
+	row("Total wirelength [m]", func(p *flows.PPA) float64 { return p.TotalWLm }, "%.2f")
+	row("F2F bumps", func(p *flows.PPA) float64 { return float64(p.F2FBumps) }, "%.0f")
+	row("Cpin,total [nF]", func(p *flows.PPA) float64 { return p.CpinNF }, "%.3f")
+	row("Cwire,total [nF]", func(p *flows.PPA) float64 { return p.CwireNF }, "%.3f")
+	row("Max clk-tree depth", func(p *flows.PPA) float64 { return float64(p.ClkDepth) }, "%.0f")
+	row("Crit-path WL [mm]", func(p *flows.PPA) float64 { return p.CritPathWLmm }, "%.2f")
+	return b.String()
+}
+
+// TableIII holds the metal-stack ablation (M6–M6 versus M6–M4).
+type TableIII struct {
+	SmallM6M6, SmallM6M4 *flows.PPA
+	LargeM6M6, LargeM6M4 *flows.PPA
+}
+
+// RunTableIII reproduces Table III: removing two metal layers from the
+// macro die.
+func RunTableIII(seed uint64) (*TableIII, error) {
+	t := &TableIII{}
+	var err error
+	for _, c := range []struct {
+		pc     piton.Config
+		metals int
+		dst    **flows.PPA
+	}{
+		{piton.SmallCache(), 6, &t.SmallM6M6},
+		{piton.SmallCache(), 4, &t.SmallM6M4},
+		{piton.LargeCache(), 6, &t.LargeM6M6},
+		{piton.LargeCache(), 4, &t.LargeM6M4},
+	} {
+		cfg := flows.Config{Piton: c.pc, Seed: seed, MacroDieMetals: c.metals}
+		p, _, _, err2 := flows.RunMacro3D(cfg)
+		if err2 != nil {
+			return nil, fmt.Errorf("table III (%s, M6–M%d): %w", c.pc.Name, c.metals, err2)
+		}
+		*c.dst = p
+		_ = err
+	}
+	return t, nil
+}
+
+// Format renders the ablation table.
+func (t *TableIII) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — impact of removing two macro-die metal layers\n")
+	fmt.Fprintf(&b, "%-20s %10s %10s %9s %10s %10s %9s\n", "",
+		"S M6–M6", "S M6–M4", "", "L M6–M6", "L M6–M4", "")
+	row := func(name string, v func(p *flows.PPA) float64, format string) {
+		f := func(x float64) string { return fmt.Sprintf(format, x) }
+		fmt.Fprintf(&b, "%-20s %10s %10s %9s %10s %10s %9s\n", name,
+			f(v(t.SmallM6M6)), f(v(t.SmallM6M4)), pct(v(t.SmallM6M4), v(t.SmallM6M6)),
+			f(v(t.LargeM6M6)), f(v(t.LargeM6M4)), pct(v(t.LargeM6M4), v(t.LargeM6M6)))
+	}
+	row("fclk [MHz]", func(p *flows.PPA) float64 { return p.FclkMHz }, "%.0f")
+	row("Emean [fJ/cycle]", func(p *flows.PPA) float64 { return p.EmeanFJ }, "%.1f")
+	row("Ametal [mm²]", func(p *flows.PPA) float64 { return p.MetalAreaMM2 }, "%.1f")
+	row("F2F bumps", func(p *flows.PPA) float64 { return float64(p.F2FBumps) }, "%.0f")
+	return b.String()
+}
+
+// IsoPerf holds the §V-A iso-performance power comparison: Macro-3D
+// re-implemented at the 2D design's maximum frequency.
+type IsoPerf struct {
+	Config   string
+	F2DMHz   float64
+	Power2D  float64 // µW
+	Power3D  float64 // µW at the same frequency
+	DeltaPct float64
+	PPA2D    *flows.PPA
+	PPA3DIso *flows.PPA
+}
+
+// RunIsoPerf reproduces the iso-performance comparison for one tile
+// configuration.
+func RunIsoPerf(pc piton.Config, seed uint64) (*IsoPerf, error) {
+	cfg := flows.Config{Piton: pc, Seed: seed}
+	p2d, _, err := flows.Run2D(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Re-implement Macro-3D for the 2D design's frequency.
+	cfg.TargetPeriod = p2d.MinPeriodPs
+	p3d, _, _, err := flows.RunMacro3D(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &IsoPerf{
+		Config:   pc.Name,
+		F2DMHz:   p2d.FclkMHz,
+		Power2D:  p2d.PowerUW,
+		Power3D:  p3d.PowerUW,
+		PPA2D:    p2d,
+		PPA3DIso: p3d,
+	}
+	if r.Power2D > 0 {
+		r.DeltaPct = 100 * (r.Power3D/r.Power2D - 1)
+	}
+	return r, nil
+}
+
+// Format renders the comparison.
+func (r *IsoPerf) Format() string {
+	return fmt.Sprintf(
+		"Iso-performance (%s, %.0f MHz): 2D %.1f µW, Macro-3D %.1f µW (%+.1f%%)\n",
+		r.Config, r.F2DMHz, r.Power2D/1e0, r.Power3D/1e0, r.DeltaPct)
+}

@@ -1,0 +1,128 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"macro3d/internal/flows"
+)
+
+// fakePPA builds a synthetic flow result so Format tests need no flow
+// runs.
+func fakePPA(flow string, fclk float64, bumps int) *flows.PPA {
+	return &flows.PPA{
+		Flow: flow, Config: "t", FclkMHz: fclk, MinPeriodPs: 1e6 / fclk,
+		EmeanFJ: 100 + fclk/10, FootprintMM2: 1.2, LogicCellAreaMM2: 0.3,
+		MetalAreaMM2: 7.2, TotalWLm: 2.5, F2FBumps: bumps,
+		CpinNF: 0.04, CwireNF: 0.3, ClkDepth: 13, CritPathWLmm: 1.5,
+	}
+}
+
+func TestTableIFormat(t *testing.T) {
+	tab := &TableI{
+		TwoD:    fakePPA("2D", 400, 0),
+		S2D:     fakePPA("S2D", 220, 5405),
+		BFS2D:   fakePPA("BF S2D", 260, 8703),
+		Macro3D: fakePPA("Macro-3D", 470, 4740),
+	}
+	out := tab.Format()
+	for _, want := range []string{"Table I", "fclk [MHz]", "400", "220", "260", "470",
+		"5405", "8703", "4740", "Afootprint", "Emean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q\n%s", want, out)
+		}
+	}
+	// Four data columns per row.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "fclk") && len(strings.Fields(line)) != 6 {
+			t.Errorf("fclk row malformed: %q", line)
+		}
+	}
+}
+
+func TestTableIIFormatDeltas(t *testing.T) {
+	tab := &TableII{
+		Small2D:  fakePPA("2D", 400, 0),
+		SmallM3D: fakePPA("Macro-3D", 480, 4740),
+		Large2D:  fakePPA("2D", 300, 0),
+		LargeM3D: fakePPA("Macro-3D", 390, 1215),
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "(+20.0%)") {
+		t.Errorf("small delta missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(+30.0%)") {
+		t.Errorf("large delta missing:\n%s", out)
+	}
+	for _, row := range []string{"Alogic-cells", "Total wirelength", "Cpin,total",
+		"Cwire,total", "Max clk-tree depth", "Crit-path WL"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("row %q missing", row)
+		}
+	}
+}
+
+func TestTableIIIFormat(t *testing.T) {
+	tab := &TableIII{
+		SmallM6M6: fakePPA("Macro-3D", 470, 4740),
+		SmallM6M4: fakePPA("Macro-3D", 462, 3866),
+		LargeM6M6: fakePPA("Macro-3D", 421, 1215),
+		LargeM6M4: fakePPA("Macro-3D", 423, 922),
+	}
+	tab.SmallM6M4.MetalAreaMM2 = 6.0
+	out := tab.Format()
+	if !strings.Contains(out, "Table III") || !strings.Contains(out, "Ametal") {
+		t.Fatalf("structure:\n%s", out)
+	}
+	if !strings.Contains(out, "(-16.7%)") {
+		t.Errorf("metal delta missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(-1.7%)") { // 462/470
+		t.Errorf("fclk delta missing:\n%s", out)
+	}
+}
+
+func TestIsoPerfFormat(t *testing.T) {
+	r := &IsoPerf{Config: "piton_small", F2DMHz: 390, Power2D: 1000, Power3D: 968, DeltaPct: -3.2}
+	out := r.Format()
+	for _, want := range []string{"piton_small", "390 MHz", "-3.2%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("iso-perf output missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestPctHelper(t *testing.T) {
+	if pct(110, 100) != "(+10.0%)" {
+		t.Fatalf("pct = %s", pct(110, 100))
+	}
+	if pct(90, 100) != "(-10.0%)" {
+		t.Fatalf("pct = %s", pct(90, 100))
+	}
+	if pct(1, 0) != "—" {
+		t.Fatalf("pct zero-div = %s", pct(1, 0))
+	}
+}
+
+func TestBlockageSweepFormat(t *testing.T) {
+	sw := &BlockageSweep{
+		ResolutionsUm: []float64{20, 50},
+		TwoD:          fakePPA("2D", 400, 0),
+		S2D:           []*flows.PPA{fakePPA("S2D", 200, 5000), fakePPA("S2D", 150, 5200)},
+	}
+	out := sw.Format()
+	if !strings.Contains(out, "-50.0%") || !strings.Contains(out, "-62.5%") {
+		t.Fatalf("sweep deltas missing:\n%s", out)
+	}
+}
+
+func TestPitchSweepFormat(t *testing.T) {
+	sw := &PitchSweep{
+		PitchesUm: []float64{1, 10},
+		M3D:       []*flows.PPA{fakePPA("Macro-3D", 470, 4740), fakePPA("Macro-3D", 430, 900)},
+	}
+	out := sw.Format()
+	if !strings.Contains(out, "4740") || !strings.Contains(out, "900") {
+		t.Fatalf("pitch sweep missing bump counts:\n%s", out)
+	}
+}

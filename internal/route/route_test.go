@@ -1,0 +1,467 @@
+package route
+
+import (
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+	"macro3d/internal/place"
+	"macro3d/internal/tech"
+)
+
+func db6(t *testing.T, die geom.Rect, blk []floorplan.RouteBlockage) *DB {
+	t.Helper()
+	b, err := tech.NewBEOL28("logic", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDB(die, b, blk, Options{GCellPitch: 10})
+}
+
+// twoPinDesign: one INV at (10,10) driving one INV at (x,y).
+func twoPinDesign(x, y float64) *netlist.Design {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("two", lib)
+	a := d.AddInstance("a", lib.MustCell("INV_X1"))
+	a.Loc = geom.Pt(10, 10)
+	b := d.AddInstance("b", lib.MustCell("INV_X1"))
+	b.Loc = geom.Pt(x, y)
+	d.AddNet("n", netlist.IPin(a, "Y"), netlist.IPin(b, "A"))
+	return d
+}
+
+func TestRouteTwoPin(t *testing.T) {
+	d := twoPinDesign(210, 110)
+	db := db6(t, geom.R(0, 0, 300, 300), nil)
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Routes[0]
+	if r == nil || len(r.Segments) == 0 {
+		t.Fatal("no route produced")
+	}
+	// Routed length ≥ HPWL and within 2× (L-shape).
+	hpwl := d.Nets[0].HPWL()
+	if res.WL < hpwl*0.5 || res.WL > hpwl*2.5 {
+		t.Fatalf("WL = %v for HPWL %v", res.WL, hpwl)
+	}
+	if r.Vias == 0 {
+		t.Fatal("no vias: pins are on M1, runs are above")
+	}
+	if r.F2F != 0 || res.F2FBumps != 0 {
+		t.Fatal("single-die route crossed F2F")
+	}
+	if res.Overflow != 0 {
+		t.Fatalf("overflow = %d", res.Overflow)
+	}
+	checkConnected(t, db, r)
+}
+
+// checkConnected verifies segment endpoints form a connected set
+// containing every pin node.
+func checkConnected(t *testing.T, db *DB, r *NetRoute) {
+	t.Helper()
+	adj := make(map[Node][]Node)
+	add := func(a, b Node) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for _, s := range r.Segments {
+		if s.IsVia() {
+			add(s.A, s.B)
+			continue
+		}
+		// Straight runs connect all intermediate gcells.
+		var prevN *Node
+		forEachStep(s, func(n Node) {
+			if prevN != nil {
+				add(*prevN, n)
+			}
+			c := n
+			prevN = &c
+		})
+	}
+	if len(r.PinNode) == 0 {
+		return
+	}
+	// BFS from pin 0.
+	seen := map[Node]bool{r.PinNode[0]: true}
+	queue := []Node{r.PinNode[0]}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	for i, pn := range r.PinNode {
+		if !seen[pn] {
+			t.Fatalf("pin %d node %v not connected to driver", i, pn)
+		}
+	}
+}
+
+func TestRouteSameGCell(t *testing.T) {
+	d := twoPinDesign(11, 11)
+	db := db6(t, geom.R(0, 0, 300, 300), nil)
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pins in one gcell on the same layer: nothing to route.
+	if res.WL != 0 {
+		t.Fatalf("WL = %v for same-gcell net", res.WL)
+	}
+}
+
+func TestObstructionForcesClimb(t *testing.T) {
+	// A wall of M1–M4 obstruction between the pins: the route must use
+	// M5/M6 over it (the 2D memory-overflight situation).
+	die := geom.R(0, 0, 400, 400)
+	wall := geom.R(150, 0, 250, 400)
+	var blk []floorplan.RouteBlockage
+	for _, ly := range []string{"M1", "M2", "M3", "M4"} {
+		blk = append(blk, floorplan.RouteBlockage{Layer: ly, Rect: wall})
+	}
+	d := twoPinDesign(380, 15)
+	db := db6(t, die, blk)
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overflow != 0 {
+		t.Fatalf("overflow = %d crossing obstruction", res.Overflow)
+	}
+	// The crossing segment must be on M5 or M6.
+	r := res.Routes[0]
+	crossesHigh := false
+	for _, s := range r.Segments {
+		if s.IsVia() {
+			continue
+		}
+		x0 := float64(min(s.A.X, s.B.X)) * db.Grid.DX
+		x1 := float64(max(s.A.X, s.B.X)+1) * db.Grid.DX
+		if x0 < 250 && x1 > 150 && s.A.L >= 4 {
+			crossesHigh = true
+		}
+	}
+	if !crossesHigh {
+		t.Fatal("route did not climb over the M1–M4 wall")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestCombinedStackCrossesF2F(t *testing.T) {
+	// Pin on a macro-die layer (M4_MD): the route must cross the F2F
+	// boundary exactly once and count one bump.
+	logic, _ := tech.NewBEOL28("logic", 6)
+	macro, _ := tech.NewBEOL28("macro", 4)
+	comb, err := tech.Combine(logic, macro, tech.DefaultF2F())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("x", lib)
+	a := d.AddInstance("a", lib.MustCell("INV_X1"))
+	a.Loc = geom.Pt(10, 10)
+	// A fake macro with one input pin on M4_MD.
+	mm := &cell.Cell{
+		Name: "mac", Kind: cell.KindMacro, Width: 50, Height: 50,
+		Pins: []cell.Pin{{Name: "D", Dir: cell.DirIn, Cap: 2, Layer: "M4_MD",
+			Offset: geom.Pt(25, 25)}},
+	}
+	m := d.AddInstance("m", mm)
+	m.Loc = geom.Pt(200, 200)
+	m.Fixed, m.Placed = true, true
+	d.AddNet("n", netlist.IPin(a, "Y"), netlist.IPin(m, "D"))
+
+	db := NewDB(geom.R(0, 0, 400, 400), comb, nil, Options{GCellPitch: 10})
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F2FBumps != 1 {
+		t.Fatalf("F2F bumps = %d, want 1", res.F2FBumps)
+	}
+	checkConnected(t, db, res.Routes[0])
+}
+
+func TestNegotiationReducesOverflow(t *testing.T) {
+	// Many parallel nets through a 1-gcell-wide channel: initial
+	// pattern routes collide; negotiation must spread them across
+	// layers/detours.
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("cong", lib)
+	for i := 0; i < 60; i++ {
+		a := d.AddInstance("a"+itoa(i), lib.MustCell("INV_X1"))
+		a.Loc = geom.Pt(5, float64(5+i))
+		b := d.AddInstance("b"+itoa(i), lib.MustCell("INV_X1"))
+		b.Loc = geom.Pt(395, float64(5+i))
+		d.AddNet("n"+itoa(i), netlist.IPin(a, "Y"), netlist.IPin(b, "A"))
+	}
+	b6, _ := tech.NewBEOL28("logic", 6)
+	db := NewDB(geom.R(0, 0, 400, 400), b6, nil, Options{GCellPitch: 20, MaxIters: 8})
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("congestion test: WL %.0f, vias %d, overflow %d", res.WL, res.Vias, res.Overflow)
+	// 60 nets over ~6 usable H layers × ~13 tracks each: should fit.
+	if res.Overflow > 3 {
+		t.Fatalf("negotiation left overflow = %d", res.Overflow)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestRoutePitonTile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tile routing in -short mode")
+	}
+	tile, err := piton.Generate(piton.SmallCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tile.Design
+	sz, err := floorplan.SizeDesign(d, 0.70, 1.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _, err := floorplan.PlaceMacros(d, sz.Die2D, floorplan.Style2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floorplan.BuildBlockages(fp, d, netlist.LogicDie)
+	floorplan.AssignPorts(tile, sz.Die2D)
+	if _, err := place.Place(d, fp, 1.2, place.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b6, _ := tech.NewBEOL28("logic", 6)
+	db := NewDB(sz.Die2D, b6, fp.RouteBlk, Options{})
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpwl := 0.0
+	for _, n := range d.Nets {
+		if !n.Clock {
+			hpwl += n.HPWL()
+		}
+	}
+	t.Logf("tile route: WL %.2f m (HPWL %.2f m), %d vias, overflow %d",
+		res.WL/1e6, hpwl/1e6, res.Vias, res.Overflow)
+	if res.WL < hpwl*0.8 {
+		t.Fatalf("routed WL %.2f below HPWL %.2f", res.WL/1e6, hpwl/1e6)
+	}
+	if res.WL > hpwl*2.0 {
+		t.Fatalf("routed WL %.2f more than 2× HPWL %.2f", res.WL/1e6, hpwl/1e6)
+	}
+	if res.Overflow > 50 {
+		t.Fatalf("tile overflow = %d", res.Overflow)
+	}
+	// Per-layer WL accounting must sum to the total.
+	sum := 0.0
+	for _, w := range res.WLPerLayer {
+		sum += w
+	}
+	if diff := sum - res.WL; diff > 1 || diff < -1 {
+		t.Fatalf("per-layer WL sum %v != total %v", sum, res.WL)
+	}
+}
+
+func TestUsageSnapshot(t *testing.T) {
+	d := twoPinDesign(210, 110)
+	db := db6(t, geom.R(0, 0, 300, 300), nil)
+	if _, err := RouteDesign(d, db); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.UsageSnapshot()
+	if len(snap) != 6 {
+		t.Fatalf("snapshot layers = %d", len(snap))
+	}
+	any := false
+	for _, u := range snap {
+		if u > 0 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no layer shows usage")
+	}
+}
+
+func TestMazeRouteDirect(t *testing.T) {
+	db := db6(t, geom.R(0, 0, 200, 200), nil)
+	segs, err := db.mazeRoute(Node{0, 0, 0}, Node{10, 10, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("empty maze route")
+	}
+	// Path starts at source and ends at target.
+	if segs[0].A != (Node{0, 0, 0}) {
+		t.Fatalf("path starts at %v", segs[0].A)
+	}
+	if segs[len(segs)-1].B != (Node{10, 10, 3}) {
+		t.Fatalf("path ends at %v", segs[len(segs)-1].B)
+	}
+	// Respect preferred directions on every straight segment.
+	for _, s := range segs {
+		if s.IsVia() {
+			continue
+		}
+		ly := db.Beol.Layers[s.A.L]
+		if ly.Dir == tech.DirHorizontal && s.A.Y != s.B.Y {
+			t.Fatalf("vertical run on horizontal layer %s", ly.Name)
+		}
+		if ly.Dir == tech.DirVertical && s.A.X != s.B.X {
+			t.Fatalf("horizontal run on vertical layer %s", ly.Name)
+		}
+	}
+}
+
+func TestTranslateRoute(t *testing.T) {
+	d := twoPinDesign(210, 110)
+	db := db6(t, geom.R(0, 0, 300, 300), nil)
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Routes[0]
+	tr := TranslateRoute(r, 5, 7)
+	if len(tr.Segments) != len(r.Segments) {
+		t.Fatal("segment count changed")
+	}
+	for i, s := range tr.Segments {
+		o := r.Segments[i]
+		if s.A.X-o.A.X != 5 || s.A.Y-o.A.Y != 7 || s.A.L != o.A.L {
+			t.Fatalf("segment %d not translated: %v vs %v", i, s, o)
+		}
+	}
+	if tr.WL != r.WL || tr.Vias != r.Vias || tr.F2F != r.F2F {
+		t.Fatal("metrics changed by translation")
+	}
+	// Original untouched.
+	if r.Segments[0].A.X != tr.Segments[0].A.X-5 {
+		t.Fatal("TranslateRoute mutated input")
+	}
+}
+
+func TestCommitAndRebuildUsage(t *testing.T) {
+	d := twoPinDesign(210, 110)
+	db := db6(t, geom.R(0, 0, 300, 300), nil)
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling a route's usage then rebuilding from the result must
+	// return to the single-use state.
+	r := res.Routes[0]
+	db.CommitRoute(r)
+	snapDouble := db.UsageSnapshot()
+	db.RebuildUsage(res)
+	snapSingle := db.UsageSnapshot()
+	moreDouble := false
+	for l := range snapDouble {
+		if snapDouble[l] > snapSingle[l] {
+			moreDouble = true
+		}
+	}
+	if !moreDouble {
+		t.Fatal("double-commit not visible in usage")
+	}
+	// Release + rebuild equivalence.
+	db.ReleaseNet(r)
+	db.CommitRoute(r)
+	snapAgain := db.UsageSnapshot()
+	for l := range snapAgain {
+		if snapAgain[l] != snapSingle[l] {
+			t.Fatalf("layer %d usage drifted: %v vs %v", l, snapAgain[l], snapSingle[l])
+		}
+	}
+}
+
+func TestGridOverride(t *testing.T) {
+	b6, _ := tech.NewBEOL28("l", 6)
+	g := geom.Grid{Region: geom.R(0, 0, 300, 300), NX: 30, NY: 30, DX: 10, DY: 10}
+	db := NewDB(geom.R(0, 0, 300, 300), b6, nil, Options{GCellPitch: 50, Grid: &g})
+	if db.Grid.NX != 30 || db.Grid.DX != 10 {
+		t.Fatalf("grid override ignored: %+v", db.Grid)
+	}
+}
+
+func TestRecountMatchesRouteDesign(t *testing.T) {
+	d := twoPinDesign(250, 130)
+	db := db6(t, geom.R(0, 0, 400, 400), nil)
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, vias := res.WL, res.Vias
+	res.Recount(db)
+	if res.WL != wl || res.Vias != vias {
+		t.Fatalf("Recount changed totals: %v/%d vs %v/%d", res.WL, res.Vias, wl, vias)
+	}
+}
+
+func TestPatternRouteAlwaysConnectsProperty(t *testing.T) {
+	// Property: for random pin pairs anywhere on the die, the pattern
+	// router produces a connected route that respects preferred
+	// directions.
+	b6, _ := tech.NewBEOL28("l", 6)
+	db := NewDB(geom.R(0, 0, 500, 500), b6, nil, Options{GCellPitch: 10})
+	rng := geom.NewRNG(17)
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	for i := 0; i < 60; i++ {
+		d := netlist.NewDesign("p"+itoa(i), lib)
+		a := d.AddInstance("a", lib.MustCell("INV_X1"))
+		a.Loc = geom.Pt(rng.Range(5, 480), rng.Range(5, 480))
+		c := d.AddInstance("b", lib.MustCell("INV_X1"))
+		c.Loc = geom.Pt(rng.Range(5, 480), rng.Range(5, 480))
+		d.AddNet("n", netlist.IPin(a, "Y"), netlist.IPin(c, "A"))
+		res, err := RouteDesign(d, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := res.Routes[0]
+		checkConnected(t, db, r)
+		for _, s := range r.Segments {
+			if s.IsVia() {
+				continue
+			}
+			ly := db.Beol.Layers[s.A.L]
+			if ly.Dir == tech.DirHorizontal && s.A.Y != s.B.Y {
+				t.Fatalf("iteration %d: vertical run on %s", i, ly.Name)
+			}
+			if ly.Dir == tech.DirVertical && s.A.X != s.B.X {
+				t.Fatalf("iteration %d: horizontal run on %s", i, ly.Name)
+			}
+		}
+		// Clean up usage so iterations are independent.
+		db.ReleaseNet(r)
+	}
+}

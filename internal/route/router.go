@@ -1,0 +1,617 @@
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"macro3d/internal/netlist"
+	"macro3d/internal/tech"
+)
+
+// RouteDesign globally routes every non-clock signal net of the design
+// over the database's grid, then runs negotiation iterations until
+// overflow clears or the iteration budget is spent.
+func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
+	res := &Result{
+		Routes:     make([]*NetRoute, len(d.Nets)),
+		WLPerLayer: make([]float64, db.Beol.NumLayers()),
+	}
+
+	// Initial pattern routing, long nets first (they set the congestion
+	// landscape the short nets then dodge).
+	order := make([]*netlist.Net, 0, len(d.Nets))
+	for _, n := range d.Nets {
+		if n.Clock || len(n.Sinks) == 0 {
+			continue
+		}
+		order = append(order, n)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		hi, hj := order[i].HPWL(), order[j].HPWL()
+		if hi != hj {
+			return hi > hj
+		}
+		return order[i].ID < order[j].ID
+	})
+	for _, n := range order {
+		r, err := db.routeNet(n, false)
+		if err != nil {
+			return nil, err
+		}
+		db.addUsage(r, 1)
+		res.Routes[n.ID] = r
+	}
+
+	// Negotiated rip-up and reroute. Early iterations reroute with
+	// congestion-aware pattern routes (cheap); later iterations escal-
+	// ate to full maze search for the stubborn remainder.
+	for it := 0; it < db.opt.MaxIters; it++ {
+		over := db.Overflow()
+		if over == 0 {
+			break
+		}
+		db.bumpHistory()
+		victims := db.overflowedNets(res)
+		if len(victims) == 0 {
+			break
+		}
+		// Bound the work per iteration; the worst offenders first
+		// (longest nets through congestion).
+		sort.Slice(victims, func(i, j int) bool { return victims[i].HPWL() > victims[j].HPWL() })
+		const maxVictims = 600
+		if len(victims) > maxVictims {
+			victims = victims[:maxVictims]
+		}
+		useMaze := it >= 2
+		for _, n := range victims {
+			old := res.Routes[n.ID]
+			db.addUsage(old, -1)
+			r, err := db.routeNet(n, useMaze)
+			if err != nil {
+				// Keep the old route rather than fail the design.
+				db.addUsage(old, 1)
+				continue
+			}
+			db.addUsage(r, 1)
+			res.Routes[n.ID] = r
+		}
+	}
+
+	// Final accounting.
+	for _, r := range res.Routes {
+		if r == nil {
+			continue
+		}
+		r.WL, r.Vias, r.F2F = 0, 0, 0
+		for _, s := range r.Segments {
+			if s.IsVia() {
+				r.Vias++
+				lo := min(s.A.L, s.B.L)
+				if db.f2fIdx >= 0 && lo == db.f2fIdx {
+					r.F2F++
+				}
+				continue
+			}
+			l := db.segLen(s)
+			r.WL += l
+			res.WLPerLayer[s.A.L] += l
+		}
+		res.WL += r.WL
+		res.Vias += r.Vias
+		res.F2FBumps += r.F2F
+	}
+	res.Overflow = db.Overflow()
+	return res, nil
+}
+
+// RouteNet routes a single net against current congestion and commits
+// its usage. Used by the optimizer for incrementally created nets
+// (buffer insertion) and by flows for ECO reroutes.
+func (db *DB) RouteNet(n *netlist.Net) (*NetRoute, error) {
+	r, err := db.routeNet(n, false)
+	if err != nil {
+		return nil, err
+	}
+	db.addUsage(r, 1)
+	// Account the per-route metrics.
+	for _, s := range r.Segments {
+		if s.IsVia() {
+			r.Vias++
+			if db.f2fIdx >= 0 && min(s.A.L, s.B.L) == db.f2fIdx {
+				r.F2F++
+			}
+			continue
+		}
+		r.WL += db.segLen(s)
+	}
+	return r, nil
+}
+
+// TranslateRoute returns a copy of a route shifted by (dx, dy) gcells
+// — the tile-array composition primitive (routes replicate with their
+// tile copy; grids must be aligned).
+func TranslateRoute(r *NetRoute, dx, dy int) *NetRoute {
+	t := &NetRoute{Net: r.Net, WL: r.WL, Vias: r.Vias, F2F: r.F2F}
+	t.Segments = make([]Seg, len(r.Segments))
+	for i, s := range r.Segments {
+		t.Segments[i] = Seg{
+			A: Node{X: s.A.X + dx, Y: s.A.Y + dy, L: s.A.L},
+			B: Node{X: s.B.X + dx, Y: s.B.Y + dy, L: s.B.L},
+		}
+	}
+	t.PinNode = make([]Node, len(r.PinNode))
+	for i, n := range r.PinNode {
+		t.PinNode[i] = Node{X: n.X + dx, Y: n.Y + dy, L: n.L}
+	}
+	return t
+}
+
+// CommitRoute registers an externally constructed route's congestion
+// usage (counterpart of ReleaseNet).
+func (db *DB) CommitRoute(r *NetRoute) {
+	db.addUsage(r, 1)
+}
+
+// RebuildUsage recomputes the database's congestion state from scratch
+// out of the given routes — used after a rollback of incremental
+// edits.
+func (db *DB) RebuildUsage(res *Result) {
+	for i := range db.usage {
+		db.usage[i] = 0
+	}
+	if db.f2fUse != nil {
+		for i := range db.f2fUse {
+			db.f2fUse[i] = 0
+		}
+	}
+	for _, r := range res.Routes {
+		if r != nil {
+			db.addUsage(r, 1)
+		}
+	}
+}
+
+// SetRoute stores (or replaces) the route of a net, growing the table
+// for incrementally added nets.
+func (res *Result) SetRoute(netID int, r *NetRoute) {
+	for netID >= len(res.Routes) {
+		res.Routes = append(res.Routes, nil)
+	}
+	res.Routes[netID] = r
+}
+
+// ReleaseNet removes a route's usage (rip-up) ahead of a reroute.
+func (db *DB) ReleaseNet(r *NetRoute) {
+	db.addUsage(r, -1)
+}
+
+// Recount recomputes the result's aggregate metrics after incremental
+// edits (added/changed routes).
+func (res *Result) Recount(db *DB) {
+	res.WL, res.Vias, res.F2FBumps = 0, 0, 0
+	for i := range res.WLPerLayer {
+		res.WLPerLayer[i] = 0
+	}
+	for _, r := range res.Routes {
+		if r == nil {
+			continue
+		}
+		r.WL, r.Vias, r.F2F = 0, 0, 0
+		for _, s := range r.Segments {
+			if s.IsVia() {
+				r.Vias++
+				if db.f2fIdx >= 0 && min(s.A.L, s.B.L) == db.f2fIdx {
+					r.F2F++
+				}
+				continue
+			}
+			l := db.segLen(s)
+			r.WL += l
+			res.WLPerLayer[s.A.L] += l
+		}
+		res.WL += r.WL
+		res.Vias += r.Vias
+		res.F2FBumps += r.F2F
+	}
+	res.Overflow = db.Overflow()
+}
+
+// overflowedNets returns nets whose routes touch an overflowed
+// gcell-layer.
+func (db *DB) overflowedNets(res *Result) []*netlist.Net {
+	bad := make(map[int]bool)
+	for i := range db.usage {
+		if db.usage[i] > db.cap[i] {
+			bad[i] = true
+		}
+	}
+	badF2F := make(map[int]bool)
+	if db.f2fCap != nil {
+		for i := range db.f2fUse {
+			if db.f2fUse[i] > db.f2fCap[i] {
+				badF2F[i] = true
+			}
+		}
+	}
+	var out []*netlist.Net
+	for _, r := range res.Routes {
+		if r == nil {
+			continue
+		}
+		hit := false
+		for _, s := range r.Segments {
+			if s.IsVia() {
+				if db.f2fIdx >= 0 && min(s.A.L, s.B.L) == db.f2fIdx &&
+					badF2F[db.Grid.Index(s.A.X, s.A.Y)] {
+					hit = true
+				}
+				continue
+			}
+			forEachStep(s, func(n Node) {
+				if bad[db.idx(n)] {
+					hit = true
+				}
+			})
+			if hit {
+				break
+			}
+		}
+		if hit {
+			out = append(out, r.Net)
+		}
+	}
+	return out
+}
+
+// routeNet routes one net: MST decomposition, then pattern (or maze)
+// routing per two-pin connection.
+func (db *DB) routeNet(n *netlist.Net, maze bool) (*NetRoute, error) {
+	pins := n.Pins()
+	r := &NetRoute{Net: n, PinNode: make([]Node, len(pins))}
+	for i, p := range pins {
+		nd, err := db.PinNode(p)
+		if err != nil {
+			return nil, fmt.Errorf("net %s: %w", n.Name, err)
+		}
+		r.PinNode[i] = nd
+	}
+	if len(pins) < 2 {
+		return r, nil
+	}
+	// Prim MST over pin grid locations.
+	inTree := make([]bool, len(pins))
+	inTree[0] = true
+	type edge struct{ from, to int }
+	edges := make([]edge, 0, len(pins)-1)
+	for k := 1; k < len(pins); k++ {
+		best, bi, bj := 1<<30, -1, -1
+		for i := range pins {
+			if !inTree[i] {
+				continue
+			}
+			for j := range pins {
+				if inTree[j] {
+					continue
+				}
+				d := abs(r.PinNode[i].X-r.PinNode[j].X) + abs(r.PinNode[i].Y-r.PinNode[j].Y)
+				if d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		inTree[bj] = true
+		edges = append(edges, edge{bi, bj})
+	}
+	for _, e := range edges {
+		var segs []Seg
+		var err error
+		if maze {
+			segs, err = db.mazeRoute(r.PinNode[e.from], r.PinNode[e.to])
+			if err != nil {
+				segs = db.patternRoute(r.PinNode[e.from], r.PinNode[e.to])
+			}
+		} else {
+			segs = db.patternRoute(r.PinNode[e.from], r.PinNode[e.to])
+		}
+		r.Segments = append(r.Segments, segs...)
+	}
+	return r, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// viaStack emits via segments moving from layer la to lb at (x, y).
+func viaStack(x, y, la, lb int) []Seg {
+	var segs []Seg
+	step := 1
+	if lb < la {
+		step = -1
+	}
+	for l := la; l != lb; l += step {
+		segs = append(segs, Seg{Node{x, y, l}, Node{x, y, l + step}})
+	}
+	return segs
+}
+
+// viaStackCost prices a via stack, including F2F crossings.
+func (db *DB) viaStackCost(x, y, la, lb int) float64 {
+	cost := float64(abs(lb-la)) * db.opt.ViaCost
+	lo, hi := min(la, lb), la+lb-min(la, lb)
+	if db.f2fIdx >= 0 && lo <= db.f2fIdx && hi > db.f2fIdx {
+		i := db.Grid.Index(x, y)
+		if db.f2fUse[i]+1 > db.f2fCap[i] {
+			cost += 64
+		} else {
+			// Bump crossings are cheap (44 mΩ, 1 fF): hybrid bonding is
+			// dense enough that the router may route through the other
+			// die to avoid congestion — the paper's routability
+			// argument for Macro-3D.
+			cost += 0.3
+		}
+	}
+	return cost
+}
+
+// runCost prices a straight run on a layer.
+func (db *DB) runCost(a, b Node) float64 {
+	cost := 0.0
+	forEachStep(Seg{a, b}, func(n Node) {
+		cost += 1 + db.congestionCost(db.idx(n))
+	})
+	return cost
+}
+
+// patternRoute connects two nodes with the cheaper of the two L-shapes
+// over a selection of H/V layer pairs.
+func (db *DB) patternRoute(a, b Node) []Seg {
+	pairs := db.hvPairs()
+	if len(pairs) == 0 {
+		// Degenerate single-direction stack: direct via stack plus run.
+		return append(viaStack(a.X, a.Y, a.L, b.L), Seg{Node{a.X, a.Y, b.L}, b})
+	}
+	// Candidate pairs: prefer lower pairs for short nets, upper for
+	// long; always consider every pair but bias via order (cost
+	// decides).
+	dist := abs(a.X-b.X) + abs(a.Y-b.Y)
+	sort.SliceStable(pairs, func(i, j int) bool {
+		// Rank by |preferred − pairLevel|: short nets target low
+		// layers, long nets the top pair of the logic die; the longest
+		// nets on a combined stack also consider the macro die's top
+		// pair, routing through the other die when it is cheaper (the
+		// F2F bump is nearly free at 44 mΩ / 1 fF).
+		pref := 0
+		if dist > 24 && db.f2fIdx >= 0 {
+			pref = db.f2fIdx + 1
+		} else if dist > 12 {
+			pref = db.Beol.LogicDieLayers() - 1
+		} else if dist > 4 {
+			pref = 2
+		}
+		di := abs((pairs[i][0]+pairs[i][1])/2 - pref)
+		dj := abs((pairs[j][0]+pairs[j][1])/2 - pref)
+		return di < dj
+	})
+	if len(pairs) > 3 {
+		pairs = pairs[:3]
+	}
+
+	best := -1.0
+	var bestSegs []Seg
+	for _, pr := range pairs {
+		h, v := pr[0], pr[1]
+		for _, firstH := range []bool{true, false} {
+			var segs []Seg
+			cost := 0.0
+			if firstH {
+				// a → (b.X, a.Y) horizontal on h, then vertical on v.
+				segs = append(segs, viaStack(a.X, a.Y, a.L, h)...)
+				cost += db.viaStackCost(a.X, a.Y, a.L, h)
+				if b.X != a.X {
+					s := Seg{Node{a.X, a.Y, h}, Node{b.X, a.Y, h}}
+					segs = append(segs, s)
+					cost += db.runCost(s.A, s.B)
+				}
+				segs = append(segs, viaStack(b.X, a.Y, h, v)...)
+				cost += db.viaStackCost(b.X, a.Y, h, v)
+				if b.Y != a.Y {
+					s := Seg{Node{b.X, a.Y, v}, Node{b.X, b.Y, v}}
+					segs = append(segs, s)
+					cost += db.runCost(s.A, s.B)
+				}
+				segs = append(segs, viaStack(b.X, b.Y, v, b.L)...)
+				cost += db.viaStackCost(b.X, b.Y, v, b.L)
+			} else {
+				// a → (a.X, b.Y) vertical on v, then horizontal on h.
+				segs = append(segs, viaStack(a.X, a.Y, a.L, v)...)
+				cost += db.viaStackCost(a.X, a.Y, a.L, v)
+				if b.Y != a.Y {
+					s := Seg{Node{a.X, a.Y, v}, Node{a.X, b.Y, v}}
+					segs = append(segs, s)
+					cost += db.runCost(s.A, s.B)
+				}
+				segs = append(segs, viaStack(a.X, b.Y, v, h)...)
+				cost += db.viaStackCost(a.X, b.Y, v, h)
+				if b.X != a.X {
+					s := Seg{Node{a.X, b.Y, h}, Node{b.X, b.Y, h}}
+					segs = append(segs, s)
+					cost += db.runCost(s.A, s.B)
+				}
+				segs = append(segs, viaStack(b.X, b.Y, h, b.L)...)
+				cost += db.viaStackCost(b.X, b.Y, h, b.L)
+			}
+			if best < 0 || cost < best {
+				best = cost
+				bestSegs = segs
+			}
+		}
+	}
+	return compactSegs(bestSegs)
+}
+
+// compactSegs drops zero-length artifacts.
+func compactSegs(segs []Seg) []Seg {
+	out := segs[:0]
+	for _, s := range segs {
+		if s.A == s.B {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// --- A* maze routing ---
+
+type pqItem struct {
+	node Node
+	cost float64
+	est  float64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].est < p[j].est }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i]; p[i].idx = i; p[j].idx = j }
+func (p *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*p); *p = append(*p, it) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// mazeRoute finds a least-cost path with 3D A*.
+func (db *DB) mazeRoute(a, b Node) ([]Seg, error) {
+	g := db.Grid
+	nl := db.Beol.NumLayers()
+	size := nl * g.Bins()
+	dist := make([]float64, size)
+	for i := range dist {
+		dist[i] = -1
+	}
+	prev := make([]int32, size)
+	for i := range prev {
+		prev[i] = -1
+	}
+	h := func(n Node) float64 {
+		return float64(abs(n.X-b.X)+abs(n.Y-b.Y)) + float64(abs(n.L-b.L))*db.opt.ViaCost
+	}
+	start := db.idx(a)
+	dist[start] = 0
+	q := &pq{}
+	heap.Push(q, &pqItem{node: a, cost: 0, est: h(a)})
+	// Expansion budget keeps pathological cases bounded.
+	budget := size * 2
+	for q.Len() > 0 && budget > 0 {
+		budget--
+		it := heap.Pop(q).(*pqItem)
+		n := it.node
+		ni := db.idx(n)
+		if it.cost > dist[ni] {
+			continue
+		}
+		if n == b {
+			return db.tracePath(prev, a, b), nil
+		}
+		// Neighbors: preferred-direction steps and vias.
+		var neigh [4]Node
+		var ncost [4]float64
+		cnt := 0
+		ly := db.Beol.Layers[n.L]
+		if ly.Dir == tech.DirHorizontal {
+			if n.X > 0 {
+				neigh[cnt] = Node{n.X - 1, n.Y, n.L}
+				cnt++
+			}
+			if n.X < g.NX-1 {
+				neigh[cnt] = Node{n.X + 1, n.Y, n.L}
+				cnt++
+			}
+		} else {
+			if n.Y > 0 {
+				neigh[cnt] = Node{n.X, n.Y - 1, n.L}
+				cnt++
+			}
+			if n.Y < g.NY-1 {
+				neigh[cnt] = Node{n.X, n.Y + 1, n.L}
+				cnt++
+			}
+		}
+		wireN := cnt
+		if n.L > 0 {
+			neigh[cnt] = Node{n.X, n.Y, n.L - 1}
+			cnt++
+		}
+		if n.L < nl-1 {
+			neigh[cnt] = Node{n.X, n.Y, n.L + 1}
+			cnt++
+		}
+		for k := 0; k < cnt; k++ {
+			m := neigh[k]
+			if k < wireN {
+				ncost[k] = 1 + db.congestionCost(db.idx(m))
+			} else {
+				ncost[k] = db.viaStackCost(n.X, n.Y, n.L, m.L)
+			}
+			mi := db.idx(m)
+			nc := it.cost + ncost[k]
+			if dist[mi] < 0 || nc < dist[mi] {
+				dist[mi] = nc
+				prev[mi] = int32(ni)
+				heap.Push(q, &pqItem{node: m, cost: nc, est: nc + h(m)})
+			}
+		}
+	}
+	return nil, fmt.Errorf("route: maze route %v→%v failed", a, b)
+}
+
+// tracePath reconstructs segments from the predecessor array, merging
+// consecutive steps in the same direction.
+func (db *DB) tracePath(prev []int32, a, b Node) []Seg {
+	// Collect nodes b → a.
+	var nodes []Node
+	cur := db.idx(b)
+	for cur >= 0 {
+		nodes = append(nodes, db.nodeOf(cur))
+		if db.nodeOf(cur) == a {
+			break
+		}
+		cur = int(prev[cur])
+	}
+	// Reverse to a → b.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	var segs []Seg
+	for i := 1; i < len(nodes); i++ {
+		p, n := nodes[i-1], nodes[i]
+		if len(segs) > 0 {
+			last := &segs[len(segs)-1]
+			// Extend the last straight segment when collinear.
+			if !last.IsVia() && !(Seg{p, n}).IsVia() &&
+				((last.A.Y == last.B.Y && last.B.Y == n.Y && last.A.L == n.L) ||
+					(last.A.X == last.B.X && last.B.X == n.X && last.A.L == n.L)) {
+				last.B = n
+				continue
+			}
+		}
+		segs = append(segs, Seg{p, n})
+	}
+	return segs
+}
+
+func (db *DB) nodeOf(i int) Node {
+	l := i / db.Grid.Bins()
+	b := i % db.Grid.Bins()
+	x, y := db.Grid.Coords(b)
+	return Node{x, y, l}
+}

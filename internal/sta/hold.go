@@ -1,0 +1,120 @@
+package sta
+
+import (
+	"macro3d/internal/cell"
+	"macro3d/internal/netlist"
+)
+
+// analyzeHold runs min-delay propagation and hold checks at
+// sequential endpoints:
+//
+//	minArrival(data) ≥ captureLatency + hold
+//
+// Launches use the same clock latencies as setup analysis (a balanced
+// tree makes hold easy; skew between launch and capture is what
+// violates it). Results land in rep.Hold*.
+func (a *analyzer) analyzeHold(order []*netlist.Instance, rep *Report) {
+	minArr := make([]float64, a.nNodes)
+	const posInf = 1e30
+	for i := range minArr {
+		minArr[i] = posInf
+	}
+
+	// Launch points: sequential outputs at latency + clk→Q (fast
+	// corner would be more pessimistic for hold; the caller picks the
+	// corner via Options). Ports launch at their external delay.
+	for _, inst := range a.d.Instances {
+		if inst.Master.IsSequential() {
+			n := a.nodeOfInst(inst)
+			minArr[n] = a.clockLatency(inst) + inst.Master.ClkQ*a.opt.Corner.CellDelay
+		}
+	}
+	for _, p := range a.d.Ports {
+		if p.Dir == cell.DirIn {
+			minArr[a.nodeOfPort(p)] = p.ExtDelay
+		}
+	}
+
+	// Min-delay propagation over the same levelized order. Wire and
+	// cell minimum delays: reuse the nominal model (a single corner);
+	// the short-path Elmore is the same tree.
+	type inEvent struct {
+		drv int
+		elm float64
+	}
+	inputs := make([][]inEvent, len(a.d.Instances))
+	for _, n := range a.d.Nets {
+		if n.Clock {
+			continue
+		}
+		rc := a.ex.Nets[n.ID]
+		if rc == nil {
+			continue
+		}
+		drv, ok := a.refNode(n.Driver)
+		if !ok {
+			continue
+		}
+		for si, s := range n.Sinks {
+			if s.Inst != nil && !s.Inst.Master.IsSequential() && s.Inst.Master.Output() != nil {
+				inputs[s.Inst.ID] = append(inputs[s.Inst.ID], inEvent{drv: drv, elm: rc.ElmoreTo[si]})
+			}
+		}
+	}
+	for _, inst := range order {
+		node := a.nodeOfInst(inst)
+		load := 0.0
+		if on := a.outNet[node]; on != nil {
+			if rc := a.ex.Nets[on.ID]; rc != nil {
+				load = rc.CTotal()
+			}
+		}
+		best := posInf
+		for _, ev := range inputs[inst.ID] {
+			ia := minArr[ev.drv]
+			if ia >= posInf {
+				continue
+			}
+			d := inst.Master.Delay(load, a.opt.DefaultSlew) * a.opt.Corner.CellDelay
+			if at := ia + ev.elm + d; at < best {
+				best = at
+			}
+		}
+		if best < posInf {
+			minArr[node] = best
+		}
+	}
+
+	// Hold checks at sequential data inputs.
+	rep.HoldWNS = posInf
+	for _, n := range a.d.Nets {
+		if n.Clock {
+			continue
+		}
+		rc := a.ex.Nets[n.ID]
+		if rc == nil {
+			continue
+		}
+		drv, ok := a.refNode(n.Driver)
+		if !ok || minArr[drv] >= posInf {
+			continue
+		}
+		for si, s := range n.Sinks {
+			if s.Inst == nil || !s.Inst.Master.IsSequential() || s.Inst.Master.Pin(s.Pin).Clock {
+				continue
+			}
+			at := minArr[drv] + rc.ElmoreTo[si]
+			slack := at - a.clockLatency(s.Inst) - s.Inst.Master.Hold*a.opt.Corner.CellDelay
+			rep.HoldEndpoints++
+			if slack < rep.HoldWNS {
+				rep.HoldWNS = slack
+			}
+			if slack < 0 {
+				rep.HoldViolations++
+			}
+		}
+	}
+	if rep.HoldEndpoints == 0 {
+		rep.HoldWNS = 0
+	}
+}

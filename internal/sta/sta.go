@@ -1,0 +1,552 @@
+// Package sta is a static timing analyzer over the placed, routed and
+// extracted design: levelized arrival propagation with slew-aware
+// linear cell delays and Elmore wire delays, launch/capture through the
+// synthesized clock tree's per-sink latencies, setup checks at
+// flip-flops and clocked macros, and the half-cycle inter-tile port
+// constraints of the OpenPiton tile methodology (paper §V-1).
+//
+// The analyzer reports the minimum feasible clock period (and thus
+// f_max, the paper's performance metric), worst slack at a target
+// period, and the critical path with its routed wirelength.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/cts"
+	"macro3d/internal/extract"
+	"macro3d/internal/netlist"
+	"macro3d/internal/tech"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	Corner tech.CornerScale
+	// Clock provides per-sink latencies; nil analyses with an ideal
+	// clock (zero latency, zero skew).
+	Clock *cts.Tree
+	// DefaultSlew is the slew at launch points, ps (default 30).
+	DefaultSlew float64
+	// TopPaths is the number of worst paths to trace into
+	// Report.Paths (default 8; Critical is always Paths[0]).
+	TopPaths int
+	// CheckHold adds a min-delay propagation pass and hold checks at
+	// sequential endpoints (the paper signs off setup only; hold is an
+	// extension).
+	CheckHold bool
+	// SkewGuard adds margin to every setup check, ps (default 0 — the
+	// tree's real latencies already capture skew).
+	SkewGuard float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Corner.CellDelay == 0 {
+		o.Corner = tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1}
+	}
+	if o.DefaultSlew <= 0 {
+		o.DefaultSlew = 30
+	}
+	return o
+}
+
+// PathStep is one hop of a reported path.
+type PathStep struct {
+	Ref     netlist.PinRef
+	Arrival float64 // ps
+}
+
+// Path is a traced critical path.
+type Path struct {
+	Steps      []PathStep
+	Delay      float64 // ps, launch to endpoint data arrival
+	Wirelength float64 // µm along the path
+	HalfCycle  bool    // launched/captured by a half-cycle port
+}
+
+// Report is the analysis outcome.
+type Report struct {
+	// MinPeriod is the smallest clock period meeting every constraint,
+	// ps.
+	MinPeriod float64
+	// FmaxMHz = 1e6 / MinPeriod.
+	FmaxMHz float64
+	// WNS at the analyzed period (ps); negative = violated.
+	WNS float64
+	// TNS sums negative endpoint slacks, ps.
+	TNS float64
+	// Critical is the path that sets MinPeriod.
+	Critical Path
+	// Paths holds the TopPaths worst paths, most critical first, at
+	// most one per distinct launch node.
+	Paths []Path
+	// Endpoints analyzed.
+	Endpoints int
+
+	// Hold results (only when Options.CheckHold).
+	HoldWNS        float64
+	HoldViolations int
+	HoldEndpoints  int
+}
+
+// node ids: instances 0..len(Instances)-1, ports after.
+type analyzer struct {
+	d   *netlist.Design
+	ex  *extract.Design
+	opt Options
+
+	nNodes int
+
+	arr  []float64 // arrival at node output (ps); -inf = unreached
+	slew []float64
+	wl   []float64 // path wirelength to node, µm
+	prev []int     // predecessor node for path trace
+	pref []netlist.PinRef
+
+	// per-node launch latency already included in arr (for reporting).
+	outNet []*netlist.Net // net driven by node, nil if none
+}
+
+func (a *analyzer) nodeOfInst(i *netlist.Instance) int { return i.ID }
+func (a *analyzer) nodeOfPort(p *netlist.Port) int     { return len(a.d.Instances) + p.ID }
+
+// clockLatency returns the tree latency of a sequential instance.
+func (a *analyzer) clockLatency(inst *netlist.Instance) float64 {
+	if a.opt.Clock == nil {
+		return 0
+	}
+	return a.opt.Clock.LatencyOf[inst.ID]
+}
+
+// Analyze runs setup analysis. period is the target clock period in ps
+// (used for slack; MinPeriod is computed regardless).
+func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	a := &analyzer{d: d, ex: ex, opt: opt, nNodes: len(d.Instances) + len(d.Ports)}
+
+	order, err := a.levelize()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+
+	// I/O constraints reference a virtual port clock at the tree's
+	// mean insertion delay (a balanced tree makes every tile pin see
+	// nearly this edge), so half-cycle budgets measure tile-relative
+	// delay rather than double-counting the absolute clock latency —
+	// essential when the same tile is verified inside a deep-tree
+	// array (§V-1).
+	ioRef := 0.0
+	if opt.Clock != nil {
+		ioRef = opt.Clock.MeanLatency
+	}
+
+	// Pass 1: full-cycle launches (sequential elements; non-half-cycle
+	// input ports).
+	a.initArrays()
+	for _, inst := range d.Instances {
+		if inst.Master.IsSequential() {
+			n := a.nodeOfInst(inst)
+			// Launch = clock latency + clk→Q + output drive into the
+			// extracted load of the driven net.
+			load := 0.0
+			if on := a.outNet[n]; on != nil {
+				if rc := ex.Nets[on.ID]; rc != nil {
+					load = rc.CTotal()
+				}
+			}
+			a.arr[n] = a.clockLatency(inst) +
+				(inst.Master.ClkQ+inst.Master.DriveRes*load)*opt.Corner.CellDelay
+			a.slew[n] = opt.DefaultSlew
+		}
+	}
+	for _, p := range d.Ports {
+		if p.Dir == cell.DirIn && !p.HalfCycle {
+			n := a.nodeOfPort(p)
+			a.arr[n] = p.ExtDelay + ioRef
+			a.slew[n] = opt.DefaultSlew
+		}
+	}
+	a.propagate(order)
+	full := a.snapshot()
+
+	// Pass 2: half-cycle port launches only.
+	a.initArrays()
+	for _, p := range d.Ports {
+		if p.Dir == cell.DirIn && p.HalfCycle {
+			n := a.nodeOfPort(p)
+			a.arr[n] = p.ExtDelay + ioRef
+			a.slew[n] = opt.DefaultSlew
+		}
+	}
+	a.propagate(order)
+	half := a.snapshot()
+
+	// Endpoint checks.
+	type endpoint struct {
+		req    float64 // minimum period this endpoint demands
+		node   int     // launching-side node for path tracing
+		sinkWL float64
+		ref    netlist.PinRef
+		delay  float64
+		isHalf bool
+		snap   *snap
+	}
+	var all []endpoint
+
+	consider := func(e endpoint, slackAt func(p float64) float64) {
+		rep.Endpoints++
+		s := slackAt(period)
+		if s < 0 {
+			rep.TNS += s
+		}
+		if s < rep.WNS || rep.Endpoints == 1 {
+			rep.WNS = s
+		}
+		all = append(all, e)
+	}
+
+	for _, n := range d.Nets {
+		if n.Clock {
+			continue
+		}
+		rc := ex.Nets[n.ID]
+		if rc == nil {
+			continue
+		}
+		drvNode, ok := a.refNode(n.Driver)
+		if !ok {
+			continue
+		}
+		for si, s := range n.Sinks {
+			elm := rc.ElmoreTo[si] // already corner-scaled by extraction
+			// Endpoint classification.
+			switch {
+			case s.Inst != nil && s.Inst.Master.IsSequential() && !s.Inst.Master.Pin(s.Pin).Clock:
+				setup := s.Inst.Master.Setup * opt.Corner.CellDelay
+				capLat := a.clockLatency(s.Inst)
+				// Full-cycle launched paths.
+				if fa := full.arr[drvNode]; fa > negInf {
+					at := fa + elm
+					req := at + setup - capLat + opt.SkewGuard
+					consider(endpoint{
+						req: req, node: drvNode, ref: s,
+						delay: at, snap: full,
+						sinkWL: full.wl[drvNode] + dist(n.Driver, s),
+					}, func(p float64) float64 { return p + capLat - setup - at - opt.SkewGuard })
+				}
+				// Half-cycle launched paths: budget T/2.
+				if ha := half.arr[drvNode]; ha > negInf {
+					at := ha + elm
+					req := 2 * (at + setup - capLat + opt.SkewGuard)
+					consider(endpoint{
+						req: req, node: drvNode, ref: s,
+						delay: at, isHalf: true, snap: half,
+						sinkWL: half.wl[drvNode] + dist(n.Driver, s),
+					}, func(p float64) float64 { return p/2 + capLat - setup - at - opt.SkewGuard })
+				}
+			case s.Port != nil && s.Port.Dir == cell.DirOut:
+				if fa := full.arr[drvNode]; fa > negInf {
+					at := fa + elm
+					div := 1.0
+					if s.Port.HalfCycle {
+						div = 2
+					}
+					// Delay relative to the virtual port clock edge.
+					rel := at - ioRef
+					req := rel * div
+					consider(endpoint{
+						req: req, node: drvNode, ref: s,
+						delay: at, isHalf: s.Port.HalfCycle, snap: full,
+						sinkWL: full.wl[drvNode] + dist(n.Driver, s),
+					}, func(p float64) float64 { return p/div - rel })
+				}
+				// Port-to-port paths (half-launch to half-capture)
+				// are feedthroughs; OpenPiton tiles register at both
+				// ends, so they are rare — still checked.
+				if ha := half.arr[drvNode]; ha > negInf && s.Port.HalfCycle {
+					at := ha + elm
+					rel := at - ioRef
+					consider(endpoint{
+						req: rel, node: drvNode, ref: s,
+						delay: at, isHalf: true, snap: half,
+						sinkWL: half.wl[drvNode] + dist(n.Driver, s),
+					}, func(p float64) float64 { return p - rel })
+				}
+			}
+		}
+	}
+
+	if opt.CheckHold {
+		a.analyzeHold(order, rep)
+	}
+
+	if len(all) == 0 {
+		return nil, fmt.Errorf("sta: no constrained endpoints found")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].req > all[j].req })
+	worst := all[0]
+	rep.MinPeriod = worst.req
+	rep.FmaxMHz = 1e6 / worst.req
+	rep.Critical = a.trace(worst.node, worst.snap, worst.ref, worst.delay, worst.sinkWL, worst.isHalf)
+
+	// Top-K paths, one per distinct launch node so the optimizer sees
+	// independent problems rather than K sinks of one bus.
+	k := opt.TopPaths
+	if k <= 0 {
+		k = 8
+	}
+	seenNode := map[int]bool{}
+	for _, e := range all {
+		if len(rep.Paths) >= k {
+			break
+		}
+		if seenNode[e.node] {
+			continue
+		}
+		seenNode[e.node] = true
+		rep.Paths = append(rep.Paths, a.trace(e.node, e.snap, e.ref, e.delay, e.sinkWL, e.isHalf))
+	}
+	return rep, nil
+}
+
+const negInf = -1e30
+
+type snap struct {
+	arr, slew, wl []float64
+	prev          []int
+	pref          []netlist.PinRef
+}
+
+func (a *analyzer) snapshot() *snap {
+	return &snap{
+		arr:  append([]float64(nil), a.arr...),
+		slew: append([]float64(nil), a.slew...),
+		wl:   append([]float64(nil), a.wl...),
+		prev: append([]int(nil), a.prev...),
+		pref: append([]netlist.PinRef(nil), a.pref...),
+	}
+}
+
+func (a *analyzer) initArrays() {
+	if a.arr == nil {
+		a.arr = make([]float64, a.nNodes)
+		a.slew = make([]float64, a.nNodes)
+		a.wl = make([]float64, a.nNodes)
+		a.prev = make([]int, a.nNodes)
+		a.pref = make([]netlist.PinRef, a.nNodes)
+		a.outNet = make([]*netlist.Net, a.nNodes)
+		for _, n := range a.d.Nets {
+			if n.Clock {
+				continue
+			}
+			if id, ok := a.refNode(n.Driver); ok {
+				a.outNet[id] = n
+			}
+		}
+	}
+	for i := range a.arr {
+		a.arr[i] = negInf
+		a.slew[i] = a.opt.DefaultSlew
+		a.wl[i] = 0
+		a.prev[i] = -1
+	}
+}
+
+func (a *analyzer) refNode(r netlist.PinRef) (int, bool) {
+	if r.Port != nil {
+		return a.nodeOfPort(r.Port), true
+	}
+	if r.Inst != nil {
+		return a.nodeOfInst(r.Inst), true
+	}
+	return 0, false
+}
+
+// levelize orders combinational instances topologically (Kahn).
+func (a *analyzer) levelize() ([]*netlist.Instance, error) {
+	indeg := make([]int, len(a.d.Instances))
+	fanout := make([][]*netlist.Instance, a.nNodes)
+	isComb := func(i *netlist.Instance) bool {
+		return !i.Master.IsSequential() && i.Master.Kind != cell.KindFiller && i.Master.Output() != nil
+	}
+	for _, n := range a.d.Nets {
+		if n.Clock {
+			continue
+		}
+		drv, ok := a.refNode(n.Driver)
+		if !ok {
+			continue
+		}
+		for _, s := range n.Sinks {
+			if s.Inst != nil && isComb(s.Inst) {
+				indeg[s.Inst.ID]++
+				fanout[drv] = append(fanout[drv], s.Inst)
+			}
+		}
+	}
+	var queue []*netlist.Instance
+	// Seeds: combinational gates with no driven inputs, plus fanout of
+	// sequentials and ports (handled by decrementing below). Start by
+	// releasing all non-comb sources.
+	released := make([]bool, len(a.d.Instances))
+	for _, inst := range a.d.Instances {
+		if isComb(inst) && indeg[inst.ID] == 0 {
+			queue = append(queue, inst)
+			released[inst.ID] = true
+		}
+	}
+	// Release fanout of sequentials/ports.
+	relax := func(node int) {
+		for _, f := range fanout[node] {
+			indeg[f.ID]--
+		}
+	}
+	for _, inst := range a.d.Instances {
+		if inst.Master.IsSequential() {
+			relax(a.nodeOfInst(inst))
+		}
+	}
+	for _, p := range a.d.Ports {
+		relax(a.nodeOfPort(p))
+	}
+	for _, inst := range a.d.Instances {
+		if isComb(inst) && indeg[inst.ID] == 0 && !released[inst.ID] {
+			queue = append(queue, inst)
+			released[inst.ID] = true
+		}
+	}
+	var order []*netlist.Instance
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		order = append(order, inst)
+		relax(a.nodeOfInst(inst))
+		for _, f := range fanout[a.nodeOfInst(inst)] {
+			if indeg[f.ID] == 0 && !released[f.ID] {
+				queue = append(queue, f)
+				released[f.ID] = true
+			}
+		}
+	}
+	// Verify completeness.
+	comb := 0
+	for _, inst := range a.d.Instances {
+		if isComb(inst) {
+			comb++
+		}
+	}
+	if len(order) != comb {
+		return nil, fmt.Errorf("sta: combinational loop detected (%d of %d gates levelized)", len(order), comb)
+	}
+	return order, nil
+}
+
+// propagate computes arrivals through the combinational order.
+func (a *analyzer) propagate(order []*netlist.Instance) {
+	// Per-instance input arrivals come from the nets driving them; we
+	// need sink-side lookup: iterate nets once building input events.
+	type inEvent struct {
+		drv  int
+		elm  float64
+		ref  netlist.PinRef // the sink pin (for slew sensitivity)
+		from netlist.PinRef // driver ref (for distance)
+	}
+	inputs := make([][]inEvent, len(a.d.Instances))
+	for _, n := range a.d.Nets {
+		if n.Clock {
+			continue
+		}
+		rc := a.ex.Nets[n.ID]
+		if rc == nil {
+			continue
+		}
+		drv, ok := a.refNode(n.Driver)
+		if !ok {
+			continue
+		}
+		for si, s := range n.Sinks {
+			if s.Inst != nil && !s.Inst.Master.IsSequential() && s.Inst.Master.Output() != nil {
+				inputs[s.Inst.ID] = append(inputs[s.Inst.ID], inEvent{
+					drv: drv, elm: rc.ElmoreTo[si], ref: s, from: n.Driver,
+				})
+			}
+		}
+	}
+	for _, inst := range order {
+		node := a.nodeOfInst(inst)
+		load := 0.0
+		if on := a.outNet[node]; on != nil {
+			if rc := a.ex.Nets[on.ID]; rc != nil {
+				load = rc.CTotal()
+			}
+		}
+		best := negInf
+		var bestPrev int = -1
+		var bestRef netlist.PinRef
+		var bestWL float64
+		var bestSlew float64 = a.opt.DefaultSlew
+		for _, ev := range inputs[inst.ID] {
+			ia := a.arr[ev.drv]
+			if ia <= negInf {
+				continue
+			}
+			inArr := ia + ev.elm
+			inSlew := a.slew[ev.drv] + ev.elm // slew degrades along RC wire
+			d := inst.Master.Delay(load, inSlew) * a.opt.Corner.CellDelay
+			at := inArr + d
+			if at > best {
+				best = at
+				bestPrev = ev.drv
+				bestRef = ev.from
+				bestWL = a.wl[ev.drv] + dist(ev.from, ev.ref)
+				bestSlew = inst.Master.OutSlew(load)
+			}
+		}
+		if bestPrev >= 0 {
+			a.arr[node] = best
+			a.prev[node] = bestPrev
+			a.pref[node] = bestRef
+			a.wl[node] = bestWL
+			a.slew[node] = bestSlew
+		}
+	}
+}
+
+// dist is the Manhattan distance between two connection points, µm.
+func dist(a, b netlist.PinRef) float64 {
+	return a.Loc().Manhattan(b.Loc())
+}
+
+// trace reconstructs the critical path from the endpoint's launch node.
+func (a *analyzer) trace(node int, s *snap, end netlist.PinRef, delay, wl float64, isHalf bool) Path {
+	p := Path{Delay: delay, Wirelength: wl, HalfCycle: isHalf}
+	var steps []PathStep
+	steps = append(steps, PathStep{Ref: end, Arrival: delay})
+	for n := node; n >= 0; n = s.prev[n] {
+		steps = append(steps, PathStep{Ref: a.nodeRef(n), Arrival: s.arr[n]})
+	}
+	// Reverse.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	p.Steps = steps
+	return p
+}
+
+// nodeRef reconstructs a PinRef describing a node's output.
+func (a *analyzer) nodeRef(n int) netlist.PinRef {
+	if n < len(a.d.Instances) {
+		inst := a.d.Instances[n]
+		if out := inst.Master.Output(); out != nil {
+			return netlist.IPin(inst, out.Name)
+		}
+		return netlist.PinRef{Inst: inst}
+	}
+	return netlist.PPin(a.d.Ports[n-len(a.d.Instances)])
+}
+
+var _ = math.Inf

@@ -1,0 +1,318 @@
+package sta
+
+import (
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/cts"
+	"macro3d/internal/extract"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// pipe builds: clk port, FF1 → k inverters → FF2, all placed along a
+// line of the given span. Returns the design plus routing/extraction.
+func pipe(t *testing.T, span float64, k int) (*netlist.Design, *extract.Design) {
+	t.Helper()
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("pipe", lib)
+	clk := d.AddPort("clk", cell.DirIn)
+	clk.Loc = geom.Pt(0, 0)
+
+	ff1 := d.AddInstance("ff1", lib.MustCell("DFF_X1"))
+	ff1.Loc = geom.Pt(10, 10)
+	ff2 := d.AddInstance("ff2", lib.MustCell("DFF_X1"))
+	ff2.Loc = geom.Pt(10+span, 10)
+
+	prev := netlist.IPin(ff1, "Q")
+	for i := 0; i < k; i++ {
+		u := d.AddInstance("inv"+itoa(i), lib.MustCell("INV_X2"))
+		u.Loc = geom.Pt(10+span*float64(i+1)/float64(k+1), 10)
+		d.AddNet("n"+itoa(i), prev, netlist.IPin(u, "A"))
+		prev = netlist.IPin(u, "Y")
+	}
+	d.AddNet("n_end", prev, netlist.IPin(ff2, "D"))
+	cn := d.AddNet("clk", netlist.PPin(clk), netlist.IPin(ff1, "CK"), netlist.IPin(ff2, "CK"))
+	cn.Clock = true
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	beol, _ := tech.NewBEOL28("logic", 6)
+	db := route.NewDB(geom.R(0, 0, span+100, 200), beol, nil, route.Options{GCellPitch: 10})
+	res, err := route.RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := extract.Extract(d, res, db, tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1})
+	return d, ex
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestPipelineTiming(t *testing.T) {
+	d, ex := pipe(t, 200, 4)
+	rep, err := Analyze(d, ex, 2000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 inverters + FF clk-q + setup: tens to hundreds of ps.
+	if rep.MinPeriod < 50 || rep.MinPeriod > 1500 {
+		t.Fatalf("MinPeriod = %v ps, implausible", rep.MinPeriod)
+	}
+	if rep.FmaxMHz <= 0 || rep.FmaxMHz != 1e6/rep.MinPeriod {
+		t.Fatalf("Fmax = %v", rep.FmaxMHz)
+	}
+	// At a generous 2000 ps period, slack is positive.
+	if rep.WNS <= 0 {
+		t.Fatalf("WNS = %v at 2 ns", rep.WNS)
+	}
+	if rep.Endpoints == 0 {
+		t.Fatal("no endpoints")
+	}
+	// Critical path runs ff1 → … → ff2.
+	cp := rep.Critical
+	if len(cp.Steps) < 3 {
+		t.Fatalf("critical path only %d steps", len(cp.Steps))
+	}
+	last := cp.Steps[len(cp.Steps)-1].Ref
+	if last.Inst == nil || last.Inst.Name != "ff2" {
+		t.Fatalf("critical endpoint = %v", last)
+	}
+	if cp.Wirelength <= 0 {
+		t.Fatal("no path wirelength")
+	}
+}
+
+func TestLongerWireSlower(t *testing.T) {
+	d1, ex1 := pipe(t, 100, 2)
+	d2, ex2 := pipe(t, 1500, 2)
+	r1, err := Analyze(d1, ex1, 3000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(d2, ex2, 3000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.MinPeriod <= r1.MinPeriod {
+		t.Fatalf("longer design not slower: %v vs %v", r1.MinPeriod, r2.MinPeriod)
+	}
+	if r2.Critical.Wirelength <= r1.Critical.Wirelength {
+		t.Fatal("longer design has shorter critical wirelength")
+	}
+}
+
+func TestSlowCornerSlower(t *testing.T) {
+	d, exTyp := pipe(t, 400, 3)
+	rTyp, err := Analyze(d, exTyp, 3000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSlow, err := Analyze(d, exTyp, 3000, Options{
+		Corner: tech.CornerScale{CellDelay: 1.25, WireR: 1, WireC: 1, Leakage: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.MinPeriod <= rTyp.MinPeriod {
+		t.Fatalf("slow corner not slower: %v vs %v", rSlow.MinPeriod, rTyp.MinPeriod)
+	}
+}
+
+func TestHalfCyclePortConstraint(t *testing.T) {
+	// FF → output port, port half-cycle: required period doubles
+	// versus the same path with a full-cycle port.
+	build := func(half bool) (*netlist.Design, *extract.Design) {
+		lib := cell.NewStdLib28(cell.DefaultLibOptions())
+		d := netlist.NewDesign("p", lib)
+		clk := d.AddPort("clk", cell.DirIn)
+		clk.Loc = geom.Pt(0, 0)
+		ff := d.AddInstance("ff", lib.MustCell("DFF_X1"))
+		ff.Loc = geom.Pt(10, 10)
+		out := d.AddPort("dout", cell.DirOut)
+		out.Loc = geom.Pt(600, 10)
+		out.Layer = "M6"
+		out.HalfCycle = half
+		d.AddNet("n", netlist.IPin(ff, "Q"), netlist.PPin(out))
+		cn := d.AddNet("clk", netlist.PPin(clk), netlist.IPin(ff, "CK"))
+		cn.Clock = true
+		beol, _ := tech.NewBEOL28("logic", 6)
+		db := route.NewDB(geom.R(0, 0, 700, 100), beol, nil, route.Options{GCellPitch: 10})
+		res, err := route.RouteDesign(d, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := extract.Extract(d, res, db, tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1})
+		return d, ex
+	}
+	dF, exF := build(false)
+	dH, exH := build(true)
+	rF, err := Analyze(dF, exF, 2000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rH, err := Analyze(dH, exH, 2000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rH.MinPeriod / rF.MinPeriod
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("half-cycle ratio = %v, want ≈2", ratio)
+	}
+	if !rH.Critical.HalfCycle {
+		t.Fatal("critical path not flagged half-cycle")
+	}
+}
+
+func TestClockTreeLatencyShiftsLaunch(t *testing.T) {
+	d, ex := pipe(t, 400, 3)
+	rIdeal, err := Analyze(d, ex, 3000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a real tree over the two FFs.
+	beol, _ := tech.NewBEOL28("logic", 6)
+	tree := cts.Build(d, d.Net("clk"), d.Port("clk").Loc, d.Lib, beol, cts.Options{})
+	rTree, err := Analyze(d, ex, 3000, Options{Clock: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Launch/capture latencies nearly cancel on a balanced tree; the
+	// period must stay within the skew of ideal.
+	diff := rTree.MinPeriod - rIdeal.MinPeriod
+	if diff < -tree.Skew-1 || diff > tree.Skew+1 {
+		t.Fatalf("tree shifted period by %v ps, skew is %v", diff, tree.Skew)
+	}
+}
+
+func TestSetupIncludedInMinPeriod(t *testing.T) {
+	d, ex := pipe(t, 50, 0) // FF → FF direct
+	rep, err := Analyze(d, ex, 2000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := d.Instance("ff1").Master
+	// MinPeriod ≥ ClkQ + setup even with negligible wire.
+	if rep.MinPeriod < ff.ClkQ+ff.Setup {
+		t.Fatalf("MinPeriod %v < ClkQ+setup %v", rep.MinPeriod, ff.ClkQ+ff.Setup)
+	}
+}
+
+func TestNoEndpointsError(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("none", lib)
+	a := d.AddInstance("a", lib.MustCell("INV_X1"))
+	b := d.AddInstance("b", lib.MustCell("INV_X1"))
+	d.AddNet("n", netlist.IPin(a, "Y"), netlist.IPin(b, "A"))
+	beol, _ := tech.NewBEOL28("logic", 6)
+	db := route.NewDB(geom.R(0, 0, 100, 100), beol, nil, route.Options{})
+	res, _ := route.RouteDesign(d, db)
+	ex := extract.Extract(d, res, db, tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1})
+	if _, err := Analyze(d, ex, 1000, Options{}); err == nil {
+		t.Fatal("expected error for design without endpoints")
+	}
+}
+
+func TestHoldAnalysis(t *testing.T) {
+	d, ex := pipe(t, 300, 3)
+	rep, err := Analyze(d, ex, 2000, Options{CheckHold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HoldEndpoints == 0 {
+		t.Fatal("no hold endpoints analyzed")
+	}
+	// A 3-inverter path with ideal clock easily meets a 5 ps hold.
+	if rep.HoldViolations != 0 {
+		t.Fatalf("%d hold violations on a deep path", rep.HoldViolations)
+	}
+	if rep.HoldWNS <= 0 {
+		t.Fatalf("HoldWNS = %v, want positive", rep.HoldWNS)
+	}
+	// Min path delay cannot exceed max path delay.
+	if rep.HoldWNS > rep.Critical.Delay {
+		t.Fatalf("hold slack %v exceeds critical delay %v", rep.HoldWNS, rep.Critical.Delay)
+	}
+	// Without the flag, hold fields stay zero.
+	rep2, err := Analyze(d, ex, 2000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.HoldEndpoints != 0 || rep2.HoldWNS != 0 {
+		t.Fatal("hold ran without CheckHold")
+	}
+}
+
+func TestHoldViolationDetected(t *testing.T) {
+	// Direct FF→FF with a large artificial capture latency: the data
+	// races ahead of the late clock → hold violation.
+	d, ex := pipe(t, 40, 0)
+	ff2 := d.Instance("ff2")
+	tree := &cts.Tree{LatencyOf: map[int]float64{
+		d.Instance("ff1").ID: 0,
+		ff2.ID:               400, // capture clock arrives 400 ps late
+	}}
+	rep, err := Analyze(d, ex, 2000, Options{CheckHold: true, Clock: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HoldViolations == 0 {
+		t.Fatalf("no hold violation despite 400 ps capture skew (WNS %v)", rep.HoldWNS)
+	}
+	if rep.HoldWNS >= 0 {
+		t.Fatalf("HoldWNS = %v, want negative", rep.HoldWNS)
+	}
+}
+
+func TestMinPeriodMonotoneInCornerProperty(t *testing.T) {
+	// Property: scaling cell delay up never reduces the minimum
+	// period.
+	d, ex := pipe(t, 500, 4)
+	prev := 0.0
+	for _, scale := range []float64{0.8, 1.0, 1.1, 1.25, 1.5} {
+		rep, err := Analyze(d, ex, 3000, Options{
+			Corner: tech.CornerScale{CellDelay: scale, WireR: 1, WireC: 1, Leakage: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MinPeriod < prev {
+			t.Fatalf("MinPeriod decreased at scale %v: %v < %v", scale, rep.MinPeriod, prev)
+		}
+		prev = rep.MinPeriod
+	}
+}
+
+func TestTopPathsOrderedAndDeduped(t *testing.T) {
+	d, ex := pipe(t, 400, 5)
+	rep, err := Analyze(d, ex, 2000, Options{TopPaths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) == 0 {
+		t.Fatal("no paths reported")
+	}
+	if rep.Paths[0].Delay != rep.Critical.Delay {
+		t.Fatal("Paths[0] is not the critical path")
+	}
+	seen := map[string]bool{}
+	for _, p := range rep.Paths {
+		launch := p.Steps[0].Ref.String()
+		if seen[launch] {
+			t.Fatalf("duplicate launch %s in top paths", launch)
+		}
+		seen[launch] = true
+	}
+}

@@ -1,0 +1,171 @@
+package tech
+
+import "fmt"
+
+// Corner identifies a process corner for analysis. Timing closure is
+// done at the slow corner and power is reported at the typical corner,
+// matching the paper's setup.
+type Corner uint8
+
+// Supported corners.
+const (
+	CornerTypical Corner = iota
+	CornerSlow
+	CornerFast
+)
+
+func (c Corner) String() string {
+	switch c {
+	case CornerSlow:
+		return "slow"
+	case CornerFast:
+		return "fast"
+	default:
+		return "typical"
+	}
+}
+
+// CornerScale holds multipliers applied to nominal delays/parasitics
+// at a corner.
+type CornerScale struct {
+	CellDelay float64 // gate delay multiplier
+	WireR     float64 // wire resistance multiplier
+	WireC     float64 // wire capacitance multiplier
+	Leakage   float64 // leakage power multiplier
+}
+
+// Tech bundles everything the flow needs to know about a process node:
+// the standard-cell geometry grid, supply, BEOL stacks and corners.
+type Tech struct {
+	Name string
+
+	// Standard-cell placement geometry.
+	RowHeight float64 // µm
+	SiteWidth float64 // µm, placement site (cell widths are multiples)
+
+	VDD float64 // supply voltage, V
+
+	// Logic is the BEOL manufactured on the logic die. Designs route
+	// on this stack (2D) or on a Combine()d stack (Macro-3D).
+	Logic *BEOL
+
+	F2F F2FSpec
+
+	Corners map[Corner]CornerScale
+}
+
+// CornerScaleFor returns the scale set for a corner, defaulting to the
+// identity at the typical corner.
+func (t *Tech) CornerScaleFor(c Corner) CornerScale {
+	if s, ok := t.Corners[c]; ok {
+		return s
+	}
+	return CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1}
+}
+
+// metalSpec is one row of the synthetic 28 nm stack table.
+type metalSpec struct {
+	pitch, width, r, c float64
+}
+
+// The synthetic 28 nm-class metal stack. Pitches, widths and
+// per-unit-length parasitics follow public 28 nm HKMG numbers: tight
+// double-patterned-like lower metals with high resistance, relaxed
+// upper metals with low resistance. R in kΩ/µm, C in fF/µm.
+var metals28 = []metalSpec{
+	{pitch: 0.10, width: 0.050, r: 0.0080, c: 0.20}, // M1
+	{pitch: 0.10, width: 0.050, r: 0.0080, c: 0.20}, // M2
+	{pitch: 0.10, width: 0.050, r: 0.0068, c: 0.20}, // M3
+	{pitch: 0.20, width: 0.100, r: 0.0021, c: 0.22}, // M4
+	{pitch: 0.20, width: 0.100, r: 0.0021, c: 0.22}, // M5
+	{pitch: 0.40, width: 0.200, r: 0.0006, c: 0.24}, // M6
+	{pitch: 0.40, width: 0.200, r: 0.0006, c: 0.24}, // M7 (headroom)
+	{pitch: 0.80, width: 0.400, r: 0.0002, c: 0.26}, // M8 (headroom)
+}
+
+// via resistance/capacitance per cut between Mi and Mi+1.
+var vias28 = []Via{
+	{Name: "VIA12", R: 0.004, C: 0.05},
+	{Name: "VIA23", R: 0.004, C: 0.05},
+	{Name: "VIA34", R: 0.003, C: 0.06},
+	{Name: "VIA45", R: 0.002, C: 0.06},
+	{Name: "VIA56", R: 0.002, C: 0.07},
+	{Name: "VIA67", R: 0.001, C: 0.07},
+	{Name: "VIA78", R: 0.001, C: 0.08},
+}
+
+// NewBEOL28 builds a single-die 28 nm stack with the given number of
+// metal layers (2..8). Odd layers route horizontally, even vertically,
+// the usual HVH alternation starting from M1 horizontal.
+func NewBEOL28(name string, layers int) (*BEOL, error) {
+	if layers < 2 || layers > len(metals28) {
+		return nil, fmt.Errorf("tech: 28 nm stack supports 2..%d layers, got %d", len(metals28), layers)
+	}
+	b := &BEOL{Name: name}
+	for i := 0; i < layers; i++ {
+		dir := DirHorizontal
+		if i%2 == 1 {
+			dir = DirVertical
+		}
+		b.Layers = append(b.Layers, Layer{
+			Name:   fmt.Sprintf("M%d", i+1),
+			Dir:    dir,
+			Pitch:  metals28[i].pitch,
+			Width:  metals28[i].width,
+			RPerUm: metals28[i].r,
+			CPerUm: metals28[i].c,
+		})
+		if i > 0 {
+			b.Vias = append(b.Vias, vias28[i-1])
+		}
+	}
+	return b, b.Validate()
+}
+
+// New28 returns the synthetic 28 nm HKMG planar technology used by the
+// case study, with the given logic-die metal count (the paper uses 6).
+func New28(logicMetals int) (*Tech, error) {
+	logic, err := NewBEOL28("logic28", logicMetals)
+	if err != nil {
+		return nil, err
+	}
+	return &Tech{
+		Name:      "synth28",
+		RowHeight: 1.2,
+		SiteWidth: 0.19,
+		VDD:       0.9,
+		Logic:     logic,
+		F2F:       DefaultF2F(),
+		Corners: map[Corner]CornerScale{
+			CornerTypical: {CellDelay: 1.00, WireR: 1.00, WireC: 1.00, Leakage: 1.0},
+			CornerSlow:    {CellDelay: 1.25, WireR: 1.12, WireC: 1.05, Leakage: 0.6},
+			CornerFast:    {CellDelay: 0.82, WireR: 0.92, WireC: 0.96, Leakage: 1.8},
+		},
+	}, nil
+}
+
+// ScaleParasitics returns a copy of b with per-unit-length wire R and C
+// multiplied by f. Compact-2D uses this with f = 1/√2 so that routes in
+// its 2×-footprint intermediate design mimic target-3D parasitics.
+func ScaleParasitics(b *BEOL, f float64) *BEOL {
+	c := b.Clone()
+	c.Name = fmt.Sprintf("%s×%.3f", b.Name, f)
+	for i := range c.Layers {
+		c.Layers[i].RPerUm *= f
+		c.Layers[i].CPerUm *= f
+	}
+	return c
+}
+
+// ShrinkGeometry returns a copy of b with pitches and widths scaled by
+// f (< 1 shrinks). Shrunk-2D uses this to shrink interconnect
+// dimensions by 50 % alongside cell shrinking.
+func ShrinkGeometry(b *BEOL, f float64) *BEOL {
+	c := b.Clone()
+	c.Name = fmt.Sprintf("%s-shrunk%.2f", b.Name, f)
+	for i := range c.Layers {
+		c.Layers[i].Pitch *= f
+		c.Layers[i].Width *= f
+	}
+	return c
+}

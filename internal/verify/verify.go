@@ -1,0 +1,233 @@
+// Package verify is the sign-off checker: after a flow finishes, it
+// re-derives from first principles that the produced implementation is
+// physically consistent — placement legality, routing connectivity of
+// every net, macro-obstruction violations, F2F bump spacing against
+// the bonding pitch, and tile-port alignment. Flows and tests run it
+// as an independent witness (it shares no state with the tools it
+// checks).
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// Violation is one finding.
+type Violation struct {
+	Kind string // "overlap", "off-die", "open-net", "obstruction", "bump-pitch", "port-align"
+	Msg  string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Msg }
+
+// Report collects findings per check.
+type Report struct {
+	Violations []Violation
+	Checked    struct {
+		Instances int
+		Nets      int
+		Bumps     int
+	}
+}
+
+// Clean reports whether sign-off passed.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+func (r *Report) add(kind, format string, args ...interface{}) {
+	// Bound the report so a systematic failure does not explode.
+	if len(r.Violations) < 200 {
+		r.Violations = append(r.Violations, Violation{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Placement checks cell legality per die: no overlaps among placed
+// standard cells sharing a die, everything inside the die outline, no
+// standard cell over a same-die macro.
+func Placement(rep *Report, d *netlist.Design, die geom.Rect) {
+	type obj struct {
+		r    geom.Rect
+		name string
+		die  netlist.Die
+	}
+	var cells []obj
+	var macros []obj
+	for _, inst := range d.Instances {
+		if !inst.Placed {
+			continue
+		}
+		rep.Checked.Instances++
+		b := inst.Bounds()
+		if !die.ContainsRect(b.Expand(-1e-7)) {
+			rep.add("off-die", "%s at %v outside %v", inst.Name, b, die)
+		}
+		if inst.IsMacro() {
+			macros = append(macros, obj{b, inst.Name, inst.Die})
+			continue
+		}
+		if inst.Master.Kind == cell.KindFiller {
+			continue
+		}
+		cells = append(cells, obj{b, inst.Name, inst.Die})
+	}
+	// Sweep for overlaps within each die.
+	sort.Slice(cells, func(i, j int) bool { return cells[i].r.Lx < cells[j].r.Lx })
+	for i := 0; i < len(cells); i++ {
+		for j := i + 1; j < len(cells) && cells[j].r.Lx < cells[i].r.Ux-1e-9; j++ {
+			if cells[i].die == cells[j].die &&
+				cells[i].r.Expand(-1e-7).Intersects(cells[j].r) {
+				rep.add("overlap", "%s overlaps %s", cells[i].name, cells[j].name)
+			}
+		}
+	}
+	// Cells over same-die macros.
+	for _, c := range cells {
+		for _, m := range macros {
+			if c.die == m.die && m.r.Expand(-1e-7).Intersects(c.r) {
+				rep.add("overlap", "%s sits on macro %s", c.name, m.name)
+			}
+		}
+	}
+}
+
+// Connectivity checks that every non-clock net's route connects all of
+// its pins (graph reachability over the route segments).
+func Connectivity(rep *Report, d *netlist.Design, res *route.Result) {
+	for _, n := range d.Nets {
+		if n.Clock || len(n.Sinks) == 0 {
+			continue
+		}
+		rep.Checked.Nets++
+		if n.ID >= len(res.Routes) || res.Routes[n.ID] == nil {
+			rep.add("open-net", "%s has no route", n.Name)
+			continue
+		}
+		r := res.Routes[n.ID]
+		adj := map[route.Node][]route.Node{}
+		link := func(a, b route.Node) {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		for _, s := range r.Segments {
+			if s.IsVia() {
+				link(s.A, s.B)
+				continue
+			}
+			prev := s.A
+			step := route.Node{X: sign(s.B.X - s.A.X), Y: sign(s.B.Y - s.A.Y)}
+			for prev != s.B {
+				next := route.Node{X: prev.X + step.X, Y: prev.Y + step.Y, L: prev.L}
+				link(prev, next)
+				prev = next
+			}
+		}
+		if len(r.PinNode) == 0 {
+			rep.add("open-net", "%s lost its pin nodes", n.Name)
+			continue
+		}
+		seen := map[route.Node]bool{r.PinNode[0]: true}
+		queue := []route.Node{r.PinNode[0]}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		for i, pn := range r.PinNode {
+			if !seen[pn] {
+				rep.add("open-net", "%s pin %d unreachable from driver", n.Name, i)
+			}
+		}
+	}
+}
+
+func sign(v int) int {
+	if v > 0 {
+		return 1
+	}
+	if v < 0 {
+		return -1
+	}
+	return 0
+}
+
+// BumpRules checks F2F bump spacing against the bonding pitch: no two
+// bumps closer than the minimum pitch (bumps sit on the bonding grid).
+func BumpRules(rep *Report, bumps []geom.Point, f2f tech.F2FSpec) {
+	rep.Checked.Bumps = len(bumps)
+	// Grid hash at the pitch for neighbour lookup.
+	cellOf := func(p geom.Point) [2]int {
+		return [2]int{int(p.X / f2f.Pitch), int(p.Y / f2f.Pitch)}
+	}
+	byCell := map[[2]int][]geom.Point{}
+	for _, b := range bumps {
+		byCell[cellOf(b)] = append(byCell[cellOf(b)], b)
+	}
+	minD := f2f.Pitch - 1e-6
+	for _, b := range bumps {
+		c := cellOf(b)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, o := range byCell[[2]int{c[0] + dx, c[1] + dy}] {
+					if o == b {
+						continue
+					}
+					if b.Dist(o) < minD {
+						rep.add("bump-pitch", "bumps %v and %v at %.3f µm < pitch %.3f",
+							b, o, b.Dist(o), f2f.Pitch)
+					}
+				}
+			}
+		}
+	}
+}
+
+// PortAlignment checks the §V-1 tiling invariant: for each port whose
+// name encodes an edge+direction (noc…_N_out_b etc.), its abutment
+// partner exists and shares the cross-coordinate.
+func PortAlignment(rep *Report, d *netlist.Design, die geom.Rect, pairs map[string]string) {
+	for name, partner := range pairs {
+		a := d.Port(name)
+		b := d.Port(partner)
+		if a == nil || b == nil {
+			rep.add("port-align", "pair %s/%s missing", name, partner)
+			continue
+		}
+		onNS := a.Loc.Y == die.Ly || a.Loc.Y == die.Uy
+		if onNS {
+			if a.Loc.X != b.Loc.X {
+				rep.add("port-align", "%s x=%.3f vs %s x=%.3f", name, a.Loc.X, partner, b.Loc.X)
+			}
+		} else if a.Loc.Y != b.Loc.Y {
+			rep.add("port-align", "%s y=%.3f vs %s y=%.3f", name, a.Loc.Y, partner, b.Loc.Y)
+		}
+	}
+}
+
+// Full runs every applicable check on a finished implementation.
+// bumps and pairs may be nil for 2D designs / untiled SoCs.
+func Full(d *netlist.Design, die geom.Rect, res *route.Result,
+	bumps []geom.Point, f2f tech.F2FSpec, pairs map[string]string) *Report {
+
+	rep := &Report{}
+	Placement(rep, d, die)
+	if res != nil {
+		Connectivity(rep, d, res)
+	}
+	if len(bumps) > 0 {
+		BumpRules(rep, bumps, f2f)
+	}
+	if len(pairs) > 0 {
+		PortAlignment(rep, d, die, pairs)
+	}
+	return rep
+}

@@ -1,0 +1,153 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/core"
+	"macro3d/internal/flows"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+func TestPlacementCatchesOverlap(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("v", lib)
+	a := d.AddInstance("a", lib.MustCell("INV_X4"))
+	a.Loc = geom.Pt(10, 10)
+	a.Placed = true
+	b := d.AddInstance("b", lib.MustCell("INV_X4"))
+	b.Loc = geom.Pt(10.1, 10) // overlapping
+	b.Placed = true
+	rep := &Report{}
+	Placement(rep, d, geom.R(0, 0, 100, 100))
+	if rep.Clean() {
+		t.Fatal("overlap missed")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "overlap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrong kind: %v", rep.Violations)
+	}
+	// Different dies may overlap in (x, y).
+	b.Die = netlist.MacroDie
+	rep2 := &Report{}
+	Placement(rep2, d, geom.R(0, 0, 100, 100))
+	if !rep2.Clean() {
+		t.Fatalf("cross-die overlap flagged: %v", rep2.Violations)
+	}
+}
+
+func TestPlacementCatchesOffDieAndMacroOverlap(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("v", lib)
+	a := d.AddInstance("a", lib.MustCell("INV_X1"))
+	a.Loc = geom.Pt(-5, 10)
+	a.Placed = true
+	sram, _ := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 512, Bits: 8})
+	m := d.AddInstance("mem", sram)
+	m.Loc = geom.Pt(20, 20)
+	m.Placed = true
+	c := d.AddInstance("c", lib.MustCell("INV_X1"))
+	c.Loc = geom.Pt(25, 25) // on the macro, same die
+	c.Placed = true
+	rep := &Report{}
+	Placement(rep, d, geom.R(0, 0, 200, 200))
+	kinds := map[string]int{}
+	for _, v := range rep.Violations {
+		kinds[v.Kind]++
+	}
+	if kinds["off-die"] == 0 || kinds["overlap"] == 0 {
+		t.Fatalf("kinds: %v", kinds)
+	}
+}
+
+func TestBumpRules(t *testing.T) {
+	f2f := tech.DefaultF2F()
+	rep := &Report{}
+	BumpRules(rep, []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2.4, Y: 0}}, f2f)
+	if rep.Clean() {
+		t.Fatal("0.4 µm bump spacing accepted at 1 µm pitch")
+	}
+	rep2 := &Report{}
+	BumpRules(rep2, []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}, f2f)
+	if !rep2.Clean() {
+		t.Fatalf("legal grid flagged: %v", rep2.Violations)
+	}
+}
+
+func TestFullSignoffOnMacro3DFlow(t *testing.T) {
+	cfg := flows.Config{Piton: piton.Tiny(), Seed: 5}
+	_, st, mol, err := flows.RunMacro3D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logicPart, _, err := core.Separate(mol, st.Routes, st.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abutment pairs derived from the tile's groups via name flip.
+	pairs := map[string]string{}
+	for _, p := range st.Design.Ports {
+		if strings.Contains(p.Name, "_N_out_") {
+			pairs[p.Name] = strings.Replace(p.Name, "_N_out_", "_S_in_", 1)
+		}
+		if strings.Contains(p.Name, "_E_out_") {
+			pairs[p.Name] = strings.Replace(p.Name, "_E_out_", "_W_in_", 1)
+		}
+	}
+	t28, _ := tech.New28(6)
+	rep := Full(st.Design, st.Die, st.Routes, logicPart.Bumps, t28.F2F, pairs)
+	if !rep.Clean() {
+		for i, v := range rep.Violations {
+			t.Errorf("violation: %v", v)
+			if i > 5 {
+				break
+			}
+		}
+		t.Fatalf("Macro-3D sign-off found %d violations", len(rep.Violations))
+	}
+	if rep.Checked.Instances == 0 || rep.Checked.Nets == 0 || rep.Checked.Bumps == 0 {
+		t.Fatalf("checks did not run: %+v", rep.Checked)
+	}
+}
+
+func TestFullSignoffOn2DFlow(t *testing.T) {
+	cfg := flows.Config{Piton: piton.Tiny(), Seed: 5}
+	_, st, err := flows.Run2D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Full(st.Design, st.Die, st.Routes, nil, tech.DefaultF2F(), nil)
+	if !rep.Clean() {
+		t.Fatalf("2D sign-off: %v", rep.Violations[:min(3, len(rep.Violations))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestConnectivityCatchesMissingRoute(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("v", lib)
+	a := d.AddInstance("a", lib.MustCell("INV_X1"))
+	b := d.AddInstance("b", lib.MustCell("INV_X1"))
+	d.AddNet("n", netlist.IPin(a, "Y"), netlist.IPin(b, "A"))
+	rep := &Report{}
+	Connectivity(rep, d, &route.Result{Routes: []*route.NetRoute{nil}})
+	if rep.Clean() {
+		t.Fatal("missing route accepted")
+	}
+}
