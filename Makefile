@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build test vet race faults bench
+
+## check: the full gate — vet, build, unit tests, then the race-enabled
+## fault-injection suite (what CI should run).
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+## race: race-enabled run of the hardened-runner and fault-harness
+## packages (the fault matrix is skipped under -short).
+race:
+	$(GO) test -race ./internal/faults/ ./internal/flows/ ./internal/report/
+
+## faults: just the fault-injection matrix, verbosely.
+faults:
+	$(GO) test -race -v -run 'TestInjection|TestOffGrid|TestCleanFlows' ./internal/faults/
+
+bench:
+	$(GO) test -bench=. -benchmem

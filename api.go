@@ -24,6 +24,7 @@
 package macro3d
 
 import (
+	"context"
 	"io"
 
 	"macro3d/internal/cell"
@@ -176,6 +177,55 @@ func RunS2D(cfg FlowConfig, balanced bool) (*PPA, *FlowState, error) {
 // RunC2D executes the Compact-2D baseline.
 func RunC2D(cfg FlowConfig) (*PPA, *FlowState, error) { return flows.RunC2D(cfg) }
 
+// --- Hardened execution ---
+//
+// Every flow runs its stages inside an instrumented runner: panics are
+// contained and surfaced as *StageError, cancellation is honoured at
+// stage boundaries, and each attempt is recorded in the state's
+// RunReport trace.
+
+// StageError is the structured failure every flow returns: which flow
+// and stage failed, under what seed and configuration, on which
+// attempt, and the underlying cause (a *PanicError when the stage
+// panicked). Retrieve it with errors.As.
+type StageError = flows.StageError
+
+// PanicError is the cause inside a StageError when a stage panicked;
+// it carries the recovered value and the goroutine stack.
+type PanicError = flows.PanicError
+
+// RetryPolicy bounds per-stage retries; each retry re-runs the stage
+// with a deterministically perturbed seed (see flows.PerturbSeed).
+type RetryPolicy = flows.RetryPolicy
+
+// StageRecord is one attempt of one stage in a flow trace.
+type StageRecord = flows.StageRecord
+
+// RunReport is the per-flow execution trace: every stage attempt with
+// its seed, duration and outcome, plus whether the flow completed.
+// Available as FlowState.Trace even when the flow fails part-way.
+type RunReport = flows.RunReport
+
+// Run2DCtx is Run2D with cancellation and per-stage deadlines.
+func Run2DCtx(ctx context.Context, cfg FlowConfig) (*PPA, *FlowState, error) {
+	return flows.Run2DCtx(ctx, cfg)
+}
+
+// RunMacro3DCtx is RunMacro3D with cancellation.
+func RunMacro3DCtx(ctx context.Context, cfg FlowConfig) (*PPA, *FlowState, *MoLDesign, error) {
+	return flows.RunMacro3DCtx(ctx, cfg)
+}
+
+// RunS2DCtx is RunS2D with cancellation.
+func RunS2DCtx(ctx context.Context, cfg FlowConfig, balanced bool) (*PPA, *FlowState, error) {
+	return flows.RunS2DCtx(ctx, cfg, balanced)
+}
+
+// RunC2DCtx is RunC2D with cancellation.
+func RunC2DCtx(ctx context.Context, cfg FlowConfig) (*PPA, *FlowState, error) {
+	return flows.RunC2DCtx(ctx, cfg)
+}
+
 // SeparateDies splits a signed-off Macro-3D design into its two
 // production layouts (both carry the F2F bump locations).
 func SeparateDies(md *MoLDesign, st *FlowState) (logic, macro *DieLayout, err error) {
@@ -227,6 +277,30 @@ func RunIsoPerf(cfg TileConfig, seed uint64) (*IsoPerf, error) {
 	return report.RunIsoPerf(cfg, seed)
 }
 
+// RunTableIWith is RunTableI with cancellation, a caller-supplied flow
+// configuration, and keep-going mode: with keepGoing a failed column
+// is skipped (rendering as "—") and the joined per-column errors are
+// returned alongside the partial table. Cancellation always stops the
+// table at the next stage boundary, preserving completed columns.
+func RunTableIWith(ctx context.Context, cfg FlowConfig, keepGoing bool) (*TableI, error) {
+	return report.RunTableIWith(ctx, cfg, keepGoing)
+}
+
+// RunTableIIWith is RunTableII with cancellation and keep-going mode.
+func RunTableIIWith(ctx context.Context, cfg FlowConfig, keepGoing bool) (*TableII, error) {
+	return report.RunTableIIWith(ctx, cfg, keepGoing)
+}
+
+// RunTableIIIWith is RunTableIII with cancellation and keep-going mode.
+func RunTableIIIWith(ctx context.Context, cfg FlowConfig, keepGoing bool) (*TableIII, error) {
+	return report.RunTableIIIWith(ctx, cfg, keepGoing)
+}
+
+// RunIsoPerfCtx is RunIsoPerf with cancellation.
+func RunIsoPerfCtx(ctx context.Context, cfg TileConfig, seed uint64) (*IsoPerf, error) {
+	return report.RunIsoPerfCtx(ctx, cfg, seed)
+}
+
 // BlockageSweep is the S2D blockage-resolution ablation.
 type BlockageSweep = report.BlockageSweep
 
@@ -257,6 +331,23 @@ type MacroProcess = piton.MacroProcess
 // fast-bin macro-die technologies.
 func RunHeteroTechSweep(seed uint64) (*HeteroTechSweep, error) {
 	return report.RunHeteroTechSweep(seed)
+}
+
+// RunBlockageSweepCtx is RunBlockageSweep with cancellation and
+// keep-going mode (failed points leave nil gaps rendered as "—").
+func RunBlockageSweepCtx(ctx context.Context, seed uint64, resolutions []float64, keepGoing bool) (*BlockageSweep, error) {
+	return report.RunBlockageSweepCtx(ctx, seed, resolutions, keepGoing)
+}
+
+// RunPitchSweepCtx is RunPitchSweep with cancellation and keep-going.
+func RunPitchSweepCtx(ctx context.Context, seed uint64, pitches []float64, keepGoing bool) (*PitchSweep, error) {
+	return report.RunPitchSweepCtx(ctx, seed, pitches, keepGoing)
+}
+
+// RunHeteroTechSweepCtx is RunHeteroTechSweep with cancellation and
+// keep-going.
+func RunHeteroTechSweepCtx(ctx context.Context, seed uint64, keepGoing bool) (*HeteroTechSweep, error) {
+	return report.RunHeteroTechSweepCtx(ctx, seed, keepGoing)
 }
 
 // --- LEF/DEF interchange ---

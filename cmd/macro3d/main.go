@@ -5,12 +5,23 @@
 //
 //	macro3d -flow 2d|macro3d|s2d|bfs2d|c2d [-config small|large] [-seed N]
 //	macro3d -experiment table1|table2|table3|isoperf|flowtrace [-seed N]
+//	macro3d -experiment table1 -timeout 2m -keep-going
+//
+// -timeout bounds the whole invocation (flows are cancelled at the
+// next stage boundary); -keep-going lets multi-column experiments
+// print the surviving columns when one flow fails. On a flow failure
+// the stage diagnostics (flow, stage, seed, attempt, cause) are
+// printed to stderr and the exit status is non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"macro3d"
 )
@@ -23,6 +34,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "deterministic seed")
 		metals     = flag.Int("macrodiemetals", 6, "macro-die metal layers (3D flows)")
 		array      = flag.Int("array", 0, "after -flow 2d/macro3d: verify an N×N abutted tile array")
+		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+		keepGoing  = flag.Bool("keep-going", false, "in table experiments, skip failed columns and print the partial table")
 	)
 	flag.Parse()
 
@@ -30,10 +43,42 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*flow, *experiment, *config, *seed, *metals, *array); err != nil {
-		fmt.Fprintln(os.Stderr, "macro3d:", err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if err := run(ctx, *flow, *experiment, *config, *seed, *metals, *array, *keepGoing); err != nil {
+		printFailure(err)
 		os.Exit(1)
 	}
+}
+
+// printFailure renders a flow failure: StageError diagnostics when the
+// error chain carries one, a plain message otherwise.
+func printFailure(err error) {
+	var se *macro3d.StageError
+	if !errors.As(err, &se) {
+		fmt.Fprintln(os.Stderr, "macro3d:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "macro3d: flow failed")
+	fmt.Fprintf(os.Stderr, "  flow    %s\n", se.Flow)
+	fmt.Fprintf(os.Stderr, "  stage   %s\n", se.Stage)
+	fmt.Fprintf(os.Stderr, "  seed    %d (attempt %d)\n", se.Seed, se.Attempt)
+	if se.Config != "" {
+		fmt.Fprintf(os.Stderr, "  config  %s\n", se.Config)
+	}
+	fmt.Fprintf(os.Stderr, "  cause   %v\n", se.Cause)
+	var pe *macro3d.PanicError
+	if errors.As(se.Cause, &pe) && len(pe.Stack) > 0 {
+		fmt.Fprintf(os.Stderr, "  stack:\n%s\n", pe.Stack)
+	}
+	fmt.Fprintf(os.Stderr, "  (full error: %v)\n", err)
 }
 
 func tileConfig(name string) (macro3d.TileConfig, error) {
@@ -48,7 +93,7 @@ func tileConfig(name string) (macro3d.TileConfig, error) {
 	return macro3d.TileConfig{}, fmt.Errorf("unknown config %q (want small, large or tiny)", name)
 }
 
-func run(flow, experiment, config string, seed uint64, metals, array int) error {
+func run(ctx context.Context, flow, experiment, config string, seed uint64, metals, array int, keepGoing bool) error {
 	pc, err := tileConfig(config)
 	if err != nil {
 		return err
@@ -60,15 +105,15 @@ func run(flow, experiment, config string, seed uint64, metals, array int) error 
 		var st *macro3d.FlowState
 		switch flow {
 		case "2d":
-			ppa, st, err = macro3d.Run2D(cfg)
+			ppa, st, err = macro3d.Run2DCtx(ctx, cfg)
 		case "macro3d":
-			ppa, st, _, err = macro3d.RunMacro3D(cfg)
+			ppa, st, _, err = macro3d.RunMacro3DCtx(ctx, cfg)
 		case "s2d":
-			ppa, _, err = macro3d.RunS2D(cfg, false)
+			ppa, _, err = macro3d.RunS2DCtx(ctx, cfg, false)
 		case "bfs2d":
-			ppa, _, err = macro3d.RunS2D(cfg, true)
+			ppa, _, err = macro3d.RunS2DCtx(ctx, cfg, true)
 		case "c2d":
-			ppa, _, err = macro3d.RunC2D(cfg)
+			ppa, _, err = macro3d.RunC2DCtx(ctx, cfg)
 		default:
 			return fmt.Errorf("unknown flow %q", flow)
 		}
@@ -93,54 +138,58 @@ func run(flow, experiment, config string, seed uint64, metals, array int) error 
 		}
 	}
 
+	// Table experiments return the partial table alongside the error,
+	// so in keep-going mode the surviving columns still print before
+	// the failure diagnostics.
+	printPartial := func(format func() string, err error) error {
+		if err == nil || keepGoing {
+			fmt.Print(format())
+		}
+		return err
+	}
+
 	switch experiment {
 	case "":
 	case "table1":
-		t, err := macro3d.RunTableI(seed)
-		if err != nil {
+		t, err := macro3d.RunTableIWith(ctx, macro3d.FlowConfig{Seed: seed}, keepGoing)
+		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
-		fmt.Print(t.Format())
 	case "table2":
-		t, err := macro3d.RunTableII(seed)
-		if err != nil {
+		t, err := macro3d.RunTableIIWith(ctx, macro3d.FlowConfig{Seed: seed, MacroDieMetals: metals}, keepGoing)
+		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
-		fmt.Print(t.Format())
 	case "table3":
-		t, err := macro3d.RunTableIII(seed)
-		if err != nil {
+		t, err := macro3d.RunTableIIIWith(ctx, macro3d.FlowConfig{Seed: seed}, keepGoing)
+		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
-		fmt.Print(t.Format())
 	case "isoperf":
 		for _, pc := range []macro3d.TileConfig{macro3d.SmallCache(), macro3d.LargeCache()} {
-			r, err := macro3d.RunIsoPerf(pc, seed)
+			r, err := macro3d.RunIsoPerfCtx(ctx, pc, seed)
 			if err != nil {
 				return err
 			}
 			fmt.Print(r.Format())
 		}
 	case "flowtrace":
-		return flowTrace(cfg)
+		return flowTrace(ctx, cfg)
 	case "sweepblockage":
-		sw, err := macro3d.RunBlockageSweep(seed, nil)
-		if err != nil {
+		sw, err := macro3d.RunBlockageSweepCtx(ctx, seed, nil, keepGoing)
+		if err := printPartial(sw.Format, err); err != nil {
 			return err
 		}
-		fmt.Print(sw.Format())
 	case "sweeppitch":
-		sw, err := macro3d.RunPitchSweep(seed, nil)
-		if err != nil {
+		sw, err := macro3d.RunPitchSweepCtx(ctx, seed, nil, keepGoing)
+		if err := printPartial(sw.Format, err); err != nil {
 			return err
 		}
-		fmt.Print(sw.Format())
 	case "heterotech":
-		sw, err := macro3d.RunHeteroTechSweep(seed)
-		if err != nil {
+		sw, err := macro3d.RunHeteroTechSweepCtx(ctx, seed, keepGoing)
+		if err := printPartial(sw.Format, err); err != nil {
 			return err
 		}
-		fmt.Print(sw.Format())
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -162,10 +211,10 @@ func printPPA(p *macro3d.PPA) {
 
 // flowTrace regenerates Fig. 2: the Macro-3D flow's stages with the
 // live statistics of each step.
-func flowTrace(cfg macro3d.FlowConfig) error {
+func flowTrace(ctx context.Context, cfg macro3d.FlowConfig) error {
 	fmt.Println("Macro-3D flow trace (paper Fig. 2):")
 	fmt.Println(" step 1: per-die floorplans — macros placed on the macro die")
-	ppa, st, md, err := macro3d.RunMacro3D(cfg)
+	ppa, st, md, err := macro3d.RunMacro3DCtx(ctx, cfg)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,9 @@
 package extract
 
 import (
+	"fmt"
+	"math"
+
 	"macro3d/internal/netlist"
 	"macro3d/internal/route"
 	"macro3d/internal/tech"
@@ -76,6 +79,41 @@ func (d *Design) Replace(netID int, rc *NetRC) {
 		d.CWireTotal += rc.WireC
 		d.CPinTotal += rc.PinC
 	}
+}
+
+// CheckFinite scans the extraction for NaN/Inf parasitics — the
+// symptom of corrupt geometry or layer tables upstream — and returns
+// a descriptive error naming the first offending net and quantity.
+// Flows run it after every extraction so non-finite values become
+// stage failures instead of NaN rows in the PPA tables.
+func (d *Design) CheckFinite() error {
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	for _, rc := range d.Nets {
+		if rc == nil {
+			continue
+		}
+		name := "?"
+		if rc.Net != nil {
+			name = rc.Net.Name
+		}
+		switch {
+		case bad(rc.WireC):
+			return fmt.Errorf("extract: non-finite wire capacitance %v on net %s", rc.WireC, name)
+		case bad(rc.WireR):
+			return fmt.Errorf("extract: non-finite wire resistance %v on net %s", rc.WireR, name)
+		case bad(rc.PinC):
+			return fmt.Errorf("extract: non-finite pin capacitance %v on net %s", rc.PinC, name)
+		}
+		for i, el := range rc.ElmoreTo {
+			if bad(el) {
+				return fmt.Errorf("extract: non-finite Elmore delay %v to sink %d of net %s", el, i, name)
+			}
+		}
+	}
+	if bad(d.CWireTotal) || bad(d.CPinTotal) {
+		return fmt.Errorf("extract: non-finite capacitance totals (wire %v, pin %v)", d.CWireTotal, d.CPinTotal)
+	}
+	return nil
 }
 
 // node key for the electrical graph.

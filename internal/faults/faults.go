@@ -1,0 +1,147 @@
+// Package faults is the fault-injection harness for the hardened flow
+// engine: a catalogue of physical-design corruptions that can be
+// injected into a running flow through Config.AfterStage, between two
+// named stages. Each class either must be flagged by the independent
+// sign-off verifier or must fail an earlier stage with a typed
+// *flows.StageError — the harness test asserts that no corruption
+// slips through silently and that no corruption escapes as an
+// uncontained panic.
+package faults
+
+import (
+	"math"
+
+	"macro3d/internal/flows"
+	"macro3d/internal/geom"
+	"macro3d/internal/tech"
+)
+
+// Class is one injectable corruption.
+type Class struct {
+	// Name identifies the corruption in reports and test output.
+	Name string
+
+	// Stage names the flow stage after which Inject fires (matched
+	// against the AfterStage hook's stage argument). All classes use
+	// stages every flow executes exactly once in its real (non-pseudo)
+	// phase, so one injection corrupts each flow variant identically.
+	Stage string
+
+	// Kind is the verify violation kind the corruption surfaces as
+	// when it survives to the verify stage. Empty when the fault is
+	// expected to fail an earlier stage (NaN parasitics are caught by
+	// the extraction finiteness guard, never reaching verify).
+	Kind string
+
+	// Inject corrupts the flow state in place. It reports false when
+	// the state lacks the prerequisites (e.g. fewer than two same-die
+	// standard cells), which the harness treats as a setup error.
+	Inject func(st *flows.State) bool
+}
+
+// Classes returns the corruption catalogue. Each call builds fresh
+// closures, so catalogues are safe to use concurrently across tests.
+func Classes() []Class {
+	return []Class{
+		{
+			// Two placed same-die standard cells forced onto the same
+			// location — an illegal placement the legalizer would never
+			// produce.
+			Name:  "overlapping-instances",
+			Stage: flows.StagePower,
+			Kind:  "overlap",
+			Inject: func(st *flows.State) bool {
+				var first *struct {
+					loc geom.Point
+					die int
+				}
+				for _, c := range st.Design.StdCells() {
+					if !c.Placed {
+						continue
+					}
+					if first == nil {
+						first = &struct {
+							loc geom.Point
+							die int
+						}{c.Loc, int(c.Die)}
+						continue
+					}
+					if int(c.Die) == first.die {
+						c.Loc = first.loc
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			// A routed signal net loses its route entirely — the
+			// connectivity check must report it open.
+			Name:  "dangling-net",
+			Stage: flows.StagePower,
+			Kind:  "open-net",
+			Inject: func(st *flows.State) bool {
+				for _, n := range st.Design.Nets {
+					if n.Clock || len(n.Sinks) == 0 {
+						continue
+					}
+					if n.ID < len(st.Routes.Routes) && st.Routes.Routes[n.ID] != nil {
+						st.Routes.Routes[n.ID] = nil
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			// A macro master degenerates to a zero-area footprint (the
+			// kind of damage a broken LEF round-trip produces).
+			Name:  "zero-area-macro",
+			Stage: flows.StagePower,
+			Kind:  "zero-area",
+			Inject: func(st *flows.State) bool {
+				ms := st.Design.Macros()
+				if len(ms) == 0 {
+					return false
+				}
+				degenerate := *ms[0].Master // private copy; the master is shared
+				degenerate.Width, degenerate.Height = 0, 0
+				ms[0].Master = &degenerate
+				return true
+			},
+		},
+		{
+			// The routing stack's layer tables turn NaN after routing,
+			// so the sign-off extraction computes NaN parasitics. The
+			// extraction finiteness guard must fail the extract stage;
+			// the NaNs must never reach the PPA tables.
+			Name:  "nan-parasitics",
+			Stage: flows.StageRoute,
+			Kind:  "", // caught before verify, at the extract stage
+			Inject: func(st *flows.State) bool {
+				if st.DB == nil || st.DB.Beol == nil {
+					return false
+				}
+				for i := range st.DB.Beol.Layers {
+					st.DB.Beol.Layers[i].CPerUm = math.NaN()
+					st.DB.Beol.Layers[i].RPerUm = math.NaN()
+				}
+				return true
+			},
+		},
+	}
+}
+
+// OffGridBumps corrupts an F2F bump list by pushing the first bump
+// off the bonding grid to half the minimum pitch from its neighbour —
+// the geometry verify.BumpRules must reject. The input is not
+// modified. Returns nil when fewer than two bumps exist.
+func OffGridBumps(bumps []geom.Point, f2f tech.F2FSpec) []geom.Point {
+	if len(bumps) < 2 {
+		return nil
+	}
+	out := make([]geom.Point, len(bumps))
+	copy(out, bumps)
+	out[0] = geom.Pt(out[1].X+f2f.Pitch/2, out[1].Y)
+	return out
+}

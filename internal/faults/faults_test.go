@@ -1,0 +1,206 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"macro3d/internal/core"
+	"macro3d/internal/faults"
+	"macro3d/internal/flows"
+	"macro3d/internal/geom"
+	"macro3d/internal/piton"
+	"macro3d/internal/tech"
+	"macro3d/internal/verify"
+)
+
+// flowVariants drives each of the flows the paper compares through a
+// uniform signature for the injection matrix.
+var flowVariants = []struct {
+	name string
+	run  func(ctx context.Context, cfg flows.Config) (*flows.State, error)
+}{
+	{"2D", func(ctx context.Context, cfg flows.Config) (*flows.State, error) {
+		_, st, err := flows.Run2DCtx(ctx, cfg)
+		return st, err
+	}},
+	{"Macro-3D", func(ctx context.Context, cfg flows.Config) (*flows.State, error) {
+		_, st, _, err := flows.RunMacro3DCtx(ctx, cfg)
+		return st, err
+	}},
+	{"S2D", func(ctx context.Context, cfg flows.Config) (*flows.State, error) {
+		_, st, err := flows.RunS2DCtx(ctx, cfg, false)
+		return st, err
+	}},
+	{"BF S2D", func(ctx context.Context, cfg flows.Config) (*flows.State, error) {
+		_, st, err := flows.RunS2DCtx(ctx, cfg, true)
+		return st, err
+	}},
+	{"C2D", func(ctx context.Context, cfg flows.Config) (*flows.State, error) {
+		_, st, err := flows.RunC2DCtx(ctx, cfg)
+		return st, err
+	}},
+}
+
+// TestCleanFlowsPassVerify is the control arm: with no corruption
+// injected, every flow variant must finish its full trace including
+// independent sign-off.
+func TestCleanFlowsPassVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five tiny flows")
+	}
+	for _, fv := range flowVariants {
+		fv := fv
+		t.Run(fv.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := flows.Config{Piton: piton.Tiny(), Seed: 7, Verify: true}
+			st, err := fv.run(context.Background(), cfg)
+			if err != nil {
+				t.Fatalf("clean %s run failed sign-off: %v", fv.name, err)
+			}
+			if st.Trace == nil || !st.Trace.Completed {
+				t.Fatalf("clean %s run left an incomplete trace", fv.name)
+			}
+		})
+	}
+}
+
+// TestInjectionMatrix injects every corruption class into every flow
+// variant and asserts each is caught: by the verify stage with the
+// class's violation kind, or by an earlier stage as a typed
+// *flows.StageError. A corruption that returns err == nil slipped
+// through sign-off; a corruption that panics out of the flow escaped
+// containment. Both fail the test.
+func TestInjectionMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full flows × faults matrix of tiny flows")
+	}
+	for _, class := range faults.Classes() {
+		class := class
+		for _, fv := range flowVariants {
+			fv := fv
+			t.Run(class.Name+"/"+fv.name, func(t *testing.T) {
+				t.Parallel()
+				injected := false
+				cfg := flows.Config{Piton: piton.Tiny(), Seed: 7, Verify: true}
+				cfg.AfterStage = func(flow, stage string, st *flows.State) {
+					if stage != class.Stage || injected {
+						return
+					}
+					if !class.Inject(st) {
+						t.Errorf("injector %s found no target after %s", class.Name, stage)
+						return
+					}
+					injected = true
+				}
+				st, err := fv.run(context.Background(), cfg)
+				if !injected {
+					t.Fatalf("stage %q never ran, corruption was not injected", class.Stage)
+				}
+				if err == nil {
+					t.Fatalf("corruption %s in %s flow went undetected", class.Name, fv.name)
+				}
+				var se *flows.StageError
+				if !errors.As(err, &se) {
+					t.Fatalf("failure is not a typed *StageError: %T %v", err, err)
+				}
+				if st == nil || st.Trace == nil || st.Trace.Completed {
+					t.Fatalf("failed run must leave an incomplete trace, got %+v", st)
+				}
+				switch {
+				case se.Stage == flows.StageVerify:
+					var ve *verify.Error
+					if !errors.As(err, &ve) {
+						t.Fatalf("verify stage failed without a *verify.Error: %v", err)
+					}
+					if class.Kind == "" {
+						t.Fatalf("%s was expected to fail before verify, got %v", class.Name, err)
+					}
+					found := false
+					for _, v := range ve.Report.Violations {
+						if v.Kind == class.Kind {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("verify caught %s but without kind %q: %v",
+							class.Name, class.Kind, err)
+					}
+				case class.Name == "nan-parasitics":
+					if se.Stage != flows.StageExtract {
+						t.Fatalf("NaN parasitics must fail the extract stage, failed %q: %v", se.Stage, err)
+					}
+					if !strings.Contains(err.Error(), "non-finite") {
+						t.Fatalf("extract failure does not name the non-finite quantity: %v", err)
+					}
+				default:
+					// Degraded gracefully before verify (e.g. die
+					// separation rejecting a degenerate macro) — the
+					// typed StageError with full attribution suffices.
+					if se.Flow == "" || se.Stage == "" {
+						t.Fatalf("StageError lacks attribution: %+v", se)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOffGridBumpsCaught checks the bump corruption against the
+// verifier directly: a legal bonding grid passes, the corrupted copy
+// is flagged as a pitch violation.
+func TestOffGridBumpsCaught(t *testing.T) {
+	f2f := tech.DefaultF2F()
+	var bumps []geom.Point
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			bumps = append(bumps, geom.Pt(float64(i)*f2f.Pitch, float64(j)*f2f.Pitch))
+		}
+	}
+	clean := &verify.Report{}
+	verify.BumpRules(clean, bumps, f2f)
+	if !clean.Clean() {
+		t.Fatalf("legal bonding grid flagged: %v", clean.Violations)
+	}
+	bad := &verify.Report{}
+	verify.BumpRules(bad, faults.OffGridBumps(bumps, f2f), f2f)
+	if bad.Clean() {
+		t.Fatal("off-grid bump accepted")
+	}
+	for _, v := range bad.Violations {
+		if v.Kind != "bump-pitch" {
+			t.Fatalf("unexpected violation kind: %v", v)
+		}
+	}
+}
+
+// TestOffGridBumpsOnRealDesign corrupts the bump list of a genuine
+// Macro-3D separation and asserts the verifier rejects it while
+// accepting the original.
+func TestOffGridBumpsOnRealDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a tiny Macro-3D flow")
+	}
+	cfg := flows.Config{Piton: piton.Tiny(), Seed: 7}
+	_, st, md, err := flows.RunMacro3D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logicPart, _, err := core.Separate(md, st.Routes, st.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2f := tech.DefaultF2F()
+	clean := &verify.Report{}
+	verify.BumpRules(clean, logicPart.Bumps, f2f)
+	if !clean.Clean() {
+		t.Fatalf("real bump list flagged: %v", clean.Violations)
+	}
+	bad := &verify.Report{}
+	verify.BumpRules(bad, faults.OffGridBumps(logicPart.Bumps, f2f), f2f)
+	if bad.Clean() {
+		t.Fatal("corrupted real bump list accepted")
+	}
+}

@@ -77,14 +77,17 @@ type Floorplan struct {
 
 // DieForArea returns a die rectangle of the given area (µm²) and
 // aspect ratio (width/height), origin at (0,0), snapped to whole rows.
-func DieForArea(area, aspect, rowHeight float64) geom.Rect {
-	if area <= 0 || aspect <= 0 {
-		panic("floorplan: non-positive die area or aspect")
+func DieForArea(area, aspect, rowHeight float64) (geom.Rect, error) {
+	if area <= 0 || aspect <= 0 || math.IsNaN(area) || math.IsNaN(aspect) {
+		return geom.Rect{}, fmt.Errorf("floorplan: die area %g µm² and aspect %g must be positive", area, aspect)
+	}
+	if rowHeight <= 0 || math.IsNaN(rowHeight) {
+		return geom.Rect{}, fmt.Errorf("floorplan: row height %g µm must be positive", rowHeight)
 	}
 	w := math.Sqrt(area * aspect)
 	h := area / w
 	h = geom.SnapUp(h, rowHeight)
-	return geom.R(0, 0, w, h)
+	return geom.R(0, 0, w, h), nil
 }
 
 // Sizing computes the 2D and 3D die outlines for a design following
@@ -108,9 +111,9 @@ const macroPackUtil = 0.80
 // 3D footprint then follows the paper's fairness rule — exactly half
 // the 2D area, so both designs use the same silicon — but is grown
 // when the macro die alone could not hold all macros.
-func ComputeSizing(st netlist.Stats, maxMacroMinDim, util, aspect, rowHeight float64) Sizing {
-	if util <= 0 || util > 1 {
-		panic("floorplan: utilization must be in (0,1]")
+func ComputeSizing(st netlist.Stats, maxMacroMinDim, util, aspect, rowHeight float64) (Sizing, error) {
+	if util <= 0 || util > 1 || math.IsNaN(util) {
+		return Sizing{}, fmt.Errorf("floorplan: utilization %g must be in (0,1]", util)
 	}
 	// Ring geometry: centre side for logic plus two ring depths.
 	side := math.Sqrt(st.StdCellArea/util) + 2*maxMacroMinDim
@@ -123,9 +126,15 @@ func ComputeSizing(st netlist.Stats, maxMacroMinDim, util, aspect, rowHeight flo
 	if lower := 2 * st.MacroArea / macroPackUtil; area2D < lower {
 		area2D = lower
 	}
-	d2 := DieForArea(area2D, aspect, rowHeight)
-	d3 := DieForArea(area2D/2, aspect, rowHeight)
-	return Sizing{Die2D: d2, Die3D: d3, Util: util}
+	d2, err := DieForArea(area2D, aspect, rowHeight)
+	if err != nil {
+		return Sizing{}, err
+	}
+	d3, err := DieForArea(area2D/2, aspect, rowHeight)
+	if err != nil {
+		return Sizing{}, err
+	}
+	return Sizing{Die2D: d2, Die3D: d3, Util: util}, nil
 }
 
 // SizeDesign determines the die outlines by trial packing: the 3D die
@@ -136,6 +145,9 @@ func ComputeSizing(st netlist.Stats, maxMacroMinDim, util, aspect, rowHeight flo
 // the paper's fairness rule. Only macro locations are touched
 // (scratch placements); callers re-place macros per flow.
 func SizeDesign(d *netlist.Design, util, aspect, rowHeight float64) (Sizing, error) {
+	if util <= 0 || util > 1 || math.IsNaN(util) {
+		return Sizing{}, fmt.Errorf("floorplan: utilization %g must be in (0,1]", util)
+	}
 	st := d.ComputeStats()
 	macros := d.Macros()
 
@@ -144,7 +156,10 @@ func SizeDesign(d *netlist.Design, util, aspect, rowHeight float64) (Sizing, err
 	var die3D geom.Rect
 	fit := false
 	for i := 0; i < 60; i++ {
-		die3D = DieForArea(area3D, aspect, rowHeight)
+		var err error
+		if die3D, err = DieForArea(area3D, aspect, rowHeight); err != nil {
+			return Sizing{}, err
+		}
 		if placeShelves(macros, die3D) == nil {
 			fit = true
 			break
@@ -161,7 +176,10 @@ func SizeDesign(d *netlist.Design, util, aspect, rowHeight float64) (Sizing, err
 	var die2D geom.Rect
 	fit = false
 	for i := 0; i < 60; i++ {
-		die2D = DieForArea(area2D, aspect, rowHeight)
+		var err error
+		if die2D, err = DieForArea(area2D, aspect, rowHeight); err != nil {
+			return Sizing{}, err
+		}
 		if placeRing(macros, die2D) == nil && centreHoldsLogic(macros, die2D, st.StdCellArea, util) {
 			fit = true
 			break
@@ -172,7 +190,10 @@ func SizeDesign(d *netlist.Design, util, aspect, rowHeight float64) (Sizing, err
 		return Sizing{}, fmt.Errorf("floorplan: macros never fit a 2D ring (%.2f mm²)", area2D/1e6)
 	}
 	// Final fairness: 3D footprint is exactly half the 2D footprint.
-	die3D = DieForArea(die2D.Area()/2, aspect, rowHeight)
+	var err error
+	if die3D, err = DieForArea(die2D.Area()/2, aspect, rowHeight); err != nil {
+		return Sizing{}, err
+	}
 	return Sizing{Die2D: die2D, Die3D: die3D, Util: util}, nil
 }
 

@@ -20,7 +20,10 @@ func smallTile(t *testing.T) *piton.Tile {
 }
 
 func TestDieForArea(t *testing.T) {
-	d := DieForArea(1.2e6, 1.0, 1.2)
+	d, err := DieForArea(1.2e6, 1.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(d.Area()-1.2e6)/1.2e6 > 0.01 {
 		t.Fatalf("die area = %v", d.Area())
 	}
@@ -28,19 +31,40 @@ func TestDieForArea(t *testing.T) {
 	if math.Mod(d.H(), 1.2) > 1e-6 && 1.2-math.Mod(d.H(), 1.2) > 1e-6 {
 		t.Fatalf("height %v not row-aligned", d.H())
 	}
-	d = DieForArea(2e6, 2.0, 1.2)
+	d, err = DieForArea(2e6, 2.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ar := d.W() / d.H(); ar < 1.8 || ar > 2.2 {
 		t.Fatalf("aspect = %v", ar)
 	}
 }
 
-func TestDieForAreaPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero area did not panic")
+func TestDieForAreaRejectsBadInputs(t *testing.T) {
+	for _, c := range []struct {
+		name                    string
+		area, aspect, rowHeight float64
+	}{
+		{"zero area", 0, 1, 1.2},
+		{"negative aspect", 1e6, -1, 1.2},
+		{"NaN area", math.NaN(), 1, 1.2},
+		{"zero row height", 1e6, 1, 0},
+	} {
+		if _, err := DieForArea(c.area, c.aspect, c.rowHeight); err == nil {
+			t.Errorf("%s accepted", c.name)
 		}
-	}()
-	DieForArea(0, 1, 1.2)
+	}
+}
+
+func TestSizingRejectsBadUtilization(t *testing.T) {
+	for _, util := range []float64{0, -0.5, 1.5, math.NaN()} {
+		if _, err := ComputeSizing(netlist.Stats{StdCellArea: 1e5}, 50, util, 1, 1.2); err == nil {
+			t.Errorf("ComputeSizing accepted utilization %v", util)
+		}
+		if _, err := SizeDesign(netlist.NewDesign("u", nil), util, 1, 1.2); err == nil {
+			t.Errorf("SizeDesign accepted utilization %v", util)
+		}
+	}
 }
 
 func TestComputeSizing(t *testing.T) {

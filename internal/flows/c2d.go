@@ -1,6 +1,7 @@
 package flows
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,102 +27,154 @@ import (
 // — C2D's "post-tier-partitioning optimization and incremental
 // routing".
 func RunC2D(cfg Config) (*PPA, *State, error) {
+	return RunC2DCtx(context.Background(), cfg)
+}
+
+// RunC2DCtx is RunC2D honouring cancellation and per-stage deadlines
+// at stage boundaries.
+func RunC2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 	cfg = cfg.withDefaults()
-	t, err := tech.New28(cfg.LogicMetals)
-	if err != nil {
-		return nil, nil, err
+	stP := &State{}
+	r := newRunner(ctx, "C2D", cfg, stP)
+
+	var t *tech.Tech
+	var realTile *piton.Tile
+	var dReal *netlist.Design
+	var sz floorplan.Sizing
+	var die geom.Rect
+	if err := r.stage(StageGenerate, func() error {
+		if cfg.Generator != nil {
+			return fmt.Errorf("flows: custom generators are only supported by Run2D/RunMacro3D")
+		}
+		var err error
+		if t, err = tech.New28(cfg.LogicMetals); err != nil {
+			return err
+		}
+		// Real design, 3D footprint, MoL macro floorplan.
+		if realTile, err = piton.Generate(cfg.Piton); err != nil {
+			return err
+		}
+		dReal = realTile.Design
+		return nil
+	}); err != nil {
+		return nil, stP, err
 	}
 
-	// Real design, 3D footprint, MoL macro floorplan.
-	realTile, err := piton.Generate(cfg.Piton)
-	if err != nil {
-		return nil, nil, err
+	if err := r.stage(StageFloorplan, func() error {
+		var err error
+		sz, err = floorplan.SizeDesign(dReal, cfg.Util, 1.0, t.RowHeight)
+		if err != nil {
+			return err
+		}
+		die = sz.Die3D
+		if _, _, err := floorplan.PlaceMacros(dReal, die, floorplan.StyleMoL); err != nil {
+			return err
+		}
+		floorplan.AssignPorts(realTile, die)
+		return nil
+	}); err != nil {
+		return nil, stP, err
 	}
-	dReal := realTile.Design
-	sz, err := floorplan.SizeDesign(dReal, cfg.Util, 1.0, t.RowHeight)
-	if err != nil {
-		return nil, nil, err
-	}
-	die := sz.Die3D
-	if _, _, err := floorplan.PlaceMacros(dReal, die, floorplan.StyleMoL); err != nil {
-		return nil, nil, err
-	}
-	floorplan.AssignPorts(realTile, die)
 
 	// ---- Phase A: the 2×-footprint pseudo design. ----
 	s := math.Sqrt2
-	dieC := geom.R(die.Lx*s, die.Ly*s, die.Ux*s, die.Uy*s)
-	pseudoTile, err := piton.Generate(cfg.Piton)
-	if err != nil {
-		return nil, nil, err
-	}
-	dP := pseudoTile.Design
-
-	// Macros at linearly scaled locations; blockage rects scaled 2× in
-	// area (√2 per dimension, about the origin — consistent with the
-	// location map).
-	var logicRects, macroRects []geom.Rect
-	for _, m := range dReal.Macros() {
-		pm := dP.Instance(m.Name)
-		if pm == nil {
-			return nil, nil, fmt.Errorf("c2d: pseudo design lacks macro %s", m.Name)
+	var dP *netlist.Design
+	var fpP *floorplan.Floorplan
+	var dieC geom.Rect
+	if err := r.stage("pseudo-"+StageFloorplan, func() error {
+		dieC = geom.R(die.Lx*s, die.Ly*s, die.Ux*s, die.Uy*s)
+		pseudoTile, err := piton.Generate(cfg.Piton)
+		if err != nil {
+			return err
 		}
-		pm.Loc = m.Loc.Scale(s)
-		pm.Fixed, pm.Placed = true, true
-		pm.Die = netlist.LogicDie
-		scaled := m.Bounds().Scale(s)
-		if m.Die == netlist.LogicDie {
-			logicRects = append(logicRects, scaled)
-		} else {
-			macroRects = append(macroRects, scaled)
-		}
-	}
-	floorplan.AssignPorts(pseudoTile, dieC)
+		dP = pseudoTile.Design
 
-	pbm := floorplan.NewPartialBlockageMap(dieC, cfg.BlockageResolution, logicRects, macroRects)
-	fpP := &floorplan.Floorplan{Die: dieC, PlaceBlk: pbm.Blockages()}
-	for _, m := range dReal.Macros() {
-		if m.Die != netlist.LogicDie {
-			continue
+		// Macros at linearly scaled locations; blockage rects scaled
+		// 2× in area (√2 per dimension, about the origin — consistent
+		// with the location map).
+		var logicRects, macroRects []geom.Rect
+		for _, m := range dReal.Macros() {
+			pm := dP.Instance(m.Name)
+			if pm == nil {
+				return fmt.Errorf("c2d: pseudo design lacks macro %s", m.Name)
+			}
+			pm.Loc = m.Loc.Scale(s)
+			pm.Fixed, pm.Placed = true, true
+			pm.Die = netlist.LogicDie
+			scaled := m.Bounds().Scale(s)
+			if m.Die == netlist.LogicDie {
+				logicRects = append(logicRects, scaled)
+			} else {
+				macroRects = append(macroRects, scaled)
+			}
 		}
-		for _, o := range m.Master.Obstructions {
-			fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
-				Layer: o.Layer, Rect: o.Rect.Translate(m.Loc).Scale(s),
-			})
+		floorplan.AssignPorts(pseudoTile, dieC)
+
+		pbm := floorplan.NewPartialBlockageMap(dieC, cfg.BlockageResolution, logicRects, macroRects)
+		fpP = &floorplan.Floorplan{Die: dieC, PlaceBlk: pbm.Blockages()}
+		for _, m := range dReal.Macros() {
+			if m.Die != netlist.LogicDie {
+				continue
+			}
+			for _, o := range m.Master.Obstructions {
+				fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
+					Layer: o.Layer, Rect: o.Rect.Translate(m.Loc).Scale(s),
+				})
+			}
 		}
+
+		// Per-unit parasitics scaled by 1/√2: routes in the inflated
+		// floorplan estimate target-3D RC.
+		scaledBeol := tech.ScaleParasitics(t.Logic, 1/s)
+		stP.Design, stP.Tile, stP.Die = dP, pseudoTile, dieC
+		stP.FP, stP.Beol, stP.Sizing = fpP, scaledBeol, sz
+		return nil
+	}); err != nil {
+		return nil, stP, err
 	}
 
-	// Per-unit parasitics scaled by 1/√2: routes in the inflated
-	// floorplan estimate target-3D RC.
-	scaledBeol := tech.ScaleParasitics(t.Logic, 1/s)
+	if err := r.seededStage("pseudo-"+StagePlace, cfg.Seed+4, func(seed uint64) error {
+		_, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: seed})
+		return err
+	}); err != nil {
+		return nil, stP, err
+	}
 
-	stP := &State{Design: dP, Tile: pseudoTile, Die: dieC, FP: fpP, Beol: scaledBeol, Sizing: sz}
-	if _, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: cfg.Seed + 4}); err != nil {
-		return nil, nil, fmt.Errorf("c2d pseudo place: %w", err)
+	if err := r.stage("pseudo-"+StageRoute, func() error {
+		buildClock(stP)
+		stP.DB = route.NewDB(dieC, stP.Beol, fpP.RouteBlk, route.Options{})
+		var err error
+		stP.Routes, err = route.RouteDesign(dP, stP.DB)
+		return err
+	}); err != nil {
+		return nil, stP, err
 	}
-	buildClock(stP)
-	stP.DB = route.NewDB(dieC, scaledBeol, fpP.RouteBlk, route.Options{})
-	stP.Routes, err = route.RouteDesign(dP, stP.DB)
-	if err != nil {
-		return nil, nil, fmt.Errorf("c2d pseudo route: %w", err)
-	}
-	slow := t.CornerScaleFor(tech.CornerSlow)
-	stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
-	if _, err := opt.Optimize(&opt.Context{
-		Design: dP, DB: stP.DB, Routes: stP.Routes, Ex: stP.ExSlow,
-		Corner: slow, Clock: stP.Tree,
-		FP: fpP, RowHeight: t.RowHeight,
-	}, sta.Options{}, opt.Options{BufferElmore: 1e12}); err != nil {
-		return nil, nil, fmt.Errorf("c2d pseudo opt: %w", err)
+
+	if err := r.stage("pseudo-"+StageOpt, func() error {
+		slow := t.CornerScaleFor(tech.CornerSlow)
+		stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
+		if err := stP.ExSlow.CheckFinite(); err != nil {
+			return err
+		}
+		_, err := opt.Optimize(&opt.Context{
+			Design: dP, DB: stP.DB, Routes: stP.Routes, Ex: stP.ExSlow,
+			Corner: slow, Clock: stP.Tree,
+			FP: fpP, RowHeight: t.RowHeight,
+		}, sta.Options{}, opt.Options{BufferElmore: 1e12})
+		return err
+	}); err != nil {
+		return nil, stP, err
 	}
 
 	// ---- Transfer: linear map into the 3D footprint. ----
-	if err := transferPseudoScaled(dP, dReal, 1/s); err != nil {
-		return nil, nil, err
+	if err := r.stage(StageTransfer, func() error {
+		return transferPseudoScaled(dP, dReal, 1/s)
+	}); err != nil {
+		return nil, stP, err
 	}
 
 	// ---- Phase B with C2D's limited post-partition optimization. ----
-	return finish3DBaseline(cfg, t, "C2D", realTile, die, sz,
+	return finish3DBaseline(r, cfg, t, realTile, die, sz,
 		opt.Options{MaxIters: 2, MaxMovesPerIter: 8})
 }
 

@@ -1,7 +1,7 @@
 package flows
 
 import (
-	"fmt"
+	"context"
 
 	"macro3d/internal/floorplan"
 	"macro3d/internal/netlist"
@@ -14,47 +14,83 @@ import (
 // Run2D executes the baseline single-die flow: periphery macro ring,
 // six metal layers, full timing optimization against true parasitics.
 func Run2D(cfg Config) (*PPA, *State, error) {
+	return Run2DCtx(context.Background(), cfg)
+}
+
+// Run2DCtx is Run2D honouring cancellation and per-stage deadlines at
+// stage boundaries. On failure the returned State carries the partial
+// trace (State.Trace) of how far the flow got.
+func Run2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 	cfg = cfg.withDefaults()
-	t, err := tech.New28(cfg.LogicMetals)
-	if err != nil {
-		return nil, nil, err
-	}
-	tile, err := cfg.generate()
-	if err != nil {
-		return nil, nil, err
-	}
-	d := tile.Design
+	st := &State{}
+	r := newRunner(ctx, "2D", cfg, st)
 
-	sz, err := floorplan.SizeDesign(d, cfg.Util, 1.0, t.RowHeight)
+	var t *tech.Tech
+	if err := r.stage(StageGenerate, func() error {
+		var err error
+		if t, err = tech.New28(cfg.LogicMetals); err != nil {
+			return err
+		}
+		tile, err := cfg.generate()
+		if err != nil {
+			return err
+		}
+		st.Design, st.Tile, st.Beol = tile.Design, tile, t.Logic
+		return nil
+	}); err != nil {
+		return nil, st, err
+	}
+	d := st.Design
+
+	if err := r.stage(StageFloorplan, func() error {
+		sz, err := floorplan.SizeDesign(d, cfg.Util, 1.0, t.RowHeight)
+		if err != nil {
+			return err
+		}
+		st.Die, st.Sizing = sz.Die2D, sz
+		fp, _, err := floorplan.PlaceMacros(d, sz.Die2D, floorplan.Style2D)
+		if err != nil {
+			return err
+		}
+		st.FP = fp
+		floorplan.BuildBlockages(fp, d, netlist.LogicDie)
+		floorplan.AssignPorts(st.Tile, sz.Die2D)
+		return nil
+	}); err != nil {
+		return nil, st, err
+	}
+
+	if err := r.seededStage(StagePlace, cfg.Seed+1, func(seed uint64) error {
+		_, err := place.Place(d, st.FP, t.RowHeight, place.Options{Seed: seed})
+		return err
+	}); err != nil {
+		return nil, st, err
+	}
+
+	if err := r.stage(StageCTS, func() error {
+		buildClock(st)
+		return nil
+	}); err != nil {
+		return nil, st, err
+	}
+
+	if err := r.stage(StageRoute, func() error {
+		st.DB = route.NewDB(st.Die, t.Logic, st.FP.RouteBlk, route.Options{})
+		var err error
+		st.Routes, err = route.RouteDesign(d, st.DB)
+		return err
+	}); err != nil {
+		return nil, st, err
+	}
+
+	ppa, err := signoff(r, cfg, st, t, opt.Options{}, 1, cfg.LogicMetals)
 	if err != nil {
-		return nil, nil, err
+		return nil, st, err
 	}
-	st := &State{Design: d, Tile: tile, Die: sz.Die2D, Beol: t.Logic, Sizing: sz}
-
-	fp, _, err := floorplan.PlaceMacros(d, sz.Die2D, floorplan.Style2D)
-	if err != nil {
-		return nil, nil, err
+	if err := verifyStage(r, cfg, st, t, nil); err != nil {
+		return nil, st, err
 	}
-	st.FP = fp
-	floorplan.BuildBlockages(fp, d, netlist.LogicDie)
-	floorplan.AssignPorts(tile, sz.Die2D)
-
-	if _, err := place.Place(d, fp, t.RowHeight, place.Options{Seed: cfg.Seed + 1}); err != nil {
-		return nil, nil, fmt.Errorf("2D place: %w", err)
-	}
-
-	buildClock(st)
-
-	st.DB = route.NewDB(sz.Die2D, t.Logic, fp.RouteBlk, route.Options{})
-	st.Routes, err = route.RouteDesign(d, st.DB)
-	if err != nil {
-		return nil, nil, fmt.Errorf("2D route: %w", err)
-	}
-
-	ppa, err := signoff(cfg, st, t, opt.Options{}, 1, cfg.LogicMetals)
-	if err != nil {
-		return nil, nil, err
-	}
+	r.finish()
 	ppa.Flow = "2D"
 	return ppa, st, nil
 }

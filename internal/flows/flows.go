@@ -21,7 +21,10 @@ package flows
 
 import (
 	"fmt"
+	"math"
+	"time"
 
+	"macro3d/internal/core"
 	"macro3d/internal/cts"
 	"macro3d/internal/extract"
 	"macro3d/internal/floorplan"
@@ -33,6 +36,7 @@ import (
 	"macro3d/internal/route"
 	"macro3d/internal/sta"
 	"macro3d/internal/tech"
+	"macro3d/internal/verify"
 )
 
 // Config selects the benchmark and flow parameters.
@@ -72,6 +76,27 @@ type Config struct {
 	Generator func() (*piton.Tile, error)
 
 	Seed uint64
+
+	// Retry bounds re-runs of failed stochastic stages (placement,
+	// tier partitioning) with deterministically perturbed seeds.
+	Retry RetryPolicy
+
+	// StageTimeout, when > 0, is the per-stage wall-clock budget:
+	// a stage that exceeds it fails the run with a StageError whose
+	// cause wraps context.DeadlineExceeded. Enforced at the stage
+	// boundary (stages are not preempted mid-flight).
+	StageTimeout time.Duration
+
+	// Verify, when true, appends independent sign-off verification as
+	// a final stage (plus die separation for 3D flows to obtain the
+	// bump list); a dirty report fails the run with a StageError
+	// wrapping *verify.Error.
+	Verify bool
+
+	// AfterStage, when set, is invoked after every successful stage
+	// with the flow name, stage name and the stage's working state.
+	// Used by instrumentation and the fault-injection harness.
+	AfterStage func(flow, stage string, st *State)
 }
 
 // generate produces a fresh benchmark netlist for a flow run.
@@ -154,48 +179,96 @@ type State struct {
 	ExSlow *extract.Design
 	Report *sta.Report
 	Sizing floorplan.Sizing
+
+	// Trace is the instrumented stage-by-stage record of the run,
+	// populated even when the flow fails part-way.
+	Trace *RunReport
 }
 
-// signoff runs the common final analysis: slow-corner optimization
-// under the given budget (frozen for S2D, limited for C2D, full for 2D
-// and Macro-3D), typical-corner power, PPA assembly.
-func signoff(cfg Config, st *State, t *tech.Tech, optCfg opt.Options, dies int, metalLayers int) (*PPA, error) {
+// signoff runs the common final analysis as instrumented stages:
+// slow-corner extraction, optimization under the given budget (frozen
+// for S2D, limited for C2D, full for 2D and Macro-3D), hold STA,
+// typical-corner power, PPA assembly. Non-finite extraction or power
+// results fail the run instead of propagating into the tables.
+func signoff(r *runner, cfg Config, st *State, t *tech.Tech, optCfg opt.Options, dies int, metalLayers int) (*PPA, error) {
 	slow := t.CornerScaleFor(tech.CornerSlow)
 	typ := t.CornerScaleFor(tech.CornerTypical)
 
-	st.ExSlow = extract.Extract(st.Design, st.Routes, st.DB, slow)
+	if err := r.stage(StageExtract, func() error {
+		st.ExSlow = extract.Extract(st.Design, st.Routes, st.DB, slow)
+		return st.ExSlow.CheckFinite()
+	}); err != nil {
+		return nil, err
+	}
 
-	octx := &opt.Context{
-		Design: st.Design, DB: st.DB, Routes: st.Routes, Ex: st.ExSlow,
-		Corner: slow, Clock: st.Tree,
-		FP: st.FP, RowHeight: t.RowHeight,
+	var ores *opt.Result
+	if err := r.stage(StageOpt, func() error {
+		octx := &opt.Context{
+			Design: st.Design, DB: st.DB, Routes: st.Routes, Ex: st.ExSlow,
+			Corner: slow, Clock: st.Tree,
+			FP: st.FP, RowHeight: t.RowHeight,
+		}
+		if optCfg.TargetPeriod == 0 {
+			optCfg.TargetPeriod = cfg.TargetPeriod
+		}
+		var err error
+		ores, err = opt.Optimize(octx, sta.Options{}, optCfg)
+		if err != nil {
+			return fmt.Errorf("%s: optimization: %w", st.Design.Name, err)
+		}
+		st.Report = ores.Report
+		st.Routes.Recount(st.DB)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	if optCfg.TargetPeriod == 0 {
-		optCfg.TargetPeriod = cfg.TargetPeriod
-	}
-	ores, err := opt.Optimize(octx, sta.Options{}, optCfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s: optimization: %w", st.Design.Name, err)
-	}
-	st.Report = ores.Report
-	st.Routes.Recount(st.DB)
 
 	// Hold sign-off on the final state.
-	hold, err := sta.Analyze(st.Design, st.ExSlow, st.Report.MinPeriod, sta.Options{
-		Corner: slow, Clock: st.Tree, CheckHold: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s: hold sign-off: %w", st.Design.Name, err)
+	var hold *sta.Report
+	if err := r.stage(StageSTA, func() error {
+		var err error
+		hold, err = sta.Analyze(st.Design, st.ExSlow, st.Report.MinPeriod, sta.Options{
+			Corner: slow, Clock: st.Tree, CheckHold: true,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: hold sign-off: %w", st.Design.Name, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Power at the typical corner, at the achieved frequency (or the
 	// target, for iso-performance runs).
-	exTyp := extract.Extract(st.Design, st.Routes, st.DB, typ)
-	fclk := 1e6 / st.Report.MinPeriod
-	if cfg.TargetPeriod > 0 {
-		fclk = 1e6 / cfg.TargetPeriod
+	var exTyp *extract.Design
+	var pw *power.Report
+	var fclk float64
+	if err := r.stage(StagePower, func() error {
+		exTyp = extract.Extract(st.Design, st.Routes, st.DB, typ)
+		if err := exTyp.CheckFinite(); err != nil {
+			return err
+		}
+		fclk = 1e6 / st.Report.MinPeriod
+		if cfg.TargetPeriod > 0 {
+			fclk = 1e6 / cfg.TargetPeriod
+		}
+		pw = power.Analyze(st.Design, exTyp, st.Tree, fclk, power.Options{Corner: typ})
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"energy/cycle", pw.EnergyPerCycleFJ},
+			{"power", pw.PowerUW(fclk)},
+			{"leakage", pw.LeakageUW},
+		} {
+			if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+				return fmt.Errorf("power: non-finite %s (%v)", v.name, v.val)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	pw := power.Analyze(st.Design, exTyp, st.Tree, fclk, power.Options{Corner: typ})
 
 	p := &PPA{
 		Config:      st.Design.Name,
@@ -229,6 +302,40 @@ func signoff(cfg Config, st *State, t *tech.Tech, optCfg opt.Options, dies int, 
 		Buffers:       ores.Buffers,
 	}
 	return p, nil
+}
+
+// verifyStage runs the optional independent sign-off check. For 3D
+// flows (md != nil) the dies are first separated so the bump list can
+// be checked against the bonding pitch. A dirty report fails the run
+// with a StageError wrapping *verify.Error.
+func verifyStage(r *runner, cfg Config, st *State, t *tech.Tech, md *core.MoLDesign) error {
+	if !cfg.Verify {
+		return nil
+	}
+	var bumps []geom.Point
+	if md != nil {
+		if err := r.stage(StageSeparate, func() error {
+			logicPart, _, err := core.Separate(md, st.Routes, st.DB)
+			if err != nil {
+				return err
+			}
+			bumps = logicPart.Bumps
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return r.stage(StageVerify, func() error {
+		f2f := t.F2F
+		if cfg.F2F != nil {
+			f2f = *cfg.F2F
+		}
+		rep := verify.Full(st.Design, st.Die, st.Routes, bumps, f2f, nil)
+		if !rep.Clean() {
+			return &verify.Error{Report: rep}
+		}
+		return nil
+	})
 }
 
 // buildClock synthesizes the clock tree for the placed design.

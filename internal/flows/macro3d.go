@@ -1,6 +1,7 @@
 package flows
 
 import (
+	"context"
 	"fmt"
 
 	"macro3d/internal/core"
@@ -15,64 +16,108 @@ import (
 // combined BEOL, single-pass 2D P&R that is directly the final 3D
 // result, and die separation.
 func RunMacro3D(cfg Config) (*PPA, *State, *core.MoLDesign, error) {
-	cfg = cfg.withDefaults()
-	t, err := tech.New28(cfg.LogicMetals)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	macroBeol, err := tech.NewBEOL28("macro28", cfg.MacroDieMetals)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	tile, err := cfg.generate()
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	d := tile.Design
+	return RunMacro3DCtx(context.Background(), cfg)
+}
 
-	sz, err := floorplan.SizeDesign(d, cfg.Util, 1.0, t.RowHeight)
-	if err != nil {
-		return nil, nil, nil, err
+// RunMacro3DCtx is RunMacro3D honouring cancellation and per-stage
+// deadlines at stage boundaries.
+func RunMacro3DCtx(ctx context.Context, cfg Config) (*PPA, *State, *core.MoLDesign, error) {
+	cfg = cfg.withDefaults()
+	st := &State{}
+	r := newRunner(ctx, "Macro-3D", cfg, st)
+
+	var t *tech.Tech
+	var macroBeol *tech.BEOL
+	if err := r.stage(StageGenerate, func() error {
+		var err error
+		if t, err = tech.New28(cfg.LogicMetals); err != nil {
+			return err
+		}
+		if macroBeol, err = tech.NewBEOL28("macro28", cfg.MacroDieMetals); err != nil {
+			return err
+		}
+		tile, err := cfg.generate()
+		if err != nil {
+			return err
+		}
+		st.Design, st.Tile = tile.Design, tile
+		return nil
+	}); err != nil {
+		return nil, st, nil, err
 	}
-	st := &State{Design: d, Tile: tile, Die: sz.Die3D, Sizing: sz}
+	d := st.Design
 
 	// Step 1: the two per-die floorplans (macros → macro die).
-	if _, _, err := floorplan.PlaceMacros(d, sz.Die3D, floorplan.StyleMoL); err != nil {
-		return nil, nil, nil, err
+	if err := r.stage(StageFloorplan, func() error {
+		sz, err := floorplan.SizeDesign(d, cfg.Util, 1.0, t.RowHeight)
+		if err != nil {
+			return err
+		}
+		st.Die, st.Sizing = sz.Die3D, sz
+		if _, _, err := floorplan.PlaceMacros(d, sz.Die3D, floorplan.StyleMoL); err != nil {
+			return err
+		}
+		floorplan.AssignPorts(st.Tile, sz.Die3D)
+		return nil
+	}); err != nil {
+		return nil, st, nil, err
 	}
-	floorplan.AssignPorts(tile, sz.Die3D)
 
 	// Step 2: combined BEOL + macro editing + superimposed floorplan.
-	f2f := t.F2F
-	if cfg.F2F != nil {
-		f2f = *cfg.F2F
+	var md *core.MoLDesign
+	if err := r.stage(StagePrepare, func() error {
+		f2f := t.F2F
+		if cfg.F2F != nil {
+			f2f = *cfg.F2F
+		}
+		filler := d.Lib.MustCell("FILL_X1")
+		var err error
+		md, err = core.PrepareMoL(d, t.Logic, macroBeol, f2f, st.Die, filler.Width, filler.Height)
+		if err != nil {
+			return fmt.Errorf("macro3d prepare: %w", err)
+		}
+		st.FP = md.FP
+		st.Beol = md.Combined
+		return nil
+	}); err != nil {
+		return nil, st, nil, err
 	}
-	filler := d.Lib.MustCell("FILL_X1")
-	md, err := core.PrepareMoL(d, t.Logic, macroBeol, f2f, sz.Die3D, filler.Width, filler.Height)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("macro3d prepare: %w", err)
-	}
-	st.FP = md.FP
-	st.Beol = md.Combined
 
 	// Step 3: standard 2D P&R over the combined stack — the result is
 	// directly valid for the 3D target.
-	if _, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: cfg.Seed + 2}); err != nil {
-		return nil, nil, nil, fmt.Errorf("macro3d place: %w", err)
+	if err := r.seededStage(StagePlace, cfg.Seed+2, func(seed uint64) error {
+		_, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: seed})
+		return err
+	}); err != nil {
+		return nil, st, nil, err
 	}
-	buildClock(st)
-	st.DB = route.NewDB(sz.Die3D, md.Combined, md.FP.RouteBlk, route.Options{})
-	st.Routes, err = route.RouteDesign(d, st.DB)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("macro3d route: %w", err)
+
+	if err := r.stage(StageCTS, func() error {
+		buildClock(st)
+		return nil
+	}); err != nil {
+		return nil, st, nil, err
+	}
+
+	if err := r.stage(StageRoute, func() error {
+		st.DB = route.NewDB(st.Die, md.Combined, md.FP.RouteBlk, route.Options{})
+		var err error
+		st.Routes, err = route.RouteDesign(d, st.DB)
+		return err
+	}); err != nil {
+		return nil, st, nil, err
 	}
 
 	// Sign-off with full optimization (the engine sees reality, so
 	// optimization is trustworthy — the paper's key property).
-	ppa, err := signoff(cfg, st, t, opt.Options{}, 2, cfg.LogicMetals+cfg.MacroDieMetals)
+	ppa, err := signoff(r, cfg, st, t, opt.Options{}, 2, cfg.LogicMetals+cfg.MacroDieMetals)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, st, nil, err
 	}
+	if err := verifyStage(r, cfg, st, t, md); err != nil {
+		return nil, st, md, err
+	}
+	r.finish()
 	ppa.Flow = "Macro-3D"
 	return ppa, st, md, nil
 }

@@ -1,0 +1,265 @@
+package flows
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Canonical stage names, in the order the flows execute them. Pseudo
+// phases of the S2D/C2D baselines prefix these with "pseudo-".
+const (
+	StageGenerate  = "generate"
+	StageFloorplan = "floorplan"
+	StagePrepare   = "prepare"
+	StagePlace     = "place"
+	StageCTS       = "cts"
+	StageRoute     = "route"
+	StagePartition = "partition"
+	StageTransfer  = "transfer"
+	StageExtract   = "extract"
+	StageOpt       = "opt"
+	StageSTA       = "sta"
+	StagePower     = "power"
+	StageSeparate  = "separate"
+	StageVerify    = "verify"
+)
+
+// StageError is the typed failure of one flow stage. Every error
+// escaping Run2D/RunS2D/RunC2D/RunMacro3D is a *StageError; panics
+// raised inside a stage are contained and carried in Cause with the
+// goroutine stack captured at the panic site.
+type StageError struct {
+	Flow    string // "2D", "S2D", "BF S2D", "C2D", "Macro-3D"
+	Stage   string // stage name, e.g. "place", "pseudo-route"
+	Seed    uint64 // effective seed of the failing attempt
+	Config  string // benchmark configuration name
+	Attempt int    // 1-based attempt number that finally failed
+	Cause   error
+	Stack   []byte // non-nil iff the stage panicked
+}
+
+func (e *StageError) Error() string {
+	var b []byte
+	b = fmt.Appendf(b, "flows: %s/%s stage %q (seed %d", e.Flow, e.Config, e.Stage, e.Seed)
+	if e.Attempt > 1 {
+		b = fmt.Appendf(b, ", attempt %d", e.Attempt)
+	}
+	b = fmt.Appendf(b, "): %v", e.Cause)
+	if len(e.Stack) > 0 {
+		b = fmt.Appendf(b, " [panic contained]")
+	}
+	return string(b)
+}
+
+func (e *StageError) Unwrap() error { return e.Cause }
+
+// PanicError carries a recovered stage panic as an error.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
+
+// RetryPolicy bounds re-runs of failed stochastic stages.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget for seeded stages
+	// (place and tier partitioning). 0 or 1 disables retry. Each
+	// retry runs with a deterministically perturbed seed (PerturbSeed)
+	// so reruns are reproducible yet explore different random states.
+	MaxAttempts int
+}
+
+// PerturbSeed derives the effective seed of retry attempt n (1-based).
+// Attempt 1 always returns the seed unchanged; later attempts mix in
+// the attempt index through the 64-bit golden ratio so every attempt
+// is deterministic given (seed, attempt).
+func PerturbSeed(seed uint64, attempt int) uint64 {
+	if attempt <= 1 {
+		return seed
+	}
+	return seed ^ (0x9e3779b97f4a7c15 * uint64(attempt-1))
+}
+
+// StageRecord is one executed stage attempt in a RunReport.
+type StageRecord struct {
+	Stage    string
+	Attempt  int
+	Seed     uint64
+	Duration time.Duration
+	Panicked bool
+	Err      string // empty on success
+}
+
+// RunReport is the instrumented trace of a flow run: every stage
+// attempt in execution order, whether the run completed, and the
+// terminal error if it did not. Flows attach it to State.Trace, so a
+// failed run still documents how far it got.
+type RunReport struct {
+	Flow      string
+	Config    string
+	Stages    []StageRecord
+	Completed bool
+	Err       *StageError // terminal failure, nil when Completed
+}
+
+// LastStage returns the name of the most recent attempted stage.
+func (r *RunReport) LastStage() string {
+	if len(r.Stages) == 0 {
+		return ""
+	}
+	return r.Stages[len(r.Stages)-1].Stage
+}
+
+// String renders a compact one-line-per-stage trace.
+func (r *RunReport) String() string {
+	var b []byte
+	b = fmt.Appendf(b, "%s/%s: %d stage attempts, completed=%v\n", r.Flow, r.Config, len(r.Stages), r.Completed)
+	for _, s := range r.Stages {
+		status := "ok"
+		if s.Err != "" {
+			status = s.Err
+			if s.Panicked {
+				status = "PANIC " + status
+			}
+		}
+		b = fmt.Appendf(b, "  %-14s attempt %d  seed %-20d %8s  %s\n",
+			s.Stage, s.Attempt, s.Seed, s.Duration.Round(time.Millisecond), status)
+	}
+	return string(b)
+}
+
+// runner executes named stages on behalf of one flow run: context
+// checks at stage boundaries, panic containment, per-stage timing,
+// bounded seeded retries, and the AfterStage hook.
+type runner struct {
+	flow  string
+	cfg   Config
+	ctx   context.Context
+	st    *State
+	trace *RunReport
+}
+
+func newRunner(ctx context.Context, flow string, cfg Config, st *State) *runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	name := cfg.Piton.Name
+	if cfg.Generator != nil && name == "" {
+		name = "custom"
+	}
+	r := &runner{
+		flow: flow, cfg: cfg, ctx: ctx, st: st,
+		trace: &RunReport{Flow: flow, Config: name},
+	}
+	st.Trace = r.trace
+	return r
+}
+
+// setState repoints the AfterStage hook target (the S2D/C2D pseudo
+// phases operate on a separate State) and carries the trace over so
+// whichever State the flow ultimately returns documents the run.
+func (r *runner) setState(st *State) {
+	r.st = st
+	st.Trace = r.trace
+}
+
+// stage runs a deterministic stage once.
+func (r *runner) stage(name string, fn func() error) error {
+	return r.run(name, r.cfg.Seed, func(uint64) error { return fn() }, 1)
+}
+
+// seededStage runs a stochastic stage with the retry budget: a failed
+// attempt is re-run with a perturbed seed, and every attempt is
+// recorded in the trace.
+func (r *runner) seededStage(name string, seed uint64, fn func(seed uint64) error) error {
+	attempts := 1
+	if r.cfg.Retry.MaxAttempts > attempts {
+		attempts = r.cfg.Retry.MaxAttempts
+	}
+	return r.run(name, seed, fn, attempts)
+}
+
+func (r *runner) run(name string, seed uint64, fn func(uint64) error, attempts int) error {
+	var last error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		// Cancellation and deadlines are honoured at stage boundaries:
+		// a flow returns within one stage of the context ending.
+		if err := r.ctx.Err(); err != nil {
+			r.record(name, attempt, seed, 0, false, err)
+			return r.fail(name, seed, attempt, err)
+		}
+		s := PerturbSeed(seed, attempt)
+		start := time.Now()
+		err := contain(func() error { return fn(s) })
+		dur := time.Since(start)
+		var pe *PanicError
+		panicked := errors.As(err, &pe)
+		r.record(name, attempt, s, dur, panicked, err)
+		if err == nil {
+			if r.cfg.StageTimeout > 0 && dur > r.cfg.StageTimeout {
+				over := fmt.Errorf("stage took %v, budget %v: %w",
+					dur.Round(time.Millisecond), r.cfg.StageTimeout, context.DeadlineExceeded)
+				return r.fail(name, s, attempt, over)
+			}
+			if r.cfg.AfterStage != nil {
+				// The hook (instrumentation, fault injection) is
+				// contained too: a panicking hook fails the stage
+				// instead of crashing the process.
+				if hookErr := contain(func() error {
+					r.cfg.AfterStage(r.flow, name, r.st)
+					return nil
+				}); hookErr != nil {
+					r.record(name, attempt, s, dur, true, hookErr)
+					return r.fail(name, s, attempt, hookErr)
+				}
+			}
+			return nil
+		}
+		last = err
+		seedForFail := s
+		if attempt == attempts {
+			return r.fail(name, seedForFail, attempt, last)
+		}
+	}
+	return r.fail(name, seed, attempts, last) // unreachable
+}
+
+func (r *runner) record(stage string, attempt int, seed uint64, dur time.Duration, panicked bool, err error) {
+	rec := StageRecord{Stage: stage, Attempt: attempt, Seed: seed, Duration: dur, Panicked: panicked}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	r.trace.Stages = append(r.trace.Stages, rec)
+}
+
+func (r *runner) fail(stage string, seed uint64, attempt int, cause error) error {
+	se := &StageError{
+		Flow: r.flow, Stage: stage, Seed: seed,
+		Config: r.trace.Config, Attempt: attempt, Cause: cause,
+	}
+	var pe *PanicError
+	if errors.As(cause, &pe) {
+		se.Stack = pe.Stack
+	}
+	r.trace.Completed = false
+	r.trace.Err = se
+	return se
+}
+
+// finish marks the trace complete.
+func (r *runner) finish() { r.trace.Completed = true }
+
+// contain runs fn, converting a panic into a *PanicError with the
+// stack captured at the panic site.
+func contain(fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

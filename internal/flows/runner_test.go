@@ -1,0 +1,197 @@
+package flows
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"macro3d/internal/piton"
+)
+
+func TestPerturbSeed(t *testing.T) {
+	if PerturbSeed(42, 1) != 42 {
+		t.Fatal("attempt 1 must use the seed unchanged")
+	}
+	a2, a3 := PerturbSeed(42, 2), PerturbSeed(42, 3)
+	if a2 == 42 || a3 == 42 || a2 == a3 {
+		t.Fatalf("retry seeds not distinct: %d %d", a2, a3)
+	}
+	if a2 != PerturbSeed(42, 2) {
+		t.Fatal("perturbation not deterministic")
+	}
+}
+
+func TestPanicContainedAsStageError(t *testing.T) {
+	cfg := Config{
+		Generator: func() (*piton.Tile, error) { panic("boom: synthetic generator fault") },
+	}
+	_, st, err := Run2D(cfg)
+	if err == nil {
+		t.Fatal("panicking generator did not fail the flow")
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a *StageError: %T %v", err, err)
+	}
+	if se.Stage != StageGenerate || se.Flow != "2D" {
+		t.Fatalf("wrong stage attribution: %+v", se)
+	}
+	if len(se.Stack) == 0 {
+		t.Fatal("contained panic lost its stack")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom: synthetic generator fault" {
+		t.Fatalf("panic value not preserved: %v", err)
+	}
+	if st == nil || st.Trace == nil || st.Trace.Completed {
+		t.Fatal("failed run must leave an incomplete trace")
+	}
+	if !st.Trace.Stages[len(st.Trace.Stages)-1].Panicked {
+		t.Fatal("trace did not record the panic")
+	}
+}
+
+func TestCancelledContextStopsAtStageBoundary(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := Run2DCtx(ctx, Config{Piton: piton.Tiny(), Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != StageGenerate {
+		t.Fatalf("cancellation not attributed to the first stage: %v", err)
+	}
+	if st.Trace == nil || len(st.Trace.Stages) != 1 {
+		t.Fatalf("pre-cancelled run executed stages: %+v", st.Trace)
+	}
+}
+
+func TestCancelMidFlowReturnsWithinOneStage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a partial tiny flow")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{Piton: piton.Tiny(), Seed: 1}
+	cfg.AfterStage = func(flow, stage string, st *State) {
+		if stage == StagePlace {
+			cancel()
+		}
+	}
+	_, st, err := Run2DCtx(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The cancel fired after "place" completed; the very next stage
+	// boundary (cts) must observe it.
+	if last := st.Trace.LastStage(); last != StageCTS {
+		t.Fatalf("flow ran past the cancellation boundary: last stage %q\n%s", last, st.Trace)
+	}
+}
+
+func TestSeededRetryPerturbsSeedAndRecordsAttempts(t *testing.T) {
+	cfg := Config{Piton: piton.Tiny(), Seed: 9, Retry: RetryPolicy{MaxAttempts: 3}}.withDefaults()
+	st := &State{}
+	r := newRunner(context.Background(), "test", cfg, st)
+	var seeds []uint64
+	err := r.seededStage(StagePlace, 9, func(seed uint64) error {
+		seeds = append(seeds, seed)
+		if len(seeds) < 3 {
+			return fmt.Errorf("synthetic stochastic failure %d", len(seeds))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stage failed despite retry budget: %v", err)
+	}
+	if len(seeds) != 3 || seeds[0] != 9 || seeds[1] == 9 || seeds[2] == 9 || seeds[1] == seeds[2] {
+		t.Fatalf("retry seeds wrong: %v", seeds)
+	}
+	if len(st.Trace.Stages) != 3 {
+		t.Fatalf("every attempt must be recorded, got %d", len(st.Trace.Stages))
+	}
+	for i, rec := range st.Trace.Stages {
+		if rec.Attempt != i+1 || rec.Seed != seeds[i] {
+			t.Fatalf("attempt record %d wrong: %+v", i, rec)
+		}
+	}
+	if st.Trace.Stages[0].Err == "" || st.Trace.Stages[2].Err != "" {
+		t.Fatalf("attempt outcomes wrong: %+v", st.Trace.Stages)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	cfg := Config{Piton: piton.Tiny(), Seed: 9, Retry: RetryPolicy{MaxAttempts: 2}}.withDefaults()
+	r := newRunner(context.Background(), "test", cfg, &State{})
+	calls := 0
+	err := r.seededStage(StagePlace, 9, func(seed uint64) error {
+		calls++
+		return fmt.Errorf("always fails")
+	})
+	var se *StageError
+	if !errors.As(err, &se) || se.Attempt != 2 || calls != 2 {
+		t.Fatalf("budget handling wrong: calls=%d err=%v", calls, err)
+	}
+	if se.Seed != PerturbSeed(9, 2) {
+		t.Fatalf("StageError must carry the failing attempt's seed, got %d", se.Seed)
+	}
+}
+
+func TestStageTimeoutFailsAtBoundary(t *testing.T) {
+	cfg := Config{Piton: piton.Tiny(), Seed: 1, StageTimeout: time.Nanosecond}.withDefaults()
+	r := newRunner(context.Background(), "test", cfg, &State{})
+	err := r.stage("slow", func() error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded wrap, got %v", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "slow" {
+		t.Fatalf("timeout not a StageError: %v", err)
+	}
+}
+
+func TestPanickingAfterStageHookIsContained(t *testing.T) {
+	cfg := Config{Piton: piton.Tiny(), Seed: 1}
+	cfg.AfterStage = func(flow, stage string, st *State) {
+		panic("hook fault")
+	}
+	_, _, err := Run2D(cfg)
+	var se *StageError
+	if !errors.As(err, &se) || len(se.Stack) == 0 {
+		t.Fatalf("hook panic not contained as StageError: %v", err)
+	}
+}
+
+func TestCleanTinyFlowTraceCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full tiny flow")
+	}
+	cfg := Config{Piton: piton.Tiny(), Seed: 5, Verify: true}
+	_, st, err := Run2D(cfg)
+	if err != nil {
+		t.Fatalf("clean tiny 2D flow failed: %v", err)
+	}
+	if st.Trace == nil || !st.Trace.Completed || st.Trace.Err != nil {
+		t.Fatalf("trace not completed: %+v", st.Trace)
+	}
+	want := []string{StageGenerate, StageFloorplan, StagePlace, StageCTS, StageRoute,
+		StageExtract, StageOpt, StageSTA, StagePower, StageVerify}
+	var got []string
+	for _, rec := range st.Trace.Stages {
+		got = append(got, rec.Stage)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stage sequence %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage sequence %v, want %v", got, want)
+		}
+	}
+}

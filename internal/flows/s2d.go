@@ -1,6 +1,7 @@
 package flows
 
 import (
+	"context"
 	"fmt"
 
 	"macro3d/internal/core"
@@ -30,173 +31,238 @@ import (
 // ones (S2D's best case, at the cost of MoL's manufacturing
 // advantages).
 func RunS2D(cfg Config, balanced bool) (*PPA, *State, error) {
+	return RunS2DCtx(context.Background(), cfg, balanced)
+}
+
+// RunS2DCtx is RunS2D honouring cancellation and per-stage deadlines
+// at stage boundaries.
+func RunS2DCtx(ctx context.Context, cfg Config, balanced bool) (*PPA, *State, error) {
 	cfg = cfg.withDefaults()
-	t, err := tech.New28(cfg.LogicMetals)
-	if err != nil {
-		return nil, nil, err
-	}
 	style := floorplan.StyleMoL
 	name := "S2D"
 	if balanced {
 		style = floorplan.StyleBalanced
 		name = "BF S2D"
 	}
+	stP := &State{}
+	r := newRunner(ctx, name, cfg, stP)
 
-	if cfg.Generator != nil {
-		return nil, nil, fmt.Errorf("flows: custom generators are only supported by Run2D/RunMacro3D")
+	var t *tech.Tech
+	var realTile *piton.Tile
+	var dReal *netlist.Design
+	var sz floorplan.Sizing
+	var die geom.Rect
+	if err := r.stage(StageGenerate, func() error {
+		if cfg.Generator != nil {
+			return fmt.Errorf("flows: custom generators are only supported by Run2D/RunMacro3D")
+		}
+		var err error
+		if t, err = tech.New28(cfg.LogicMetals); err != nil {
+			return err
+		}
+		// Real design determines footprints and macro floorplan.
+		if realTile, err = piton.Generate(cfg.Piton); err != nil {
+			return err
+		}
+		dReal = realTile.Design
+		return nil
+	}); err != nil {
+		return nil, stP, err
 	}
-	// Real design determines footprints and macro floorplan.
-	realTile, err := piton.Generate(cfg.Piton)
-	if err != nil {
-		return nil, nil, err
+
+	if err := r.stage(StageFloorplan, func() error {
+		var err error
+		sz, err = floorplan.SizeDesign(dReal, cfg.Util, 1.0, t.RowHeight)
+		if err != nil {
+			return err
+		}
+		die = sz.Die3D
+		if _, _, err := floorplan.PlaceMacros(dReal, die, style); err != nil {
+			return err
+		}
+		floorplan.AssignPorts(realTile, die)
+		return nil
+	}); err != nil {
+		return nil, stP, err
 	}
-	dReal := realTile.Design
-	sz, err := floorplan.SizeDesign(dReal, cfg.Util, 1.0, t.RowHeight)
-	if err != nil {
-		return nil, nil, err
-	}
-	die := sz.Die3D
-	if _, _, err := floorplan.PlaceMacros(dReal, die, style); err != nil {
-		return nil, nil, err
-	}
-	floorplan.AssignPorts(realTile, die)
 
 	// ---- Phase A: the pseudo (shrunk) design. ----
-	pcfg := cfg.Piton
-	pcfg.TargetLogicArea *= 0.5 // the 50 % area shrink
-	pseudoTile, err := piton.Generate(pcfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	dP := pseudoTile.Design
-
-	// Pseudo macros sit at the real floorplan locations, pins in the
-	// single-die BEOL (the S2D inaccuracy: the final pins live in the
-	// other die's metal).
-	var logicRects, macroRects []geom.Rect
-	for _, m := range dReal.Macros() {
-		pm := dP.Instance(m.Name)
-		if pm == nil {
-			return nil, nil, fmt.Errorf("s2d: pseudo design lacks macro %s", m.Name)
+	var dP *netlist.Design
+	var fpP *floorplan.Floorplan
+	if err := r.stage("pseudo-"+StageFloorplan, func() error {
+		pcfg := cfg.Piton
+		pcfg.TargetLogicArea *= 0.5 // the 50 % area shrink
+		pseudoTile, err := piton.Generate(pcfg)
+		if err != nil {
+			return err
 		}
-		pm.Loc = m.Loc
-		pm.Fixed, pm.Placed = true, true
-		pm.Die = netlist.LogicDie // single-die view
-		if m.Die == netlist.LogicDie {
-			logicRects = append(logicRects, m.Bounds())
-		} else {
-			macroRects = append(macroRects, m.Bounds())
-		}
-	}
-	floorplan.AssignPorts(pseudoTile, die)
+		dP = pseudoTile.Design
 
-	// Partial blockages rasterized at the coarse resolution.
-	pbm := floorplan.NewPartialBlockageMap(die, cfg.BlockageResolution, logicRects, macroRects)
-	fpP := &floorplan.Floorplan{Die: die, PlaceBlk: pbm.Blockages()}
-	// Routing obstructions only where a macro occupies *this* die in
-	// the pseudo single-die view (logic-die macros).
-	for _, m := range dReal.Macros() {
-		if m.Die != netlist.LogicDie {
-			continue
+		// Pseudo macros sit at the real floorplan locations, pins in
+		// the single-die BEOL (the S2D inaccuracy: the final pins live
+		// in the other die's metal).
+		var logicRects, macroRects []geom.Rect
+		for _, m := range dReal.Macros() {
+			pm := dP.Instance(m.Name)
+			if pm == nil {
+				return fmt.Errorf("s2d: pseudo design lacks macro %s", m.Name)
+			}
+			pm.Loc = m.Loc
+			pm.Fixed, pm.Placed = true, true
+			pm.Die = netlist.LogicDie // single-die view
+			if m.Die == netlist.LogicDie {
+				logicRects = append(logicRects, m.Bounds())
+			} else {
+				macroRects = append(macroRects, m.Bounds())
+			}
 		}
-		for _, o := range m.Master.Obstructions {
-			fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
-				Layer: o.Layer, Rect: o.Rect.Translate(m.Loc),
-			})
+		floorplan.AssignPorts(pseudoTile, die)
+
+		// Partial blockages rasterized at the coarse resolution.
+		pbm := floorplan.NewPartialBlockageMap(die, cfg.BlockageResolution, logicRects, macroRects)
+		fpP = &floorplan.Floorplan{Die: die, PlaceBlk: pbm.Blockages()}
+		// Routing obstructions only where a macro occupies *this* die
+		// in the pseudo single-die view (logic-die macros).
+		for _, m := range dReal.Macros() {
+			if m.Die != netlist.LogicDie {
+				continue
+			}
+			for _, o := range m.Master.Obstructions {
+				fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
+					Layer: o.Layer, Rect: o.Rect.Translate(m.Loc),
+				})
+			}
 		}
+
+		// Shrunk interconnect geometry (50 % dimensions → 1/√2 pitch);
+		// per-µm parasitics unchanged — S2D's estimation model.
+		shrunkBeol := tech.ShrinkGeometry(t.Logic, 0.7071)
+		stP.Design, stP.Tile, stP.Die = dP, pseudoTile, die
+		stP.FP, stP.Beol, stP.Sizing = fpP, shrunkBeol, sz
+		return nil
+	}); err != nil {
+		return nil, stP, err
 	}
 
-	// Shrunk interconnect geometry (50 % dimensions → 1/√2 pitch);
-	// per-µm parasitics unchanged — S2D's estimation model.
-	shrunkBeol := tech.ShrinkGeometry(t.Logic, 0.7071)
+	if err := r.seededStage("pseudo-"+StagePlace, cfg.Seed+3, func(seed uint64) error {
+		_, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: seed})
+		return err
+	}); err != nil {
+		return nil, stP, err
+	}
 
-	stP := &State{Design: dP, Tile: pseudoTile, Die: die, FP: fpP, Beol: shrunkBeol, Sizing: sz}
-	if _, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: cfg.Seed + 3}); err != nil {
-		return nil, nil, fmt.Errorf("s2d pseudo place: %w", err)
+	if err := r.stage("pseudo-"+StageRoute, func() error {
+		buildClock(stP)
+		stP.DB = route.NewDB(die, stP.Beol, fpP.RouteBlk, route.Options{})
+		var err error
+		stP.Routes, err = route.RouteDesign(dP, stP.DB)
+		return err
+	}); err != nil {
+		return nil, stP, err
 	}
-	buildClock(stP)
-	stP.DB = route.NewDB(die, shrunkBeol, fpP.RouteBlk, route.Options{})
-	stP.Routes, err = route.RouteDesign(dP, stP.DB)
-	if err != nil {
-		return nil, nil, fmt.Errorf("s2d pseudo route: %w", err)
-	}
+
 	// Optimize against the pseudo parasitics (sizing only — buffer
 	// replication across the transfer is not part of the reference
 	// flows either).
-	slow := t.CornerScaleFor(tech.CornerSlow)
-	stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
-	if _, err := opt.Optimize(&opt.Context{
-		Design: dP, DB: stP.DB, Routes: stP.Routes, Ex: stP.ExSlow,
-		Corner: slow, Clock: stP.Tree,
-		FP: fpP, RowHeight: t.RowHeight,
-	}, sta.Options{}, opt.Options{BufferElmore: 1e12}); err != nil {
-		return nil, nil, fmt.Errorf("s2d pseudo opt: %w", err)
+	if err := r.stage("pseudo-"+StageOpt, func() error {
+		slow := t.CornerScaleFor(tech.CornerSlow)
+		stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
+		if err := stP.ExSlow.CheckFinite(); err != nil {
+			return err
+		}
+		_, err := opt.Optimize(&opt.Context{
+			Design: dP, DB: stP.DB, Routes: stP.Routes, Ex: stP.ExSlow,
+			Corner: slow, Clock: stP.Tree,
+			FP: fpP, RowHeight: t.RowHeight,
+		}, sta.Options{}, opt.Options{BufferElmore: 1e12})
+		return err
+	}); err != nil {
+		return nil, stP, err
 	}
 
 	// ---- Transfer: unshrink, keep (x, y) and sizing. ----
-	if err := transferPseudoScaled(dP, dReal, 1); err != nil {
-		return nil, nil, err
+	if err := r.stage(StageTransfer, func() error {
+		return transferPseudoScaled(dP, dReal, 1)
+	}); err != nil {
+		return nil, stP, err
 	}
 
 	// ---- Phase B: partition, legalize, reroute frozen. ----
-	return finish3DBaseline(cfg, t, name, realTile, die, sz, opt.Options{Frozen: true})
+	return finish3DBaseline(r, cfg, t, realTile, die, sz, opt.Options{Frozen: true})
 }
 
 // finish3DBaseline is the shared S2D/C2D back end: tier partitioning,
 // per-die overlap legalization, combined-stack reroute, frozen
 // sign-off.
-func finish3DBaseline(cfg Config, t *tech.Tech, name string, tile *piton.Tile, die geom.Rect, sz floorplan.Sizing, optCfg opt.Options) (*PPA, *State, error) {
+func finish3DBaseline(r *runner, cfg Config, t *tech.Tech, tile *piton.Tile, die geom.Rect, sz floorplan.Sizing, optCfg opt.Options) (*PPA, *State, error) {
 	d := tile.Design
-	if _, err := partitionAndLegalize(cfg, d, die, t.RowHeight); err != nil {
-		return nil, nil, err
+	st := &State{Design: d, Tile: tile, Die: die, Sizing: sz}
+	r.setState(st)
+
+	if err := r.seededStage(StagePartition, cfg.Seed, func(seed uint64) error {
+		if _, err := partition.TierPartition(d, partition.Options{Seed: seed}); err != nil {
+			return err
+		}
+		partition.BinBalance(d, die, cfg.BlockageResolution)
+		_, err := partition.LegalizeTiers(d, die, t.RowHeight)
+		return err
+	}); err != nil {
+		return nil, st, err
 	}
 
 	// Combined-stack view: edit macro-die macros; remap macro-die
 	// cells' pin layers.
-	macroBeol, err := tech.NewBEOL28("macro28", cfg.MacroDieMetals)
-	if err != nil {
-		return nil, nil, err
-	}
-	filler := d.Lib.MustCell("FILL_X1")
-	md, err := core.PrepareMoL(d, t.Logic, macroBeol, t.F2F, die, filler.Width, filler.Height)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s prepare: %w", name, err)
-	}
-	for _, c := range d.StdCells() {
-		if c.Die == netlist.MacroDie {
-			c.Master = core.CellForDie(c.Master, netlist.MacroDie)
+	var md *core.MoLDesign
+	if err := r.stage(StagePrepare, func() error {
+		macroBeol, err := tech.NewBEOL28("macro28", cfg.MacroDieMetals)
+		if err != nil {
+			return err
 		}
+		filler := d.Lib.MustCell("FILL_X1")
+		if md, err = core.PrepareMoL(d, t.Logic, macroBeol, t.F2F, die, filler.Width, filler.Height); err != nil {
+			return fmt.Errorf("%s prepare: %w", r.flow, err)
+		}
+		for _, c := range d.StdCells() {
+			if c.Die == netlist.MacroDie {
+				c.Master = core.CellForDie(c.Master, netlist.MacroDie)
+			}
+		}
+		// Logic-die macros (BF floorplan) still obstruct the logic
+		// BEOL and block placement — PrepareMoL already added those.
+		st.FP, st.Beol = md.FP, md.Combined
+		return nil
+	}); err != nil {
+		return nil, st, err
 	}
-	// Logic-die macros (BF floorplan) still obstruct the logic BEOL
-	// and block placement — PrepareMoL already added those.
 
-	st := &State{Design: d, Tile: tile, Die: die, FP: md.FP, Beol: md.Combined, Sizing: sz}
-	buildClock(st)
-	st.DB = route.NewDB(die, md.Combined, md.FP.RouteBlk, route.Options{})
-	st.Routes, err = route.RouteDesign(d, st.DB)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%s final route: %w", name, err)
+	if err := r.stage(StageCTS, func() error {
+		buildClock(st)
+		return nil
+	}); err != nil {
+		return nil, st, err
+	}
+
+	if err := r.stage(StageRoute, func() error {
+		st.DB = route.NewDB(die, md.Combined, md.FP.RouteBlk, route.Options{})
+		var err error
+		st.Routes, err = route.RouteDesign(d, st.DB)
+		return err
+	}); err != nil {
+		return nil, st, err
 	}
 
 	// Sign-off under the baseline's post-partition budget: frozen for
 	// S2D; a limited touch-up for C2D (its "post-tier-partitioning
 	// optimization"). Either way, the sizing decided against pseudo
 	// parasitics is essentially locked in (paper §III).
-	ppa, err := signoff(cfg, st, t, optCfg, 2, cfg.LogicMetals+cfg.MacroDieMetals)
+	ppa, err := signoff(r, cfg, st, t, optCfg, 2, cfg.LogicMetals+cfg.MacroDieMetals)
 	if err != nil {
-		return nil, nil, err
+		return nil, st, err
 	}
-	ppa.Flow = name
+	if err := verifyStage(r, cfg, st, t, md); err != nil {
+		return nil, st, err
+	}
+	r.finish()
+	ppa.Flow = r.flow
 	return ppa, st, nil
-}
-
-// partitionAndLegalize runs FM tier partitioning, the published flows'
-// per-bin area balancing, and per-die overlap legalization against the
-// real macro extents.
-func partitionAndLegalize(cfg Config, d *netlist.Design, die geom.Rect, rowHeight float64) (*partition.TierLegalization, error) {
-	if _, err := partition.TierPartition(d, partition.Options{Seed: cfg.Seed}); err != nil {
-		return nil, err
-	}
-	partition.BinBalance(d, die, cfg.BlockageResolution)
-	return partition.LegalizeTiers(d, die, rowHeight)
 }

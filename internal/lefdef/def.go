@@ -140,7 +140,7 @@ func parseComponents(tk *tokenizer, d *netlist.Design, lib *cell.Library) error 
 	for {
 		w, ok := tk.next()
 		if !ok {
-			return fmt.Errorf("lefdef: unexpected EOF in COMPONENTS")
+			return tk.errf("unexpected EOF in COMPONENTS")
 		}
 		if w == "END" {
 			tk.next() // COMPONENTS
@@ -153,14 +153,17 @@ func parseComponents(tk *tokenizer, d *netlist.Design, lib *cell.Library) error 
 		master, _ := tk.next()
 		m := lib.Cell(master)
 		if m == nil {
-			return fmt.Errorf("lefdef: unknown master %q for %s", master, name)
+			return tk.errf("unknown master %q for %s", master, name)
+		}
+		if d.Instance(name) != nil {
+			return tk.errf("duplicate component %q", name)
 		}
 		inst := d.AddInstance(name, m)
 		// "+ STATUS ( x y ) ORIENT + PROPERTY die N ;"
 		for {
 			x, ok := tk.next()
 			if !ok {
-				return fmt.Errorf("lefdef: unexpected EOF in component %s", name)
+				return tk.errf("unexpected EOF in component %s", name)
 			}
 			if x == ";" {
 				break
@@ -213,7 +216,7 @@ func parsePins(tk *tokenizer, d *netlist.Design) error {
 	for {
 		w, ok := tk.next()
 		if !ok {
-			return fmt.Errorf("lefdef: unexpected EOF in PINS")
+			return tk.errf("unexpected EOF in PINS")
 		}
 		if w == "END" {
 			tk.next()
@@ -230,7 +233,7 @@ func parsePins(tk *tokenizer, d *netlist.Design) error {
 		for {
 			t, ok := tk.next()
 			if !ok {
-				return fmt.Errorf("lefdef: unexpected EOF in pin %s", name)
+				return tk.errf("unexpected EOF in pin %s", name)
 			}
 			if t == ";" {
 				break
@@ -277,6 +280,9 @@ func parsePins(tk *tokenizer, d *netlist.Design) error {
 				extDelay = v
 			}
 		}
+		if d.Port(name) != nil {
+			return tk.errf("duplicate pin %q", name)
+		}
 		p := d.AddPort(name, dir)
 		p.Layer = layer
 		p.Loc = geom.Pt(x, y)
@@ -291,7 +297,7 @@ func parseNets(tk *tokenizer, d *netlist.Design) error {
 	for {
 		w, ok := tk.next()
 		if !ok {
-			return fmt.Errorf("lefdef: unexpected EOF in NETS")
+			return tk.errf("unexpected EOF in NETS")
 		}
 		if w == "END" {
 			tk.next()
@@ -306,7 +312,7 @@ func parseNets(tk *tokenizer, d *netlist.Design) error {
 		for {
 			t, ok := tk.next()
 			if !ok {
-				return fmt.Errorf("lefdef: unexpected EOF in net %s", name)
+				return tk.errf("unexpected EOF in net %s", name)
 			}
 			if t == ";" {
 				break
@@ -323,14 +329,14 @@ func parseNets(tk *tokenizer, d *netlist.Design) error {
 					pn, _ := tk.next()
 					p := d.Port(pn)
 					if p == nil {
-						return nil
+						return tk.errf("net %s references unknown pin %s", name, pn)
 					}
 					refs = append(refs, netlist.PPin(p))
 				} else {
 					pin, _ := tk.next()
 					inst := d.Instance(a)
 					if inst == nil {
-						return fmt.Errorf("lefdef: net %s references unknown instance %s", name, a)
+						return tk.errf("net %s references unknown instance %s", name, a)
 					}
 					refs = append(refs, netlist.IPin(inst, pin))
 				}
@@ -339,6 +345,9 @@ func parseNets(tk *tokenizer, d *netlist.Design) error {
 		}
 		if len(refs) == 0 {
 			continue
+		}
+		if d.Net(name) != nil {
+			return tk.errf("duplicate net %q", name)
 		}
 		n := d.AddNet(name, refs[0], refs[1:]...)
 		n.Clock = clock

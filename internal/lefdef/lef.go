@@ -190,6 +190,9 @@ func ParseLEF(r io.Reader) (*LEFContent, error) {
 			if err != nil {
 				return nil, err
 			}
+			if out.Lib.Cell(name) != nil {
+				return nil, tk.errf("duplicate MACRO %q", name)
+			}
 			out.Lib.Add(c)
 		default:
 			tk.skipStatement()
@@ -212,7 +215,7 @@ func parseLayerBody(tk *tokenizer, name string) (string, map[string]float64, err
 	for {
 		w, ok := tk.next()
 		if !ok {
-			return "", nil, fmt.Errorf("lefdef: unexpected EOF in LAYER %s", name)
+			return "", nil, tk.errf("unexpected EOF in LAYER %s", name)
 		}
 		switch w {
 		case "TYPE":
@@ -269,7 +272,7 @@ func parseMacroBody(tk *tokenizer, name string) (*cell.Cell, error) {
 	for {
 		w, ok := tk.next()
 		if !ok {
-			return nil, fmt.Errorf("lefdef: unexpected EOF in MACRO %s", name)
+			return nil, tk.errf("unexpected EOF in MACRO %s", name)
 		}
 		switch w {
 		case "CLASS":
@@ -339,7 +342,7 @@ func parseProperty(tk *tokenizer, c *cell.Cell) error {
 	for {
 		w, ok := tk.next()
 		if !ok {
-			return fmt.Errorf("lefdef: unexpected EOF in PROPERTY")
+			return tk.errf("unexpected EOF in PROPERTY")
 		}
 		if w == ";" {
 			break
@@ -391,7 +394,7 @@ func parsePinBody(tk *tokenizer, name string) (*cell.Pin, error) {
 	for {
 		w, ok := tk.next()
 		if !ok {
-			return nil, fmt.Errorf("lefdef: unexpected EOF in PIN %s", name)
+			return nil, tk.errf("unexpected EOF in PIN %s", name)
 		}
 		switch w {
 		case "DIRECTION":
@@ -451,7 +454,7 @@ func parseObs(tk *tokenizer, c *cell.Cell) error {
 	for {
 		w, ok := tk.next()
 		if !ok {
-			return fmt.Errorf("lefdef: unexpected EOF in OBS")
+			return tk.errf("unexpected EOF in OBS")
 		}
 		switch w {
 		case "LAYER":

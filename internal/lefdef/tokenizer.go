@@ -11,10 +11,13 @@ import (
 )
 
 // tokenizer splits a LEF/DEF stream into whitespace-separated words,
-// treating ';' as its own token and '#' comments to end of line.
+// treating ';' as its own token and '#' comments to end of line. It
+// tracks the 1-based source line of the tokens it hands out so parse
+// errors can point at the offending input.
 type tokenizer struct {
 	s      *bufio.Scanner
 	queued []string
+	line   int
 }
 
 func newTokenizer(r io.Reader) *tokenizer {
@@ -28,6 +31,7 @@ func (t *tokenizer) next() (string, bool) {
 		if !t.s.Scan() {
 			return "", false
 		}
+		t.line++
 		line := t.s.Text()
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
@@ -44,13 +48,18 @@ func (t *tokenizer) next() (string, bool) {
 func (t *tokenizer) nextFloat() (float64, error) {
 	w, ok := t.next()
 	if !ok {
-		return 0, fmt.Errorf("lefdef: unexpected EOF, wanted number")
+		return 0, t.errf("unexpected EOF, wanted number")
 	}
 	v, err := strconv.ParseFloat(w, 64)
 	if err != nil {
-		return 0, fmt.Errorf("lefdef: expected number, got %q", w)
+		return 0, t.errf("expected number, got %q", w)
 	}
 	return v, nil
+}
+
+// errf builds a parse error tagged with the current source line.
+func (t *tokenizer) errf(format string, args ...any) error {
+	return fmt.Errorf("lefdef: "+format+" (line %d)", append(args, t.line)...)
 }
 
 // expect consumes one token and checks it.

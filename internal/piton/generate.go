@@ -66,10 +66,22 @@ func generate(cfg Config, areaScale float64) (*Tile, error) {
 	// Cache hierarchy. Each level exposes request/response register
 	// interfaces; levels are chained core→L1→L2→L3. The D-pin lists
 	// are consumed by connectBus, so each pin is driven exactly once.
-	l1i := g.buildCacheLevel("l1i", cfg.L1I)
-	l1d := g.buildCacheLevel("l1d", cfg.L1D)
-	l2 := g.buildCacheLevel("l2", cfg.L2)
-	l3 := g.buildCacheLevel("l3", cfg.L3)
+	l1i, err := g.buildCacheLevel("l1i", cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := g.buildCacheLevel("l1d", cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := g.buildCacheLevel("l2", cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := g.buildCacheLevel("l3", cfg.L3)
+	if err != nil {
+		return nil, err
+	}
 
 	// Core ↔ L1s: fetch path and load/store path.
 	g.connectBus("core_l1i", core.outs, &l1i.reqIns, len(l1i.reqIns))
@@ -159,14 +171,17 @@ func (g *gen) buildCore() *iface {
 // of the level (long shared buses in 2D — the paper's critical paths),
 // per-bank enable decode, and a mux tree merging bank outputs into
 // capture registers.
-func (g *gen) buildCacheLevel(level string, bytes int) *iface {
+func (g *gen) buildCacheLevel(level string, bytes int) (*iface, error) {
 	cfg := g.cfg
 	specs := sramBanks(level, bytes, cfg.DataWidth)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("piton: cache level %s (%d bytes) produced no SRAM banks", level, bytes)
+	}
 	macros := make([]*netlist.Instance, len(specs))
 	for i, spec := range specs {
 		m, err := cell.NewSRAM(spec)
 		if err != nil {
-			panic(fmt.Sprintf("piton: SRAM compile failed: %v", err))
+			return nil, fmt.Errorf("piton: SRAM compile for %s bank %d failed: %w", level, i, err)
 		}
 		g.cfg.MacroProcess.Apply(m)
 		g.lib.Add(m) // registered so DEF/LEF round trips resolve it
@@ -242,7 +257,7 @@ func (g *gen) buildCacheLevel(level string, bytes int) *iface {
 		// the request downstream).
 		fc.missOuts = append(fc.missOuts, netlist.IPin(capFF, "Q"))
 	}
-	return fc
+	return fc, nil
 }
 
 // router bundles one NoC router's local-port registers.

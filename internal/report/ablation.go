@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,41 +19,63 @@ import (
 // artifact, which strengthens the paper's conclusion.
 type BlockageSweep struct {
 	ResolutionsUm []float64
-	S2D           []*flows.PPA
-	TwoD          *flows.PPA // reference
+	// S2D is index-aligned with ResolutionsUm; a nil entry marks a
+	// point that failed or was cancelled (keep-going mode).
+	S2D  []*flows.PPA
+	TwoD *flows.PPA // reference
 }
 
 // RunBlockageSweep runs MoL S2D at each partial-blockage resolution.
 func RunBlockageSweep(seed uint64, resolutions []float64) (*BlockageSweep, error) {
+	return RunBlockageSweepCtx(context.Background(), seed, resolutions, false)
+}
+
+// RunBlockageSweepCtx is the context-aware sweep driver: cancellation
+// is honoured at flow-stage boundaries, and with keepGoing a failed
+// point leaves a nil gap instead of aborting the sweep.
+func RunBlockageSweepCtx(ctx context.Context, seed uint64, resolutions []float64, keepGoing bool) (*BlockageSweep, error) {
 	if len(resolutions) == 0 {
 		resolutions = []float64{15, 30, 50, 80, 120}
 	}
 	out := &BlockageSweep{ResolutionsUm: resolutions}
-	var err error
-	if out.TwoD, _, err = flows.Run2D(flows.Config{Piton: piton.SmallCache(), Seed: seed}); err != nil {
-		return nil, err
-	}
+	cols := []column{{"2D reference", func() (err error) {
+		out.TwoD, _, err = flows.Run2DCtx(ctx, flows.Config{Piton: piton.SmallCache(), Seed: seed})
+		return
+	}}}
 	for _, res := range resolutions {
-		cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed, BlockageResolution: res}
-		p, _, err := flows.RunS2D(cfg, false)
-		if err != nil {
-			return nil, fmt.Errorf("blockage sweep @%.0f µm: %w", res, err)
-		}
-		out.S2D = append(out.S2D, p)
+		res := res
+		i := len(out.S2D)
+		out.S2D = append(out.S2D, nil)
+		cols = append(cols, column{fmt.Sprintf("@%.0f µm", res), func() (err error) {
+			cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed, BlockageResolution: res}
+			out.S2D[i], _, err = flows.RunS2DCtx(ctx, cfg, false)
+			return
+		}})
 	}
-	return out, nil
+	err := runColumns(ctx, "blockage sweep", keepGoing, cols)
+	return out, err
 }
 
-// Format renders the sweep.
+// Format renders the sweep; failed points render as "—".
 func (s *BlockageSweep) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation — S2D partial-blockage rasterization resolution (small cache)\n")
-	fmt.Fprintf(&b, "2D reference: %.0f MHz\n", s.TwoD.FclkMHz)
+	fmt.Fprintf(&b, "2D reference: %s MHz\n", cell(s.TwoD, "%.0f", func(p *flows.PPA) float64 { return p.FclkMHz }))
 	fmt.Fprintf(&b, "%-16s %10s %12s %10s\n", "resolution [µm]", "fclk [MHz]", "vs 2D", "bumps")
 	for i, res := range s.ResolutionsUm {
-		p := s.S2D[i]
-		fmt.Fprintf(&b, "%-16.0f %10.0f %11.1f%% %10d\n",
-			res, p.FclkMHz, 100*(p.FclkMHz/s.TwoD.FclkMHz-1), p.F2FBumps)
+		var p *flows.PPA
+		if i < len(s.S2D) {
+			p = s.S2D[i]
+		}
+		vs := "—"
+		if p != nil && s.TwoD != nil && s.TwoD.FclkMHz != 0 {
+			vs = fmt.Sprintf("%.1f%%", 100*(p.FclkMHz/s.TwoD.FclkMHz-1))
+		}
+		fmt.Fprintf(&b, "%-16.0f %10s %12s %10s\n",
+			res,
+			cell(p, "%.0f", func(p *flows.PPA) float64 { return p.FclkMHz }),
+			vs,
+			cell(p, "%.0f", func(p *flows.PPA) float64 { return float64(p.F2FBumps) }))
 	}
 	return b.String()
 }
@@ -63,44 +86,61 @@ func (s *BlockageSweep) Format() string {
 // shows up as routing overflow and lost performance.
 type PitchSweep struct {
 	PitchesUm []float64
-	M3D       []*flows.PPA
+	// M3D is index-aligned with PitchesUm; nil entries mark failed or
+	// cancelled points.
+	M3D []*flows.PPA
 }
 
 // RunPitchSweep runs Macro-3D at each bump pitch.
 func RunPitchSweep(seed uint64, pitches []float64) (*PitchSweep, error) {
+	return RunPitchSweepCtx(context.Background(), seed, pitches, false)
+}
+
+// RunPitchSweepCtx is the context-aware pitch-sweep driver.
+func RunPitchSweepCtx(ctx context.Context, seed uint64, pitches []float64, keepGoing bool) (*PitchSweep, error) {
 	if len(pitches) == 0 {
 		pitches = []float64{1, 2, 5, 10, 20}
 	}
 	out := &PitchSweep{PitchesUm: pitches}
+	var cols []column
 	for _, pitch := range pitches {
-		cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed}
-		p, _, _, err := runMacro3DWithPitch(cfg, pitch)
-		if err != nil {
-			return nil, fmt.Errorf("pitch sweep @%.0f µm: %w", pitch, err)
-		}
-		out.M3D = append(out.M3D, p)
+		pitch := pitch
+		i := len(out.M3D)
+		out.M3D = append(out.M3D, nil)
+		cols = append(cols, column{fmt.Sprintf("@%.0f µm", pitch), func() (err error) {
+			cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed}
+			out.M3D[i], _, _, err = runMacro3DWithPitch(ctx, cfg, pitch)
+			return
+		}})
 	}
-	return out, nil
+	err := runColumns(ctx, "pitch sweep", keepGoing, cols)
+	return out, err
 }
 
 // runMacro3DWithPitch adjusts the F2F technology before the flow.
-func runMacro3DWithPitch(cfg flows.Config, pitch float64) (*flows.PPA, *flows.State, *tech.F2FSpec, error) {
+func runMacro3DWithPitch(ctx context.Context, cfg flows.Config, pitch float64) (*flows.PPA, *flows.State, *tech.F2FSpec, error) {
 	f2f := tech.DefaultF2F()
 	f2f.Pitch = pitch
 	cfg.F2F = &f2f
-	p, st, _, err := flows.RunMacro3D(cfg)
+	p, st, _, err := flows.RunMacro3DCtx(ctx, cfg)
 	return p, st, &f2f, err
 }
 
-// Format renders the sweep.
+// Format renders the sweep; failed points render as "—".
 func (s *PitchSweep) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation — F2F bump pitch (Macro-3D, small cache)\n")
 	fmt.Fprintf(&b, "%-14s %10s %10s %10s\n", "pitch [µm]", "fclk [MHz]", "bumps", "overflow")
 	for i, pitch := range s.PitchesUm {
-		p := s.M3D[i]
-		fmt.Fprintf(&b, "%-14.1f %10.0f %10d %10d\n",
-			pitch, p.FclkMHz, p.F2FBumps, p.RouteOverflow)
+		var p *flows.PPA
+		if i < len(s.M3D) {
+			p = s.M3D[i]
+		}
+		fmt.Fprintf(&b, "%-14.1f %10s %10s %10s\n",
+			pitch,
+			cell(p, "%.0f", func(p *flows.PPA) float64 { return p.FclkMHz }),
+			cell(p, "%.0f", func(p *flows.PPA) float64 { return float64(p.F2FBumps) }),
+			cell(p, "%.0f", func(p *flows.PPA) float64 { return float64(p.RouteOverflow) }))
 	}
 	return b.String()
 }
@@ -115,7 +155,8 @@ type HeteroTechSweep struct {
 	Points []HeteroPoint
 }
 
-// HeteroPoint is one macro-die technology choice.
+// HeteroPoint is one macro-die technology choice. PPA is nil when the
+// point failed or was cancelled (keep-going mode).
 type HeteroPoint struct {
 	Label   string
 	Process piton.MacroProcess
@@ -126,6 +167,11 @@ type HeteroPoint struct {
 // flavours: the same logic node, a density/leakage-optimized older
 // node, and a speed-binned memory node.
 func RunHeteroTechSweep(seed uint64) (*HeteroTechSweep, error) {
+	return RunHeteroTechSweepCtx(context.Background(), seed, false)
+}
+
+// RunHeteroTechSweepCtx is the context-aware heterogeneous-node sweep.
+func RunHeteroTechSweepCtx(ctx context.Context, seed uint64, keepGoing bool) (*HeteroTechSweep, error) {
 	points := []HeteroPoint{
 		{Label: "same-node", Process: piton.MacroProcess{}},
 		{Label: "low-leak (older node)", Process: piton.MacroProcess{
@@ -133,29 +179,35 @@ func RunHeteroTechSweep(seed uint64) (*HeteroTechSweep, error) {
 		{Label: "fast-bin memory node", Process: piton.MacroProcess{
 			ClkQScale: 0.6, EnergyScale: 1.1, LeakageScale: 1.6}},
 	}
-	out := &HeteroTechSweep{}
-	for _, pt := range points {
-		pc := piton.SmallCache()
-		pc.MacroProcess = pt.Process
-		cfg := flows.Config{Piton: pc, Seed: seed}
-		p, _, _, err := flows.RunMacro3D(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("hetero sweep %q: %w", pt.Label, err)
-		}
-		pt.PPA = p
-		out.Points = append(out.Points, pt)
+	out := &HeteroTechSweep{Points: points}
+	var cols []column
+	for i := range out.Points {
+		i := i
+		cols = append(cols, column{fmt.Sprintf("%q", out.Points[i].Label), func() (err error) {
+			pc := piton.SmallCache()
+			pc.MacroProcess = out.Points[i].Process
+			cfg := flows.Config{Piton: pc, Seed: seed}
+			out.Points[i].PPA, _, _, err = flows.RunMacro3DCtx(ctx, cfg)
+			return
+		}})
 	}
-	return out, nil
+	err := runColumns(ctx, "hetero sweep", keepGoing, cols)
+	return out, err
 }
 
-// Format renders the sweep.
+// Format renders the sweep; failed points render as "—".
 func (s *HeteroTechSweep) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Extension — heterogeneous macro-die process (Macro-3D, small cache)\n")
 	fmt.Fprintf(&b, "%-24s %10s %14s %12s %12s\n", "macro-die node", "fclk [MHz]", "Emean [fJ/cyc]", "power [µW]", "leak [µW]")
 	for _, pt := range s.Points {
-		fmt.Fprintf(&b, "%-24s %10.0f %14.1f %12.1f %12.1f\n",
-			pt.Label, pt.PPA.FclkMHz, pt.PPA.EmeanFJ, pt.PPA.PowerUW, pt.PPA.LeakageUW)
+		fmt.Fprintf(&b, "%-24s %10s %14s %12s %12s\n",
+			pt.Label,
+			cell(pt.PPA, "%.0f", func(p *flows.PPA) float64 { return p.FclkMHz }),
+			cell(pt.PPA, "%.1f", func(p *flows.PPA) float64 { return p.EmeanFJ }),
+			cell(pt.PPA, "%.1f", func(p *flows.PPA) float64 { return p.PowerUW }),
+			cell(pt.PPA, "%.1f", func(p *flows.PPA) float64 { return p.LeakageUW }))
 	}
 	return b.String()
 }
+

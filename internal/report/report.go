@@ -4,9 +4,17 @@
 // versus Macro-3D for both cache configurations), Table III (the
 // heterogeneous-BEOL M6–M4 ablation), and the §V-A iso-performance
 // power comparison.
+//
+// Every driver has a context-aware variant that honours cancellation
+// at flow-stage boundaries and can keep going past a failed column:
+// the returned table always carries the columns that completed, so a
+// cancelled or partially failed experiment still renders (missing
+// columns format as "—").
 package report
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -14,29 +22,73 @@ import (
 	"macro3d/internal/piton"
 )
 
+// column is one experiment cell: a labelled flow run writing its
+// result through a pointer into the table under construction.
+type column struct {
+	name string
+	run  func() error
+}
+
+// runColumns executes the columns in order. Cancellation is observed
+// between columns (and, inside a column, at the flow's own stage
+// boundaries). With keepGoing, failed columns are recorded and the
+// rest still run; otherwise the first failure stops the table. The
+// error joins every column failure, each labelled.
+func runColumns(ctx context.Context, label string, keepGoing bool, cols []column) error {
+	var errs []error
+	for _, c := range cols {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, fmt.Errorf("%s %s: %w", label, c.name, err))
+			break
+		}
+		if err := c.run(); err != nil {
+			err = fmt.Errorf("%s %s: %w", label, c.name, err)
+			if !keepGoing || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return errors.Join(append(errs, err)...)
+			}
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // TableI holds the four compared flows on the small-cache tile.
+// Columns left nil (run failed, cancelled, or not reached) format
+// as "—".
 type TableI struct {
 	TwoD, S2D, BFS2D, Macro3D *flows.PPA
 }
 
 // RunTableI reproduces Table I.
 func RunTableI(seed uint64) (*TableI, error) {
-	cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed}
+	return RunTableIWith(context.Background(), flows.Config{Seed: seed}, false)
+}
+
+// RunTableIWith reproduces Table I under the given context and flow
+// configuration (hardening knobs — Retry, StageTimeout, Verify —
+// apply to every column; an unset tile defaults to the paper's
+// small-cache config). The returned table is never nil: columns
+// completed before a failure or cancellation are preserved.
+func RunTableIWith(ctx context.Context, cfg flows.Config, keepGoing bool) (*TableI, error) {
+	if cfg.Piton.Name == "" && cfg.Generator == nil {
+		cfg.Piton = piton.SmallCache()
+	}
 	t := &TableI{}
-	var err error
-	if t.TwoD, _, err = flows.Run2D(cfg); err != nil {
-		return nil, fmt.Errorf("table I 2D: %w", err)
+	err := runColumns(ctx, "table I", keepGoing, []column{
+		{"2D", func() (err error) { t.TwoD, _, err = flows.Run2DCtx(ctx, cfg); return }},
+		{"MoL S2D", func() (err error) { t.S2D, _, err = flows.RunS2DCtx(ctx, cfg, false); return }},
+		{"BF S2D", func() (err error) { t.BFS2D, _, err = flows.RunS2DCtx(ctx, cfg, true); return }},
+		{"Macro-3D", func() (err error) { t.Macro3D, _, _, err = flows.RunMacro3DCtx(ctx, cfg); return }},
+	})
+	return t, err
+}
+
+// cell formats one table value, rendering missing columns as "—".
+func cell(p *flows.PPA, format string, v func(p *flows.PPA) float64) string {
+	if p == nil {
+		return "—"
 	}
-	if t.S2D, _, err = flows.RunS2D(cfg, false); err != nil {
-		return nil, fmt.Errorf("table I S2D: %w", err)
-	}
-	if t.BFS2D, _, err = flows.RunS2D(cfg, true); err != nil {
-		return nil, fmt.Errorf("table I BF S2D: %w", err)
-	}
-	if t.Macro3D, _, _, err = flows.RunMacro3D(cfg); err != nil {
-		return nil, fmt.Errorf("table I Macro-3D: %w", err)
-	}
-	return t, nil
+	return fmt.Sprintf(format, v(p))
 }
 
 // Format renders the table in the paper's row layout.
@@ -45,17 +97,17 @@ func (t *TableI) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table I — max-performance PPA and cost, small-cache tile\n")
 	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s\n", "", "2D", "MoL S2D", "BF S2D", "Macro-3D")
-	row := func(name string, f func(p *flows.PPA) string) {
+	row := func(name, format string, v func(p *flows.PPA) float64) {
 		fmt.Fprintf(&b, "%-22s", name)
 		for _, p := range cols {
-			fmt.Fprintf(&b, " %10s", f(p))
+			fmt.Fprintf(&b, " %10s", cell(p, format, v))
 		}
 		b.WriteByte('\n')
 	}
-	row("fclk [MHz]", func(p *flows.PPA) string { return fmt.Sprintf("%.0f", p.FclkMHz) })
-	row("Emean [fJ/cycle]", func(p *flows.PPA) string { return fmt.Sprintf("%.1f", p.EmeanFJ) })
-	row("Afootprint [mm²]", func(p *flows.PPA) string { return fmt.Sprintf("%.2f", p.FootprintMM2) })
-	row("F2F bumps", func(p *flows.PPA) string { return fmt.Sprintf("%d", p.F2FBumps) })
+	row("fclk [MHz]", "%.0f", func(p *flows.PPA) float64 { return p.FclkMHz })
+	row("Emean [fJ/cycle]", "%.1f", func(p *flows.PPA) float64 { return p.EmeanFJ })
+	row("Afootprint [mm²]", "%.2f", func(p *flows.PPA) float64 { return p.FootprintMM2 })
+	row("F2F bumps", "%.0f", func(p *flows.PPA) float64 { return float64(p.F2FBumps) })
 	return b.String()
 }
 
@@ -67,23 +119,25 @@ type TableII struct {
 
 // RunTableII reproduces Table II.
 func RunTableII(seed uint64) (*TableII, error) {
+	return RunTableIIWith(context.Background(), flows.Config{Seed: seed}, false)
+}
+
+// RunTableIIWith reproduces Table II under the given context; cfg
+// carries the seed and hardening knobs while the tile is set per
+// column (the table inherently compares the small- and large-cache
+// configurations). Completed columns survive failure or cancellation.
+func RunTableIIWith(ctx context.Context, cfg flows.Config, keepGoing bool) (*TableII, error) {
 	t := &TableII{}
-	var err error
-	cs := flows.Config{Piton: piton.SmallCache(), Seed: seed}
-	if t.Small2D, _, err = flows.Run2D(cs); err != nil {
-		return nil, fmt.Errorf("table II small 2D: %w", err)
-	}
-	if t.SmallM3D, _, _, err = flows.RunMacro3D(cs); err != nil {
-		return nil, fmt.Errorf("table II small Macro-3D: %w", err)
-	}
-	cl := flows.Config{Piton: piton.LargeCache(), Seed: seed}
-	if t.Large2D, _, err = flows.Run2D(cl); err != nil {
-		return nil, fmt.Errorf("table II large 2D: %w", err)
-	}
-	if t.LargeM3D, _, _, err = flows.RunMacro3D(cl); err != nil {
-		return nil, fmt.Errorf("table II large Macro-3D: %w", err)
-	}
-	return t, nil
+	cs, cl := cfg, cfg
+	cs.Piton = piton.SmallCache()
+	cl.Piton = piton.LargeCache()
+	err := runColumns(ctx, "table II", keepGoing, []column{
+		{"small 2D", func() (err error) { t.Small2D, _, err = flows.Run2DCtx(ctx, cs); return }},
+		{"small Macro-3D", func() (err error) { t.SmallM3D, _, _, err = flows.RunMacro3DCtx(ctx, cs); return }},
+		{"large 2D", func() (err error) { t.Large2D, _, err = flows.Run2DCtx(ctx, cl); return }},
+		{"large Macro-3D", func() (err error) { t.LargeM3D, _, _, err = flows.RunMacro3DCtx(ctx, cl); return }},
+	})
+	return t, err
 }
 
 func pct(n, d float64) string {
@@ -93,16 +147,23 @@ func pct(n, d float64) string {
 	return fmt.Sprintf("(%+.1f%%)", 100*(n/d-1))
 }
 
+// pctCell is the nil-safe relative delta between two columns.
+func pctCell(n, d *flows.PPA, v func(p *flows.PPA) float64) string {
+	if n == nil || d == nil {
+		return "—"
+	}
+	return pct(v(n), v(d))
+}
+
 // Format renders the table with the paper's relative deltas.
 func (t *TableII) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table II — in-depth comparison of 2D and Macro-3D designs\n")
 	fmt.Fprintf(&b, "%-26s %12s %22s %12s %22s\n", "", "Small 2D", "Small Macro-3D", "Large 2D", "Large Macro-3D")
 	row := func(name string, v func(p *flows.PPA) float64, format string) {
-		f := func(x float64) string { return fmt.Sprintf(format, x) }
 		fmt.Fprintf(&b, "%-26s %12s %12s %9s %12s %12s %9s\n", name,
-			f(v(t.Small2D)), f(v(t.SmallM3D)), pct(v(t.SmallM3D), v(t.Small2D)),
-			f(v(t.Large2D)), f(v(t.LargeM3D)), pct(v(t.LargeM3D), v(t.Large2D)))
+			cell(t.Small2D, format, v), cell(t.SmallM3D, format, v), pctCell(t.SmallM3D, t.Small2D, v),
+			cell(t.Large2D, format, v), cell(t.LargeM3D, format, v), pctCell(t.LargeM3D, t.Large2D, v))
 	}
 	row("fclk [MHz]", func(p *flows.PPA) float64 { return p.FclkMHz }, "%.0f")
 	row("Emean [fJ/cycle]", func(p *flows.PPA) float64 { return p.EmeanFJ }, "%.1f")
@@ -126,8 +187,15 @@ type TableIII struct {
 // RunTableIII reproduces Table III: removing two metal layers from the
 // macro die.
 func RunTableIII(seed uint64) (*TableIII, error) {
+	return RunTableIIIWith(context.Background(), flows.Config{Seed: seed}, false)
+}
+
+// RunTableIIIWith is the context-aware Table III driver; cfg carries
+// the seed and hardening knobs, the tile and macro-die metal count are
+// set per column.
+func RunTableIIIWith(ctx context.Context, cfg flows.Config, keepGoing bool) (*TableIII, error) {
 	t := &TableIII{}
-	var err error
+	var cols []column
 	for _, c := range []struct {
 		pc     piton.Config
 		metals int
@@ -138,15 +206,20 @@ func RunTableIII(seed uint64) (*TableIII, error) {
 		{piton.LargeCache(), 6, &t.LargeM6M6},
 		{piton.LargeCache(), 4, &t.LargeM6M4},
 	} {
-		cfg := flows.Config{Piton: c.pc, Seed: seed, MacroDieMetals: c.metals}
-		p, _, _, err2 := flows.RunMacro3D(cfg)
-		if err2 != nil {
-			return nil, fmt.Errorf("table III (%s, M6–M%d): %w", c.pc.Name, c.metals, err2)
-		}
-		*c.dst = p
-		_ = err
+		c := c
+		ccfg := cfg
+		ccfg.Piton = c.pc
+		ccfg.MacroDieMetals = c.metals
+		cols = append(cols, column{
+			name: fmt.Sprintf("(%s, M6–M%d)", c.pc.Name, c.metals),
+			run: func() (err error) {
+				*c.dst, _, _, err = flows.RunMacro3DCtx(ctx, ccfg)
+				return
+			},
+		})
 	}
-	return t, nil
+	err := runColumns(ctx, "table III", keepGoing, cols)
+	return t, err
 }
 
 // Format renders the ablation table.
@@ -156,10 +229,9 @@ func (t *TableIII) Format() string {
 	fmt.Fprintf(&b, "%-20s %10s %10s %9s %10s %10s %9s\n", "",
 		"S M6–M6", "S M6–M4", "", "L M6–M6", "L M6–M4", "")
 	row := func(name string, v func(p *flows.PPA) float64, format string) {
-		f := func(x float64) string { return fmt.Sprintf(format, x) }
 		fmt.Fprintf(&b, "%-20s %10s %10s %9s %10s %10s %9s\n", name,
-			f(v(t.SmallM6M6)), f(v(t.SmallM6M4)), pct(v(t.SmallM6M4), v(t.SmallM6M6)),
-			f(v(t.LargeM6M6)), f(v(t.LargeM6M4)), pct(v(t.LargeM6M4), v(t.LargeM6M6)))
+			cell(t.SmallM6M6, format, v), cell(t.SmallM6M4, format, v), pctCell(t.SmallM6M4, t.SmallM6M6, v),
+			cell(t.LargeM6M6, format, v), cell(t.LargeM6M4, format, v), pctCell(t.LargeM6M4, t.LargeM6M6, v))
 	}
 	row("fclk [MHz]", func(p *flows.PPA) float64 { return p.FclkMHz }, "%.0f")
 	row("Emean [fJ/cycle]", func(p *flows.PPA) float64 { return p.EmeanFJ }, "%.1f")
@@ -183,14 +255,21 @@ type IsoPerf struct {
 // RunIsoPerf reproduces the iso-performance comparison for one tile
 // configuration.
 func RunIsoPerf(pc piton.Config, seed uint64) (*IsoPerf, error) {
+	return RunIsoPerfCtx(context.Background(), pc, seed)
+}
+
+// RunIsoPerfCtx is the context-aware iso-performance driver. The two
+// runs are inherently sequential (the Macro-3D target period is the
+// 2D result), so there is no keep-going mode.
+func RunIsoPerfCtx(ctx context.Context, pc piton.Config, seed uint64) (*IsoPerf, error) {
 	cfg := flows.Config{Piton: pc, Seed: seed}
-	p2d, _, err := flows.Run2D(cfg)
+	p2d, _, err := flows.Run2DCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	// Re-implement Macro-3D for the 2D design's frequency.
 	cfg.TargetPeriod = p2d.MinPeriodPs
-	p3d, _, _, err := flows.RunMacro3D(cfg)
+	p3d, _, _, err := flows.RunMacro3DCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

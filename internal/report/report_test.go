@@ -1,10 +1,13 @@
 package report
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"macro3d/internal/flows"
+	"macro3d/internal/piton"
 )
 
 // fakePPA builds a synthetic flow result so Format tests need no flow
@@ -124,5 +127,94 @@ func TestPitchSweepFormat(t *testing.T) {
 	out := sw.Format()
 	if !strings.Contains(out, "4740") || !strings.Contains(out, "900") {
 		t.Fatalf("pitch sweep missing bump counts:\n%s", out)
+	}
+}
+
+func TestNilColumnsFormatAsDash(t *testing.T) {
+	partial := &TableI{TwoD: fakePPA("2D", 400, 0)} // other columns missing
+	out := partial.Format()
+	if !strings.Contains(out, "400") || !strings.Contains(out, "—") {
+		t.Fatalf("partial Table I render wrong:\n%s", out)
+	}
+	if !strings.Contains((&TableII{Small2D: fakePPA("2D", 400, 0)}).Format(), "—") {
+		t.Fatal("partial Table II lacks dashes")
+	}
+	if !strings.Contains((&TableIII{}).Format(), "—") {
+		t.Fatal("empty Table III lacks dashes")
+	}
+	if !strings.Contains((&BlockageSweep{ResolutionsUm: []float64{50}}).Format(), "—") {
+		t.Fatal("empty blockage sweep lacks dashes")
+	}
+	if !strings.Contains((&PitchSweep{PitchesUm: []float64{1}}).Format(), "—") {
+		t.Fatal("empty pitch sweep lacks dashes")
+	}
+	if !strings.Contains((&HeteroTechSweep{Points: []HeteroPoint{{Label: "x"}}}).Format(), "—") {
+		t.Fatal("empty hetero sweep lacks dashes")
+	}
+}
+
+// TestRunTableICancelPreservesColumns is the cancellation acceptance
+// check: cancelling during the second column stops the table within
+// one stage boundary while the completed first column survives.
+func TestRunTableICancelPreservesColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs one tiny flow plus a cancelled one")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := flows.Config{Piton: piton.Tiny(), Seed: 3}
+	cfg.AfterStage = func(flow, stage string, st *flows.State) {
+		if flow != "2D" {
+			cancel() // first stage of the second column (MoL S2D)
+		}
+	}
+	tab, err := RunTableIWith(ctx, cfg, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var se *flows.StageError
+	if !errors.As(err, &se) || se.Flow != "S2D" {
+		t.Fatalf("cancellation not attributed to the running column: %v", err)
+	}
+	if tab == nil || tab.TwoD == nil {
+		t.Fatal("completed 2D column lost on cancellation")
+	}
+	if tab.BFS2D != nil || tab.Macro3D != nil {
+		t.Fatal("columns after the cancellation point should not have run")
+	}
+	if !strings.Contains(tab.Format(), "—") {
+		t.Fatal("partial table does not render missing columns")
+	}
+}
+
+// TestRunTableIKeepGoing drives the keep-going mode through a config
+// only half the columns support: the S2D baselines reject a custom
+// Generator, so with keepGoing the 2D and Macro-3D columns must still
+// complete and the error must join both S2D failures.
+func TestRunTableIKeepGoing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four tiny flows")
+	}
+	cfg := flows.Config{
+		Seed:      3,
+		Generator: func() (*piton.Tile, error) { return piton.Generate(piton.Tiny()) },
+	}
+	tab, err := RunTableIWith(context.Background(), cfg, true)
+	if err == nil {
+		t.Fatal("S2D columns cannot run a custom generator; expected a joined error")
+	}
+	if tab.TwoD == nil || tab.Macro3D == nil {
+		t.Fatal("keep-going mode lost the healthy columns")
+	}
+	if tab.S2D != nil || tab.BFS2D != nil {
+		t.Fatal("failed columns must stay nil")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "MoL S2D") || !strings.Contains(msg, "BF S2D") {
+		t.Fatalf("joined error does not name both failed columns: %v", err)
+	}
+	var se *flows.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("column failures are not typed: %v", err)
 	}
 }

@@ -123,6 +123,12 @@ func (a *analyzer) clockLatency(inst *netlist.Instance) float64 {
 // Analyze runs setup analysis. period is the target clock period in ps
 // (used for slack; MinPeriod is computed regardless).
 func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options) (*Report, error) {
+	// Non-finite parasitics make NaN arrivals that silently drop
+	// endpoints from the comparisons below; reject them by name
+	// instead.
+	if err := ex.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
 	opt = opt.withDefaults()
 	a := &analyzer{d: d, ex: ex, opt: opt, nNodes: len(d.Instances) + len(d.Ports)}
 
@@ -309,6 +315,21 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 		}
 		seenNode[e.node] = true
 		rep.Paths = append(rep.Paths, a.trace(e.node, e.snap, e.ref, e.delay, e.sinkWL, e.isHalf))
+	}
+	// Non-finite results mean corrupt parasitics or delay tables
+	// upstream; fail the analysis instead of reporting NaN timing.
+	for _, q := range []struct {
+		name string
+		val  float64
+	}{
+		{"min period", rep.MinPeriod},
+		{"WNS", rep.WNS},
+		{"TNS", rep.TNS},
+		{"hold WNS", rep.HoldWNS},
+	} {
+		if math.IsNaN(q.val) || math.IsInf(q.val, 0) {
+			return nil, fmt.Errorf("sta: non-finite %s (%v) — corrupt parasitics upstream", q.name, q.val)
+		}
 	}
 	return rep, nil
 }

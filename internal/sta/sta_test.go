@@ -1,6 +1,8 @@
 package sta
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"macro3d/internal/cell"
@@ -314,5 +316,25 @@ func TestTopPathsOrderedAndDeduped(t *testing.T) {
 			t.Fatalf("duplicate launch %s in top paths", launch)
 		}
 		seen[launch] = true
+	}
+}
+
+func TestNonFiniteParasiticsRejected(t *testing.T) {
+	d, ex := pipe(t, 200, 4)
+	// Poison one RC entry the way corrupt layer tables would.
+	for _, rc := range ex.Nets {
+		if rc == nil || len(rc.ElmoreTo) == 0 {
+			continue
+		}
+		for i := range rc.ElmoreTo {
+			rc.ElmoreTo[i] = math.NaN()
+		}
+		rc.WireC = math.NaN()
+		break
+	}
+	if _, err := Analyze(d, ex, 2000, Options{}); err == nil {
+		t.Fatal("NaN parasitics produced a timing report")
+	} else if !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("error does not name the non-finite result: %v", err)
 	}
 }

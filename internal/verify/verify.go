@@ -18,32 +18,87 @@ import (
 	"macro3d/internal/tech"
 )
 
-// Violation is one finding.
+// Violation is one finding. Identical findings reported repeatedly
+// are collapsed into one entry with Count > 1.
 type Violation struct {
-	Kind string // "overlap", "off-die", "open-net", "obstruction", "bump-pitch", "port-align"
-	Msg  string
+	Kind  string // "overlap", "off-die", "zero-area", "open-net", "obstruction", "bump-pitch", "port-align"
+	Msg   string
+	Count int // occurrences of this exact finding (≥ 1)
 }
 
-func (v Violation) String() string { return v.Kind + ": " + v.Msg }
+func (v Violation) String() string {
+	s := v.Kind + ": " + v.Msg
+	if v.Count > 1 {
+		s += fmt.Sprintf(" (×%d)", v.Count)
+	}
+	return s
+}
+
+// maxFindings bounds the number of *distinct* findings a report keeps
+// so a systematic failure does not explode; Total keeps counting.
+const maxFindings = 200
 
 // Report collects findings per check.
 type Report struct {
 	Violations []Violation
-	Checked    struct {
+	// Total counts every reported violation, including duplicates of
+	// kept findings and distinct findings dropped past the cap.
+	Total int
+	// Truncated is set when distinct findings beyond maxFindings were
+	// dropped — Violations is then a sample, Total the real count.
+	Truncated bool
+
+	Checked struct {
 		Instances int
 		Nets      int
 		Bumps     int
 	}
+
+	seen map[string]int // finding key → index in Violations
 }
 
 // Clean reports whether sign-off passed.
-func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+func (r *Report) Clean() bool { return r.Total == 0 }
 
 func (r *Report) add(kind, format string, args ...interface{}) {
-	// Bound the report so a systematic failure does not explode.
-	if len(r.Violations) < 200 {
-		r.Violations = append(r.Violations, Violation{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	msg := fmt.Sprintf(format, args...)
+	r.Total++
+	if r.seen == nil {
+		r.seen = make(map[string]int)
 	}
+	key := kind + "\x00" + msg
+	if i, dup := r.seen[key]; dup {
+		r.Violations[i].Count++
+		return
+	}
+	if len(r.Violations) >= maxFindings {
+		r.Truncated = true
+		return
+	}
+	r.seen[key] = len(r.Violations)
+	r.Violations = append(r.Violations, Violation{Kind: kind, Msg: msg, Count: 1})
+}
+
+// Error wraps a dirty Report as an error, so flows can surface failed
+// sign-off through their typed stage-error chain.
+type Error struct {
+	Report *Report
+}
+
+func (e *Error) Error() string {
+	r := e.Report
+	s := fmt.Sprintf("verify: %d violations", r.Total)
+	if r.Truncated {
+		s += fmt.Sprintf(" (%d distinct kept)", len(r.Violations))
+	}
+	for i, v := range r.Violations {
+		if i == 3 {
+			s += "; …"
+			break
+		}
+		s += "; " + v.String()
+	}
+	return s
 }
 
 // Placement checks cell legality per die: no overlaps among placed
@@ -65,6 +120,10 @@ func Placement(rep *Report, d *netlist.Design, die geom.Rect) {
 		b := inst.Bounds()
 		if !die.ContainsRect(b.Expand(-1e-7)) {
 			rep.add("off-die", "%s at %v outside %v", inst.Name, b, die)
+		}
+		if b.W() <= 1e-9 || b.H() <= 1e-9 {
+			rep.add("zero-area", "%s has degenerate footprint %v", inst.Name, b)
+			continue
 		}
 		if inst.IsMacro() {
 			macros = append(macros, obj{b, inst.Name, inst.Die})

@@ -1,4 +1,7 @@
-package verify
+// External test package: flows imports verify (the sign-off stage),
+// and these tests drive full flows, so an in-package test would create
+// an import cycle.
+package verify_test
 
 import (
 	"strings"
@@ -12,6 +15,7 @@ import (
 	"macro3d/internal/piton"
 	"macro3d/internal/route"
 	"macro3d/internal/tech"
+	"macro3d/internal/verify"
 )
 
 func TestPlacementCatchesOverlap(t *testing.T) {
@@ -23,8 +27,8 @@ func TestPlacementCatchesOverlap(t *testing.T) {
 	b := d.AddInstance("b", lib.MustCell("INV_X4"))
 	b.Loc = geom.Pt(10.1, 10) // overlapping
 	b.Placed = true
-	rep := &Report{}
-	Placement(rep, d, geom.R(0, 0, 100, 100))
+	rep := &verify.Report{}
+	verify.Placement(rep, d, geom.R(0, 0, 100, 100))
 	if rep.Clean() {
 		t.Fatal("overlap missed")
 	}
@@ -39,8 +43,8 @@ func TestPlacementCatchesOverlap(t *testing.T) {
 	}
 	// Different dies may overlap in (x, y).
 	b.Die = netlist.MacroDie
-	rep2 := &Report{}
-	Placement(rep2, d, geom.R(0, 0, 100, 100))
+	rep2 := &verify.Report{}
+	verify.Placement(rep2, d, geom.R(0, 0, 100, 100))
 	if !rep2.Clean() {
 		t.Fatalf("cross-die overlap flagged: %v", rep2.Violations)
 	}
@@ -59,8 +63,8 @@ func TestPlacementCatchesOffDieAndMacroOverlap(t *testing.T) {
 	c := d.AddInstance("c", lib.MustCell("INV_X1"))
 	c.Loc = geom.Pt(25, 25) // on the macro, same die
 	c.Placed = true
-	rep := &Report{}
-	Placement(rep, d, geom.R(0, 0, 200, 200))
+	rep := &verify.Report{}
+	verify.Placement(rep, d, geom.R(0, 0, 200, 200))
 	kinds := map[string]int{}
 	for _, v := range rep.Violations {
 		kinds[v.Kind]++
@@ -70,15 +74,92 @@ func TestPlacementCatchesOffDieAndMacroOverlap(t *testing.T) {
 	}
 }
 
+func TestPlacementCatchesZeroAreaMacro(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("v", lib)
+	degenerate := &cell.Cell{Name: "ZERO", Kind: cell.KindMacro, Width: 0, Height: 0}
+	lib.Add(degenerate)
+	m := d.AddInstance("z", degenerate)
+	m.Loc = geom.Pt(10, 10)
+	m.Placed = true
+	rep := &verify.Report{}
+	verify.Placement(rep, d, geom.R(0, 0, 100, 100))
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "zero-area" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("zero-area macro missed: %v", rep.Violations)
+	}
+}
+
+func TestReportDedupAndTruncation(t *testing.T) {
+	// Identical findings collapse into one entry with a count.
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("v", lib)
+	a := d.AddInstance("a", lib.MustCell("INV_X4"))
+	a.Loc = geom.Pt(10, 10)
+	a.Placed = true
+	b := d.AddInstance("b", lib.MustCell("INV_X4"))
+	b.Loc = geom.Pt(10.05, 10)
+	b.Placed = true
+	rep := &verify.Report{}
+	verify.Placement(rep, d, geom.R(0, 0, 100, 100))
+	verify.Placement(rep, d, geom.R(0, 0, 100, 100)) // same findings again
+	for _, v := range rep.Violations {
+		if v.Kind == "overlap" && v.Count != 2 {
+			t.Fatalf("duplicate overlap not collapsed: %+v", v)
+		}
+	}
+	if rep.Total != 2*len(rep.Violations) {
+		t.Fatalf("Total %d, want %d", rep.Total, 2*len(rep.Violations))
+	}
+
+	// Past the cap, distinct findings are dropped but counted.
+	many := &verify.Report{}
+	var bumps []geom.Point
+	// 300 bumps in a tight 0.1 µm row at a 1 µm pitch → well over 200
+	// distinct pair violations.
+	for i := 0; i < 300; i++ {
+		bumps = append(bumps, geom.Pt(float64(i)*0.1, 0))
+	}
+	verify.BumpRules(many, bumps, tech.DefaultF2F())
+	if !many.Truncated {
+		t.Fatal("cap hit but Truncated not set")
+	}
+	if len(many.Violations) != 200 {
+		t.Fatalf("kept %d findings, want 200", len(many.Violations))
+	}
+	if many.Total <= 200 {
+		t.Fatalf("Total %d did not keep counting past the cap", many.Total)
+	}
+}
+
+func TestErrorRendersSummary(t *testing.T) {
+	rep := &verify.Report{}
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("v", lib)
+	a := d.AddInstance("a", lib.MustCell("INV_X1"))
+	a.Loc = geom.Pt(-5, 10)
+	a.Placed = true
+	verify.Placement(rep, d, geom.R(0, 0, 100, 100))
+	err := &verify.Error{Report: rep}
+	if !strings.Contains(err.Error(), "off-die") {
+		t.Fatalf("error lacks finding kinds: %v", err)
+	}
+}
+
 func TestBumpRules(t *testing.T) {
 	f2f := tech.DefaultF2F()
-	rep := &Report{}
-	BumpRules(rep, []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2.4, Y: 0}}, f2f)
+	rep := &verify.Report{}
+	verify.BumpRules(rep, []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2.4, Y: 0}}, f2f)
 	if rep.Clean() {
 		t.Fatal("0.4 µm bump spacing accepted at 1 µm pitch")
 	}
-	rep2 := &Report{}
-	BumpRules(rep2, []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}, f2f)
+	rep2 := &verify.Report{}
+	verify.BumpRules(rep2, []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}}, f2f)
 	if !rep2.Clean() {
 		t.Fatalf("legal grid flagged: %v", rep2.Violations)
 	}
@@ -105,7 +186,7 @@ func TestFullSignoffOnMacro3DFlow(t *testing.T) {
 		}
 	}
 	t28, _ := tech.New28(6)
-	rep := Full(st.Design, st.Die, st.Routes, logicPart.Bumps, t28.F2F, pairs)
+	rep := verify.Full(st.Design, st.Die, st.Routes, logicPart.Bumps, t28.F2F, pairs)
 	if !rep.Clean() {
 		for i, v := range rep.Violations {
 			t.Errorf("violation: %v", v)
@@ -113,7 +194,7 @@ func TestFullSignoffOnMacro3DFlow(t *testing.T) {
 				break
 			}
 		}
-		t.Fatalf("Macro-3D sign-off found %d violations", len(rep.Violations))
+		t.Fatalf("Macro-3D sign-off found %d violations", rep.Total)
 	}
 	if rep.Checked.Instances == 0 || rep.Checked.Nets == 0 || rep.Checked.Bumps == 0 {
 		t.Fatalf("checks did not run: %+v", rep.Checked)
@@ -126,7 +207,7 @@ func TestFullSignoffOn2DFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := Full(st.Design, st.Die, st.Routes, nil, tech.DefaultF2F(), nil)
+	rep := verify.Full(st.Design, st.Die, st.Routes, nil, tech.DefaultF2F(), nil)
 	if !rep.Clean() {
 		t.Fatalf("2D sign-off: %v", rep.Violations[:min(3, len(rep.Violations))])
 	}
@@ -145,8 +226,8 @@ func TestConnectivityCatchesMissingRoute(t *testing.T) {
 	a := d.AddInstance("a", lib.MustCell("INV_X1"))
 	b := d.AddInstance("b", lib.MustCell("INV_X1"))
 	d.AddNet("n", netlist.IPin(a, "Y"), netlist.IPin(b, "A"))
-	rep := &Report{}
-	Connectivity(rep, d, &route.Result{Routes: []*route.NetRoute{nil}})
+	rep := &verify.Report{}
+	verify.Connectivity(rep, d, &route.Result{Routes: []*route.NetRoute{nil}})
 	if rep.Clean() {
 		t.Fatal("missing route accepted")
 	}
