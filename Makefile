@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race faults bench
+.PHONY: check build test vet race faults bench benchall
 
 ## check: the full gate — vet, build, unit tests, then the race-enabled
 ## fault-injection suite (what CI should run).
@@ -15,14 +15,24 @@ test:
 vet:
 	$(GO) vet ./...
 
-## race: race-enabled run of the hardened-runner and fault-harness
-## packages (the fault matrix is skipped under -short).
+## race: race-enabled run of the hardened-runner, fault-harness and
+## incremental-engine packages (includes the ddb equivalence property
+## test, which exercises the parallel extract/STA paths at GOMAXPROCS 4;
+## under -race it runs the small-cache config only — see race_on_test.go).
 race:
 	$(GO) test -race ./internal/faults/ ./internal/flows/ ./internal/report/
+	$(GO) test -race -timeout 30m ./internal/ddb/ ./internal/opt/
 
 ## faults: just the fault-injection matrix, verbosely.
 faults:
 	$(GO) test -race -v -run 'TestInjection|TestOffGrid|TestCleanFlows' ./internal/faults/
 
+## bench: the incremental-optimizer comparison — TableII end to end plus
+## the Optimize full-vs-incremental micro-benchmarks — recorded as
+## machine-readable BENCH_opt.json.
 bench:
+	$(GO) test -bench 'TableII|Optimize' -count 5 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson | tee BENCH_opt.json
+
+## benchall: every benchmark, human-readable.
+benchall:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,105 @@
+// Optimizer micro-benchmarks: the same routed, extracted pre-opt state
+// the 2D flow hands to opt.Optimize, timed with the incremental engine
+// (journal rollback + dirty-cone STA updates) against the full-STA
+// baseline. `make bench` runs these together with BenchmarkTableII and
+// records the ns/op comparison in BENCH_opt.json.
+package macro3d_test
+
+import (
+	"testing"
+
+	"macro3d/internal/cts"
+	"macro3d/internal/ddb"
+	"macro3d/internal/extract"
+	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/opt"
+	"macro3d/internal/piton"
+	"macro3d/internal/place"
+	"macro3d/internal/route"
+	"macro3d/internal/sta"
+	"macro3d/internal/tech"
+)
+
+// buildPreOpt replicates the 2D flow up to (but excluding) the
+// optimization stage: generate, floorplan, place, CTS, route, extract.
+// Each call returns a fresh state, because Optimize mutates it.
+func buildPreOpt(b *testing.B) *opt.Context {
+	b.Helper()
+	t, err := tech.New28(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tile, err := piton.Generate(piton.SmallCache())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := tile.Design
+	sz, err := floorplan.SizeDesign(d, 0.70, 1.0, t.RowHeight)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp, _, err := floorplan.PlaceMacros(d, sz.Die2D, floorplan.Style2D)
+	if err != nil {
+		b.Fatal(err)
+	}
+	floorplan.BuildBlockages(fp, d, netlist.LogicDie)
+	floorplan.AssignPorts(tile, sz.Die2D)
+	if _, err := place.Place(d, fp, t.RowHeight, place.Options{Seed: 2}); err != nil {
+		b.Fatal(err)
+	}
+	clk := d.Net("clk")
+	src := geom.Pt(sz.Die2D.Lx, sz.Die2D.Center().Y)
+	if p := d.Port("clk_i"); p != nil {
+		src = p.Loc
+	}
+	tree := cts.Build(d, clk, src, d.Lib, t.Logic, cts.Options{})
+	db := route.NewDB(sz.Die2D, t.Logic, fp.RouteBlk, route.Options{})
+	routes, err := route.RouteDesign(d, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slow := t.CornerScaleFor(tech.CornerSlow)
+	ex := extract.Extract(d, routes, db, slow)
+	if err := ex.CheckFinite(); err != nil {
+		b.Fatal(err)
+	}
+	return &opt.Context{
+		Clock: tree,
+		FP:    fp, RowHeight: t.RowHeight,
+		DDB: ddb.New(d, db, routes, ex, slow),
+	}
+}
+
+func benchOptimize(b *testing.B, o opt.Options) {
+	var last *opt.Result
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx := buildPreOpt(b)
+		b.StartTimer()
+		res, err := opt.Optimize(ctx, sta.Options{}, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(float64(last.Iters), "iters")
+		b.ReportMetric(last.Report.MinPeriod, "minPeriod_ps")
+	}
+}
+
+// BenchmarkOptimizeIncremental is the production configuration:
+// dirty-cone STA updates seeded from the transaction journal.
+func BenchmarkOptimizeIncremental(b *testing.B) {
+	benchOptimize(b, opt.Options{})
+}
+
+// BenchmarkOptimizeFull forces a from-scratch STA pass per iteration —
+// the pre-refactor analysis cost on identical edit decisions (both
+// configurations produce bit-identical reports; the equivalence test
+// in internal/ddb asserts exactly that).
+func BenchmarkOptimizeFull(b *testing.B) {
+	benchOptimize(b, opt.Options{FullRecompute: true})
+}

@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON summary on stdout. `make bench` pipes the
+// optimizer benchmarks through it to produce BENCH_opt.json, so the
+// incremental-vs-full comparison is recorded alongside the repo.
+//
+// Usage:
+//
+//	go test -bench 'TableII|Optimize' -count 5 -run '^$' . | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// line shape: BenchmarkName-8   3   123456789 ns/op   12 extra/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.e+]+) ns/op(.*)$`)
+var metricRe = regexp.MustCompile(`([0-9.e+-]+) (\S+)`)
+
+type entry struct {
+	Name      string             `json:"name"`
+	Runs      []float64          `json:"ns_per_op"`
+	MeanNsOp  float64            `json:"mean_ns_per_op"`
+	BestNsOp  float64            `json:"best_ns_per_op"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	RunsCount int                `json:"runs"`
+}
+
+type summary struct {
+	Benchmarks []*entry           `json:"benchmarks"`
+	Speedup    map[string]float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	byName := map[string]*entry{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := byName[name]
+		if e == nil {
+			e = &entry{Name: name, Metrics: map[string]float64{}}
+			byName[name] = e
+			order = append(order, name)
+		}
+		e.Runs = append(e.Runs, ns)
+		for _, mm := range metricRe.FindAllStringSubmatch(m[4], -1) {
+			if mm[2] == "ns/op" {
+				continue
+			}
+			if v, err := strconv.ParseFloat(mm[1], 64); err == nil {
+				e.Metrics[mm[2]] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	out := &summary{Speedup: map[string]float64{}}
+	for _, name := range order {
+		e := byName[name]
+		e.RunsCount = len(e.Runs)
+		best := e.Runs[0]
+		sum := 0.0
+		for _, v := range e.Runs {
+			sum += v
+			if v < best {
+				best = v
+			}
+		}
+		e.MeanNsOp = sum / float64(len(e.Runs))
+		e.BestNsOp = best
+		if len(e.Metrics) == 0 {
+			e.Metrics = nil
+		}
+		out.Benchmarks = append(out.Benchmarks, e)
+	}
+	// The headline ratios: full-recompute optimization vs incremental,
+	// and — when lines from the pre-refactor checkpoint engine are
+	// included on stdin (built from the commit before internal/ddb) —
+	// pre-refactor vs incremental.
+	inc, okI := byName["BenchmarkOptimizeIncremental"]
+	if full, ok := byName["BenchmarkOptimizeFull"]; ok && okI && inc.MeanNsOp > 0 {
+		out.Speedup["optimize_full_over_incremental"] = full.MeanNsOp / inc.MeanNsOp
+	}
+	if pre, ok := byName["BenchmarkOptimizePreRefactor"]; ok && okI && inc.MeanNsOp > 0 {
+		out.Speedup["optimize_prerefactor_over_incremental"] = pre.MeanNsOp / inc.MeanNsOp
+	}
+	if len(out.Speedup) == 0 {
+		out.Speedup = nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

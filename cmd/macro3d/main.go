@@ -6,12 +6,17 @@
 //	macro3d -flow 2d|macro3d|s2d|bfs2d|c2d [-config small|large] [-seed N]
 //	macro3d -experiment table1|table2|table3|isoperf|flowtrace [-seed N]
 //	macro3d -experiment table1 -timeout 2m -keep-going
+//	macro3d -experiment table2 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // -timeout bounds the whole invocation (flows are cancelled at the
 // next stage boundary); -keep-going lets multi-column experiments
 // print the surviving columns when one flow fails. On a flow failure
 // the stage diagnostics (flow, stage, seed, attempt, cause) are
 // printed to stderr and the exit status is non-zero.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles covering the
+// whole run (the memory profile is a heap snapshot taken at exit, after
+// a final GC). Inspect them with `go tool pprof`.
 package main
 
 import (
@@ -21,12 +26,20 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"macro3d"
 )
 
 func main() {
+	// Deferred cleanups (profile flushes) must run even on a failing
+	// exit, so the exit status is decided after realMain returns.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		flow       = flag.String("flow", "", "run one flow: 2d, macro3d, s2d, bfs2d, c2d")
 		experiment = flag.String("experiment", "", "run an experiment: table1, table2, table3, isoperf, flowtrace, sweepblockage, sweeppitch, heterotech")
@@ -36,12 +49,42 @@ func main() {
 		array      = flag.Int("array", 0, "after -flow 2d/macro3d: verify an N×N abutted tile array")
 		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 		keepGoing  = flag.Bool("keep-going", false, "in table experiments, skip failed columns and print the partial table")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *flow == "" && *experiment == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d: -cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d: -cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "macro3d: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "macro3d: -memprofile:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -54,8 +97,9 @@ func main() {
 
 	if err := run(ctx, *flow, *experiment, *config, *seed, *metals, *array, *keepGoing); err != nil {
 		printFailure(err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // printFailure renders a flow failure: StageError diagnostics when the

@@ -1,0 +1,169 @@
+// Package ddb is the incremental design database: it owns the live
+// {netlist, placement, routes, extraction} tuple of a flow stage and
+// the change journal through which every optimization edit and fault
+// injection flows.
+//
+// The point of the package is the contract it enforces: after routing,
+// nothing outside ddb mutates the netlist connectivity, the route
+// table, or the extraction in place. Every mutation goes through a Txn
+// — gate resize, ECO move, buffer insert, net reroute — which records
+// exactly which nets and instances were touched (the dirty set), saves
+// the first-touch undo state, and keeps the per-instance net adjacency
+// current. Consumers get three things for free:
+//
+//   - incremental extraction: Txn.Reroute re-builds the RC tree of the
+//     one touched net and patches extract.Design in place;
+//   - a dirty view (DirtyNets/DirtyInsts/TopoChanged) that seeds the
+//     incremental STA engine's re-propagation frontier;
+//   - O(edit) rollback: Txn.Rollback restores saved masters, locations,
+//     sink lists, routes and RC trees and truncates appended instances
+//     and nets, instead of re-extracting the whole design.
+//
+// Rollback is bit-exact for everything timing reads: routes are undone
+// by the same ±1 usage increments the router applied, and restored RC
+// trees are the very objects the pre-edit extraction produced. Only the
+// extraction's running capacitance totals may drift in the last float
+// bits (they are maintained by += / -=); no table-visible metric reads
+// them — sign-off re-extracts at the typical corner from scratch.
+package ddb
+
+import (
+	"macro3d/internal/extract"
+	"macro3d/internal/netlist"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// DB bundles the stage state and the derived adjacency.
+type DB struct {
+	Design *netlist.Design
+	Grid   *route.DB
+	Routes *route.Result
+	Ex     *extract.Design
+	Corner tech.CornerScale
+
+	// drivenI[i] lists the nets driven by instance i in net-ID order
+	// (clock nets included — callers filter); drivenP is the same for
+	// port drivers. inputs[i] lists the non-clock nets instance i sinks
+	// on (set semantics, unordered).
+	drivenI [][]int32
+	drivenP [][]int32
+	inputs  [][]int32
+}
+
+// New builds the database over an already routed and extracted design.
+func New(d *netlist.Design, grid *route.DB, routes *route.Result, ex *extract.Design, corner tech.CornerScale) *DB {
+	db := &DB{Design: d, Grid: grid, Routes: routes, Ex: ex, Corner: corner}
+	db.rebuildAdjacency()
+	return db
+}
+
+func (db *DB) rebuildAdjacency() {
+	d := db.Design
+	db.drivenI = make([][]int32, len(d.Instances))
+	db.drivenP = make([][]int32, len(d.Ports))
+	db.inputs = make([][]int32, len(d.Instances))
+	for _, n := range d.Nets {
+		id := int32(n.ID)
+		if n.Driver.Port != nil {
+			db.drivenP[n.Driver.Port.ID] = append(db.drivenP[n.Driver.Port.ID], id)
+		} else if n.Driver.Inst != nil {
+			db.drivenI[n.Driver.Inst.ID] = append(db.drivenI[n.Driver.Inst.ID], id)
+		}
+		if n.Clock {
+			continue
+		}
+		for _, s := range n.Sinks {
+			if s.Inst != nil {
+				db.addInput(s.Inst.ID, id)
+			}
+		}
+	}
+}
+
+func (db *DB) addInput(instID int, netID int32) {
+	for _, id := range db.inputs[instID] {
+		if id == netID {
+			return
+		}
+	}
+	db.inputs[instID] = append(db.inputs[instID], netID)
+}
+
+func (db *DB) removeInput(instID int, netID int32) {
+	in := db.inputs[instID]
+	for i, id := range in {
+		if id == netID {
+			db.inputs[instID] = append(in[:i], in[i+1:]...)
+			return
+		}
+	}
+}
+
+// Driven returns the ids of the nets driven by an instance, lowest id
+// first (clock nets included).
+func (db *DB) Driven(inst *netlist.Instance) []int32 { return db.drivenI[inst.ID] }
+
+// DrivenBy returns the ids of the nets whose driver matches the given
+// connection point (an instance output or a design port).
+func (db *DB) DrivenBy(ref netlist.PinRef) []int32 {
+	if ref.Port != nil {
+		return db.drivenP[ref.Port.ID]
+	}
+	if ref.Inst != nil {
+		return db.drivenI[ref.Inst.ID]
+	}
+	return nil
+}
+
+// InputNets returns the ids of the non-clock nets the instance sinks
+// on (unordered set).
+func (db *DB) InputNets(inst *netlist.Instance) []int32 { return db.inputs[inst.ID] }
+
+// sinksOn reports whether inst still appears among n's sinks.
+func sinksOn(n *netlist.Net, inst *netlist.Instance) bool {
+	for _, s := range n.Sinks {
+		if s.Inst == inst {
+			return true
+		}
+	}
+	return false
+}
+
+// intSet is a reusable dense set over small integer ids.
+type intSet struct {
+	in  []bool
+	ids []int
+}
+
+func (s *intSet) add(id int) {
+	for id >= len(s.in) {
+		s.in = append(s.in, false)
+	}
+	if !s.in[id] {
+		s.in[id] = true
+		s.ids = append(s.ids, id)
+	}
+}
+
+func (s *intSet) has(id int) bool { return id < len(s.in) && s.in[id] }
+
+// sortedBelow returns the members < limit in ascending order.
+func (s *intSet) sortedBelow(limit int) []int {
+	out := make([]int, 0, len(s.ids))
+	for _, id := range s.ids {
+		if id < limit {
+			out = append(out, id)
+		}
+	}
+	insertionSort(out)
+	return out
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

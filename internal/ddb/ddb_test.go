@@ -1,0 +1,220 @@
+package ddb_test
+
+import (
+	"math"
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/ddb"
+	"macro3d/internal/extract"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// buildDB routes and extracts a small fanout design and wraps it in a
+// database: one driver, `fanout` sinks spread over `span` µm.
+func buildDB(t *testing.T, fanout int, span float64) (*ddb.DB, *netlist.Net) {
+	t.Helper()
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("x", lib)
+	drv := d.AddInstance("drv", lib.MustCell("INV_X1"))
+	drv.Loc = geom.Pt(10, 10)
+	drv.Placed = true
+	refs := []netlist.PinRef{}
+	for i := 0; i < fanout; i++ {
+		u := d.AddInstance("s"+string(rune('a'+i)), lib.MustCell("INV_X4"))
+		u.Loc = geom.Pt(10+span*float64(i+1)/float64(fanout), 10+float64(i%3)*20)
+		u.Placed = true
+		refs = append(refs, netlist.IPin(u, "A"))
+	}
+	n := d.AddNet("net", netlist.IPin(drv, "Y"), refs...)
+	beol, _ := tech.NewBEOL28("l", 6)
+	grid := route.NewDB(geom.R(0, 0, span+100, 200), beol, nil, route.Options{GCellPitch: 10})
+	res, err := route.RouteDesign(d, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1}
+	ex := extract.Extract(d, res, grid, corner)
+	return ddb.New(d, grid, res, ex, corner), n
+}
+
+func TestAdjacency(t *testing.T) {
+	db, n := buildDB(t, 4, 400)
+	drv := db.Design.Instance("drv")
+	if got := db.Driven(drv); len(got) != 1 || int(got[0]) != n.ID {
+		t.Fatalf("Driven(drv) = %v, want [%d]", got, n.ID)
+	}
+	if got := db.DrivenBy(netlist.IPin(drv, "Y")); len(got) != 1 || int(got[0]) != n.ID {
+		t.Fatalf("DrivenBy(drv/Y) = %v", got)
+	}
+	for _, s := range n.Sinks {
+		in := db.InputNets(s.Inst)
+		if len(in) != 1 || int(in[0]) != n.ID {
+			t.Fatalf("InputNets(%s) = %v", s.Inst.Name, in)
+		}
+	}
+}
+
+func TestResizeRollbackRestoresMaster(t *testing.T) {
+	db, _ := buildDB(t, 4, 400)
+	drv := db.Design.Instance("drv")
+	was := drv.Master
+	txn := db.Begin()
+	if err := txn.Resize(drv, db.Design.Lib.MustCell("INV_X32")); err != nil {
+		t.Fatal(err)
+	}
+	if got := txn.DirtyInsts(); len(got) != 1 || got[0] != drv.ID {
+		t.Fatalf("DirtyInsts = %v", got)
+	}
+	if txn.TopoChanged() {
+		t.Fatal("resize must not report a topology change")
+	}
+	insts, _ := mustRollback(t, txn)
+	if drv.Master != was {
+		t.Fatal("master not restored")
+	}
+	if len(insts) != 1 || insts[0] != drv.ID {
+		t.Fatalf("rollback dirty insts = %v", insts)
+	}
+}
+
+func mustRollback(t *testing.T, txn *ddb.Txn) (insts, nets []int) {
+	t.Helper()
+	n, i, _ := txn.Rollback()
+	return i, n
+}
+
+func TestRerouteRollbackRestoresRouteAndRC(t *testing.T) {
+	db, n := buildDB(t, 4, 400)
+	oldRoute := db.Routes.Routes[n.ID]
+	oldRC := db.Ex.Nets[n.ID]
+	oldWireC := db.Ex.CWireTotal
+
+	txn := db.Begin()
+	// Move a sink, then reroute: both the route and the RC tree change.
+	txn.SetLoc(n.Sinks[0].Inst, geom.Pt(450, 150))
+	if err := txn.Reroute(n); err != nil {
+		t.Fatal(err)
+	}
+	if db.Routes.Routes[n.ID] == oldRoute {
+		t.Fatal("reroute did not install a new route")
+	}
+	if db.Ex.Nets[n.ID] == oldRC {
+		t.Fatal("reroute did not patch the extraction")
+	}
+
+	txn.Rollback()
+	if db.Routes.Routes[n.ID] != oldRoute {
+		t.Fatal("route pointer not restored")
+	}
+	if db.Ex.Nets[n.ID] != oldRC {
+		t.Fatal("RC pointer not restored — rollback must be bit-exact")
+	}
+	if math.Abs(db.Ex.CWireTotal-oldWireC) > 1e-9 {
+		t.Fatalf("wire-cap total drifted: %v vs %v", db.Ex.CWireTotal, oldWireC)
+	}
+}
+
+func TestAddRollbackTruncates(t *testing.T) {
+	db, n := buildDB(t, 4, 400)
+	d := db.Design
+	nInst, nNets := d.Counts()
+	buf := d.Lib.MustCell("BUF_X16")
+
+	txn := db.Begin()
+	sink := txn.RemoveSinkAt(n, 0)
+	inst := txn.AddInstance("b0", buf)
+	inst.Loc = geom.Pt(100, 50)
+	inst.Placed = true
+	txn.AppendSink(n, netlist.IPin(inst, "A"))
+	nn := txn.AddNet("bn0", netlist.IPin(inst, "Y"), sink)
+	if err := txn.Reroute(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Reroute(nn); err != nil {
+		t.Fatal(err)
+	}
+	if !txn.TopoChanged() {
+		t.Fatal("connectivity edits must report a topology change")
+	}
+	// The new net is live: adjacency sees it.
+	if got := db.Driven(inst); len(got) != 1 || int(got[0]) != nn.ID {
+		t.Fatalf("Driven(buf) = %v", got)
+	}
+
+	nets, insts, topo := txn.Rollback()
+	if !topo {
+		t.Fatal("rollback lost the topo flag")
+	}
+	if ni, nn2 := d.Counts(); ni != nInst || nn2 != nNets {
+		t.Fatalf("counts after rollback %d/%d, want %d/%d", ni, nn2, nInst, nNets)
+	}
+	if len(db.Routes.Routes) != nNets || len(db.Ex.Nets) != nNets {
+		t.Fatalf("route/extraction tables not truncated: %d/%d", len(db.Routes.Routes), len(db.Ex.Nets))
+	}
+	if len(n.Sinks) != 4 {
+		t.Fatalf("sinks = %d, want 4", len(n.Sinks))
+	}
+	// Dirty views only report survivors (pre-existing ids).
+	for _, id := range nets {
+		if id >= nNets {
+			t.Fatalf("dirty net %d past truncation", id)
+		}
+	}
+	for _, id := range insts {
+		if id >= nInst {
+			t.Fatalf("dirty inst %d past truncation", id)
+		}
+	}
+	// Adjacency was rebuilt for the restored design.
+	if got := db.InputNets(n.Sinks[0].Inst); len(got) != 1 || int(got[0]) != n.ID {
+		t.Fatalf("adjacency stale after rollback: %v", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceSinksAdjacency(t *testing.T) {
+	db, n := buildDB(t, 4, 400)
+	orig := append([]netlist.PinRef(nil), n.Sinks...)
+	dropped := orig[3].Inst
+
+	txn := db.Begin()
+	txn.ReplaceSinks(n, orig[:2])
+	if got := db.InputNets(dropped); len(got) != 0 {
+		t.Fatalf("dropped sink still has inputs: %v", got)
+	}
+	txn.Rollback()
+	if got := db.InputNets(dropped); len(got) != 1 || int(got[0]) != n.ID {
+		t.Fatalf("input adjacency not restored: %v", got)
+	}
+	if len(n.Sinks) != 4 {
+		t.Fatalf("sinks = %d", len(n.Sinks))
+	}
+}
+
+func TestCommitKeepsEdits(t *testing.T) {
+	db, n := buildDB(t, 4, 400)
+	drv := db.Design.Instance("drv")
+	to := db.Design.Lib.MustCell("INV_X32")
+	txn := db.Begin()
+	if err := txn.Resize(drv, to); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Reroute(n); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	if drv.Master != to {
+		t.Fatal("commit lost the resize")
+	}
+	// A committed extraction patch matches a fresh single-net extract.
+	fresh := extract.One(n, db.Routes.Routes[n.ID], db.Grid, db.Corner)
+	if math.Abs(fresh.CTotal()-db.Ex.Nets[n.ID].CTotal()) > 1e-12 {
+		t.Fatal("committed RC differs from fresh extraction")
+	}
+}

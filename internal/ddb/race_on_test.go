@@ -1,0 +1,10 @@
+//go:build race
+
+package ddb_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The equivalence property test drops the large-cache config
+// under -race: the instrumentation slows the full flows by an order of
+// magnitude, past any reasonable package timeout, while the small-cache
+// run already exercises every parallel code path.
+const raceEnabled = true

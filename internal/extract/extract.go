@@ -10,6 +10,8 @@ package extract
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"macro3d/internal/netlist"
 	"macro3d/internal/route"
@@ -41,8 +43,39 @@ type Design struct {
 }
 
 // Extract builds RC trees for every routed net at the given corner.
+// Nets are independent, so with more than one available CPU the trees
+// are built across workers; the capacitance totals are then reduced
+// sequentially in net-ID order, which keeps every float result
+// bit-identical to the serial pass.
 func Extract(d *netlist.Design, res *route.Result, db *route.DB, corner tech.CornerScale) *Design {
 	out := &Design{Nets: make([]*NetRC, len(d.Nets))}
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && len(d.Nets) >= 256 {
+		var wg sync.WaitGroup
+		chunk := (len(d.Nets) + workers - 1) / workers
+		for lo := 0; lo < len(d.Nets); lo += chunk {
+			hi := lo + chunk
+			if hi > len(d.Nets) {
+				hi = len(d.Nets)
+			}
+			wg.Add(1)
+			go func(nets []*netlist.Net) {
+				defer wg.Done()
+				for _, n := range nets {
+					if r := res.Routes[n.ID]; r != nil {
+						out.Nets[n.ID] = extractNet(n, r, db, corner)
+					}
+				}
+			}(d.Nets[lo:hi])
+		}
+		wg.Wait()
+		for _, rc := range out.Nets {
+			if rc != nil {
+				out.CWireTotal += rc.WireC
+				out.CPinTotal += rc.PinC
+			}
+		}
+		return out
+	}
 	for _, n := range d.Nets {
 		r := res.Routes[n.ID]
 		if r == nil {

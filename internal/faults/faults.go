@@ -16,6 +16,12 @@ import (
 	"macro3d/internal/tech"
 )
 
+// Post-extraction corruptions (everything injected at StagePower) flow
+// through the design database's change journal — the same ddb.Txn path
+// the optimizer uses — so the harness also exercises the journal's
+// unchecked mutation surface. The nan-parasitics class fires at
+// StageRoute, before the database exists, and stays a direct mutation.
+
 // Class is one injectable corruption.
 type Class struct {
 	// Name identifies the corruption in reports and test output.
@@ -67,7 +73,12 @@ func Classes() []Class {
 						continue
 					}
 					if int(c.Die) == first.die {
-						c.Loc = first.loc
+						if st.DDB == nil {
+							return false
+						}
+						txn := st.DDB.Begin()
+						txn.SetLoc(c, first.loc)
+						txn.Commit()
 						return true
 					}
 				}
@@ -86,7 +97,12 @@ func Classes() []Class {
 						continue
 					}
 					if n.ID < len(st.Routes.Routes) && st.Routes.Routes[n.ID] != nil {
-						st.Routes.Routes[n.ID] = nil
+						if st.DDB == nil {
+							return false
+						}
+						txn := st.DDB.Begin()
+						txn.DropRoute(n)
+						txn.Commit()
 						return true
 					}
 				}
@@ -101,12 +117,14 @@ func Classes() []Class {
 			Kind:  "zero-area",
 			Inject: func(st *flows.State) bool {
 				ms := st.Design.Macros()
-				if len(ms) == 0 {
+				if len(ms) == 0 || st.DDB == nil {
 					return false
 				}
 				degenerate := *ms[0].Master // private copy; the master is shared
 				degenerate.Width, degenerate.Height = 0, 0
-				ms[0].Master = &degenerate
+				txn := st.DDB.Begin()
+				txn.SetMaster(ms[0], &degenerate)
+				txn.Commit()
 				return true
 			},
 		},

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"macro3d/internal/ddb"
 	"macro3d/internal/extract"
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
@@ -156,11 +157,12 @@ func RunC2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 		if err := stP.ExSlow.CheckFinite(); err != nil {
 			return err
 		}
+		stP.DDB = ddb.New(dP, stP.DB, stP.Routes, stP.ExSlow, slow)
 		_, err := opt.Optimize(&opt.Context{
-			Design: dP, DB: stP.DB, Routes: stP.Routes, Ex: stP.ExSlow,
-			Corner: slow, Clock: stP.Tree,
-			FP: fpP, RowHeight: t.RowHeight,
-		}, sta.Options{}, opt.Options{BufferElmore: 1e12})
+			Clock: stP.Tree,
+			FP:    fpP, RowHeight: t.RowHeight,
+			DDB: stP.DDB,
+		}, sta.Options{}, opt.Options{BufferElmore: 1e12, SelfCheck: cfg.SelfCheck})
 		return err
 	}); err != nil {
 		return nil, stP, err

@@ -26,6 +26,7 @@ import (
 
 	"macro3d/internal/core"
 	"macro3d/internal/cts"
+	"macro3d/internal/ddb"
 	"macro3d/internal/extract"
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
@@ -97,6 +98,11 @@ type Config struct {
 	// with the flow name, stage name and the stage's working state.
 	// Used by instrumentation and the fault-injection harness.
 	AfterStage func(flow, stage string, st *State)
+
+	// SelfCheck makes every optimization iteration verify its
+	// incrementally maintained extraction and timing against a
+	// from-scratch recompute (equivalence testing; slow).
+	SelfCheck bool
 }
 
 // generate produces a fresh benchmark netlist for a flow run.
@@ -177,6 +183,7 @@ type State struct {
 	Routes *route.Result
 	Tree   *cts.Tree
 	ExSlow *extract.Design
+	DDB    *ddb.DB
 	Report *sta.Report
 	Sizing floorplan.Sizing
 
@@ -196,7 +203,11 @@ func signoff(r *runner, cfg Config, st *State, t *tech.Tech, optCfg opt.Options,
 
 	if err := r.stage(StageExtract, func() error {
 		st.ExSlow = extract.Extract(st.Design, st.Routes, st.DB, slow)
-		return st.ExSlow.CheckFinite()
+		if err := st.ExSlow.CheckFinite(); err != nil {
+			return err
+		}
+		st.DDB = ddb.New(st.Design, st.DB, st.Routes, st.ExSlow, slow)
+		return nil
 	}); err != nil {
 		return nil, err
 	}
@@ -204,13 +215,14 @@ func signoff(r *runner, cfg Config, st *State, t *tech.Tech, optCfg opt.Options,
 	var ores *opt.Result
 	if err := r.stage(StageOpt, func() error {
 		octx := &opt.Context{
-			Design: st.Design, DB: st.DB, Routes: st.Routes, Ex: st.ExSlow,
-			Corner: slow, Clock: st.Tree,
-			FP: st.FP, RowHeight: t.RowHeight,
+			Clock: st.Tree,
+			FP:    st.FP, RowHeight: t.RowHeight,
+			DDB: st.DDB,
 		}
 		if optCfg.TargetPeriod == 0 {
 			optCfg.TargetPeriod = cfg.TargetPeriod
 		}
+		optCfg.SelfCheck = optCfg.SelfCheck || cfg.SelfCheck
 		var err error
 		ores, err = opt.Optimize(octx, sta.Options{}, optCfg)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"macro3d/internal/core"
+	"macro3d/internal/ddb"
 	"macro3d/internal/extract"
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
@@ -170,11 +171,12 @@ func RunS2DCtx(ctx context.Context, cfg Config, balanced bool) (*PPA, *State, er
 		if err := stP.ExSlow.CheckFinite(); err != nil {
 			return err
 		}
+		stP.DDB = ddb.New(dP, stP.DB, stP.Routes, stP.ExSlow, slow)
 		_, err := opt.Optimize(&opt.Context{
-			Design: dP, DB: stP.DB, Routes: stP.Routes, Ex: stP.ExSlow,
-			Corner: slow, Clock: stP.Tree,
-			FP: fpP, RowHeight: t.RowHeight,
-		}, sta.Options{}, opt.Options{BufferElmore: 1e12})
+			Clock: stP.Tree,
+			FP:    fpP, RowHeight: t.RowHeight,
+			DDB: stP.DDB,
+		}, sta.Options{}, opt.Options{BufferElmore: 1e12, SelfCheck: cfg.SelfCheck})
 		return err
 	}); err != nil {
 		return nil, stP, err

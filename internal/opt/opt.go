@@ -11,15 +11,22 @@
 // become visible afterwards (paper §III: over-/under-optimized paths
 // cannot be fixed because the second routing cannot be co-optimized
 // with placement).
+//
+// Every edit flows through a ddb.Txn change journal: the journal keeps
+// the per-net extraction patched in place, feeds the dirty frontier to
+// the incremental sta.Engine, and rolls a rejected iteration back in
+// O(edits) instead of re-extracting the whole design.
 package opt
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
 	"macro3d/internal/cell"
 	"macro3d/internal/cts"
+	"macro3d/internal/ddb"
 	"macro3d/internal/extract"
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
@@ -47,7 +54,13 @@ type Context struct {
 	FP        *floorplan.Floorplan
 	RowHeight float64
 
-	fs *place.FreeSpace
+	// DDB is the design database the edits are journaled through. When
+	// set, the state fields above are populated from it; when nil, one
+	// is built over the legacy fields (unit-test mode).
+	DDB *ddb.DB
+
+	fs  *place.FreeSpace
+	txn *ddb.Txn
 }
 
 // Options tunes the loop.
@@ -71,6 +84,14 @@ type Options struct {
 	TargetPeriod float64
 	// Frozen forbids all edits; Optimize only analyses.
 	Frozen bool
+	// FullRecompute re-runs STA from scratch every iteration instead
+	// of updating only the dirty cone — the benchmark baseline against
+	// which the incremental engine is measured.
+	FullRecompute bool
+	// SelfCheck verifies after every accepted analysis that the
+	// incrementally maintained extraction and timing match a
+	// from-scratch extract.Extract + sta.Analyze (testing aid; slow).
+	SelfCheck bool
 }
 
 func (o Options) withDefaults() Options {
@@ -101,10 +122,81 @@ type Result struct {
 	Iters    int
 }
 
+// intSet is a reusable dense set over instance/net ids — the loop's
+// bookkeeping runs on integer ids instead of hashed maps, so the per
+// iteration allocation churn of the old map-based sets is gone.
+type intSet struct {
+	in  []bool
+	ids []int
+}
+
+func (s *intSet) add(id int) {
+	for id >= len(s.in) {
+		s.in = append(s.in, false)
+	}
+	if !s.in[id] {
+		s.in[id] = true
+		s.ids = append(s.ids, id)
+	}
+}
+
+func (s *intSet) has(id int) bool { return id >= 0 && id < len(s.in) && s.in[id] }
+
+func (s *intSet) remove(id int) {
+	if s.has(id) {
+		s.in[id] = false
+	}
+}
+
+// len counts live members (remove may leave stale ids entries).
+func (s *intSet) len() int {
+	n := 0
+	for _, id := range s.ids {
+		if s.in[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// sorted returns the live members ascending (ids are appended in
+// insertion order and never re-added while live, so a plain sort of
+// the live subset is deterministic).
+func (s *intSet) sorted() []int {
+	out := make([]int, 0, len(s.ids))
+	for _, id := range s.ids {
+		if s.in[id] {
+			out = append(out, id)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (s *intSet) reset() {
+	for _, id := range s.ids {
+		s.in[id] = false
+	}
+	s.ids = s.ids[:0]
+}
+
 // Optimize runs the loop until timing converges, the target is met, or
 // the budget is spent.
 func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	if ctx.DDB != nil {
+		ctx.Design = ctx.DDB.Design
+		ctx.DB = ctx.DDB.Grid
+		ctx.Routes = ctx.DDB.Routes
+		ctx.Ex = ctx.DDB.Ex
+		ctx.Corner = ctx.DDB.Corner
+	} else {
+		ctx.DDB = ddb.New(ctx.Design, ctx.DB, ctx.Routes, ctx.Ex, ctx.Corner)
+	}
 	staOpt.Clock = ctx.Clock
 	staOpt.Corner = ctx.Corner
 	if staOpt.TopPaths == 0 {
@@ -116,7 +208,11 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 	if period <= 0 {
 		period = 1e6
 	}
-	rep, err := sta.Analyze(ctx.Design, ctx.Ex, period, staOpt)
+	eng, err := sta.NewEngine(ctx.Design, ctx.Ex, staOpt)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.Run(period)
 	if err != nil {
 		return nil, err
 	}
@@ -129,20 +225,23 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 	}
 
 	bufSeq := 0
-	fanoutDone := map[int]bool{}
-	chainDone := map[int]bool{}
-	noResize := map[int]bool{}
-	skipPath := map[string]bool{}
+	fanoutDone := &intSet{}
+	chainDone := &intSet{}
+	noResize := &intSet{}
+	skipPath := map[pathID]bool{}
+	touched := &intSet{}    // net IDs needing re-extraction
+	resizedNow := &intSet{} // instance IDs resized this iteration
 	stale := 0
 	for it := 0; it < opt.MaxIters; it++ {
 		if opt.TargetPeriod > 0 && rep.MinPeriod <= opt.TargetPeriod {
 			break
 		}
 		moves := 0
-		touched := map[int]bool{}    // net IDs needing re-extraction
-		resizedNow := map[int]bool{} // instance IDs resized this iteration
-		markedNow := []mark{}        // buffer markers set this iteration
-		ck := checkpoint(ctx)
+		touched.reset()
+		resizedNow.reset()
+		markedNow := []mark{} // buffer markers set this iteration
+		txn := ctx.DDB.Begin()
+		ctx.txn = txn
 
 		// Work one path per iteration — the most critical one that is
 		// not blocklisted and still has available edits — so
@@ -151,7 +250,8 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 		if len(paths) == 0 {
 			paths = []sta.Path{rep.Critical}
 		}
-		var curKey string
+		var curKey pathID
+		haveKey := false
 		for _, p := range paths {
 			if moves >= opt.MaxMovesPerIter {
 				break
@@ -163,8 +263,9 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 			m := fixPath(ctx, res, p.Steps, opt, &bufSeq, touched,
 				fanoutDone, chainDone, noResize, resizedNow, &markedNow,
 				opt.MaxMovesPerIter-moves)
-			if m > 0 && curKey == "" {
+			if m > 0 && !haveKey {
 				curKey = k
+				haveKey = true
 			}
 			moves += m
 		}
@@ -173,29 +274,31 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 		}
 		// Touched nets: rerouted (ECO moves shift pins) and re-extracted
 		// in deterministic order.
-		ids := make([]int, 0, len(touched))
-		for id := range touched {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
+		for _, id := range touched.sorted() {
 			if id >= len(ctx.Routes.Routes) || ctx.Routes.Routes[id] == nil {
 				continue
 			}
-			ctx.DB.ReleaseNet(ctx.Routes.Routes[id])
-			r, err := ctx.DB.RouteNet(ctx.Design.Nets[id])
-			if err != nil {
+			if err := txn.Reroute(ctx.Design.Nets[id]); err != nil {
 				return nil, err
 			}
-			ctx.Routes.SetRoute(id, r)
-			ctx.Ex.Replace(id, extract.One(ctx.Design.Nets[id], r, ctx.DB, ctx.Corner))
 		}
-		res.Rerouted += len(touched)
+		res.Rerouted += touched.len()
 		res.Iters = it + 1
 
-		next, err := sta.Analyze(ctx.Design, ctx.Ex, period, staOpt)
+		eng.Invalidate(txn.DirtyNets(), txn.DirtyInsts(), txn.TopoChanged())
+		var next *sta.Report
+		if opt.FullRecompute {
+			next, err = eng.Run(period)
+		} else {
+			next, err = eng.Update(period)
+		}
 		if err != nil {
 			return nil, err
+		}
+		if opt.SelfCheck {
+			if err := selfCheck(ctx, staOpt, period, next); err != nil {
+				return nil, err
+			}
 		}
 		// Accept the iteration when the worst path improved or, on a
 		// multi-path plateau, when the aggregate of the near-critical
@@ -204,25 +307,29 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 		improvedWorst := next.MinPeriod < rep.MinPeriod-0.5
 		improvedSum := pathScore(next) < pathScore(rep)-0.5
 		if !improvedWorst && !improvedSum {
-			rollback(ctx, ck)
+			nets, insts, topo := txn.Rollback()
 			if ctx.FP != nil && ctx.RowHeight > 0 {
 				ctx.fs = place.NewFreeSpace(ctx.Design, ctx.FP, ctx.RowHeight)
 			}
+			// The engine's state reflects the rejected edits; mark the
+			// surviving dirty ids again so the next update re-converges
+			// it onto the restored design.
+			eng.Invalidate(nets, insts, topo)
 			// Clear this iteration's buffer markers (the edits were
 			// undone and may succeed in a different bundle), but
 			// blocklist the path so the identical bundle is not
 			// retried immediately.
 			for _, m := range markedNow {
 				if m.chain {
-					delete(chainDone, m.netID)
+					chainDone.remove(m.netID)
 				} else {
-					delete(fanoutDone, m.netID)
+					fanoutDone.remove(m.netID)
 				}
 			}
-			for id := range resizedNow {
-				noResize[id] = true
+			for _, id := range resizedNow.ids {
+				noResize.add(id)
 			}
-			res.Resized -= len(resizedNow)
+			res.Resized -= resizedNow.len()
 			skipPath[curKey] = true
 			stale++
 			if stale >= 12 {
@@ -230,6 +337,7 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 			}
 			continue
 		}
+		txn.Commit()
 		rep = next
 		if improvedWorst {
 			stale = 0
@@ -248,6 +356,62 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 // debugTrace enables per-iteration tracing via MACRO3D_OPT_TRACE=1.
 var debugTrace = os.Getenv("MACRO3D_OPT_TRACE") == "1"
 
+// selfCheck asserts the incrementally maintained state equals a
+// from-scratch recompute: per-net extraction within 1e-9, and the
+// report the engine produced against a fresh sta.Analyze over the same
+// extraction (timing numbers and path order).
+func selfCheck(ctx *Context, staOpt sta.Options, period float64, got *sta.Report) error {
+	const tol = 1e-9
+	fresh := extract.Extract(ctx.Design, ctx.Routes, ctx.DB, ctx.Corner)
+	if len(fresh.Nets) != len(ctx.Ex.Nets) {
+		return fmt.Errorf("opt: selfcheck: extraction has %d nets, scratch %d", len(ctx.Ex.Nets), len(fresh.Nets))
+	}
+	for id, want := range fresh.Nets {
+		have := ctx.Ex.Nets[id]
+		if (want == nil) != (have == nil) {
+			return fmt.Errorf("opt: selfcheck: net %d extraction nil mismatch", id)
+		}
+		if want == nil {
+			continue
+		}
+		if math.Abs(want.WireC-have.WireC) > tol || math.Abs(want.WireR-have.WireR) > tol ||
+			math.Abs(want.PinC-have.PinC) > tol || len(want.ElmoreTo) != len(have.ElmoreTo) {
+			return fmt.Errorf("opt: selfcheck: net %d RC mismatch (have C=%v R=%v pin=%v, want C=%v R=%v pin=%v)",
+				id, have.WireC, have.WireR, have.PinC, want.WireC, want.WireR, want.PinC)
+		}
+		for i := range want.ElmoreTo {
+			if math.Abs(want.ElmoreTo[i]-have.ElmoreTo[i]) > tol {
+				return fmt.Errorf("opt: selfcheck: net %d sink %d Elmore %v != %v", id, i, have.ElmoreTo[i], want.ElmoreTo[i])
+			}
+		}
+	}
+	want, err := sta.Analyze(ctx.Design, ctx.Ex, period, staOpt)
+	if err != nil {
+		return fmt.Errorf("opt: selfcheck: scratch analysis: %w", err)
+	}
+	if math.Abs(want.MinPeriod-got.MinPeriod) > tol || math.Abs(want.WNS-got.WNS) > tol ||
+		math.Abs(want.TNS-got.TNS) > tol || want.Endpoints != got.Endpoints {
+		return fmt.Errorf("opt: selfcheck: report mismatch (have period=%v wns=%v tns=%v ep=%d, want period=%v wns=%v tns=%v ep=%d)",
+			got.MinPeriod, got.WNS, got.TNS, got.Endpoints, want.MinPeriod, want.WNS, want.TNS, want.Endpoints)
+	}
+	if len(want.Paths) != len(got.Paths) {
+		return fmt.Errorf("opt: selfcheck: %d paths, scratch %d", len(got.Paths), len(want.Paths))
+	}
+	for i := range want.Paths {
+		w, g := want.Paths[i], got.Paths[i]
+		if math.Abs(w.Delay-g.Delay) > tol || len(w.Steps) != len(g.Steps) {
+			return fmt.Errorf("opt: selfcheck: path %d mismatch (delay %v vs %v, %d vs %d steps)",
+				i, g.Delay, w.Delay, len(g.Steps), len(w.Steps))
+		}
+		for j := range w.Steps {
+			if w.Steps[j].Ref != g.Steps[j].Ref {
+				return fmt.Errorf("opt: selfcheck: path %d step %d ref mismatch", i, j)
+			}
+		}
+	}
+	return nil
+}
+
 // pathScore sums the reported near-critical path delays — the
 // plateau-breaking acceptance metric.
 func pathScore(r *sta.Report) float64 {
@@ -258,48 +422,6 @@ func pathScore(r *sta.Report) float64 {
 	return s
 }
 
-// ckpt captures everything an iteration may touch.
-type ckpt struct {
-	nInst, nNets int
-	masters      []*cell.Cell
-	locs         []geom.Point
-	sinks        [][]netlist.PinRef
-	routes       []*route.NetRoute
-}
-
-func checkpoint(ctx *Context) *ckpt {
-	nInst, nNets := ctx.Design.Counts()
-	c := &ckpt{nInst: nInst, nNets: nNets}
-	c.masters = make([]*cell.Cell, nInst)
-	c.locs = make([]geom.Point, nInst)
-	for i, inst := range ctx.Design.Instances {
-		c.masters[i] = inst.Master
-		c.locs[i] = inst.Loc
-	}
-	c.sinks = make([][]netlist.PinRef, nNets)
-	for i, n := range ctx.Design.Nets {
-		c.sinks[i] = append([]netlist.PinRef(nil), n.Sinks...)
-	}
-	c.routes = append([]*route.NetRoute(nil), ctx.Routes.Routes...)
-	return c
-}
-
-func rollback(ctx *Context, c *ckpt) {
-	ctx.Design.TruncateTo(c.nInst, c.nNets)
-	for i, inst := range ctx.Design.Instances {
-		inst.Master = c.masters[i]
-		inst.Loc = c.locs[i]
-	}
-	for i, n := range ctx.Design.Nets {
-		n.Sinks = c.sinks[i]
-	}
-	ctx.Routes.Routes = ctx.Routes.Routes[:0]
-	ctx.Routes.Routes = append(ctx.Routes.Routes, c.routes...)
-	ctx.DB.RebuildUsage(ctx.Routes)
-	// Parasitics: full re-extraction of the restored state.
-	*ctx.Ex = *extract.Extract(ctx.Design, ctx.Routes, ctx.DB, ctx.Corner)
-}
-
 // fixPath applies sizing and buffering along one path; returns the
 // number of edits made (bounded by budget).
 // mark records a buffer-insertion marker for rollback bookkeeping.
@@ -308,15 +430,21 @@ type mark struct {
 	chain bool
 }
 
-// pathKey identifies a path by its launch and capture points.
-func pathKey(p sta.Path) string {
-	if len(p.Steps) == 0 {
-		return ""
-	}
-	return p.Steps[0].Ref.String() + "→" + p.Steps[len(p.Steps)-1].Ref.String()
+// pathID identifies a path by its launch and capture points — a
+// comparable struct key, so the blocklist map hashes two pointers
+// instead of formatting strings.
+type pathID struct {
+	from, to netlist.PinRef
 }
 
-func fixPath(ctx *Context, res *Result, steps []sta.PathStep, opt Options, bufSeq *int, touched, fanoutDone, chainDone, noResize, resizedNow map[int]bool, markedNow *[]mark, budget int) int {
+func pathKey(p sta.Path) pathID {
+	if len(p.Steps) == 0 {
+		return pathID{}
+	}
+	return pathID{from: p.Steps[0].Ref, to: p.Steps[len(p.Steps)-1].Ref}
+}
+
+func fixPath(ctx *Context, res *Result, steps []sta.PathStep, opt Options, bufSeq *int, touched, fanoutDone, chainDone, noResize, resizedNow *intSet, markedNow *[]mark, budget int) int {
 	moves := 0
 	for i := 0; i+1 < len(steps) && moves < budget; i++ {
 		from := steps[i].Ref
@@ -327,14 +455,14 @@ func fixPath(ctx *Context, res *Result, steps []sta.PathStep, opt Options, bufSe
 		// Gate sizing: jump straight to the drive strength matched to
 		// the extracted load (R·C_load ≤ ~80 ps), like a real sizer's
 		// load-based lookup, instead of creeping one step per pass.
-		if !inst.IsMacro() && !noResize[inst.ID] && !resizedNow[inst.ID] {
+		if !inst.IsMacro() && !noResize.has(inst.ID) && !resizedNow.has(inst.ID) {
 			if to := sizeForLoad(ctx, inst); to != nil {
 				if ecoResize(ctx, inst, to) {
 					res.Resized++
-					resizedNow[inst.ID] = true
+					resizedNow.add(inst.ID)
 					moves++
-					for _, n := range netsOf(ctx.Design, inst) {
-						touched[n.ID] = true
+					for _, id := range netsOf(ctx, inst) {
+						touched.add(id)
 					}
 				}
 			}
@@ -350,27 +478,27 @@ func fixPath(ctx *Context, res *Result, steps []sta.PathStep, opt Options, bufSe
 			// the tree grows by splitting the (new) cluster nets on
 			// later passes, never by chaining levels in front of the
 			// root.
-			if rc.CTotal() > opt.FanoutCap && len(n.Sinks) >= 2 && !fanoutDone[n.ID] {
+			if rc.CTotal() > opt.FanoutCap && len(n.Sinks) >= 2 && !fanoutDone.has(n.ID) {
 				if err := insertFanoutBuffer(ctx, n, opt, bufSeq); err == nil {
-					fanoutDone[n.ID] = true
+					fanoutDone.add(n.ID)
 					*markedNow = append(*markedNow, mark{n.ID, false})
 					res.Buffers++
 					moves++
-					touched[n.ID] = true
+					touched.add(n.ID)
 					continue
 				}
 			}
 			// Like fanout wrapping, a chain is inserted at most once
 			// per net; the chain's own nets may be split again later,
 			// which terminates because every level is shorter.
-			if si < len(rc.ElmoreTo) && rc.ElmoreTo[si] > opt.BufferElmore && !chainDone[n.ID] {
+			if si < len(rc.ElmoreTo) && rc.ElmoreTo[si] > opt.BufferElmore && !chainDone.has(n.ID) {
 				nb, err := insertBufferChain(ctx, n, si, opt, bufSeq)
 				if err == nil && nb > 0 {
-					chainDone[n.ID] = true
+					chainDone.add(n.ID)
 					*markedNow = append(*markedNow, mark{n.ID, true})
 					res.Buffers += nb
 					moves++
-					touched[n.ID] = true
+					touched.add(n.ID)
 				}
 			}
 		}
@@ -383,7 +511,7 @@ func fixPath(ctx *Context, res *Result, steps []sta.PathStep, opt Options, bufSe
 // when no legal spot exists (the edit is skipped).
 func ecoResize(ctx *Context, inst *netlist.Instance, to *cell.Cell) bool {
 	if ctx.fs == nil || to.Width <= inst.Master.Width+1e-9 {
-		return ctx.Design.Resize(inst, to) == nil
+		return ctx.txn.Resize(inst, to) == nil
 	}
 	oldB := inst.Bounds()
 	ctx.fs.Release(oldB)
@@ -392,12 +520,12 @@ func ecoResize(ctx *Context, inst *netlist.Instance, to *cell.Cell) bool {
 		ctx.fs.Occupy(oldB)
 		return false
 	}
-	if err := ctx.Design.Resize(inst, to); err != nil {
+	if err := ctx.txn.Resize(inst, to); err != nil {
 		ctx.fs.Release(geom.RectWH(loc, to.Width, to.Height))
 		ctx.fs.Occupy(oldB)
 		return false
 	}
-	inst.Loc = loc
+	ctx.txn.SetLoc(inst, loc)
 	return true
 }
 
@@ -410,14 +538,12 @@ func sizeForLoad(ctx *Context, inst *netlist.Instance) *cell.Cell {
 	if len(fam) == 0 {
 		return nil
 	}
-	// Find the instance's output net load.
+	// Find the instance's output net load (first driven net, as the
+	// ddb adjacency stores them in net-ID order).
 	load := 0.0
-	for _, n := range ctx.Design.Nets {
-		if n.Driver.Inst == inst {
-			if rc := ctx.Ex.Nets[n.ID]; rc != nil {
-				load = rc.CTotal()
-			}
-			break
+	if ids := ctx.DDB.Driven(inst); len(ids) > 0 {
+		if rc := ctx.Ex.Nets[ids[0]]; rc != nil {
+			load = rc.CTotal()
 		}
 	}
 	if load <= 0 {
@@ -445,23 +571,17 @@ func betterOf(a, b *sta.Report) *sta.Report {
 	return a
 }
 
-// netsOf lists the nets touching an instance.
-func netsOf(d *netlist.Design, inst *netlist.Instance) []*netlist.Net {
-	var out []*netlist.Net
-	for _, n := range d.Nets {
-		if n.Clock {
-			continue
+// netsOf lists the ids of the non-clock nets touching an instance,
+// from the ddb adjacency (driven nets first, then input nets).
+func netsOf(ctx *Context, inst *netlist.Instance) []int {
+	var out []int
+	for _, id := range ctx.DDB.Driven(inst) {
+		if !ctx.Design.Nets[id].Clock {
+			out = append(out, int(id))
 		}
-		if n.Driver.Inst == inst {
-			out = append(out, n)
-			continue
-		}
-		for _, s := range n.Sinks {
-			if s.Inst == inst {
-				out = append(out, n)
-				break
-			}
-		}
+	}
+	for _, id := range ctx.DDB.InputNets(inst) {
+		out = append(out, int(id))
 	}
 	return out
 }
@@ -474,11 +594,9 @@ func arcNet(ctx *Context, steps []sta.PathStep, i int) (*netlist.Net, int) {
 	if from.Inst == nil && from.Port == nil {
 		return nil, -1
 	}
-	for _, n := range ctx.Design.Nets {
+	for _, id := range ctx.DDB.DrivenBy(from) {
+		n := ctx.Design.Nets[id]
 		if n.Clock {
-			continue
-		}
-		if !sameRef(n.Driver, from) {
 			continue
 		}
 		for si, s := range n.Sinks {
@@ -491,13 +609,6 @@ func arcNet(ctx *Context, steps []sta.PathStep, i int) (*netlist.Net, int) {
 		}
 	}
 	return nil, -1
-}
-
-func sameRef(a, b netlist.PinRef) bool {
-	if a.Port != nil || b.Port != nil {
-		return a.Port == b.Port
-	}
-	return a.Inst == b.Inst
 }
 
 // insertBufferChain splits the driver→sink arc of net n at sink index
@@ -522,7 +633,7 @@ func insertBufferChain(ctx *Context, n *netlist.Net, si int, opt Options, seq *i
 	}
 
 	// Remove the sink from the original net.
-	n.Sinks = append(n.Sinks[:si], n.Sinks[si+1:]...)
+	ctx.txn.RemoveSinkAt(n, si)
 
 	firstNew := len(d.Nets)
 	prevNet := n
@@ -530,35 +641,24 @@ func insertBufferChain(ctx *Context, n *netlist.Net, si int, opt Options, seq *i
 		*seq++
 		frac := float64(j+1) / float64(k+1)
 		loc := a.Add(b.Sub(a).Scale(frac))
-		inst := d.AddInstance(fmt.Sprintf("optbuf_%d_%d", len(d.Instances), *seq), buf)
+		inst := ctx.txn.AddInstance(fmt.Sprintf("optbuf_%d_%d", len(d.Instances), *seq), buf)
 		inst.Loc = ecoPlace(ctx, loc, buf)
 		inst.Placed = true
 		// Attach the buffer input to the previous stage.
-		prevNet.Sinks = append(prevNet.Sinks, netlist.IPin(inst, "A"))
-		prevNet = d.AddNet(fmt.Sprintf("optnet_%d_%d", len(d.Nets), *seq), netlist.IPin(inst, "Y"))
+		ctx.txn.AppendSink(prevNet, netlist.IPin(inst, "A"))
+		prevNet = ctx.txn.AddNet(fmt.Sprintf("optnet_%d_%d", len(d.Nets), *seq), netlist.IPin(inst, "Y"))
 	}
 	// Final stage drives the original sink.
-	prevNet.Sinks = append(prevNet.Sinks, sink)
+	ctx.txn.AppendSink(prevNet, sink)
 
 	// Reroute the modified original net and route the new nets.
-	if old := ctx.Routes.Routes[n.ID]; old != nil {
-		ctx.DB.ReleaseNet(old)
-	}
-	r, err := ctx.DB.RouteNet(n)
-	if err != nil {
+	if err := ctx.txn.Reroute(n); err != nil {
 		return 0, err
 	}
-	ctx.Routes.SetRoute(n.ID, r)
-	ctx.Ex.Replace(n.ID, extract.One(n, r, ctx.DB, ctx.Corner))
-	// New nets: route + extract.
 	for id := firstNew; id < len(d.Nets); id++ {
-		nn := d.Nets[id]
-		rr, err := ctx.DB.RouteNet(nn)
-		if err != nil {
+		if err := ctx.txn.Reroute(d.Nets[id]); err != nil {
 			return 0, err
 		}
-		ctx.Routes.SetRoute(id, rr)
-		ctx.Ex.Replace(id, extract.One(nn, rr, ctx.DB, ctx.Corner))
 	}
 	return k, nil
 }
@@ -625,30 +725,21 @@ func insertFanoutBuffer(ctx *Context, n *netlist.Net, opt Options, seq *int) err
 		} else {
 			loc = drv
 		}
-		inst := d.AddInstance(fmt.Sprintf("optfbuf_%d_%d", len(d.Instances), *seq), buf)
+		inst := ctx.txn.AddInstance(fmt.Sprintf("optfbuf_%d_%d", len(d.Instances), *seq), buf)
 		inst.Loc = ecoPlace(ctx, geom.Pt(loc.X-buf.Width/2, loc.Y-buf.Height/2), buf)
 		inst.Placed = true
 		drvSinks = append(drvSinks, netlist.IPin(inst, "A"))
-		newNets = append(newNets, d.AddNet(fmt.Sprintf("optfnet_%d_%d", len(d.Nets), *seq), netlist.IPin(inst, "Y"), cl...))
+		newNets = append(newNets, ctx.txn.AddNet(fmt.Sprintf("optfnet_%d_%d", len(d.Nets), *seq), netlist.IPin(inst, "Y"), cl...))
 	}
-	n.Sinks = drvSinks
+	ctx.txn.ReplaceSinks(n, drvSinks)
 
-	if old := ctx.Routes.Routes[n.ID]; old != nil {
-		ctx.DB.ReleaseNet(old)
-	}
-	r, err := ctx.DB.RouteNet(n)
-	if err != nil {
+	if err := ctx.txn.Reroute(n); err != nil {
 		return err
 	}
-	ctx.Routes.SetRoute(n.ID, r)
-	ctx.Ex.Replace(n.ID, extract.One(n, r, ctx.DB, ctx.Corner))
 	for _, nn := range newNets {
-		rr, err := ctx.DB.RouteNet(nn)
-		if err != nil {
+		if err := ctx.txn.Reroute(nn); err != nil {
 			return err
 		}
-		ctx.Routes.SetRoute(nn.ID, rr)
-		ctx.Ex.Replace(nn.ID, extract.One(nn, rr, ctx.DB, ctx.Corner))
 	}
 	return nil
 }

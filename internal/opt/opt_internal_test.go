@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"macro3d/internal/cell"
+	"macro3d/internal/ddb"
 	"macro3d/internal/extract"
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
@@ -81,16 +82,20 @@ func buildCtx(t *testing.T, fanout int, span float64) (*Context, *netlist.Net) {
 	}
 	corner := tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1}
 	ex := extract.Extract(d, res, db, corner)
-	return &Context{Design: d, DB: db, Routes: res, Ex: ex, Corner: corner}, n
+	ctx := &Context{Design: d, DB: db, Routes: res, Ex: ex, Corner: corner,
+		DDB: ddb.New(d, db, res, ex, corner)}
+	return ctx, n
 }
 
 func TestInsertFanoutBufferShieldsDriver(t *testing.T) {
 	ctx, n := buildCtx(t, 8, 1500)
 	before := ctx.Ex.Nets[n.ID].CTotal()
 	seq := 0
+	ctx.txn = ctx.DDB.Begin()
 	if err := insertFanoutBuffer(ctx, n, Options{}.withDefaults(), &seq); err != nil {
 		t.Fatal(err)
 	}
+	ctx.txn.Commit()
 	after := ctx.Ex.Nets[n.ID].CTotal()
 	if after >= before/2 {
 		t.Fatalf("driver load not shielded: %v → %v fF", before, after)
@@ -131,7 +136,7 @@ func TestSizeForLoad(t *testing.T) {
 	}
 }
 
-func TestCheckpointRollback(t *testing.T) {
+func TestTxnRollback(t *testing.T) {
 	ctx, n := buildCtx(t, 6, 1200)
 	d := ctx.Design
 	nInst, nNets := d.Counts()
@@ -139,9 +144,10 @@ func TestCheckpointRollback(t *testing.T) {
 	sinks0 := len(n.Sinks)
 	wl0 := ctx.Routes.Routes[n.ID].WL
 
-	ck := checkpoint(ctx)
+	txn := ctx.DDB.Begin()
+	ctx.txn = txn
 	// Mutate heavily: resize, fanout-buffer.
-	if err := d.Resize(d.Instance("drv"), d.Lib.MustCell("INV_X32")); err != nil {
+	if err := txn.Resize(d.Instance("drv"), d.Lib.MustCell("INV_X32")); err != nil {
 		t.Fatal(err)
 	}
 	seq := 0
@@ -152,7 +158,23 @@ func TestCheckpointRollback(t *testing.T) {
 		t.Fatal("mutation added nothing — test is vacuous")
 	}
 
-	rollback(ctx, ck)
+	nets, insts, topo := txn.Rollback()
+	if !topo {
+		t.Fatal("topology change not reported by the journal")
+	}
+	if len(nets) == 0 || len(insts) == 0 {
+		t.Fatal("rollback returned an empty dirty view")
+	}
+	for _, id := range nets {
+		if id >= nNets {
+			t.Fatalf("dirty net %d survived past truncation point %d", id, nNets)
+		}
+	}
+	for _, id := range insts {
+		if id >= nInst {
+			t.Fatalf("dirty inst %d survived past truncation point %d", id, nInst)
+		}
+	}
 
 	if ni, nn := d.Counts(); ni != nInst || nn != nNets {
 		t.Fatalf("counts after rollback: %d/%d want %d/%d", ni, nn, nInst, nNets)

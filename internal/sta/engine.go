@@ -1,0 +1,629 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/extract"
+	"macro3d/internal/netlist"
+)
+
+// Engine is a persistent, incremental analyzer over one design. It
+// caches the levelized topology and the per-pass arrival state between
+// calls, so after a small edit only the dirty frontier (the edited
+// nets' fan-in/fan-out cone) is re-evaluated. Because every node's
+// value is a pure function of its final upstream values, recomputing
+// only nodes whose inputs changed — and propagating only while a value
+// actually changes — yields results bit-identical to a from-scratch
+// Analyze.
+//
+// Node ids are ports-first: ports 0..len(Ports)-1, instances after.
+// Ports are never added by incremental edits, so instance growth and
+// rollback truncation only ever extend or shrink the tail of the
+// per-node arrays; no id ever changes meaning across a topology epoch.
+type Engine struct {
+	d   *netlist.Design
+	ex  *extract.Design
+	opt Options
+
+	nPorts int
+	nNodes int
+
+	isComb []bool                // by instance ID
+	order  []*netlist.Instance   // combinational topological order
+	level  []int32               // by instance ID: wave index in the order
+	waves  [][]*netlist.Instance // order grouped by level (parallel full passes)
+	fanout [][]*netlist.Instance // by node: combinational sink instances
+	inputs [][]inEdge            // by instance ID: driving arcs
+	outNet []*netlist.Net        // by node: driven signal net (last wins)
+
+	full, half pass
+
+	dirtyFull, dirtyHalf []bool // by node; scratch between Update calls
+
+	// Pending invalidation accumulated by Invalidate until the next
+	// Update consumes it.
+	pendNets  []int
+	pendInsts []int
+	pendTopo  bool
+	// resetFrom is the lowest node count the design has had while the
+	// pending invalidation accumulated: every node at or above it holds
+	// values for an instance that may since have been truncated and
+	// re-created, so the slot is reset before reuse.
+	resetFrom int
+}
+
+// inEdge is one driving arc into a combinational instance. Elmore and
+// pin references are looked up live at evaluation time (net ID + sink
+// index), so a reroute or re-extraction never leaves a stale cached
+// value.
+type inEdge struct {
+	drv int32 // driver node
+	net int32
+	si  int32
+}
+
+// pass holds the persistent per-node state of one launch pass
+// (full-cycle or half-cycle).
+type pass struct {
+	arr, slew, wl []float64
+	prev          []int
+	pref          []netlist.PinRef
+}
+
+func (e *Engine) nodeOfInst(i *netlist.Instance) int { return e.nPorts + i.ID }
+func (e *Engine) nodeOfPort(p *netlist.Port) int     { return p.ID }
+
+func (e *Engine) refNode(r netlist.PinRef) (int, bool) {
+	if r.Port != nil {
+		return e.nodeOfPort(r.Port), true
+	}
+	if r.Inst != nil {
+		return e.nodeOfInst(r.Inst), true
+	}
+	return 0, false
+}
+
+// clockLatency returns the tree latency of a sequential instance.
+func (e *Engine) clockLatency(inst *netlist.Instance) float64 {
+	if e.opt.Clock == nil {
+		return 0
+	}
+	return e.opt.Clock.LatencyOf[inst.ID]
+}
+
+// NewEngine builds an engine over the design and its extraction. The
+// parasitics are checked for finiteness and the combinational topology
+// levelized; both can fail.
+func NewEngine(d *netlist.Design, ex *extract.Design, opt Options) (*Engine, error) {
+	if err := ex.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
+	e := &Engine{d: d, ex: ex, opt: opt.withDefaults(), resetFrom: int(^uint(0) >> 1)}
+	if err := e.rebuildTopo(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// rebuildTopo (re)derives every topology-dependent cache from the
+// current design: node count, levelized order, fanout and input-arc
+// adjacency, driven-net table. Per-node value arrays are grown or
+// shrunk at the tail; slots at or above resetFrom are re-initialized.
+func (e *Engine) rebuildTopo() error {
+	e.nPorts = len(e.d.Ports)
+	e.nNodes = e.nPorts + len(e.d.Instances)
+
+	if cap(e.isComb) < len(e.d.Instances) {
+		e.isComb = make([]bool, len(e.d.Instances))
+	}
+	e.isComb = e.isComb[:len(e.d.Instances)]
+	for i, inst := range e.d.Instances {
+		e.isComb[i] = !inst.Master.IsSequential() &&
+			inst.Master.Kind != cell.KindFiller && inst.Master.Output() != nil
+	}
+
+	if err := e.levelize(); err != nil {
+		return err
+	}
+
+	// Input arcs and driven nets, in net order (the order fixes the
+	// tie-break among equal-arrival inputs, so it must match what a
+	// from-scratch pass builds).
+	e.inputs = make([][]inEdge, len(e.d.Instances))
+	e.outNet = make([]*netlist.Net, e.nNodes)
+	for _, n := range e.d.Nets {
+		if n.Clock {
+			continue
+		}
+		drv, ok := e.refNode(n.Driver)
+		if !ok {
+			continue
+		}
+		e.outNet[drv] = n
+		if e.ex.Nets[n.ID] == nil {
+			continue
+		}
+		for si, s := range n.Sinks {
+			if s.Inst != nil && e.isComb[s.Inst.ID] {
+				e.inputs[s.Inst.ID] = append(e.inputs[s.Inst.ID],
+					inEdge{drv: int32(drv), net: int32(n.ID), si: int32(si)})
+			}
+		}
+	}
+
+	// Waves for the parallel full pass: level = 1 + max(level of
+	// combinational inputs).
+	if cap(e.level) < len(e.d.Instances) {
+		e.level = make([]int32, len(e.d.Instances))
+	}
+	e.level = e.level[:len(e.d.Instances)]
+	maxLevel := int32(0)
+	for _, inst := range e.order {
+		lvl := int32(0)
+		for _, ev := range e.inputs[inst.ID] {
+			if int(ev.drv) >= e.nPorts {
+				di := int(ev.drv) - e.nPorts
+				if e.isComb[di] && e.level[di]+1 > lvl {
+					lvl = e.level[di] + 1
+				}
+			}
+		}
+		e.level[inst.ID] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	e.waves = make([][]*netlist.Instance, maxLevel+1)
+	for _, inst := range e.order {
+		e.waves[e.level[inst.ID]] = append(e.waves[e.level[inst.ID]], inst)
+	}
+
+	e.resizePass(&e.full)
+	e.resizePass(&e.half)
+	e.dirtyFull = resizeBools(e.dirtyFull, e.nNodes)
+	e.dirtyHalf = resizeBools(e.dirtyHalf, e.nNodes)
+	e.resetFrom = int(^uint(0) >> 1)
+	return nil
+}
+
+// resizePass grows or shrinks a pass's arrays to nNodes and
+// re-initializes every slot at or above resetFrom.
+func (e *Engine) resizePass(p *pass) {
+	old := len(p.arr)
+	from := e.resetFrom
+	if old < from {
+		from = old
+	}
+	p.arr = resizeFloats(p.arr, e.nNodes)
+	p.slew = resizeFloats(p.slew, e.nNodes)
+	p.wl = resizeFloats(p.wl, e.nNodes)
+	p.prev = resizeInts(p.prev, e.nNodes)
+	if cap(p.pref) < e.nNodes {
+		np := make([]netlist.PinRef, e.nNodes)
+		copy(np, p.pref)
+		p.pref = np
+	}
+	p.pref = p.pref[:e.nNodes]
+	for i := from; i < e.nNodes; i++ {
+		p.arr[i] = negInf
+		p.slew[i] = e.opt.DefaultSlew
+		p.wl[i] = 0
+		p.prev[i] = -1
+		p.pref[i] = netlist.PinRef{}
+	}
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		ns := make([]float64, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		ns := make([]int, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		ns := make([]bool, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+// resetPass re-initializes every slot of a pass (from-scratch run).
+func (e *Engine) resetPass(p *pass) {
+	for i := range p.arr {
+		p.arr[i] = negInf
+		p.slew[i] = e.opt.DefaultSlew
+		p.wl[i] = 0
+		p.prev[i] = -1
+		p.pref[i] = netlist.PinRef{}
+	}
+}
+
+// levelize orders combinational instances topologically (Kahn) and
+// builds the node-indexed combinational fanout table.
+func (e *Engine) levelize() error {
+	indeg := make([]int, len(e.d.Instances))
+	e.fanout = make([][]*netlist.Instance, e.nNodes)
+	for _, n := range e.d.Nets {
+		if n.Clock {
+			continue
+		}
+		drv, ok := e.refNode(n.Driver)
+		if !ok {
+			continue
+		}
+		for _, s := range n.Sinks {
+			if s.Inst != nil && e.isComb[s.Inst.ID] {
+				indeg[s.Inst.ID]++
+				e.fanout[drv] = append(e.fanout[drv], s.Inst)
+			}
+		}
+	}
+	var queue []*netlist.Instance
+	released := make([]bool, len(e.d.Instances))
+	for _, inst := range e.d.Instances {
+		if e.isComb[inst.ID] && indeg[inst.ID] == 0 {
+			queue = append(queue, inst)
+			released[inst.ID] = true
+		}
+	}
+	relax := func(node int) {
+		for _, f := range e.fanout[node] {
+			indeg[f.ID]--
+		}
+	}
+	for _, inst := range e.d.Instances {
+		if inst.Master.IsSequential() {
+			relax(e.nodeOfInst(inst))
+		}
+	}
+	for _, p := range e.d.Ports {
+		relax(e.nodeOfPort(p))
+	}
+	for _, inst := range e.d.Instances {
+		if e.isComb[inst.ID] && indeg[inst.ID] == 0 && !released[inst.ID] {
+			queue = append(queue, inst)
+			released[inst.ID] = true
+		}
+	}
+	e.order = e.order[:0]
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		e.order = append(e.order, inst)
+		relax(e.nodeOfInst(inst))
+		for _, f := range e.fanout[e.nodeOfInst(inst)] {
+			if indeg[f.ID] == 0 && !released[f.ID] {
+				queue = append(queue, f)
+				released[f.ID] = true
+			}
+		}
+	}
+	comb := 0
+	for _, c := range e.isComb {
+		if c {
+			comb++
+		}
+	}
+	if len(e.order) != comb {
+		return fmt.Errorf("sta: combinational loop detected (%d of %d gates levelized)", len(e.order), comb)
+	}
+	return nil
+}
+
+// Invalidate records edits since the last Run/Update: the ids of
+// re-extracted or re-wired nets, resized/moved/added instances, and
+// whether the topology changed (instances or nets added or removed,
+// sink membership edited). The next Update consumes the set.
+func (e *Engine) Invalidate(nets, insts []int, topo bool) {
+	e.pendNets = append(e.pendNets, nets...)
+	e.pendInsts = append(e.pendInsts, insts...)
+	if topo {
+		e.pendTopo = true
+		if n := e.nPorts + len(e.d.Instances); n < e.resetFrom {
+			e.resetFrom = n
+		}
+	}
+}
+
+// Run performs a full from-scratch analysis (also discarding any
+// pending invalidation — everything is recomputed anyway).
+func (e *Engine) Run(period float64) (*Report, error) {
+	if err := e.ex.CheckFinite(); err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
+	if err := e.rebuildTopo(); err != nil {
+		return nil, err
+	}
+	e.pendNets, e.pendInsts, e.pendTopo = e.pendNets[:0], e.pendInsts[:0], false
+
+	workers := runtime.GOMAXPROCS(0)
+	for _, p := range []*pass{&e.full, &e.half} {
+		half := p == &e.half
+		e.resetPass(p)
+		dirty := e.dirtyFull
+		if half {
+			dirty = e.dirtyHalf
+		}
+		for i := range dirty {
+			dirty[i] = true
+		}
+		e.seed(p, half, dirty)
+		if workers > 1 && len(e.order) >= 512 {
+			e.propagateWaves(p, workers)
+		} else {
+			e.propagate(p, dirty)
+		}
+		// Leave the scratch set all-false for the next Update (the
+		// serial pass only clears the combinational nodes it visits).
+		for i := range dirty {
+			dirty[i] = false
+		}
+	}
+	return e.buildReport(period)
+}
+
+// Update consumes the pending invalidation and re-analyzes only the
+// dirty cone. Results are bit-identical to Run on the same state.
+func (e *Engine) Update(period float64) (*Report, error) {
+	// Finiteness of the parasitics only needs re-checking where they
+	// changed.
+	for _, id := range e.pendNets {
+		if id < len(e.ex.Nets) {
+			if err := checkFiniteNet(e.ex.Nets[id]); err != nil {
+				return nil, fmt.Errorf("sta: %w", err)
+			}
+		}
+	}
+	if e.pendTopo {
+		if err := e.rebuildTopo(); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, p := range []*pass{&e.full, &e.half} {
+		half := p == &e.half
+		dirty := e.dirtyFull
+		if half {
+			dirty = e.dirtyHalf
+		}
+		e.markPending(dirty)
+		e.seed(p, half, dirty)
+		e.propagate(p, dirty)
+	}
+	e.pendNets, e.pendInsts, e.pendTopo = e.pendNets[:0], e.pendInsts[:0], false
+	return e.buildReport(period)
+}
+
+// markPending seeds the dirty set from the pending net/instance ids:
+// sinks and drivers of every dirty net (elm and load changed), every
+// dirty instance (master, location, or input membership changed).
+func (e *Engine) markPending(dirty []bool) {
+	mark := func(node int) {
+		if node >= e.nPorts && e.isComb[node-e.nPorts] {
+			dirty[node] = true
+		}
+	}
+	for _, id := range e.pendNets {
+		if id >= len(e.d.Nets) {
+			continue
+		}
+		n := e.d.Nets[id]
+		if n.Clock {
+			continue
+		}
+		if drv, ok := e.refNode(n.Driver); ok {
+			mark(drv)
+		}
+		for _, s := range n.Sinks {
+			if s.Inst != nil {
+				mark(e.nodeOfInst(s.Inst))
+			}
+		}
+	}
+	for _, id := range e.pendInsts {
+		if id < len(e.d.Instances) {
+			mark(e.nPorts + id)
+		}
+	}
+}
+
+// seed (re)computes launch arrivals: sequential outputs on the full
+// pass, input ports on the pass matching their half-cycle class. Seeds
+// are compared against the stored value; a changed seed dirties its
+// combinational fanout.
+func (e *Engine) seed(p *pass, half bool, dirty []bool) {
+	ioRef := 0.0
+	if e.opt.Clock != nil {
+		ioRef = e.opt.Clock.MeanLatency
+	}
+	if !half {
+		for _, inst := range e.d.Instances {
+			if !inst.Master.IsSequential() {
+				continue
+			}
+			node := e.nodeOfInst(inst)
+			load := 0.0
+			if on := e.outNet[node]; on != nil {
+				if rc := e.ex.Nets[on.ID]; rc != nil {
+					load = rc.CTotal()
+				}
+			}
+			v := e.clockLatency(inst) +
+				(inst.Master.ClkQ+inst.Master.DriveRes*load)*e.opt.Corner.CellDelay
+			e.setSeed(p, node, v, dirty)
+		}
+	}
+	for _, pt := range e.d.Ports {
+		if pt.Dir == cell.DirIn && pt.HalfCycle == half {
+			e.setSeed(p, e.nodeOfPort(pt), pt.ExtDelay+ioRef, dirty)
+		}
+	}
+}
+
+func (e *Engine) setSeed(p *pass, node int, v float64, dirty []bool) {
+	if p.arr[node] == v {
+		return
+	}
+	p.arr[node] = v
+	p.slew[node] = e.opt.DefaultSlew
+	for _, f := range e.fanout[node] {
+		if e.isComb[f.ID] {
+			dirty[e.nPorts+f.ID] = true
+		}
+	}
+}
+
+// evalNode computes a combinational instance's output tuple from the
+// current state of its inputs — identical arithmetic and tie-break
+// order to the original from-scratch pass.
+func (e *Engine) evalNode(p *pass, inst *netlist.Instance) (arr, slew, wl float64, prev int, pref netlist.PinRef) {
+	node := e.nodeOfInst(inst)
+	load := 0.0
+	if on := e.outNet[node]; on != nil {
+		if rc := e.ex.Nets[on.ID]; rc != nil {
+			load = rc.CTotal()
+		}
+	}
+	best := negInf
+	bestPrev := -1
+	var bestRef netlist.PinRef
+	var bestWL float64
+	bestSlew := e.opt.DefaultSlew
+	for _, ev := range e.inputs[inst.ID] {
+		rc := e.ex.Nets[ev.net]
+		if rc == nil {
+			continue
+		}
+		ia := p.arr[ev.drv]
+		if ia <= negInf {
+			continue
+		}
+		elm := rc.ElmoreTo[ev.si]
+		inArr := ia + elm
+		inSlew := p.slew[ev.drv] + elm // slew degrades along RC wire
+		d := inst.Master.Delay(load, inSlew) * e.opt.Corner.CellDelay
+		at := inArr + d
+		if at > best {
+			n := e.d.Nets[ev.net]
+			best = at
+			bestPrev = int(ev.drv)
+			bestRef = n.Driver
+			bestWL = p.wl[ev.drv] + dist(n.Driver, n.Sinks[ev.si])
+			bestSlew = inst.Master.OutSlew(load)
+		}
+	}
+	if bestPrev < 0 {
+		return negInf, e.opt.DefaultSlew, 0, -1, netlist.PinRef{}
+	}
+	return best, bestSlew, bestWL, bestPrev, bestRef
+}
+
+// propagate walks the topological order re-evaluating dirty nodes and
+// dirtying their fanout only when a value actually changed.
+func (e *Engine) propagate(p *pass, dirty []bool) {
+	for _, inst := range e.order {
+		node := e.nodeOfInst(inst)
+		if !dirty[node] {
+			continue
+		}
+		dirty[node] = false
+		arr, slew, wl, prev, pref := e.evalNode(p, inst)
+		if arr != p.arr[node] || slew != p.slew[node] || wl != p.wl[node] ||
+			prev != p.prev[node] || pref != p.pref[node] {
+			p.arr[node] = arr
+			p.slew[node] = slew
+			p.wl[node] = wl
+			p.prev[node] = prev
+			p.pref[node] = pref
+			for _, f := range e.fanout[node] {
+				dirty[e.nPorts+f.ID] = true
+			}
+		}
+	}
+}
+
+// propagateWaves evaluates a full pass wave-synchronously: nodes inside
+// one level have no mutual dependencies, so they are computed across
+// workers; each worker writes only its own nodes' slots and reads only
+// strictly earlier levels. The reduction is deterministic because every
+// node's value is independent of evaluation order within its wave.
+func (e *Engine) propagateWaves(p *pass, workers int) {
+	var wg sync.WaitGroup
+	for _, wave := range e.waves {
+		if len(wave) < 64 || workers < 2 {
+			for _, inst := range wave {
+				e.commitNode(p, inst)
+			}
+			continue
+		}
+		chunk := (len(wave) + workers - 1) / workers
+		for lo := 0; lo < len(wave); lo += chunk {
+			hi := lo + chunk
+			if hi > len(wave) {
+				hi = len(wave)
+			}
+			wg.Add(1)
+			go func(part []*netlist.Instance) {
+				defer wg.Done()
+				for _, inst := range part {
+					e.commitNode(p, inst)
+				}
+			}(wave[lo:hi])
+		}
+		wg.Wait()
+	}
+}
+
+func (e *Engine) commitNode(p *pass, inst *netlist.Instance) {
+	node := e.nodeOfInst(inst)
+	arr, slew, wl, prev, pref := e.evalNode(p, inst)
+	p.arr[node] = arr
+	p.slew[node] = slew
+	p.wl[node] = wl
+	p.prev[node] = prev
+	p.pref[node] = pref
+}
+
+// checkFiniteNet guards one net's parasitics (the incremental
+// counterpart of extract.Design.CheckFinite).
+func checkFiniteNet(rc *extract.NetRC) error {
+	if rc == nil {
+		return nil
+	}
+	bad := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+	name := "?"
+	if rc.Net != nil {
+		name = rc.Net.Name
+	}
+	switch {
+	case bad(rc.WireC):
+		return fmt.Errorf("extract: non-finite wire capacitance %v on net %s", rc.WireC, name)
+	case bad(rc.WireR):
+		return fmt.Errorf("extract: non-finite wire resistance %v on net %s", rc.WireR, name)
+	case bad(rc.PinC):
+		return fmt.Errorf("extract: non-finite pin capacitance %v on net %s", rc.PinC, name)
+	}
+	for i, el := range rc.ElmoreTo {
+		if bad(el) {
+			return fmt.Errorf("extract: non-finite Elmore delay %v to sink %d of net %s", el, i, name)
+		}
+	}
+	return nil
+}

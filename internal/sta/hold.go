@@ -2,7 +2,6 @@ package sta
 
 import (
 	"macro3d/internal/cell"
-	"macro3d/internal/netlist"
 )
 
 // analyzeHold runs min-delay propagation and hold checks at
@@ -12,9 +11,11 @@ import (
 //
 // Launches use the same clock latencies as setup analysis (a balanced
 // tree makes hold easy; skew between launch and capture is what
-// violates it). Results land in rep.Hold*.
-func (a *analyzer) analyzeHold(order []*netlist.Instance, rep *Report) {
-	minArr := make([]float64, a.nNodes)
+// violates it). Results land in rep.Hold*. Hold is only checked on
+// full sign-off runs, so it propagates from scratch each time over the
+// engine's cached order and input arcs.
+func (e *Engine) analyzeHold(rep *Report) {
+	minArr := make([]float64, e.nNodes)
 	const posInf = 1e30
 	for i := range minArr {
 		minArr[i] = posInf
@@ -23,60 +24,41 @@ func (a *analyzer) analyzeHold(order []*netlist.Instance, rep *Report) {
 	// Launch points: sequential outputs at latency + clk→Q (fast
 	// corner would be more pessimistic for hold; the caller picks the
 	// corner via Options). Ports launch at their external delay.
-	for _, inst := range a.d.Instances {
+	for _, inst := range e.d.Instances {
 		if inst.Master.IsSequential() {
-			n := a.nodeOfInst(inst)
-			minArr[n] = a.clockLatency(inst) + inst.Master.ClkQ*a.opt.Corner.CellDelay
+			n := e.nodeOfInst(inst)
+			minArr[n] = e.clockLatency(inst) + inst.Master.ClkQ*e.opt.Corner.CellDelay
 		}
 	}
-	for _, p := range a.d.Ports {
+	for _, p := range e.d.Ports {
 		if p.Dir == cell.DirIn {
-			minArr[a.nodeOfPort(p)] = p.ExtDelay
+			minArr[e.nodeOfPort(p)] = p.ExtDelay
 		}
 	}
 
 	// Min-delay propagation over the same levelized order. Wire and
 	// cell minimum delays: reuse the nominal model (a single corner);
 	// the short-path Elmore is the same tree.
-	type inEvent struct {
-		drv int
-		elm float64
-	}
-	inputs := make([][]inEvent, len(a.d.Instances))
-	for _, n := range a.d.Nets {
-		if n.Clock {
-			continue
-		}
-		rc := a.ex.Nets[n.ID]
-		if rc == nil {
-			continue
-		}
-		drv, ok := a.refNode(n.Driver)
-		if !ok {
-			continue
-		}
-		for si, s := range n.Sinks {
-			if s.Inst != nil && !s.Inst.Master.IsSequential() && s.Inst.Master.Output() != nil {
-				inputs[s.Inst.ID] = append(inputs[s.Inst.ID], inEvent{drv: drv, elm: rc.ElmoreTo[si]})
-			}
-		}
-	}
-	for _, inst := range order {
-		node := a.nodeOfInst(inst)
+	for _, inst := range e.order {
+		node := e.nodeOfInst(inst)
 		load := 0.0
-		if on := a.outNet[node]; on != nil {
-			if rc := a.ex.Nets[on.ID]; rc != nil {
+		if on := e.outNet[node]; on != nil {
+			if rc := e.ex.Nets[on.ID]; rc != nil {
 				load = rc.CTotal()
 			}
 		}
 		best := posInf
-		for _, ev := range inputs[inst.ID] {
+		for _, ev := range e.inputs[inst.ID] {
+			rc := e.ex.Nets[ev.net]
+			if rc == nil {
+				continue
+			}
 			ia := minArr[ev.drv]
 			if ia >= posInf {
 				continue
 			}
-			d := inst.Master.Delay(load, a.opt.DefaultSlew) * a.opt.Corner.CellDelay
-			if at := ia + ev.elm + d; at < best {
+			d := inst.Master.Delay(load, e.opt.DefaultSlew) * e.opt.Corner.CellDelay
+			if at := ia + rc.ElmoreTo[ev.si] + d; at < best {
 				best = at
 			}
 		}
@@ -87,15 +69,15 @@ func (a *analyzer) analyzeHold(order []*netlist.Instance, rep *Report) {
 
 	// Hold checks at sequential data inputs.
 	rep.HoldWNS = posInf
-	for _, n := range a.d.Nets {
+	for _, n := range e.d.Nets {
 		if n.Clock {
 			continue
 		}
-		rc := a.ex.Nets[n.ID]
+		rc := e.ex.Nets[n.ID]
 		if rc == nil {
 			continue
 		}
-		drv, ok := a.refNode(n.Driver)
+		drv, ok := e.refNode(n.Driver)
 		if !ok || minArr[drv] >= posInf {
 			continue
 		}
@@ -104,7 +86,7 @@ func (a *analyzer) analyzeHold(order []*netlist.Instance, rep *Report) {
 				continue
 			}
 			at := minArr[drv] + rc.ElmoreTo[si]
-			slack := at - a.clockLatency(s.Inst) - s.Inst.Master.Hold*a.opt.Corner.CellDelay
+			slack := at - e.clockLatency(s.Inst) - s.Inst.Master.Hold*e.opt.Corner.CellDelay
 			rep.HoldEndpoints++
 			if slack < rep.HoldWNS {
 				rep.HoldWNS = slack

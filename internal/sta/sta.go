@@ -8,6 +8,11 @@
 // The analyzer reports the minimum feasible clock period (and thus
 // f_max, the paper's performance metric), worst slack at a target
 // period, and the critical path with its routed wirelength.
+//
+// Two entry points exist: Analyze is the one-shot from-scratch run,
+// and Engine is the persistent incremental form (NewEngine → Run →
+// Invalidate/Update) that optimization loops use to re-analyze only
+// the dirty cone after each edit. Both produce bit-identical reports.
 package sta
 
 import (
@@ -91,52 +96,23 @@ type Report struct {
 	HoldEndpoints  int
 }
 
-// node ids: instances 0..len(Instances)-1, ports after.
-type analyzer struct {
-	d   *netlist.Design
-	ex  *extract.Design
-	opt Options
-
-	nNodes int
-
-	arr  []float64 // arrival at node output (ps); -inf = unreached
-	slew []float64
-	wl   []float64 // path wirelength to node, µm
-	prev []int     // predecessor node for path trace
-	pref []netlist.PinRef
-
-	// per-node launch latency already included in arr (for reporting).
-	outNet []*netlist.Net // net driven by node, nil if none
-}
-
-func (a *analyzer) nodeOfInst(i *netlist.Instance) int { return i.ID }
-func (a *analyzer) nodeOfPort(p *netlist.Port) int     { return len(a.d.Instances) + p.ID }
-
-// clockLatency returns the tree latency of a sequential instance.
-func (a *analyzer) clockLatency(inst *netlist.Instance) float64 {
-	if a.opt.Clock == nil {
-		return 0
-	}
-	return a.opt.Clock.LatencyOf[inst.ID]
-}
+const negInf = -1e30
 
 // Analyze runs setup analysis. period is the target clock period in ps
 // (used for slack; MinPeriod is computed regardless).
 func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options) (*Report, error) {
-	// Non-finite parasitics make NaN arrivals that silently drop
-	// endpoints from the comparisons below; reject them by name
-	// instead.
-	if err := ex.CheckFinite(); err != nil {
-		return nil, fmt.Errorf("sta: %w", err)
-	}
-	opt = opt.withDefaults()
-	a := &analyzer{d: d, ex: ex, opt: opt, nNodes: len(d.Instances) + len(d.Ports)}
-
-	order, err := a.levelize()
+	e, err := NewEngine(d, ex, opt)
 	if err != nil {
 		return nil, err
 	}
+	return e.Run(period)
+}
 
+// buildReport runs the endpoint checks over the current full/half pass
+// state and assembles the report: minimum period, slacks, critical
+// paths, optional hold analysis.
+func (e *Engine) buildReport(period float64) (*Report, error) {
+	d, ex, opt := e.d, e.ex, e.opt
 	rep := &Report{}
 
 	// I/O constraints reference a virtual port clock at the tree's
@@ -149,47 +125,7 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 	if opt.Clock != nil {
 		ioRef = opt.Clock.MeanLatency
 	}
-
-	// Pass 1: full-cycle launches (sequential elements; non-half-cycle
-	// input ports).
-	a.initArrays()
-	for _, inst := range d.Instances {
-		if inst.Master.IsSequential() {
-			n := a.nodeOfInst(inst)
-			// Launch = clock latency + clk→Q + output drive into the
-			// extracted load of the driven net.
-			load := 0.0
-			if on := a.outNet[n]; on != nil {
-				if rc := ex.Nets[on.ID]; rc != nil {
-					load = rc.CTotal()
-				}
-			}
-			a.arr[n] = a.clockLatency(inst) +
-				(inst.Master.ClkQ+inst.Master.DriveRes*load)*opt.Corner.CellDelay
-			a.slew[n] = opt.DefaultSlew
-		}
-	}
-	for _, p := range d.Ports {
-		if p.Dir == cell.DirIn && !p.HalfCycle {
-			n := a.nodeOfPort(p)
-			a.arr[n] = p.ExtDelay + ioRef
-			a.slew[n] = opt.DefaultSlew
-		}
-	}
-	a.propagate(order)
-	full := a.snapshot()
-
-	// Pass 2: half-cycle port launches only.
-	a.initArrays()
-	for _, p := range d.Ports {
-		if p.Dir == cell.DirIn && p.HalfCycle {
-			n := a.nodeOfPort(p)
-			a.arr[n] = p.ExtDelay + ioRef
-			a.slew[n] = opt.DefaultSlew
-		}
-	}
-	a.propagate(order)
-	half := a.snapshot()
+	full, half := &e.full, &e.half
 
 	// Endpoint checks.
 	type endpoint struct {
@@ -199,7 +135,7 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 		ref    netlist.PinRef
 		delay  float64
 		isHalf bool
-		snap   *snap
+		snap   *pass
 	}
 	var all []endpoint
 
@@ -223,7 +159,7 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 		if rc == nil {
 			continue
 		}
-		drvNode, ok := a.refNode(n.Driver)
+		drvNode, ok := e.refNode(n.Driver)
 		if !ok {
 			continue
 		}
@@ -233,7 +169,7 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 			switch {
 			case s.Inst != nil && s.Inst.Master.IsSequential() && !s.Inst.Master.Pin(s.Pin).Clock:
 				setup := s.Inst.Master.Setup * opt.Corner.CellDelay
-				capLat := a.clockLatency(s.Inst)
+				capLat := e.clockLatency(s.Inst)
 				// Full-cycle launched paths.
 				if fa := full.arr[drvNode]; fa > negInf {
 					at := fa + elm
@@ -287,7 +223,7 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 	}
 
 	if opt.CheckHold {
-		a.analyzeHold(order, rep)
+		e.analyzeHold(rep)
 	}
 
 	if len(all) == 0 {
@@ -297,7 +233,7 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 	worst := all[0]
 	rep.MinPeriod = worst.req
 	rep.FmaxMHz = 1e6 / worst.req
-	rep.Critical = a.trace(worst.node, worst.snap, worst.ref, worst.delay, worst.sinkWL, worst.isHalf)
+	rep.Critical = e.trace(worst.node, worst.snap, worst.ref, worst.delay, worst.sinkWL, worst.isHalf)
 
 	// Top-K paths, one per distinct launch node so the optimizer sees
 	// independent problems rather than K sinks of one bus.
@@ -306,15 +242,15 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 		k = 8
 	}
 	seenNode := map[int]bool{}
-	for _, e := range all {
+	for _, ep := range all {
 		if len(rep.Paths) >= k {
 			break
 		}
-		if seenNode[e.node] {
+		if seenNode[ep.node] {
 			continue
 		}
-		seenNode[e.node] = true
-		rep.Paths = append(rep.Paths, a.trace(e.node, e.snap, e.ref, e.delay, e.sinkWL, e.isHalf))
+		seenNode[ep.node] = true
+		rep.Paths = append(rep.Paths, e.trace(ep.node, ep.snap, ep.ref, ep.delay, ep.sinkWL, ep.isHalf))
 	}
 	// Non-finite results mean corrupt parasitics or delay tables
 	// upstream; fail the analysis instead of reporting NaN timing.
@@ -334,221 +270,18 @@ func Analyze(d *netlist.Design, ex *extract.Design, period float64, opt Options)
 	return rep, nil
 }
 
-const negInf = -1e30
-
-type snap struct {
-	arr, slew, wl []float64
-	prev          []int
-	pref          []netlist.PinRef
-}
-
-func (a *analyzer) snapshot() *snap {
-	return &snap{
-		arr:  append([]float64(nil), a.arr...),
-		slew: append([]float64(nil), a.slew...),
-		wl:   append([]float64(nil), a.wl...),
-		prev: append([]int(nil), a.prev...),
-		pref: append([]netlist.PinRef(nil), a.pref...),
-	}
-}
-
-func (a *analyzer) initArrays() {
-	if a.arr == nil {
-		a.arr = make([]float64, a.nNodes)
-		a.slew = make([]float64, a.nNodes)
-		a.wl = make([]float64, a.nNodes)
-		a.prev = make([]int, a.nNodes)
-		a.pref = make([]netlist.PinRef, a.nNodes)
-		a.outNet = make([]*netlist.Net, a.nNodes)
-		for _, n := range a.d.Nets {
-			if n.Clock {
-				continue
-			}
-			if id, ok := a.refNode(n.Driver); ok {
-				a.outNet[id] = n
-			}
-		}
-	}
-	for i := range a.arr {
-		a.arr[i] = negInf
-		a.slew[i] = a.opt.DefaultSlew
-		a.wl[i] = 0
-		a.prev[i] = -1
-	}
-}
-
-func (a *analyzer) refNode(r netlist.PinRef) (int, bool) {
-	if r.Port != nil {
-		return a.nodeOfPort(r.Port), true
-	}
-	if r.Inst != nil {
-		return a.nodeOfInst(r.Inst), true
-	}
-	return 0, false
-}
-
-// levelize orders combinational instances topologically (Kahn).
-func (a *analyzer) levelize() ([]*netlist.Instance, error) {
-	indeg := make([]int, len(a.d.Instances))
-	fanout := make([][]*netlist.Instance, a.nNodes)
-	isComb := func(i *netlist.Instance) bool {
-		return !i.Master.IsSequential() && i.Master.Kind != cell.KindFiller && i.Master.Output() != nil
-	}
-	for _, n := range a.d.Nets {
-		if n.Clock {
-			continue
-		}
-		drv, ok := a.refNode(n.Driver)
-		if !ok {
-			continue
-		}
-		for _, s := range n.Sinks {
-			if s.Inst != nil && isComb(s.Inst) {
-				indeg[s.Inst.ID]++
-				fanout[drv] = append(fanout[drv], s.Inst)
-			}
-		}
-	}
-	var queue []*netlist.Instance
-	// Seeds: combinational gates with no driven inputs, plus fanout of
-	// sequentials and ports (handled by decrementing below). Start by
-	// releasing all non-comb sources.
-	released := make([]bool, len(a.d.Instances))
-	for _, inst := range a.d.Instances {
-		if isComb(inst) && indeg[inst.ID] == 0 {
-			queue = append(queue, inst)
-			released[inst.ID] = true
-		}
-	}
-	// Release fanout of sequentials/ports.
-	relax := func(node int) {
-		for _, f := range fanout[node] {
-			indeg[f.ID]--
-		}
-	}
-	for _, inst := range a.d.Instances {
-		if inst.Master.IsSequential() {
-			relax(a.nodeOfInst(inst))
-		}
-	}
-	for _, p := range a.d.Ports {
-		relax(a.nodeOfPort(p))
-	}
-	for _, inst := range a.d.Instances {
-		if isComb(inst) && indeg[inst.ID] == 0 && !released[inst.ID] {
-			queue = append(queue, inst)
-			released[inst.ID] = true
-		}
-	}
-	var order []*netlist.Instance
-	for len(queue) > 0 {
-		inst := queue[0]
-		queue = queue[1:]
-		order = append(order, inst)
-		relax(a.nodeOfInst(inst))
-		for _, f := range fanout[a.nodeOfInst(inst)] {
-			if indeg[f.ID] == 0 && !released[f.ID] {
-				queue = append(queue, f)
-				released[f.ID] = true
-			}
-		}
-	}
-	// Verify completeness.
-	comb := 0
-	for _, inst := range a.d.Instances {
-		if isComb(inst) {
-			comb++
-		}
-	}
-	if len(order) != comb {
-		return nil, fmt.Errorf("sta: combinational loop detected (%d of %d gates levelized)", len(order), comb)
-	}
-	return order, nil
-}
-
-// propagate computes arrivals through the combinational order.
-func (a *analyzer) propagate(order []*netlist.Instance) {
-	// Per-instance input arrivals come from the nets driving them; we
-	// need sink-side lookup: iterate nets once building input events.
-	type inEvent struct {
-		drv  int
-		elm  float64
-		ref  netlist.PinRef // the sink pin (for slew sensitivity)
-		from netlist.PinRef // driver ref (for distance)
-	}
-	inputs := make([][]inEvent, len(a.d.Instances))
-	for _, n := range a.d.Nets {
-		if n.Clock {
-			continue
-		}
-		rc := a.ex.Nets[n.ID]
-		if rc == nil {
-			continue
-		}
-		drv, ok := a.refNode(n.Driver)
-		if !ok {
-			continue
-		}
-		for si, s := range n.Sinks {
-			if s.Inst != nil && !s.Inst.Master.IsSequential() && s.Inst.Master.Output() != nil {
-				inputs[s.Inst.ID] = append(inputs[s.Inst.ID], inEvent{
-					drv: drv, elm: rc.ElmoreTo[si], ref: s, from: n.Driver,
-				})
-			}
-		}
-	}
-	for _, inst := range order {
-		node := a.nodeOfInst(inst)
-		load := 0.0
-		if on := a.outNet[node]; on != nil {
-			if rc := a.ex.Nets[on.ID]; rc != nil {
-				load = rc.CTotal()
-			}
-		}
-		best := negInf
-		var bestPrev int = -1
-		var bestRef netlist.PinRef
-		var bestWL float64
-		var bestSlew float64 = a.opt.DefaultSlew
-		for _, ev := range inputs[inst.ID] {
-			ia := a.arr[ev.drv]
-			if ia <= negInf {
-				continue
-			}
-			inArr := ia + ev.elm
-			inSlew := a.slew[ev.drv] + ev.elm // slew degrades along RC wire
-			d := inst.Master.Delay(load, inSlew) * a.opt.Corner.CellDelay
-			at := inArr + d
-			if at > best {
-				best = at
-				bestPrev = ev.drv
-				bestRef = ev.from
-				bestWL = a.wl[ev.drv] + dist(ev.from, ev.ref)
-				bestSlew = inst.Master.OutSlew(load)
-			}
-		}
-		if bestPrev >= 0 {
-			a.arr[node] = best
-			a.prev[node] = bestPrev
-			a.pref[node] = bestRef
-			a.wl[node] = bestWL
-			a.slew[node] = bestSlew
-		}
-	}
-}
-
 // dist is the Manhattan distance between two connection points, µm.
 func dist(a, b netlist.PinRef) float64 {
 	return a.Loc().Manhattan(b.Loc())
 }
 
 // trace reconstructs the critical path from the endpoint's launch node.
-func (a *analyzer) trace(node int, s *snap, end netlist.PinRef, delay, wl float64, isHalf bool) Path {
+func (e *Engine) trace(node int, s *pass, end netlist.PinRef, delay, wl float64, isHalf bool) Path {
 	p := Path{Delay: delay, Wirelength: wl, HalfCycle: isHalf}
 	var steps []PathStep
 	steps = append(steps, PathStep{Ref: end, Arrival: delay})
 	for n := node; n >= 0; n = s.prev[n] {
-		steps = append(steps, PathStep{Ref: a.nodeRef(n), Arrival: s.arr[n]})
+		steps = append(steps, PathStep{Ref: e.nodeRef(n), Arrival: s.arr[n]})
 	}
 	// Reverse.
 	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
@@ -559,15 +292,13 @@ func (a *analyzer) trace(node int, s *snap, end netlist.PinRef, delay, wl float6
 }
 
 // nodeRef reconstructs a PinRef describing a node's output.
-func (a *analyzer) nodeRef(n int) netlist.PinRef {
-	if n < len(a.d.Instances) {
-		inst := a.d.Instances[n]
-		if out := inst.Master.Output(); out != nil {
-			return netlist.IPin(inst, out.Name)
-		}
-		return netlist.PinRef{Inst: inst}
+func (e *Engine) nodeRef(n int) netlist.PinRef {
+	if n < e.nPorts {
+		return netlist.PPin(e.d.Ports[n])
 	}
-	return netlist.PPin(a.d.Ports[n-len(a.d.Instances)])
+	inst := e.d.Instances[n-e.nPorts]
+	if out := inst.Master.Output(); out != nil {
+		return netlist.IPin(inst, out.Name)
+	}
+	return netlist.PinRef{Inst: inst}
 }
-
-var _ = math.Inf
