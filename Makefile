@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race faults bench benchall
+.PHONY: check build test vet race faults bench benchall obs-smoke
 
-## check: the full gate — vet, build, unit tests, then the race-enabled
-## fault-injection suite (what CI should run).
-check: vet build test race
+## check: the full gate — vet, build, unit tests, the race-enabled
+## fault-injection suite, then the observability smoke test (what CI
+## should run).
+check: vet build test race obs-smoke
 
 build:
 	$(GO) build ./...
@@ -20,8 +21,14 @@ vet:
 ## test, which exercises the parallel extract/STA paths at GOMAXPROCS 4;
 ## under -race it runs the small-cache config only — see race_on_test.go).
 race:
-	$(GO) test -race ./internal/faults/ ./internal/flows/ ./internal/report/
+	$(GO) test -race ./internal/faults/ ./internal/flows/ ./internal/report/ ./internal/obs/
 	$(GO) test -race -timeout 30m ./internal/ddb/ ./internal/opt/
+
+## obs-smoke: end-to-end observability check — tiny flow with -events
+## and -obs-addr, live /metrics and /debug/vars scrapes, JSONL and
+## Prometheus snapshot validation. Fails on any malformed output.
+obs-smoke:
+	GO="$(GO)" sh scripts/obs_smoke.sh
 
 ## faults: just the fault-injection matrix, verbosely.
 faults:

@@ -34,6 +34,7 @@ import (
 	"macro3d/internal/geom"
 	"macro3d/internal/lefdef"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 	"macro3d/internal/piton"
 	"macro3d/internal/report"
 	"macro3d/internal/tech"
@@ -408,3 +409,21 @@ func ASCIIDensity(d *Design, die geom.Rect, cols int, dieFilter *netlist.Die) st
 // TinyTile returns a reduced tile configuration for fast tests and
 // demos (same structure as the paper tiles at a fraction of the size).
 func TinyTile() TileConfig { return piton.Tiny() }
+
+// --- Observability ---
+
+// ObsRecorder is the per-run observability hub: hierarchical spans
+// (flow → stage → engine phase), typed per-run metrics, and the JSONL
+// event stream. Attach one to FlowConfig.Obs to record a run; a nil
+// recorder (the default) disables observability with zero overhead
+// and byte-identical results.
+type ObsRecorder = obs.Recorder
+
+// ObsServer is a running observability HTTP endpoint (Prometheus
+// /metrics, JSON snapshot, expvar, pprof) created by
+// ObsRecorder.Serve.
+type ObsServer = obs.Server
+
+// NewObsRecorder returns an enabled recorder with an empty metric
+// registry.
+func NewObsRecorder() *ObsRecorder { return obs.New() }

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"macro3d"
 )
@@ -51,6 +52,10 @@ func realMain() int {
 		keepGoing  = flag.Bool("keep-going", false, "in table experiments, skip failed columns and print the partial table")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		events     = flag.String("events", "", "write the observability JSONL event stream (spans, metric samples, fault tags) to this file")
+		obsAddr    = flag.String("obs-addr", "", "serve live observability endpoints (/metrics, /metrics.json, /debug/vars, /debug/pprof/) on this address, e.g. :9090 or 127.0.0.1:0")
+		metricsOut = flag.String("metrics-out", "", "write a final Prometheus text snapshot of the run's metrics to this file")
+		obsLinger  = flag.Duration("obs-linger", 0, "with -obs-addr: keep serving this long after a successful run (live inspection, smoke tests)")
 	)
 	flag.Parse()
 
@@ -87,6 +92,52 @@ func realMain() int {
 		}()
 	}
 
+	// Any observability flag turns recording on; with all of them off
+	// rec stays nil and the flows run with observability disabled (the
+	// zero-overhead default — results are byte-identical either way).
+	var rec *macro3d.ObsRecorder
+	if *events != "" || *obsAddr != "" || *metricsOut != "" {
+		rec = macro3d.NewObsRecorder()
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d: -events:", err)
+			return 1
+		}
+		defer f.Close()
+		rec.SetSink(f)
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "macro3d: -events:", err)
+			}
+		}()
+	}
+	if *metricsOut != "" {
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "macro3d: -metrics-out:", err)
+				return
+			}
+			defer f.Close()
+			if err := rec.Registry().WritePrometheus(f); err != nil {
+				fmt.Fprintln(os.Stderr, "macro3d: -metrics-out:", err)
+			}
+		}()
+	}
+	var obsSrv *macro3d.ObsServer
+	if *obsAddr != "" {
+		srv, err := rec.Serve(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d: -obs-addr:", err)
+			return 1
+		}
+		obsSrv = srv
+		defer obsSrv.Close()
+		fmt.Fprintf(os.Stderr, "macro3d: observability endpoint at %s/metrics (also /metrics.json, /debug/vars, /debug/pprof/)\n", obsSrv.URL())
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
@@ -95,9 +146,16 @@ func realMain() int {
 		defer cancel()
 	}
 
-	if err := run(ctx, *flow, *experiment, *config, *seed, *metals, *array, *keepGoing); err != nil {
+	if err := run(ctx, *flow, *experiment, *config, *seed, *metals, *array, *keepGoing, rec); err != nil {
 		printFailure(err)
 		return 1
+	}
+	if obsSrv != nil && *obsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "macro3d: run complete; serving observability for %v (Ctrl-C to stop)\n", *obsLinger)
+		select {
+		case <-ctx.Done():
+		case <-time.After(*obsLinger):
+		}
 	}
 	return 0
 }
@@ -137,12 +195,12 @@ func tileConfig(name string) (macro3d.TileConfig, error) {
 	return macro3d.TileConfig{}, fmt.Errorf("unknown config %q (want small, large or tiny)", name)
 }
 
-func run(ctx context.Context, flow, experiment, config string, seed uint64, metals, array int, keepGoing bool) error {
+func run(ctx context.Context, flow, experiment, config string, seed uint64, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder) error {
 	pc, err := tileConfig(config)
 	if err != nil {
 		return err
 	}
-	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals}
+	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec}
 
 	if flow != "" {
 		var ppa *macro3d.PPA
@@ -195,17 +253,17 @@ func run(ctx context.Context, flow, experiment, config string, seed uint64, meta
 	switch experiment {
 	case "":
 	case "table1":
-		t, err := macro3d.RunTableIWith(ctx, macro3d.FlowConfig{Seed: seed}, keepGoing)
+		t, err := macro3d.RunTableIWith(ctx, macro3d.FlowConfig{Seed: seed, Obs: rec}, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
 	case "table2":
-		t, err := macro3d.RunTableIIWith(ctx, macro3d.FlowConfig{Seed: seed, MacroDieMetals: metals}, keepGoing)
+		t, err := macro3d.RunTableIIWith(ctx, macro3d.FlowConfig{Seed: seed, MacroDieMetals: metals, Obs: rec}, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
 	case "table3":
-		t, err := macro3d.RunTableIIIWith(ctx, macro3d.FlowConfig{Seed: seed}, keepGoing)
+		t, err := macro3d.RunTableIIIWith(ctx, macro3d.FlowConfig{Seed: seed, Obs: rec}, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}

@@ -30,6 +30,7 @@ package ddb
 import (
 	"macro3d/internal/extract"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 	"macro3d/internal/route"
 	"macro3d/internal/tech"
 )
@@ -41,6 +42,12 @@ type DB struct {
 	Routes *route.Result
 	Ex     *extract.Design
 	Corner tech.CornerScale
+
+	// Obs, when non-nil, locates the run's metric registry;
+	// transactions publish commit/rollback and dirty-set statistics
+	// there. nil disables instrumentation. Prefer AttachObs, which also
+	// pre-registers the ddb metric family so exports show it at zero.
+	Obs *obs.Span
 
 	// drivenI[i] lists the nets driven by instance i in net-ID order
 	// (clock nets included — callers filter); drivenP is the same for
@@ -56,6 +63,21 @@ func New(d *netlist.Design, grid *route.DB, routes *route.Result, ex *extract.De
 	db := &DB{Design: d, Grid: grid, Routes: routes, Ex: ex, Corner: corner}
 	db.rebuildAdjacency()
 	return db
+}
+
+// AttachObs wires the database to the run's observability span and
+// pre-registers the transaction metric family, so a run that commits
+// no transactions still exports the ddb_ series at zero.
+func (db *DB) AttachObs(sp *obs.Span) {
+	db.Obs = sp
+	if reg := sp.Reg(); reg != nil {
+		reg.Counter("ddb_txn_commits_total", "Committed design-database transactions.")
+		reg.Counter("ddb_txn_rollbacks_total", "Rolled-back design-database transactions.")
+		reg.Counter("ddb_txn_dirty_nets_total", "Net touches across committed transactions.")
+		reg.Counter("ddb_txn_dirty_insts_total", "Instance touches across committed transactions.")
+		reg.Counter("ddb_incremental_reroutes_total",
+			"Per-net incremental reroute+re-extract operations (Txn.Reroute).")
+	}
 }
 
 func (db *DB) rebuildAdjacency() {

@@ -237,6 +237,8 @@ func (t *Txn) Reroute(n *netlist.Net) error {
 	t.db.Routes.SetRoute(n.ID, r)
 	t.db.Ex.Replace(n.ID, extract.One(n, r, t.db.Grid, t.db.Corner))
 	t.dirtyNets.add(n.ID)
+	t.db.Obs.Reg().Counter("ddb_incremental_reroutes_total",
+		"Per-net incremental reroute+re-extract operations (Txn.Reroute).").Inc()
 	return nil
 }
 
@@ -257,6 +259,14 @@ func (t *Txn) Commit() {
 	t.done = true
 	t.savedSinks, t.savedMaster, t.savedLoc = nil, nil, nil
 	t.savedRoute, t.savedRC = nil, nil
+	if reg := t.db.Obs.Reg(); reg != nil {
+		reg.Counter("ddb_txn_commits_total",
+			"Committed design-database transactions.").Inc()
+		reg.Counter("ddb_txn_dirty_nets_total",
+			"Net touches across committed transactions.").Add(uint64(len(t.dirtyNets.ids)))
+		reg.Counter("ddb_txn_dirty_insts_total",
+			"Instance touches across committed transactions.").Add(uint64(len(t.dirtyInsts.ids)))
+	}
 }
 
 // Rollback undoes every edit of the bundle in O(edits): restores saved
@@ -330,5 +340,9 @@ func (t *Txn) Rollback() (nets, insts []int, topo bool) {
 	t.done = true
 	t.savedSinks, t.savedMaster, t.savedLoc = nil, nil, nil
 	t.savedRoute, t.savedRC = nil, nil
+	if reg := db.Obs.Reg(); reg != nil {
+		reg.Counter("ddb_txn_rollbacks_total",
+			"Rolled-back design-database transactions.").Inc()
+	}
 	return nets, insts, topo
 }

@@ -9,12 +9,46 @@
 package faults
 
 import (
+	"errors"
 	"math"
 
 	"macro3d/internal/flows"
 	"macro3d/internal/geom"
+	"macro3d/internal/obs"
 	"macro3d/internal/tech"
 )
+
+// TagInjected records the injection of a fault class into a running
+// flow in the observability event stream, so a fault-matrix run with
+// -events produces an auditable JSONL trail of what was corrupted
+// where. Nil-safe on the recorder.
+func TagInjected(rec *obs.Recorder, flow, class, stage string) {
+	rec.Emit("fault_injected",
+		obs.KV("flow", flow), obs.KV("class", class), obs.KV("stage", stage))
+}
+
+// TagCaught records which mechanism caught an injected fault
+// (typically CaughtBy of the flow's error), completing the trail a
+// TagInjected event opened.
+func TagCaught(rec *obs.Recorder, flow, class, caughtBy string) {
+	rec.Emit("fault_caught",
+		obs.KV("flow", flow), obs.KV("class", class), obs.KV("caught_by", caughtBy))
+}
+
+// CaughtBy names the mechanism that caught an injected fault, derived
+// from the error the corrupted flow returned: the failing stage of a
+// typed *flows.StageError (the verify stage reporting as "verify"),
+// or "uncaught" when the flow completed despite the corruption.
+func CaughtBy(err error) string {
+	if err == nil {
+		return "uncaught"
+	}
+	var se *flows.StageError
+	if errors.As(err, &se) {
+		return se.Stage
+	}
+	return "untyped-error"
+}
 
 // Post-extraction corruptions (everything injected at StagePower) flow
 // through the design database's change journal — the same ddb.Txn path

@@ -1,7 +1,9 @@
 package faults_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
@@ -10,10 +12,46 @@ import (
 	"macro3d/internal/faults"
 	"macro3d/internal/flows"
 	"macro3d/internal/geom"
+	"macro3d/internal/obs"
 	"macro3d/internal/piton"
 	"macro3d/internal/tech"
 	"macro3d/internal/verify"
 )
+
+// assertFaultTrail parses the run's JSONL event stream and checks the
+// injected fault left its audit pair: a fault_injected event naming
+// the class and stage, and a fault_caught event naming the catching
+// mechanism.
+func assertFaultTrail(t *testing.T, events, class, stage string) {
+	t.Helper()
+	var sawInjected, sawCaught bool
+	for _, line := range strings.Split(strings.TrimSpace(events), "\n") {
+		var ev struct {
+			Ev    string         `json:"ev"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("malformed JSONL event line %q: %v", line, err)
+		}
+		switch ev.Ev {
+		case "fault_injected":
+			if ev.Attrs["class"] == class && ev.Attrs["stage"] == stage {
+				sawInjected = true
+			}
+		case "fault_caught":
+			if ev.Attrs["class"] == class && ev.Attrs["caught_by"] != "" &&
+				ev.Attrs["caught_by"] != "uncaught" {
+				sawCaught = true
+			}
+		}
+	}
+	if !sawInjected {
+		t.Errorf("event trail lacks fault_injected for %s at %s", class, stage)
+	}
+	if !sawCaught {
+		t.Errorf("event trail lacks fault_caught for %s", class)
+	}
+}
 
 // flowVariants drives each of the flows the paper compares through a
 // uniform signature for the injection matrix.
@@ -83,7 +121,12 @@ func TestInjectionMatrix(t *testing.T) {
 			t.Run(class.Name+"/"+fv.name, func(t *testing.T) {
 				t.Parallel()
 				injected := false
-				cfg := flows.Config{Piton: piton.Tiny(), Seed: 7, Verify: true}
+				// Record the run so the injection leaves an auditable
+				// JSONL trail alongside the span stream.
+				var events bytes.Buffer
+				rec := obs.New()
+				rec.SetSink(&events)
+				cfg := flows.Config{Piton: piton.Tiny(), Seed: 7, Verify: true, Obs: rec}
 				cfg.AfterStage = func(flow, stage string, st *flows.State) {
 					if stage != class.Stage || injected {
 						return
@@ -93,6 +136,7 @@ func TestInjectionMatrix(t *testing.T) {
 						return
 					}
 					injected = true
+					faults.TagInjected(rec, fv.name, class.Name, stage)
 				}
 				st, err := fv.run(context.Background(), cfg)
 				if !injected {
@@ -101,6 +145,11 @@ func TestInjectionMatrix(t *testing.T) {
 				if err == nil {
 					t.Fatalf("corruption %s in %s flow went undetected", class.Name, fv.name)
 				}
+				faults.TagCaught(rec, fv.name, class.Name, faults.CaughtBy(err))
+				if err := rec.Close(); err != nil {
+					t.Fatalf("event sink: %v", err)
+				}
+				assertFaultTrail(t, events.String(), class.Name, class.Stage)
 				var se *flows.StageError
 				if !errors.As(err, &se) {
 					t.Fatalf("failure is not a typed *StageError: %T %v", err, err)

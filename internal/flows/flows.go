@@ -31,6 +31,7 @@ import (
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 	"macro3d/internal/opt"
 	"macro3d/internal/piton"
 	"macro3d/internal/power"
@@ -103,6 +104,12 @@ type Config struct {
 	// incrementally maintained extraction and timing against a
 	// from-scratch recompute (equivalence testing; slow).
 	SelfCheck bool
+
+	// Obs, when set, records the run: hierarchical spans (flow →
+	// stage → engine phase), per-engine metrics, and the JSONL event
+	// stream. nil (the default) disables observability entirely —
+	// flows produce byte-identical results either way.
+	Obs *obs.Recorder
 }
 
 // generate produces a fresh benchmark netlist for a flow run.
@@ -207,6 +214,7 @@ func signoff(r *runner, cfg Config, st *State, t *tech.Tech, optCfg opt.Options,
 			return err
 		}
 		st.DDB = ddb.New(st.Design, st.DB, st.Routes, st.ExSlow, slow)
+		st.DDB.AttachObs(r.obs())
 		return nil
 	}); err != nil {
 		return nil, err
@@ -218,6 +226,7 @@ func signoff(r *runner, cfg Config, st *State, t *tech.Tech, optCfg opt.Options,
 			Clock: st.Tree,
 			FP:    st.FP, RowHeight: t.RowHeight,
 			DDB: st.DDB,
+			Obs: r.obs(),
 		}
 		if optCfg.TargetPeriod == 0 {
 			optCfg.TargetPeriod = cfg.TargetPeriod
@@ -240,7 +249,7 @@ func signoff(r *runner, cfg Config, st *State, t *tech.Tech, optCfg opt.Options,
 	if err := r.stage(StageSTA, func() error {
 		var err error
 		hold, err = sta.Analyze(st.Design, st.ExSlow, st.Report.MinPeriod, sta.Options{
-			Corner: slow, Clock: st.Tree, CheckHold: true,
+			Corner: slow, Clock: st.Tree, CheckHold: true, Obs: r.obs(),
 		})
 		if err != nil {
 			return fmt.Errorf("%s: hold sign-off: %w", st.Design.Name, err)
@@ -343,6 +352,14 @@ func verifyStage(r *runner, cfg Config, st *State, t *tech.Tech, md *core.MoLDes
 			f2f = *cfg.F2F
 		}
 		rep := verify.Full(st.Design, st.Die, st.Routes, bumps, f2f, nil)
+		if reg := r.obs().Reg(); reg != nil {
+			reg.Counter("verify_violations_total",
+				"Sign-off verification violations found, duplicates included.").Add(uint64(rep.Total))
+			reg.Counter("verify_checked_instances_total",
+				"Instances examined by sign-off verification.").Add(uint64(rep.Checked.Instances))
+			reg.Counter("verify_checked_nets_total",
+				"Nets examined by sign-off verification.").Add(uint64(rep.Checked.Nets))
+		}
 		if !rep.Clean() {
 			return &verify.Error{Report: rep}
 		}

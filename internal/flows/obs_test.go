@@ -1,0 +1,194 @@
+package flows
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"macro3d/internal/obs"
+	"macro3d/internal/piton"
+)
+
+// recordedRun executes the tiny Macro-3D flow with a live recorder and
+// returns the outcome plus the captured JSONL stream.
+func recordedRun(t *testing.T) (*PPA, *State, *obs.Recorder, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := obs.New()
+	rec.SetSink(&buf)
+	cfg := Config{Piton: piton.Tiny(), Seed: 7, Verify: true, Obs: rec}
+	ppa, st, _, err := RunMacro3D(cfg)
+	if err != nil {
+		t.Fatalf("recorded run failed: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("event sink: %v", err)
+	}
+	return ppa, st, rec, buf.String()
+}
+
+// TestObsDisabledIsByteIdentical is the zero-overhead contract: the
+// same flow with observability off (nil Recorder, the default) and on
+// must produce byte-identical results — identical PPA in every field
+// and the same stage sequence. Instrumentation may observe the flow,
+// never steer it.
+func TestObsDisabledIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two tiny flows")
+	}
+	off, stOff, _, err := RunMacro3D(Config{Piton: piton.Tiny(), Seed: 7, Verify: true})
+	if err != nil {
+		t.Fatalf("unrecorded run failed: %v", err)
+	}
+	on, stOn, _, events := recordedRun(t)
+
+	if !reflect.DeepEqual(*off, *on) {
+		t.Errorf("PPA differs with observability on:\noff: %#v\non:  %#v", *off, *on)
+	}
+	if got, want := fmt.Sprintf("%#v", *on), fmt.Sprintf("%#v", *off); got != want {
+		t.Errorf("PPA rendering not byte-identical:\noff: %s\non:  %s", want, got)
+	}
+	var offStages, onStages []string
+	for _, s := range stOff.Trace.Stages {
+		offStages = append(offStages, s.Stage)
+	}
+	for _, s := range stOn.Trace.Stages {
+		onStages = append(onStages, s.Stage)
+	}
+	if !reflect.DeepEqual(offStages, onStages) {
+		t.Errorf("stage sequence differs:\noff: %v\non:  %v", offStages, onStages)
+	}
+	if strings.TrimSpace(events) == "" {
+		t.Error("recorded run produced an empty event stream")
+	}
+}
+
+// TestSpanTreeMatchesRunReport cross-checks the two views of the same
+// run: the JSONL span tree (flow root, one child span per stage
+// attempt) must list exactly the stages the RunReport recorded, in the
+// same order, and the flow root must close last, marked completed.
+func TestSpanTreeMatchesRunReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a tiny flow")
+	}
+	_, st, _, events := recordedRun(t)
+
+	type ev struct {
+		T      int64          `json:"t"`
+		Ev     string         `json:"ev"`
+		ID     int64          `json:"id"`
+		Parent int64          `json:"parent"`
+		Span   string         `json:"span"`
+		Metric string         `json:"metric"`
+		Attrs  map[string]any `json:"attrs"`
+	}
+	var rootID, lastT int64 = 0, -1
+	var stageSpans []string
+	var rootClosed bool
+	var rootAttrs map[string]any
+	sawCompletedSample := false
+	for _, line := range strings.Split(strings.TrimSpace(events), "\n") {
+		var e ev
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("malformed JSONL line %q: %v", line, err)
+		}
+		if e.T < lastT {
+			t.Fatalf("timestamps not monotonic at %q", line)
+		}
+		lastT = e.T
+		switch {
+		case e.Ev == "span_open" && e.Span == "macro3d" && e.Parent == 0:
+			rootID = e.ID
+		case e.Ev == "span_close" && e.Parent == rootID && rootID != 0:
+			// Direct children of the flow root are stage spans named
+			// "macro3d/<stage>"; engine phase spans sit deeper.
+			stageSpans = append(stageSpans, strings.TrimPrefix(e.Span, "macro3d/"))
+		case e.Ev == "span_close" && e.ID == rootID && rootID != 0:
+			rootClosed = true
+			rootAttrs = e.Attrs
+		case e.Ev == "sample" && e.Metric == "flow_runs_completed_total":
+			sawCompletedSample = true
+		}
+	}
+
+	var want []string
+	for _, s := range st.Trace.Stages {
+		want = append(want, s.Stage)
+	}
+	if !reflect.DeepEqual(stageSpans, want) {
+		t.Errorf("span tree stage sequence does not match RunReport:\nspans:  %v\nreport: %v", stageSpans, want)
+	}
+	if !rootClosed {
+		t.Fatal("flow root span never closed")
+	}
+	if v, ok := rootAttrs["completed"]; !ok || v != true {
+		t.Errorf("flow root close lacks completed=true: %v", rootAttrs)
+	}
+	if !sawCompletedSample {
+		t.Error("no sample event for flow_runs_completed_total in the stream")
+	}
+}
+
+// TestMetricsEndpointServesEngineFamilies runs a recorded flow and
+// scrapes the live handler: /metrics must be parseable Prometheus text
+// exposition carrying at least the router, placer, STA and design-
+// database metric families, and /metrics.json must be valid JSON of
+// the same snapshot.
+func TestMetricsEndpointServesEngineFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a tiny flow")
+	}
+	_, _, rec, _ := recordedRun(t)
+
+	get := func(path string) string {
+		t.Helper()
+		w := httptest.NewRecorder()
+		rec.Handler().ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		if w.Code != 200 {
+			t.Fatalf("GET %s: status %d", path, w.Code)
+		}
+		return w.Body.String()
+	}
+
+	text := get("/metrics")
+	for _, family := range []string{"route_", "place_", "sta_", "ddb_", "verify_", "flow_runs_completed_total"} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics lacks the %s family:\n%s", family, text)
+		}
+	}
+	// Every line is a comment or "<name>[{labels}] <value>".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+
+	var snap struct {
+		Metrics []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if len(snap.Metrics) == 0 {
+		t.Fatal("/metrics.json snapshot is empty")
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Error("/debug/vars lacks memstats")
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"time"
+
+	"macro3d/internal/obs"
 )
 
 // Canonical stage names, in the order the flows execute them. Pseudo
@@ -126,21 +129,55 @@ func (r *RunReport) String() string {
 				status = "PANIC " + status
 			}
 		}
-		b = fmt.Appendf(b, "  %-14s attempt %d  seed %-20d %8s  %s\n",
-			s.Stage, s.Attempt, s.Seed, s.Duration.Round(time.Millisecond), status)
+		b = fmt.Appendf(b, "  %-14s attempt %d  seed %-20d %10s  %s\n",
+			s.Stage, s.Attempt, s.Seed, fmtDuration(s.Duration), status)
 	}
 	return string(b)
 }
 
+// fmtDuration renders a stage duration with adaptive precision: the
+// rounding unit follows the magnitude, so sub-millisecond stages of
+// tiny configs render as e.g. "740µs" instead of collapsing to "0s".
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}
+
 // runner executes named stages on behalf of one flow run: context
-// checks at stage boundaries, panic containment, per-stage timing,
-// bounded seeded retries, and the AfterStage hook.
+// checks at stage boundaries, panic containment, per-stage spans
+// (which the RunReport durations derive from), bounded seeded
+// retries, and the AfterStage hook.
 type runner struct {
 	flow  string
 	cfg   Config
 	ctx   context.Context
 	st    *State
 	trace *RunReport
+
+	// span is the flow's root observability span; cur is the span of
+	// the stage attempt currently executing (valid inside stage
+	// closures via r.obs()). Both are real spans even with a nil
+	// recorder — stage timing always flows through them.
+	span *obs.Span
+	cur  *obs.Span
+}
+
+// flowSlug maps a flow display name to its span-path segment:
+// "Macro-3D" → "macro3d", "BF S2D" → "bfs2d".
+func flowSlug(flow string) string {
+	s := strings.ToLower(flow)
+	s = strings.ReplaceAll(s, " ", "")
+	return strings.ReplaceAll(s, "-", "")
 }
 
 func newRunner(ctx context.Context, flow string, cfg Config, st *State) *runner {
@@ -154,10 +191,16 @@ func newRunner(ctx context.Context, flow string, cfg Config, st *State) *runner 
 	r := &runner{
 		flow: flow, cfg: cfg, ctx: ctx, st: st,
 		trace: &RunReport{Flow: flow, Config: name},
+		span:  cfg.Obs.StartSpan(flowSlug(flow), obs.KV("config", name)),
 	}
 	st.Trace = r.trace
 	return r
 }
+
+// obs returns the span of the currently executing stage attempt, the
+// parent under which engines hang their phase spans and find the
+// run's metric registry. Safe to call from stage closures only.
+func (r *runner) obs() *obs.Span { return r.cur }
 
 // setState repoints the AfterStage hook target (the S2D/C2D pseudo
 // phases operate on a separate State) and carries the trace over so
@@ -193,9 +236,16 @@ func (r *runner) run(name string, seed uint64, fn func(uint64) error, attempts i
 			return r.fail(name, seed, attempt, err)
 		}
 		s := PerturbSeed(seed, attempt)
-		start := time.Now()
+		sp := r.span.Child(name, obs.KV("attempt", attempt), obs.KV("seed", s))
+		r.cur = sp
 		err := contain(func() error { return fn(s) })
-		dur := time.Since(start)
+		if err != nil {
+			sp.SetAttr("err", err.Error())
+		}
+		sp.End()
+		r.cur = nil
+		r.cfg.Obs.Sample()
+		dur := sp.Duration()
 		var pe *PanicError
 		panicked := errors.As(err, &pe)
 		r.record(name, attempt, s, dur, panicked, err)
@@ -247,11 +297,23 @@ func (r *runner) fail(stage string, seed uint64, attempt int, cause error) error
 	}
 	r.trace.Completed = false
 	r.trace.Err = se
+	r.span.SetAttr("completed", false)
+	r.span.SetAttr("failed_stage", stage)
+	r.span.End()
 	return se
 }
 
-// finish marks the trace complete.
-func (r *runner) finish() { r.trace.Completed = true }
+// finish marks the trace complete and closes the flow span.
+func (r *runner) finish() {
+	r.trace.Completed = true
+	r.span.SetAttr("completed", true)
+	r.span.End()
+	if reg := r.cfg.Obs.Registry(); reg != nil {
+		reg.Counter("flow_runs_completed_total",
+			"Flow runs that reached the end of their stage sequence.").Inc()
+	}
+	r.cfg.Obs.Sample()
+}
 
 // contain runs fn, converting a panic into a *PanicError with the
 // stack captured at the panic site.

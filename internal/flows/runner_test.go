@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -193,5 +194,39 @@ func TestCleanTinyFlowTraceCompletes(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("stage sequence %v, want %v", got, want)
 		}
+	}
+}
+
+// TestRunReportSubMillisecondDurations pins the adaptive-precision
+// rendering: a sub-millisecond stage (the norm on tiny configs) must
+// not collapse to "0s" in the trace, and every magnitude keeps at
+// least two significant digits.
+func TestRunReportSubMillisecondDurations(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{737 * time.Microsecond, "737µs"},
+		{737*time.Microsecond + 432*time.Nanosecond, "737.43µs"},
+		{950 * time.Nanosecond, "950ns"},
+		{12*time.Millisecond + 345*time.Microsecond, "12.35ms"},
+		{3*time.Second + 456*time.Millisecond, "3.46s"},
+		{2*time.Minute + 3*time.Second, "2m3s"},
+	}
+	for _, c := range cases {
+		if got := fmtDuration(c.d); got != c.want {
+			t.Errorf("fmtDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+
+	rep := &RunReport{Flow: "2D", Config: "tiny", Completed: true, Stages: []StageRecord{
+		{Stage: StagePlace, Attempt: 1, Seed: 7, Duration: 737 * time.Microsecond},
+	}}
+	s := rep.String()
+	if strings.Contains(s, " 0s ") || strings.Contains(s, "\t0s") {
+		t.Errorf("sub-millisecond stage rendered as 0s:\n%s", s)
+	}
+	if !strings.Contains(s, "737µs") {
+		t.Errorf("trace does not show the sub-ms duration:\n%s", s)
 	}
 }

@@ -1,0 +1,285 @@
+// Package obs is the flow-wide observability layer: hierarchical
+// spans (flow → stage → phase, e.g. "macro3d/route/rip-up-iter"),
+// typed per-run metrics (counters, gauges, histograms), a structured
+// JSONL event sink, and live exporters (Prometheus text format, JSON
+// snapshot) servable over HTTP alongside expvar and net/http/pprof.
+//
+// The package has zero dependencies outside the standard library and
+// is safe to thread through every engine: all entry points are
+// nil-safe, so a nil *Recorder (the default) records nothing, emits
+// nothing, registers nothing, and never perturbs the instrumented
+// computation — flows produce byte-identical results with
+// observability disabled, a contract the flows package verifies by
+// test.
+//
+// Naming convention for metrics: subsystem_name_unit, e.g.
+// route_overflow_gcells, place_legalize_displacement_mean_um,
+// sta_dirty_frontier_nodes, ddb_txn_commits_total. Monotonic counts
+// end in _total; gauges and histograms end in their unit.
+package obs
+
+import (
+	"io"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder is the per-run observability hub. One Recorder serves an
+// entire process run (possibly many flows): its Registry aggregates
+// metrics across flows, and every span and event it emits shares one
+// monotonic clock, so a multi-flow sweep produces a single coherent
+// JSONL trace. A nil Recorder is the valid disabled state.
+type Recorder struct {
+	start  time.Time
+	reg    *Registry
+	nextID atomic.Int64
+
+	mu   sync.Mutex
+	sink *Sink
+}
+
+// New returns an enabled Recorder with an empty registry and its
+// monotonic clock started.
+func New() *Recorder {
+	return &Recorder{start: time.Now(), reg: newRegistry()}
+}
+
+// Registry returns the metric registry; nil when the Recorder is nil
+// (the returned nil Registry is itself safe to use).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// SetSink directs the JSONL event stream to w (typically the -events
+// file). Safe to leave unset: spans and metrics still work, only the
+// event trail is dropped.
+func (r *Recorder) SetSink(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = newSink(w)
+	r.mu.Unlock()
+}
+
+// Close emits a final sample of every registered metric and flushes
+// the sink. The Recorder stays usable afterwards (Close is a flush
+// point, not a teardown).
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.Sample()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink == nil {
+		return nil
+	}
+	return r.sink.Flush()
+}
+
+// Emit writes one generic event line (e.g. a fault-injection tag) to
+// the sink.
+func (r *Recorder) Emit(ev string, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.emit(event{Ev: ev, Attrs: attrMap(attrs)})
+}
+
+// Sample writes the current value of every registered metric to the
+// sink as one "sample" event per metric (histograms sample their
+// count and sum), interleaved with the span stream under the same
+// monotonic clock. The flow runner calls it at stage boundaries.
+func (r *Recorder) Sample() {
+	if r == nil {
+		return
+	}
+	for _, m := range r.reg.Snapshot() {
+		switch m.Kind {
+		case "histogram":
+			r.emit(event{Ev: "sample", Metric: m.Name + "_count", Value: float64(m.Count)})
+			r.emit(event{Ev: "sample", Metric: m.Name + "_sum", Value: jsonFloat(m.Sum)})
+		default:
+			r.emit(event{Ev: "sample", Metric: m.Name, Value: jsonFloat(m.Value)})
+		}
+	}
+}
+
+// emit stamps the event with the monotonic clock and writes it. The
+// stamp is taken under the sink lock so timestamps are non-decreasing
+// in file order even with concurrent emitters.
+func (r *Recorder) emit(ev event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink == nil {
+		return
+	}
+	ev.T = time.Since(r.start).Nanoseconds()
+	r.sink.write(ev)
+}
+
+// Attr is one span or event attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// KV builds an Attr.
+func KV(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		// Non-finite float attributes would poison the JSON sink with a
+		// sticky marshal error; spell them out instead.
+		if f, ok := a.Value.(float64); ok {
+			m[a.Key] = jsonFloat(f)
+			continue
+		}
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Span is one timed node of the hierarchical trace. Spans always
+// measure wall time — StartSpan on a nil Recorder returns a real,
+// unrecorded span, which is how the flow runner derives RunReport
+// durations whether or not observability is on. Allocation deltas and
+// event emission happen only when a live Recorder backs the span.
+//
+// A nil *Span is valid everywhere (Child returns nil, End is a no-op)
+// so engines instrumented with an optional span need no guards.
+type Span struct {
+	rec    *Recorder
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+	alloc0 uint64
+
+	mu    sync.Mutex
+	attrs []Attr
+	dur   time.Duration
+	ended bool
+}
+
+// StartSpan opens a root span. Valid on a nil Recorder: the returned
+// span still measures duration but records nothing.
+func (r *Recorder) StartSpan(name string, attrs ...Attr) *Span {
+	sp := &Span{name: name, start: time.Now(), attrs: attrs}
+	if r != nil {
+		sp.rec = r
+		sp.id = r.nextID.Add(1)
+		sp.alloc0 = heapAllocs()
+		r.emit(event{Ev: "span_open", Span: sp.name, ID: sp.id})
+	}
+	return sp
+}
+
+// Child opens a sub-span whose name extends the parent's slash path
+// ("macro3d" → "macro3d/route" → "macro3d/route/rip-up-iter").
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	sp := &Span{rec: s.rec, parent: s.id, name: s.name + "/" + name, start: time.Now(), attrs: attrs}
+	if s.rec != nil {
+		sp.id = s.rec.nextID.Add(1)
+		sp.alloc0 = heapAllocs()
+		s.rec.emit(event{Ev: "span_open", Span: sp.name, ID: sp.id, Parent: s.id})
+	}
+	return sp
+}
+
+// SetAttr attaches an attribute to the span (goroutine-safe; last
+// write of a key wins at emission).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration and emitting the
+// span_close event with the process-wide heap-allocation delta
+// (coarse attribution: concurrent allocators are not separated).
+// Idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	dur := s.dur
+	attrs := attrMap(s.attrs)
+	s.mu.Unlock()
+	if s.rec != nil {
+		alloc := heapAllocs() - s.alloc0
+		s.rec.emit(event{
+			Ev: "span_close", Span: s.name, ID: s.id, Parent: s.parent,
+			DurNS: dur.Nanoseconds(), AllocBytes: alloc, Attrs: attrs,
+		})
+	}
+}
+
+// Duration returns the measured wall time: the final duration after
+// End, the running time before.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Name returns the span's full slash path ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Recorder returns the backing Recorder (nil when unrecorded).
+func (s *Span) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// Reg returns the backing Recorder's registry; nil (and still safe to
+// use) when the span is nil or unrecorded. Engines hoist
+// sp.Reg().Counter(...) handles out of their hot loops.
+func (s *Span) Reg() *Registry { return s.Recorder().Registry() }
+
+// heapAllocs reads the cumulative heap allocation counter via
+// runtime/metrics (cheap; no stop-the-world).
+func heapAllocs() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// event is one JSONL line. Field order is fixed by the struct, and
+// Attrs (a map) marshals with sorted keys, so the encoding of a given
+// event is deterministic.
+type event struct {
+	T          int64          `json:"t"` // ns since Recorder start, monotonic in file order
+	Ev         string         `json:"ev"`
+	ID         int64          `json:"id,omitempty"`
+	Parent     int64          `json:"parent,omitempty"`
+	Span       string         `json:"span,omitempty"`
+	Metric     string         `json:"metric,omitempty"`
+	Value      any            `json:"value,omitempty"` // number, or "NaN"/"±Inf" as a string
+	DurNS      int64          `json:"dur_ns,omitempty"`
+	AllocBytes uint64         `json:"alloc_bytes,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink serializes events to a writer, one JSON object per line. Write
+// errors are sticky and surface from Flush, so a full disk does not
+// fail the instrumented flow.
+type Sink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+func newSink(w io.Writer) *Sink {
+	return &Sink{w: bufio.NewWriterSize(w, 32<<10)}
+}
+
+func (s *Sink) write(ev event) {
+	line, err := json.Marshal(ev)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(line); err != nil {
+		s.err = err
+		return
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (s *Sink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}

@@ -31,6 +31,7 @@ import (
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 	"macro3d/internal/place"
 	"macro3d/internal/route"
 	"macro3d/internal/sta"
@@ -58,6 +59,11 @@ type Context struct {
 	// set, the state fields above are populated from it; when nil, one
 	// is built over the legacy fields (unit-test mode).
 	DDB *ddb.DB
+
+	// Obs, when non-nil, is the opt stage's span: the loop publishes
+	// iteration/rollback counts to its registry and hands it to the
+	// STA engine. nil disables instrumentation.
+	Obs *obs.Span
 
 	fs  *place.FreeSpace
 	txn *ddb.Txn
@@ -202,6 +208,14 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 	if staOpt.TopPaths == 0 {
 		staOpt.TopPaths = 48
 	}
+	if staOpt.Obs == nil {
+		staOpt.Obs = ctx.Obs
+	}
+	reg := ctx.Obs.Reg()
+	iterC := reg.Counter("opt_iterations_total",
+		"Optimization iterations executed (accepted and rolled back).")
+	rollbackC := reg.Counter("opt_rollbacks_total",
+		"Optimization iterations rejected and rolled back.")
 	res := &Result{}
 
 	period := opt.TargetPeriod
@@ -236,6 +250,7 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 		if opt.TargetPeriod > 0 && rep.MinPeriod <= opt.TargetPeriod {
 			break
 		}
+		iterC.Inc()
 		moves := 0
 		touched.reset()
 		resizedNow.reset()
@@ -307,6 +322,7 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 		improvedWorst := next.MinPeriod < rep.MinPeriod-0.5
 		improvedSum := pathScore(next) < pathScore(rep)-0.5
 		if !improvedWorst && !improvedSum {
+			rollbackC.Inc()
 			nets, insts, topo := txn.Rollback()
 			if ctx.FP != nil && ctx.RowHeight > 0 {
 				ctx.fs = place.NewFreeSpace(ctx.Design, ctx.FP, ctx.RowHeight)
@@ -350,6 +366,14 @@ func Optimize(ctx *Context, staOpt sta.Options, opt Options) (*Result, error) {
 	// The report describes the final design state exactly (every kept
 	// iteration was an improvement; every failed one was rolled back).
 	res.Report = rep
+	if reg != nil {
+		reg.Gauge("opt_resized_cells",
+			"Net gate resizes surviving in the final design.").Set(float64(res.Resized))
+		reg.Gauge("opt_inserted_buffers",
+			"Buffers inserted and kept in the final design.").Set(float64(res.Buffers))
+		reg.Gauge("opt_min_period_ps",
+			"Minimum feasible clock period after optimization, ps.").Set(rep.MinPeriod)
+	}
 	return res, nil
 }
 

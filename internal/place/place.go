@@ -17,6 +17,7 @@ import (
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 )
 
 // Options tunes the placer.
@@ -32,6 +33,11 @@ type Options struct {
 	// (default 0.85).
 	MaxFill float64
 	Seed    uint64
+
+	// Obs, when non-nil, is the stage span the placer hangs its
+	// global/legalize phase spans under and whose registry receives
+	// the placement metrics. nil disables instrumentation.
+	Obs *obs.Span
 }
 
 // withDefaults fills unset options.
@@ -94,6 +100,7 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 	anchor := make([]geom.Point, len(d.Instances))
 	anchorW := 0.0
 
+	gsp := opt.Obs.Child("global", obs.KV("cells", len(movable)))
 	for gi := 0; gi < opt.GlobalIters; gi++ {
 		solve(d, movable, adj, pos, anchor, anchorW, die, opt.SolveIters)
 		spread(movable, pos, bins, rng)
@@ -103,6 +110,7 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 		// Anchor weight ramps up so late rounds preserve the spread.
 		anchorW = 0.2 + 0.4*float64(gi)
 	}
+	gsp.End()
 
 	res := &Result{}
 	// Write back global locations (centres → lower-left).
@@ -114,13 +122,27 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 	res.Overflow = bins.overflow(movable, pos)
 
 	// Legalization.
+	lsp := opt.Obs.Child("legalize")
 	disp, maxDisp, err := legalize(movable, fp, rowHeight)
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Displacement = disp
 	res.MaxDisp = maxDisp
 	res.HPWL = d.TotalHPWL()
+	if reg := opt.Obs.Reg(); reg != nil {
+		reg.Counter("place_legalized_cells_total",
+			"Movable standard cells legalized into rows.").Add(uint64(len(movable)))
+		reg.Gauge("place_legalize_displacement_mean_um",
+			"Mean legalization displacement of the latest placement, um.").Set(disp)
+		reg.Gauge("place_legalize_displacement_max_um",
+			"Max legalization displacement of the latest placement, um.").Set(maxDisp)
+		reg.Gauge("place_density_overflow_ratio",
+			"Residual density overflow fraction after spreading.").Set(res.Overflow)
+		reg.Gauge("place_hpwl_um",
+			"Half-perimeter wirelength after legalization, um.").Set(res.HPWL)
+	}
 	return res, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 	"macro3d/internal/tech"
 )
 
@@ -38,6 +39,11 @@ type Options struct {
 	// die exactly). Used when composing tile arrays so routes can be
 	// translated between aligned grids.
 	Grid *geom.Grid
+
+	// Obs, when non-nil, is the stage span the router hangs its
+	// rip-up-iteration phase spans under and whose registry receives
+	// the routing metrics. nil disables instrumentation.
+	Obs *obs.Span
 }
 
 func (o Options) withDefaults() Options {

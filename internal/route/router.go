@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 	"macro3d/internal/tech"
 )
 
@@ -34,6 +35,21 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 		}
 		return order[i].ID < order[j].ID
 	})
+	// Metric handles are hoisted out of the negotiation loop; every
+	// call is a no-op when no recorder backs the stage span.
+	sp := db.opt.Obs
+	reg := sp.Reg()
+	routedC := reg.Counter("route_nets_routed_total",
+		"Signal nets routed by the initial pattern pass.")
+	iterC := reg.Counter("route_negotiation_iterations_total",
+		"Rip-up-and-reroute negotiation iterations executed.")
+	ripupC := reg.Counter("route_ripup_nets_total",
+		"Overflowed nets ripped up and rerouted during negotiation.")
+	failC := reg.Counter("route_reroute_failed_total",
+		"Rip-up attempts that kept the old route after a failed reroute.")
+	overG := reg.Gauge("route_overflow_gcells",
+		"Gcell-layers above capacity after the latest negotiation state.")
+
 	for _, n := range order {
 		r, err := db.routeNet(n, false)
 		if err != nil {
@@ -42,12 +58,14 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 		db.addUsage(r, 1)
 		res.Routes[n.ID] = r
 	}
+	routedC.Add(uint64(len(order)))
 
 	// Negotiated rip-up and reroute. Early iterations reroute with
 	// congestion-aware pattern routes (cheap); later iterations escal-
 	// ate to full maze search for the stubborn remainder.
 	for it := 0; it < db.opt.MaxIters; it++ {
 		over := db.Overflow()
+		overG.Set(float64(over))
 		if over == 0 {
 			break
 		}
@@ -56,6 +74,9 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 		if len(victims) == 0 {
 			break
 		}
+		isp := sp.Child("rip-up-iter",
+			obs.KV("iter", it), obs.KV("overflow", over), obs.KV("victims", len(victims)))
+		iterC.Inc()
 		// Bound the work per iteration; the worst offenders first
 		// (longest nets through congestion).
 		sort.Slice(victims, func(i, j int) bool { return victims[i].HPWL() > victims[j].HPWL() })
@@ -71,11 +92,14 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 			if err != nil {
 				// Keep the old route rather than fail the design.
 				db.addUsage(old, 1)
+				failC.Inc()
 				continue
 			}
 			db.addUsage(r, 1)
 			res.Routes[n.ID] = r
 		}
+		ripupC.Add(uint64(len(victims)))
+		isp.End()
 	}
 
 	// Final accounting.
@@ -102,6 +126,7 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 		res.F2FBumps += r.F2F
 	}
 	res.Overflow = db.Overflow()
+	overG.Set(float64(res.Overflow))
 	return res, nil
 }
 
@@ -113,6 +138,8 @@ func (db *DB) RouteNet(n *netlist.Net) (*NetRoute, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.opt.Obs.Reg().Counter("route_eco_reroutes_total",
+		"Single-net ECO routes (optimizer buffer nets and reroutes).").Inc()
 	db.addUsage(r, 1)
 	// Account the per-route metrics.
 	for _, s := range r.Segments {

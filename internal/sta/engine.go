@@ -9,6 +9,7 @@ import (
 	"macro3d/internal/cell"
 	"macro3d/internal/extract"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 )
 
 // Engine is a persistent, incremental analyzer over one design. It
@@ -54,6 +55,12 @@ type Engine struct {
 	// values for an instance that may since have been truncated and
 	// re-created, so the slot is reset before reuse.
 	resetFrom int
+
+	// Observability handles (nil when Options.Obs is unset; all
+	// operations on them no-op).
+	mFull, mInc *obs.Counter
+	mRatio      *obs.Gauge
+	mFrontier   *obs.Histogram
 }
 
 // inEdge is one driving arc into a combinational instance. Elmore and
@@ -103,10 +110,32 @@ func NewEngine(d *netlist.Design, ex *extract.Design, opt Options) (*Engine, err
 		return nil, fmt.Errorf("sta: %w", err)
 	}
 	e := &Engine{d: d, ex: ex, opt: opt.withDefaults(), resetFrom: int(^uint(0) >> 1)}
+	if reg := opt.Obs.Reg(); reg != nil {
+		e.mFull = reg.Counter("sta_full_runs_total",
+			"From-scratch STA passes (Engine.Run and sta.Analyze).")
+		e.mInc = reg.Counter("sta_incremental_updates_total",
+			"Incremental STA passes re-evaluating only the dirty frontier.")
+		e.mRatio = reg.Gauge("sta_incremental_ratio",
+			"Incremental updates over all STA passes this run.")
+		e.mFrontier = reg.Histogram("sta_dirty_frontier_nodes",
+			"Nodes marked dirty per incremental update (frontier size).")
+	}
 	if err := e.rebuildTopo(); err != nil {
 		return nil, err
 	}
 	return e, nil
+}
+
+// updateRatio republishes incremental/(incremental+full) after either
+// counter moved.
+func (e *Engine) updateRatio() {
+	if e.mRatio == nil {
+		return
+	}
+	inc, full := float64(e.mInc.Value()), float64(e.mFull.Value())
+	if inc+full > 0 {
+		e.mRatio.Set(inc / (inc + full))
+	}
 }
 
 // rebuildTopo (re)derives every topology-dependent cache from the
@@ -376,6 +405,8 @@ func (e *Engine) Run(period float64) (*Report, error) {
 			dirty[i] = false
 		}
 	}
+	e.mFull.Inc()
+	e.updateRatio()
 	return e.buildReport(period)
 }
 
@@ -397,26 +428,36 @@ func (e *Engine) Update(period float64) (*Report, error) {
 		}
 	}
 
+	frontier := 0
 	for _, p := range []*pass{&e.full, &e.half} {
 		half := p == &e.half
 		dirty := e.dirtyFull
 		if half {
 			dirty = e.dirtyHalf
 		}
-		e.markPending(dirty)
+		frontier += e.markPending(dirty)
 		e.seed(p, half, dirty)
 		e.propagate(p, dirty)
 	}
 	e.pendNets, e.pendInsts, e.pendTopo = e.pendNets[:0], e.pendInsts[:0], false
+	e.mInc.Inc()
+	e.mFrontier.Observe(float64(frontier))
+	e.updateRatio()
 	return e.buildReport(period)
 }
 
 // markPending seeds the dirty set from the pending net/instance ids:
 // sinks and drivers of every dirty net (elm and load changed), every
 // dirty instance (master, location, or input membership changed).
-func (e *Engine) markPending(dirty []bool) {
+// Returns the number of nodes newly marked — the frontier size the
+// engine reports to observability.
+func (e *Engine) markPending(dirty []bool) int {
+	marked := 0
 	mark := func(node int) {
 		if node >= e.nPorts && e.isComb[node-e.nPorts] {
+			if !dirty[node] {
+				marked++
+			}
 			dirty[node] = true
 		}
 	}
@@ -442,6 +483,7 @@ func (e *Engine) markPending(dirty []bool) {
 			mark(e.nPorts + id)
 		}
 	}
+	return marked
 }
 
 // seed (re)computes launch arrivals: sequential outputs on the full

@@ -24,6 +24,7 @@ import (
 	"macro3d/internal/cts"
 	"macro3d/internal/extract"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs"
 	"macro3d/internal/tech"
 )
 
@@ -45,6 +46,10 @@ type Options struct {
 	// SkewGuard adds margin to every setup check, ps (default 0 — the
 	// tree's real latencies already capture skew).
 	SkewGuard float64
+	// Obs, when non-nil, locates the run's metric registry: the
+	// engine publishes full-run/incremental-update counts and
+	// dirty-frontier sizes there. nil disables instrumentation.
+	Obs *obs.Span
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,82 @@
+#!/bin/sh
+# obs-smoke: end-to-end check of the enabled observability path.
+# Runs a tiny flow with -events and -obs-addr, scrapes /metrics and
+# /debug/vars while the server lingers, validates the JSONL stream and
+# the final -metrics-out snapshot, and fails on any malformed output.
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$dir"' EXIT INT TERM
+
+echo "obs-smoke: building cmd/macro3d"
+$GO build -o "$dir/macro3d" ./cmd/macro3d
+
+echo "obs-smoke: running tiny macro3d flow with observability on"
+"$dir/macro3d" -flow macro3d -config tiny -seed 7 \
+	-events "$dir/events.jsonl" \
+	-metrics-out "$dir/metrics.prom" \
+	-obs-addr 127.0.0.1:0 -obs-linger 60s \
+	>"$dir/stdout.log" 2>"$dir/stderr.log" &
+pid=$!
+
+# The bound URL (ephemeral port) is printed on startup.
+url=""
+for _ in $(seq 1 100); do
+	url=$(sed -n 's#.*observability endpoint at \(http://[^/ ]*\)/metrics.*#\1#p' "$dir/stderr.log" | head -n 1)
+	[ -n "$url" ] && break
+	kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: FAIL: run exited before printing the endpoint URL" >&2; cat "$dir/stderr.log" >&2; exit 1; }
+	sleep 0.1
+done
+[ -n "$url" ] || { echo "obs-smoke: FAIL: endpoint URL never appeared on stderr" >&2; exit 1; }
+echo "obs-smoke: endpoint $url"
+
+# Poll /metrics until the flow has finished (flow_runs_completed_total
+# is only incremented when a flow completes its stage sequence).
+done=""
+for _ in $(seq 1 600); do
+	if curl -fsS "$url/metrics" 2>/dev/null | grep -q '^flow_runs_completed_total [1-9]'; then
+		done=1
+		break
+	fi
+	kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: FAIL: run died before completing" >&2; cat "$dir/stderr.log" >&2; exit 1; }
+	sleep 0.1
+done
+[ -n "$done" ] || { echo "obs-smoke: FAIL: flow_runs_completed_total never reached 1 on /metrics" >&2; exit 1; }
+
+echo "obs-smoke: checking /metrics families and exposition format"
+curl -fsS "$url/metrics" >"$dir/live.prom"
+for family in route_ place_ sta_ ddb_; do
+	grep -q "^$family" "$dir/live.prom" || {
+		echo "obs-smoke: FAIL: /metrics lacks the $family family" >&2
+		cat "$dir/live.prom" >&2
+		exit 1
+	}
+done
+# Every non-comment line must be exactly "<name>[{labels}] <value>".
+awk '!/^# / && NF != 2 { print "obs-smoke: FAIL: malformed exposition line: " $0; bad = 1 } END { exit bad }' "$dir/live.prom"
+
+echo "obs-smoke: checking /debug/vars"
+vars=$(curl -fsS "$url/debug/vars")
+case "$vars" in
+"{"*) ;;
+*) echo "obs-smoke: FAIL: /debug/vars is not a JSON object" >&2; exit 1 ;;
+esac
+echo "$vars" | grep -q '"memstats"' || { echo "obs-smoke: FAIL: /debug/vars lacks memstats" >&2; exit 1; }
+
+echo "obs-smoke: stopping the lingering server"
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+
+echo "obs-smoke: validating the JSONL event stream"
+[ -s "$dir/events.jsonl" ] || { echo "obs-smoke: FAIL: events file is empty" >&2; exit 1; }
+awk 'substr($0, 1, 1) != "{" { print "obs-smoke: FAIL: non-JSON event line: " $0; bad = 1 } END { exit bad }' "$dir/events.jsonl"
+grep -q '"ev":"span_open"' "$dir/events.jsonl" || { echo "obs-smoke: FAIL: no span_open events" >&2; exit 1; }
+grep -q '"ev":"span_close"' "$dir/events.jsonl" || { echo "obs-smoke: FAIL: no span_close events" >&2; exit 1; }
+grep -q '"ev":"sample"' "$dir/events.jsonl" || { echo "obs-smoke: FAIL: no sample events" >&2; exit 1; }
+
+echo "obs-smoke: validating the -metrics-out snapshot"
+[ -s "$dir/metrics.prom" ] || { echo "obs-smoke: FAIL: -metrics-out wrote nothing" >&2; exit 1; }
+grep -q '^flow_runs_completed_total' "$dir/metrics.prom" || { echo "obs-smoke: FAIL: snapshot lacks flow_runs_completed_total" >&2; exit 1; }
+
+echo "obs-smoke: OK"
