@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race faults bench benchall obs-smoke
+.PHONY: check build test vet race equiv faults bench bench-route benchall obs-smoke
 
 ## check: the full gate — vet, build, unit tests, the race-enabled
 ## fault-injection suite, then the observability smoke test (what CI
@@ -17,12 +17,21 @@ vet:
 	$(GO) vet ./...
 
 ## race: race-enabled run of the hardened-runner, fault-harness and
-## incremental-engine packages (includes the ddb equivalence property
-## test, which exercises the parallel extract/STA paths at GOMAXPROCS 4;
-## under -race it runs the small-cache config only — see race_on_test.go).
+## incremental-engine packages. Includes the ddb equivalence property
+## test (parallel extract/STA at GOMAXPROCS 4) and the flows
+## worker-equivalence test, which audits the parallel router and
+## placer for data races while asserting bit-identical PPA against the
+## -j 1 serial reference; under -race both run reduced configs — see
+## the race_on_test.go files.
 race:
-	$(GO) test -race ./internal/faults/ ./internal/flows/ ./internal/report/ ./internal/obs/
-	$(GO) test -race -timeout 30m ./internal/ddb/ ./internal/opt/
+	$(GO) test -race ./internal/faults/ ./internal/report/ ./internal/obs/
+	$(GO) test -race -timeout 30m ./internal/flows/ ./internal/ddb/ ./internal/opt/
+
+## equiv: just the parallel-vs-serial equivalence proof — every flow at
+## -j 1 / 4 / 0 must produce an identical PPA, run under the race
+## detector. A focused subset of what `make check` already covers.
+equiv:
+	$(GO) test -race -timeout 30m -run TestWorkerEquivalence -v ./internal/flows/
 
 ## obs-smoke: end-to-end observability check — tiny flow with -events
 ## and -obs-addr, live /metrics and /debug/vars scrapes, JSONL and
@@ -39,6 +48,14 @@ faults:
 ## machine-readable BENCH_opt.json.
 bench:
 	$(GO) test -bench 'TableII|Optimize' -count 5 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson | tee BENCH_opt.json
+
+## bench-route: the parallel-engine comparison — large-cache route and
+## placement stages, serial (-j 1) vs parallel (-j 0, native
+## GOMAXPROCS) — recorded as machine-readable BENCH_route.json. The
+## serial/parallel ratio is pure scheduling win: both configurations
+## produce bit-identical results (see `make equiv`).
+bench-route:
+	$(GO) test -bench 'BenchmarkRouteDesign|BenchmarkPlace' -count 5 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson | tee BENCH_route.json
 
 ## benchall: every benchmark, human-readable.
 benchall:

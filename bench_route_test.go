@@ -1,0 +1,126 @@
+// Routing and placement engine benchmarks: the large-cache tile's
+// route stage and global-placement stage, serial reference (Workers 1)
+// against the parallel engines at the host's native GOMAXPROCS
+// (Workers 0). Both configurations produce bit-identical results —
+// TestWorkerEquivalence asserts exactly that — so the ratio measures
+// scheduling, not quality drift. `make bench-route` records the
+// comparison in BENCH_route.json; on a single-CPU host Workers 0
+// resolves to the serial path and the ratio is ~1.
+package macro3d_test
+
+import (
+	"sync"
+	"testing"
+
+	"macro3d/internal/floorplan"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+	"macro3d/internal/place"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// routeBench is the shared placed large-cache tile. Building it once
+// is safe: RouteDesign never mutates the design, and place.Place
+// reseeds initial positions from its RNG, so repeated stage runs are
+// deterministic functions of (design, seed).
+var routeBench struct {
+	once sync.Once
+	err  error
+
+	t  *tech.Tech
+	d  *netlist.Design
+	fp *floorplan.Floorplan
+	sz floorplan.Sizing
+}
+
+func routeBenchSetup(b *testing.B) {
+	b.Helper()
+	routeBench.once.Do(func() {
+		routeBench.err = func() error {
+			t, err := tech.New28(6)
+			if err != nil {
+				return err
+			}
+			tile, err := piton.Generate(piton.LargeCache())
+			if err != nil {
+				return err
+			}
+			d := tile.Design
+			sz, err := floorplan.SizeDesign(d, 0.70, 1.0, t.RowHeight)
+			if err != nil {
+				return err
+			}
+			fp, _, err := floorplan.PlaceMacros(d, sz.Die2D, floorplan.Style2D)
+			if err != nil {
+				return err
+			}
+			floorplan.BuildBlockages(fp, d, netlist.LogicDie)
+			floorplan.AssignPorts(tile, sz.Die2D)
+			if _, err := place.Place(d, fp, t.RowHeight, place.Options{Seed: 2}); err != nil {
+				return err
+			}
+			// Warm-up route: settles the heap so the generator/placer
+			// allocation debt is not collected inside the first timed
+			// iteration.
+			db := route.NewDB(sz.Die2D, t.Logic, fp.RouteBlk, route.Options{})
+			if _, err := route.RouteDesign(d, db); err != nil {
+				return err
+			}
+			routeBench.t, routeBench.d, routeBench.fp = t, d, fp
+			routeBench.sz = sz
+			return nil
+		}()
+	})
+	if routeBench.err != nil {
+		b.Fatal(routeBench.err)
+	}
+}
+
+func benchRouteDesign(b *testing.B, workers int) {
+	routeBenchSetup(b)
+	b.ResetTimer()
+	var last *route.Result
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := route.NewDB(routeBench.sz.Die2D, routeBench.t.Logic,
+			routeBench.fp.RouteBlk, route.Options{Workers: workers})
+		b.StartTimer()
+		res, err := route.RouteDesign(routeBench.d, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.WL/1e6, "WL_m")
+		b.ReportMetric(float64(last.Overflow), "overflow")
+	}
+}
+
+func BenchmarkRouteDesign(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchRouteDesign(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchRouteDesign(b, 0) })
+}
+
+func benchPlace(b *testing.B, workers int) {
+	routeBenchSetup(b)
+	b.ResetTimer()
+	var last *place.Result
+	for i := 0; i < b.N; i++ {
+		res, err := place.Place(routeBench.d, routeBench.fp, routeBench.t.RowHeight,
+			place.Options{Seed: 2, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if last != nil {
+		b.ReportMetric(last.HPWL/1e6, "HPWL_m")
+	}
+}
+
+func BenchmarkPlace(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchPlace(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchPlace(b, 0) })
+}

@@ -102,6 +102,19 @@ func main() {
 	if pre, ok := byName["BenchmarkOptimizePreRefactor"]; ok && okI && inc.MeanNsOp > 0 {
 		out.Speedup["optimize_prerefactor_over_incremental"] = pre.MeanNsOp / inc.MeanNsOp
 	}
+	// Parallel-engine ratios (`make bench-route`): serial reference
+	// over the parallel engine at native GOMAXPROCS. Both produce
+	// bit-identical results, so >1 is pure scheduling win.
+	for _, pair := range [][3]string{
+		{"BenchmarkRouteDesign/serial", "BenchmarkRouteDesign/parallel", "route_serial_over_parallel"},
+		{"BenchmarkPlace/serial", "BenchmarkPlace/parallel", "place_serial_over_parallel"},
+	} {
+		ser, okS := byName[pair[0]]
+		par, okP := byName[pair[1]]
+		if okS && okP && par.MeanNsOp > 0 {
+			out.Speedup[pair[2]] = ser.MeanNsOp / par.MeanNsOp
+		}
+	}
 	if len(out.Speedup) == 0 {
 		out.Speedup = nil
 	}

@@ -46,6 +46,7 @@ func realMain() int {
 		experiment = flag.String("experiment", "", "run an experiment: table1, table2, table3, isoperf, flowtrace, sweepblockage, sweeppitch, heterotech")
 		config     = flag.String("config", "small", "tile configuration: small, large or tiny")
 		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		jobs       = flag.Int("j", 0, "routing/placement worker count (0 = all CPUs, 1 = serial; results are bit-identical at any setting)")
 		metals     = flag.Int("macrodiemetals", 6, "macro-die metal layers (3D flows)")
 		array      = flag.Int("array", 0, "after -flow 2d/macro3d: verify an N×N abutted tile array")
 		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
@@ -146,7 +147,7 @@ func realMain() int {
 		defer cancel()
 	}
 
-	if err := run(ctx, *flow, *experiment, *config, *seed, *metals, *array, *keepGoing, rec); err != nil {
+	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec); err != nil {
 		printFailure(err)
 		return 1
 	}
@@ -195,12 +196,12 @@ func tileConfig(name string) (macro3d.TileConfig, error) {
 	return macro3d.TileConfig{}, fmt.Errorf("unknown config %q (want small, large or tiny)", name)
 }
 
-func run(ctx context.Context, flow, experiment, config string, seed uint64, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder) error {
+func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder) error {
 	pc, err := tileConfig(config)
 	if err != nil {
 		return err
 	}
-	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec}
+	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec, Workers: jobs}
 
 	if flow != "" {
 		var ppa *macro3d.PPA
@@ -253,17 +254,17 @@ func run(ctx context.Context, flow, experiment, config string, seed uint64, meta
 	switch experiment {
 	case "":
 	case "table1":
-		t, err := macro3d.RunTableIWith(ctx, macro3d.FlowConfig{Seed: seed, Obs: rec}, keepGoing)
+		t, err := macro3d.RunTableIWith(ctx, macro3d.FlowConfig{Seed: seed, Obs: rec, Workers: jobs}, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
 	case "table2":
-		t, err := macro3d.RunTableIIWith(ctx, macro3d.FlowConfig{Seed: seed, MacroDieMetals: metals, Obs: rec}, keepGoing)
+		t, err := macro3d.RunTableIIWith(ctx, macro3d.FlowConfig{Seed: seed, MacroDieMetals: metals, Obs: rec, Workers: jobs}, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
 	case "table3":
-		t, err := macro3d.RunTableIIIWith(ctx, macro3d.FlowConfig{Seed: seed, Obs: rec}, keepGoing)
+		t, err := macro3d.RunTableIIIWith(ctx, macro3d.FlowConfig{Seed: seed, Obs: rec, Workers: jobs}, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}

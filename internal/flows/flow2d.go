@@ -61,7 +61,7 @@ func Run2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 	}
 
 	if err := r.seededStage(StagePlace, cfg.Seed+1, func(seed uint64) error {
-		_, err := place.Place(d, st.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs()})
+		_, err := place.Place(d, st.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
 		return err
 	}); err != nil {
 		return nil, st, err
@@ -75,7 +75,7 @@ func Run2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 	}
 
 	if err := r.stage(StageRoute, func() error {
-		st.DB = route.NewDB(st.Die, t.Logic, st.FP.RouteBlk, route.Options{Obs: r.obs()})
+		st.DB = route.NewDB(st.Die, t.Logic, st.FP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
 		var err error
 		st.Routes, err = route.RouteDesign(d, st.DB)
 		return err

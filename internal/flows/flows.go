@@ -110,6 +110,12 @@ type Config struct {
 	// stream. nil (the default) disables observability entirely —
 	// flows produce byte-identical results either way.
 	Obs *obs.Recorder
+
+	// Workers sets the worker count of the parallel routing and
+	// placement engines (the CLI's -j flag): 0 (default) uses every
+	// CPU, 1 forces the serial reference path. Results are
+	// bit-identical at any setting.
+	Workers int
 }
 
 // generate produces a fresh benchmark netlist for a flow run.

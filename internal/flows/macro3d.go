@@ -86,7 +86,7 @@ func RunMacro3DCtx(ctx context.Context, cfg Config) (*PPA, *State, *core.MoLDesi
 	// Step 3: standard 2D P&R over the combined stack — the result is
 	// directly valid for the 3D target.
 	if err := r.seededStage(StagePlace, cfg.Seed+2, func(seed uint64) error {
-		_, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs()})
+		_, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
 		return err
 	}); err != nil {
 		return nil, st, nil, err
@@ -100,7 +100,7 @@ func RunMacro3DCtx(ctx context.Context, cfg Config) (*PPA, *State, *core.MoLDesi
 	}
 
 	if err := r.stage(StageRoute, func() error {
-		st.DB = route.NewDB(st.Die, md.Combined, md.FP.RouteBlk, route.Options{Obs: r.obs()})
+		st.DB = route.NewDB(st.Die, md.Combined, md.FP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
 		var err error
 		st.Routes, err = route.RouteDesign(d, st.DB)
 		return err

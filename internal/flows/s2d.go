@@ -146,7 +146,7 @@ func RunS2DCtx(ctx context.Context, cfg Config, balanced bool) (*PPA, *State, er
 	}
 
 	if err := r.seededStage("pseudo-"+StagePlace, cfg.Seed+3, func(seed uint64) error {
-		_, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs()})
+		_, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
 		return err
 	}); err != nil {
 		return nil, stP, err
@@ -154,7 +154,7 @@ func RunS2DCtx(ctx context.Context, cfg Config, balanced bool) (*PPA, *State, er
 
 	if err := r.stage("pseudo-"+StageRoute, func() error {
 		buildClock(stP)
-		stP.DB = route.NewDB(die, stP.Beol, fpP.RouteBlk, route.Options{Obs: r.obs()})
+		stP.DB = route.NewDB(die, stP.Beol, fpP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
 		var err error
 		stP.Routes, err = route.RouteDesign(dP, stP.DB)
 		return err
@@ -245,7 +245,7 @@ func finish3DBaseline(r *runner, cfg Config, t *tech.Tech, tile *piton.Tile, die
 	}
 
 	if err := r.stage(StageRoute, func() error {
-		st.DB = route.NewDB(die, md.Combined, md.FP.RouteBlk, route.Options{Obs: r.obs()})
+		st.DB = route.NewDB(die, md.Combined, md.FP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
 		var err error
 		st.Routes, err = route.RouteDesign(d, st.DB)
 		return err

@@ -196,6 +196,16 @@ func ClampInt(v, lo, hi int) int {
 	return v
 }
 
+// AbsInt returns |v|. The one integer-abs helper shared by the
+// geometry consumers (route, place) so the packages stop growing
+// private shims.
+func AbsInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // Snap rounds v to the nearest multiple of step (step > 0).
 func Snap(v, step float64) float64 {
 	return math.Round(v/step) * step

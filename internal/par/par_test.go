@@ -1,0 +1,83 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	for _, n := range []int{1, 2, 7} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestChunksCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 9} {
+		for _, n := range []int{0, 1, 2, 5, 17, 100} {
+			seen := make([]int32, n)
+			Chunks(workers, n, func(w, lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestChunksWorkerIndexDense(t *testing.T) {
+	const workers, n = 4, 100
+	var used [workers]int32
+	Chunks(workers, n, func(w, lo, hi int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range", w)
+			return
+		}
+		atomic.AddInt32(&used[w], 1)
+	})
+	for w, c := range used {
+		if c != 1 {
+			t.Fatalf("worker %d ran %d chunks", w, c)
+		}
+	}
+}
+
+func TestChunksSerialInline(t *testing.T) {
+	calls := 0
+	Chunks(1, 50, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 50 {
+			t.Fatalf("serial path got (%d,%d,%d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial path called fn %d times", calls)
+	}
+}
+
+func TestItems(t *testing.T) {
+	const n = 37
+	seen := make([]int32, n)
+	Items(4, n, func(w, i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d visited %d times", i, c)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"math"
 	"sort"
 
 	"macro3d/internal/floorplan"
@@ -101,7 +102,7 @@ func (fs *FreeSpace) Alloc(w float64, target geom.Point) (geom.Point, bool) {
 				if !ok {
 					continue
 				}
-				cost := dy + absf(x-wantX)
+				cost := dy + math.Abs(x-wantX)
 				if bestCost < 0 || cost < bestCost {
 					bestCost, bestSeg, bestX = cost, s, x
 				}

@@ -2,11 +2,13 @@ package place
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
+	"macro3d/internal/par"
 )
 
 // segment is a free span of one placement row. Free space is tracked
@@ -36,7 +38,7 @@ func (s *segment) bestFit(target, w float64) (float64, bool) {
 		if x > f.b-w {
 			x = f.b - w
 		}
-		cost := absf(x - target)
+		cost := math.Abs(x - target)
 		if bestCost < 0 || cost < bestCost {
 			bestCost, bestX = cost, x
 		}
@@ -65,6 +67,13 @@ func (s *segment) occupy(x, w float64) {
 // >= 1) blockages. Partial blockages deliberately do not fence rows —
 // see the package comment.
 func buildSegments(fp *floorplan.Floorplan, rowHeight float64) []*segment {
+	return buildSegmentsN(fp, rowHeight, 1)
+}
+
+// buildSegmentsN is the row-parallel form: rows are independent, so
+// each builds its own segment list and the results concatenate in row
+// order — identical to the serial sweep at any worker count.
+func buildSegmentsN(fp *floorplan.Floorplan, rowHeight float64, workers int) []*segment {
 	die := fp.Die
 	var hard []geom.Rect
 	for _, b := range fp.PlaceBlk {
@@ -72,37 +81,48 @@ func buildSegments(fp *floorplan.Floorplan, rowHeight float64) []*segment {
 			hard = append(hard, b.Rect)
 		}
 	}
-	var segs []*segment
 	nRows := int(die.H() / rowHeight)
-	for r := 0; r < nRows; r++ {
-		y := die.Ly + float64(r)*rowHeight
-		rowRect := geom.R(die.Lx, y, die.Ux, y+rowHeight)
-		// Collect blocked x-intervals on this row.
-		var blocked []iv
-		for _, h := range hard {
-			if h.Intersects(rowRect) {
-				blocked = append(blocked, iv{h.Lx, h.Ux})
-			}
+	rows := make([][]*segment, nRows)
+	par.Items(workers, nRows, func(w, r int) {
+		rows[r] = buildRowSegments(die, hard, rowHeight, r)
+	})
+	var segs []*segment
+	for _, rs := range rows {
+		segs = append(segs, rs...)
+	}
+	return segs
+}
+
+// buildRowSegments builds the free segments of one placement row.
+func buildRowSegments(die geom.Rect, hard []geom.Rect, rowHeight float64, r int) []*segment {
+	y := die.Ly + float64(r)*rowHeight
+	rowRect := geom.R(die.Lx, y, die.Ux, y+rowHeight)
+	// Collect blocked x-intervals on this row.
+	var blocked []iv
+	for _, h := range hard {
+		if h.Intersects(rowRect) {
+			blocked = append(blocked, iv{h.Lx, h.Ux})
 		}
-		sort.Slice(blocked, func(i, j int) bool { return blocked[i].a < blocked[j].a })
-		x := die.Lx
-		emit := func(a, b float64) {
-			if b-a > 1 { // ignore slivers
-				segs = append(segs, &segment{y: y, x0: a, x1: b, row: r,
-					free: []iv{{a, b}}})
-			}
+	}
+	sort.Slice(blocked, func(i, j int) bool { return blocked[i].a < blocked[j].a })
+	var segs []*segment
+	x := die.Lx
+	emit := func(a, b float64) {
+		if b-a > 1 { // ignore slivers
+			segs = append(segs, &segment{y: y, x0: a, x1: b, row: r,
+				free: []iv{{a, b}}})
 		}
-		for _, bl := range blocked {
-			if bl.a > x {
-				emit(x, bl.a)
-			}
-			if bl.b > x {
-				x = bl.b
-			}
+	}
+	for _, bl := range blocked {
+		if bl.a > x {
+			emit(x, bl.a)
 		}
-		if x < die.Ux {
-			emit(x, die.Ux)
+		if bl.b > x {
+			x = bl.b
 		}
+	}
+	if x < die.Ux {
+		emit(x, die.Ux)
 	}
 	return segs
 }
@@ -111,7 +131,14 @@ func buildSegments(fp *floorplan.Floorplan, rowHeight float64) []*segment {
 // sweep: cells sorted by x are committed left-to-right into the
 // segment minimizing displacement. Returns mean and max displacement.
 func legalize(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64) (mean, maxd float64, err error) {
-	mean, maxd, failed, err := legalizeBestEffort(movable, fp, rowHeight)
+	return legalizeN(movable, fp, rowHeight, 1)
+}
+
+// legalizeN is legalize with a worker count for the row-parallel
+// segment construction (the Tetris commit sweep stays serial — each
+// commit depends on every earlier one).
+func legalizeN(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64, workers int) (mean, maxd float64, err error) {
+	mean, maxd, failed, err := legalizeBestEffort(movable, fp, rowHeight, workers)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -126,11 +153,11 @@ func legalize(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight fl
 // found no space instead of failing. The S2D/C2D flows use this: cells
 // that cannot fit a tier spill back to the other die.
 func LegalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64) (mean, maxd float64, failed []*netlist.Instance, err error) {
-	return legalizeBestEffort(movable, fp, rowHeight)
+	return legalizeBestEffort(movable, fp, rowHeight, 1)
 }
 
-func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64) (mean, maxd float64, failed []*netlist.Instance, err error) {
-	segs := buildSegments(fp, rowHeight)
+func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64, workers int) (mean, maxd float64, failed []*netlist.Instance, err error) {
+	segs := buildSegmentsN(fp, rowHeight, workers)
 	if len(segs) == 0 {
 		return 0, 0, nil, fmt.Errorf("place: no placement rows available")
 	}
@@ -181,7 +208,7 @@ func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, ro
 					if !ok {
 						continue
 					}
-					cost := dy + absf(x-target.X)
+					cost := dy + math.Abs(x-target.X)
 					if bestCost < 0 || cost < bestCost {
 						bestCost = cost
 						bestSeg = s
@@ -207,7 +234,7 @@ func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, ro
 			inst.Orient = geom.OrientN
 		}
 		bestSeg.occupy(bestX, w)
-		d := absf(bestX-target.X) + absf(bestSeg.y-target.Y)
+		d := math.Abs(bestX-target.X) + math.Abs(bestSeg.y-target.Y)
 		sum += d
 		if d > maxd {
 			maxd = d
@@ -217,13 +244,6 @@ func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, ro
 		mean = sum / float64(n)
 	}
 	return mean, maxd, failed, nil
-}
-
-func absf(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // Legalize snaps the given cells into non-overlapping row positions of
@@ -266,14 +286,28 @@ func CheckLegal(d *netlist.Design, fp *floorplan.Floorplan) []string {
 		}
 		cells = append(cells, placedCell{r, inst.Name})
 	}
-	// Sweep-line overlap check.
+	// Sweep-line overlap check. The sorted cells are read-only, so the
+	// outer sweep fans out over contiguous chunks whose per-worker
+	// violation lists concatenate in chunk order — the same order the
+	// serial sweep reports.
 	sort.Slice(cells, func(i, j int) bool { return cells[i].r.Lx < cells[j].r.Lx })
-	for i := 0; i < len(cells); i++ {
-		for j := i + 1; j < len(cells) && cells[j].r.Lx < cells[i].r.Ux-1e-9; j++ {
-			if cells[i].r.Expand(-1e-7).Intersects(cells[j].r) {
-				viol = append(viol, fmt.Sprintf("%s overlaps %s", cells[i].name, cells[j].name))
+	workers := par.Workers(0)
+	if len(cells) < parMinCells {
+		workers = 1
+	}
+	overlaps := make([][]string, workers)
+	par.Chunks(workers, len(cells), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < len(cells) && cells[j].r.Lx < cells[i].r.Ux-1e-9; j++ {
+				if cells[i].r.Expand(-1e-7).Intersects(cells[j].r) {
+					overlaps[w] = append(overlaps[w],
+						fmt.Sprintf("%s overlaps %s", cells[i].name, cells[j].name))
+				}
 			}
 		}
+	})
+	for _, o := range overlaps {
+		viol = append(viol, o...)
 	}
 	return viol
 }

@@ -13,12 +13,18 @@ package place
 import (
 	"math"
 	"sort"
+	"time"
 
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs"
+	"macro3d/internal/par"
 )
+
+// parMinCells is the movable-cell count below which the placer stays
+// on the serial path — fan-out overhead dominates under this size.
+const parMinCells = 512
 
 // Options tunes the placer.
 type Options struct {
@@ -33,6 +39,12 @@ type Options struct {
 	// (default 0.85).
 	MaxFill float64
 	Seed    uint64
+	// Workers sets the placement worker count: 0 (default) uses every
+	// CPU (GOMAXPROCS), 1 runs the plain serial reference path. The
+	// parallel phases write disjoint elements and replay float
+	// accumulation in serial order, so results are bit-identical at
+	// any setting.
+	Workers int
 
 	// Obs, when non-nil, is the stage span the placer hangs its
 	// global/legalize phase spans under and whose registry receives
@@ -71,11 +83,17 @@ type Result struct {
 // and ports act as anchors. On return every movable cell has a legal,
 // row-aligned, non-overlapping location.
 func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Options) (*Result, error) {
+	t0 := time.Now()
 	opt = opt.withDefaults()
 	movable := movableCells(d)
 	if len(movable) == 0 {
 		return &Result{}, nil
 	}
+	workers := par.Workers(opt.Workers)
+	if len(movable) < parMinCells {
+		workers = 1
+	}
+	var busy time.Duration
 	die := fp.Die
 	rng := geom.NewRNG(opt.Seed + 7)
 
@@ -102,8 +120,8 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 
 	gsp := opt.Obs.Child("global", obs.KV("cells", len(movable)))
 	for gi := 0; gi < opt.GlobalIters; gi++ {
-		solve(d, movable, adj, pos, anchor, anchorW, die, opt.SolveIters)
-		spread(movable, pos, bins, rng)
+		busy += solve(d, movable, adj, pos, anchor, anchorW, die, opt.SolveIters, workers)
+		busy += spread(movable, pos, bins, rng, workers)
 		for _, inst := range movable {
 			anchor[inst.ID] = pos[inst.ID]
 		}
@@ -123,7 +141,7 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 
 	// Legalization.
 	lsp := opt.Obs.Child("legalize")
-	disp, maxDisp, err := legalize(movable, fp, rowHeight)
+	disp, maxDisp, err := legalizeN(movable, fp, rowHeight, workers)
 	lsp.End()
 	if err != nil {
 		return nil, err
@@ -142,6 +160,13 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 			"Residual density overflow fraction after spreading.").Set(res.Overflow)
 		reg.Gauge("place_hpwl_um",
 			"Half-perimeter wirelength after legalization, um.").Set(res.HPWL)
+		reg.Gauge("place_workers",
+			"Worker goroutines used by the parallel placement engine.").Set(float64(workers))
+		if wall := time.Since(t0).Seconds(); wall > 0 && workers > 1 {
+			reg.Gauge("place_worker_utilization_ratio",
+				"Summed worker busy time over workers × stage wall time, latest run.").
+				Set(busy.Seconds() / (wall * float64(workers)))
+		}
 	}
 	return res, nil
 }
@@ -159,66 +184,78 @@ func movableCells(d *netlist.Design) []*netlist.Instance {
 
 // solve relaxes positions toward net centroids (a Jacobi sweep of the
 // star-model quadratic system) with fixed pins as anchors.
+//
+// Both phases parallelize bit-identically: phase 1 writes only its
+// net's centroid slot while pos is frozen, phase 2 writes only its
+// cell's position while the centroids are frozen, and every float sum
+// stays a per-element sequential loop. The barrier between phases is
+// the Jacobi iteration boundary itself.
 func solve(d *netlist.Design, movable []*netlist.Instance, adj [][]*netlist.Net,
-	pos, anchor []geom.Point, anchorW float64, die geom.Rect, iters int) {
+	pos, anchor []geom.Point, anchorW float64, die geom.Rect, iters, workers int) time.Duration {
 
 	// Net centroid cache.
 	cx := make([]float64, len(d.Nets))
 	cy := make([]float64, len(d.Nets))
 	deg := make([]float64, len(d.Nets))
 
+	var busy time.Duration
 	for it := 0; it < iters; it++ {
 		// Phase 1: net centroids from current positions and fixed pins.
-		for _, n := range d.Nets {
-			if n.Clock {
-				continue // clock is routed by CTS, not a placement force
-			}
-			var sx, sy, k float64
-			for _, p := range n.Pins() {
-				if p.Port != nil {
-					sx += p.Port.Loc.X
-					sy += p.Port.Loc.Y
-				} else if p.Inst.Fixed {
-					l := p.Loc()
-					sx += l.X
-					sy += l.Y
-				} else {
-					c := pos[p.Inst.ID]
-					sx += c.X
-					sy += c.Y
+		busy += par.Chunks(workers, len(d.Nets), func(w, lo, hi int) {
+			for _, n := range d.Nets[lo:hi] {
+				if n.Clock {
+					continue // clock is routed by CTS, not a placement force
 				}
-				k++
+				var sx, sy, k float64
+				for _, p := range n.Pins() {
+					if p.Port != nil {
+						sx += p.Port.Loc.X
+						sy += p.Port.Loc.Y
+					} else if p.Inst.Fixed {
+						l := p.Loc()
+						sx += l.X
+						sy += l.Y
+					} else {
+						c := pos[p.Inst.ID]
+						sx += c.X
+						sy += c.Y
+					}
+					k++
+				}
+				if k > 0 {
+					cx[n.ID] = sx / k
+					cy[n.ID] = sy / k
+					deg[n.ID] = k
+				}
 			}
-			if k > 0 {
-				cx[n.ID] = sx / k
-				cy[n.ID] = sy / k
-				deg[n.ID] = k
-			}
-		}
+		})
 		// Phase 2: move each movable cell to the weighted average of
 		// its nets' centroids (small nets pull harder).
-		for _, inst := range movable {
-			var sx, sy, w float64
-			for _, n := range adj[inst.ID] {
-				if n.Clock || deg[n.ID] < 2 {
-					continue
+		busy += par.Chunks(workers, len(movable), func(w, lo, hi int) {
+			for _, inst := range movable[lo:hi] {
+				var sx, sy, wt float64
+				for _, n := range adj[inst.ID] {
+					if n.Clock || deg[n.ID] < 2 {
+						continue
+					}
+					nw := n.Weight / (deg[n.ID] - 1)
+					sx += cx[n.ID] * nw
+					sy += cy[n.ID] * nw
+					wt += nw
 				}
-				nw := n.Weight / (deg[n.ID] - 1)
-				sx += cx[n.ID] * nw
-				sy += cy[n.ID] * nw
-				w += nw
+				if anchorW > 0 {
+					sx += anchor[inst.ID].X * anchorW
+					sy += anchor[inst.ID].Y * anchorW
+					wt += anchorW
+				}
+				if wt > 0 {
+					p := geom.Pt(sx/wt, sy/wt)
+					pos[inst.ID] = die.Expand(-1).ClampPoint(p)
+				}
 			}
-			if anchorW > 0 {
-				sx += anchor[inst.ID].X * anchorW
-				sy += anchor[inst.ID].Y * anchorW
-				w += anchorW
-			}
-			if w > 0 {
-				p := geom.Pt(sx/w, sy/w)
-				pos[inst.ID] = die.Expand(-1).ClampPoint(p)
-			}
-		}
+		})
 	}
+	return busy
 }
 
 // binGrid tracks per-bin capacity (µm² of placeable area).
@@ -258,13 +295,26 @@ func newBinGrid(die geom.Rect, pitch float64, blk []floorplan.Blockage, maxFill 
 
 // spread moves cells out of overfilled bins into the nearest bins with
 // headroom, ring-searching outward.
-func spread(movable []*netlist.Instance, pos []geom.Point, b *binGrid, rng *geom.RNG) {
+//
+// The bin lookup fans out (one disjoint slot per cell); the float area
+// accumulation then replays serially in movable order so bin sums stay
+// bit-identical at any worker count. The eviction sweep itself is
+// serial — it consumes the RNG, which must never run concurrently.
+func spread(movable []*netlist.Instance, pos []geom.Point, b *binGrid, rng *geom.RNG,
+	workers int) time.Duration {
+
 	g := b.grid
+	binOf := make([]int32, len(movable))
+	busy := par.Chunks(workers, len(movable), func(w, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			ix, iy := g.Locate(pos[movable[k].ID])
+			binOf[k] = int32(g.Index(ix, iy))
+		}
+	})
 	usage := make([]float64, g.Bins())
 	members := make([][]*netlist.Instance, g.Bins())
-	for _, inst := range movable {
-		ix, iy := g.Locate(pos[inst.ID])
-		i := g.Index(ix, iy)
+	for k, inst := range movable {
+		i := int(binOf[k])
 		usage[i] += inst.Master.Area()
 		members[i] = append(members[i], inst)
 	}
@@ -306,6 +356,7 @@ func spread(movable []*netlist.Instance, pos []geom.Point, b *binGrid, rng *geom
 			)
 		}
 	}
+	return busy
 }
 
 // nearestFree ring-searches for the closest bin that can absorb area.
@@ -317,7 +368,7 @@ func (b *binGrid) nearestFree(ix, iy int, usage []float64, area float64) (int, i
 		bi, bj := -1, -1
 		for dy := -r; dy <= r; dy++ {
 			for dx := -r; dx <= r; dx++ {
-				if max(abs(dx), abs(dy)) != r {
+				if max(geom.AbsInt(dx), geom.AbsInt(dy)) != r {
 					continue
 				}
 				x, y := ix+dx, iy+dy
@@ -361,18 +412,4 @@ func (b *binGrid) overflow(movable []*netlist.Instance, pos []geom.Point) float6
 		return 0
 	}
 	return over / total
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

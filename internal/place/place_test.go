@@ -226,12 +226,6 @@ func TestEmptyDesign(t *testing.T) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
 
 func TestLegalizeBestEffortSpills(t *testing.T) {
 	lib := cell.NewStdLib28(cell.DefaultLibOptions())

@@ -1,0 +1,288 @@
+package route
+
+import (
+	"fmt"
+
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/par"
+)
+
+// --- deterministic parallel batching ---
+//
+// The router's serial semantics are: nets are processed in a fixed
+// order, and each net routes against the congestion left by every net
+// before it. The parallel engine keeps those semantics bit-identical
+// by only routing nets concurrently whose read/write footprints are
+// spatially disjoint:
+//
+//   - a pattern route's footprint is the frame of each MST edge's
+//     bounding box (the four edge lines carrying every candidate
+//     L-shape, via stack and congestion lookup);
+//   - a maze reroute's footprint is the whole expanded A* window;
+//   - a rip-up victim additionally claims its old route's segments
+//     (released usage is a write).
+//
+// Batches are planned by scanning the pending nets in serial order
+// and stamping every scanned footprint into a coarse tile raster: a
+// net joins the current batch only if none of its tiles were stamped
+// by an earlier-scanned net (batched OR deferred — a net may never
+// jump the queue past a conflicting predecessor). Batch members are
+// routed concurrently against the frozen pre-batch congestion and
+// committed in order; deferred nets retry next round. Because every
+// pair of concurrently routed nets is disjoint, and usage commits are
+// integer adds merged in net order, the result is byte-identical to
+// the workers==1 serial reference at any worker count.
+
+// netTask is the per-net unit of work: the deterministic prep (pin
+// nodes, MST edges) shared by the batch planner and the routing
+// workers, plus the old route when the task is a negotiation rip-up.
+type netTask struct {
+	net   *netlist.Net
+	route *NetRoute
+	edges [][2]int  // MST edges as pin-index pairs
+	old   *NetRoute // non-nil for rip-up victims
+}
+
+// prepTask resolves pin nodes and decomposes the net into two-pin MST
+// edges. Pure function of the placement — independent of congestion,
+// so prep order never affects results.
+func (db *DB) prepTask(n *netlist.Net) (*netTask, error) {
+	pins := n.Pins()
+	r := &NetRoute{Net: n, PinNode: make([]Node, len(pins))}
+	for i, p := range pins {
+		nd, err := db.PinNode(p)
+		if err != nil {
+			return nil, fmt.Errorf("net %s: %w", n.Name, err)
+		}
+		r.PinNode[i] = nd
+	}
+	t := &netTask{net: n, route: r}
+	if len(pins) < 2 {
+		return t, nil
+	}
+	// Prim MST over pin grid locations.
+	inTree := make([]bool, len(pins))
+	inTree[0] = true
+	t.edges = make([][2]int, 0, len(pins)-1)
+	for k := 1; k < len(pins); k++ {
+		best, bi, bj := 1<<30, -1, -1
+		for i := range pins {
+			if !inTree[i] {
+				continue
+			}
+			for j := range pins {
+				if inTree[j] {
+					continue
+				}
+				d := geom.AbsInt(r.PinNode[i].X-r.PinNode[j].X) +
+					geom.AbsInt(r.PinNode[i].Y-r.PinNode[j].Y)
+				if d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		inTree[bj] = true
+		t.edges = append(t.edges, [2]int{bi, bj})
+	}
+	return t, nil
+}
+
+// routeTask computes the task's segments against current congestion,
+// one MST edge at a time. Maze-mode failures fall back to the pattern
+// route exactly like the serial router. Only reads shared state; all
+// mutable search state lives in s.
+func (db *DB) routeTask(t *netTask, maze bool, s *mazeScratch) {
+	for _, e := range t.edges {
+		a, b := t.route.PinNode[e[0]], t.route.PinNode[e[1]]
+		if maze {
+			segs, err := db.mazeRouteScratch(s, a, b, t.route.Segments)
+			if err == nil {
+				t.route.Segments = segs
+				continue
+			}
+		}
+		t.route.Segments = append(t.route.Segments, db.patternRoute(a, b)...)
+	}
+}
+
+// tileMap is the conflict raster of the batch planner: the gcell grid
+// coarsened to tilePx×tilePx tiles, stamped with an epoch so rounds
+// reset in O(1).
+type tileMap struct {
+	tx, ty int
+	epoch  uint32
+	mark   []uint32
+}
+
+// tilePx is the conflict-tile edge in gcells. Coarser tiles cost
+// parallelism (false conflicts), finer tiles cost planning time; 4
+// keeps planning under 1% of routing on the large tile.
+const tilePx = 4
+
+func newTileMap(g geom.Grid) *tileMap {
+	tx := (g.NX + tilePx - 1) / tilePx
+	ty := (g.NY + tilePx - 1) / tilePx
+	return &tileMap{tx: tx, ty: ty, mark: make([]uint32, tx*ty)}
+}
+
+func (m *tileMap) next() { m.epoch++ }
+
+// rect visits the tiles covering the inclusive gcell rectangle,
+// returning whether any was already stamped this epoch; with stamp it
+// also claims them.
+func (m *tileMap) rect(x0, y0, x1, y1 int, stamp bool) bool {
+	tx0, ty0 := x0/tilePx, y0/tilePx
+	tx1, ty1 := x1/tilePx, y1/tilePx
+	hit := false
+	for ty := ty0; ty <= ty1; ty++ {
+		row := ty * m.tx
+		for tx := tx0; tx <= tx1; tx++ {
+			if m.mark[row+tx] == m.epoch {
+				hit = true
+				if !stamp {
+					return true
+				}
+			} else if stamp {
+				m.mark[row+tx] = m.epoch
+			}
+		}
+	}
+	return hit
+}
+
+// footprint visits every gcell rectangle the task may read or write:
+// per MST edge the pattern frame (or the maze window), plus the old
+// route's segments for rip-ups.
+func (db *DB) footprint(t *netTask, maze bool, visit func(x0, y0, x1, y1 int)) {
+	for _, e := range t.edges {
+		a, b := t.route.PinNode[e[0]], t.route.PinNode[e[1]]
+		if maze {
+			w := db.mazeWindow(a, b)
+			visit(w.x0, w.y0, w.x1, w.y1)
+			continue
+		}
+		x0, x1 := min(a.X, b.X), max(a.X, b.X)
+		y0, y1 := min(a.Y, b.Y), max(a.Y, b.Y)
+		visit(x0, y0, x1, y0)
+		visit(x0, y1, x1, y1)
+		visit(x0, y0, x0, y1)
+		visit(x1, y0, x1, y1)
+	}
+	if t.old != nil {
+		for _, s := range t.old.Segments {
+			visit(min(s.A.X, s.B.X), min(s.A.Y, s.B.Y),
+				max(s.A.X, s.B.X), max(s.A.Y, s.B.Y))
+		}
+	}
+}
+
+// conflicts reports whether the task's footprint hits any stamped
+// tile of the current epoch.
+func (db *DB) conflicts(t *netTask, maze bool, m *tileMap) bool {
+	hit := false
+	db.footprint(t, maze, func(x0, y0, x1, y1 int) {
+		if !hit && m.rect(x0, y0, x1, y1, false) {
+			hit = true
+		}
+	})
+	return hit
+}
+
+// stamp claims the task's footprint tiles for the current epoch.
+func (db *DB) stamp(t *netTask, maze bool, m *tileMap) {
+	db.footprint(t, maze, func(x0, y0, x1, y1 int) {
+		m.rect(x0, y0, x1, y1, true)
+	})
+}
+
+// Per-round planning caps. Scanning stops after scanCap tasks (or
+// batchCap accepted ones); everything past the cutoff defers
+// wholesale, keeping its order. Without the cutoff, planning rescans
+// every pending footprint each round — quadratic when conflicts keep
+// batches small. Both are constants, never derived from the worker
+// count: batch composition feeds each net a specific congestion
+// snapshot, so a workers-dependent cap would break the bit-identical
+// guarantee across -j settings.
+const (
+	batchCap = 128
+	scanCap  = 512
+)
+
+// planBatch splits pending (in order) into the next conflict-free
+// batch and the deferred remainder. Every scanned task stamps its
+// footprint — batched or not — so no later task can overtake a
+// conflicting predecessor; that ordering invariant is what makes the
+// parallel schedule equivalent to the serial one.
+func (db *DB) planBatch(pending []*netTask, maze bool, m *tileMap) (batch, deferred []*netTask) {
+	m.next()
+	n := min(len(pending), scanCap)
+	batch = make([]*netTask, 0, min(n, batchCap))
+	for i, t := range pending[:n] {
+		if db.conflicts(t, maze, m) {
+			deferred = append(deferred, t)
+		} else {
+			batch = append(batch, t)
+			if len(batch) == batchCap {
+				deferred = append(deferred, pending[i+1:]...)
+				return batch, deferred
+			}
+		}
+		db.stamp(t, maze, m)
+	}
+	deferred = append(deferred, pending[n:]...)
+	return batch, deferred
+}
+
+// routeAll routes the ordered tasks and commits each with commit(t),
+// preserving serial semantics. workers == 1 runs the plain sequential
+// reference; otherwise tasks execute as deterministic conflict-free
+// batches: rip-up releases in order, concurrent routing against the
+// frozen snapshot (one scratch per worker), commits merged back in
+// order.
+func (db *DB) routeAll(tasks []*netTask, maze bool, workers int, pool []*mazeScratch,
+	met *routeMetrics, commit func(*netTask)) {
+
+	if workers <= 1 {
+		s := pool[0]
+		for _, t := range tasks {
+			if t.old != nil {
+				db.addUsage(t.old, -1)
+			}
+			db.routeTask(t, maze, s)
+			commit(t)
+		}
+		return
+	}
+	m := db.tiles
+	if m == nil {
+		m = newTileMap(db.Grid)
+		db.tiles = m
+	}
+	pending := tasks
+	for len(pending) > 0 {
+		batch, deferred := db.planBatch(pending, maze, m)
+		met.batches.Inc()
+		met.batchNets.Observe(float64(len(batch)))
+		met.conflicts.Add(uint64(len(deferred)))
+		// Rip-up releases, in order, before the concurrent phase. A
+		// released route lies inside its task's stamped footprint, so
+		// it is invisible to every other batch member.
+		for _, t := range batch {
+			if t.old != nil {
+				db.addUsage(t.old, -1)
+			}
+		}
+		met.busy += par.Chunks(workers, len(batch), func(w, lo, hi int) {
+			s := pool[w]
+			for _, t := range batch[lo:hi] {
+				db.routeTask(t, maze, s)
+			}
+		})
+		// Ordered merge: usage deltas commit in net order.
+		for _, t := range batch {
+			commit(t)
+		}
+		pending = deferred
+	}
+}

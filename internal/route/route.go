@@ -14,7 +14,6 @@ package route
 
 import (
 	"fmt"
-	"math"
 
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
@@ -39,6 +38,11 @@ type Options struct {
 	// die exactly). Used when composing tile arrays so routes can be
 	// translated between aligned grids.
 	Grid *geom.Grid
+	// Workers sets the routing worker count: 0 (default) uses every
+	// CPU (GOMAXPROCS), 1 runs the plain serial reference path, and
+	// n > 1 routes spatially disjoint net batches on n goroutines.
+	// Results are bit-identical at any setting.
+	Workers int
 
 	// Obs, when non-nil, is the stage span the router hangs its
 	// rip-up-iteration phase spans under and whose registry receives
@@ -118,6 +122,9 @@ type DB struct {
 	f2fCap  []int32
 	f2fUse  []int32
 	gcellWL float64 // µm per grid step (average of DX, DY)
+
+	eco   *mazeScratch // single-thread maze scratch (ECO routes, tests)
+	tiles *tileMap     // batch-planner conflict raster, reused per round
 }
 
 // NewDB builds the routing database for a die, BEOL and blockage set.
@@ -270,14 +277,8 @@ func sign(v int) int {
 
 // segLen returns the µm length of a straight segment.
 func (db *DB) segLen(s Seg) float64 {
-	return float64(abs(s.B.X-s.A.X))*db.Grid.DX + float64(abs(s.B.Y-s.A.Y))*db.Grid.DY
-}
-
-func abs(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
+	return float64(geom.AbsInt(s.B.X-s.A.X))*db.Grid.DX +
+		float64(geom.AbsInt(s.B.Y-s.A.Y))*db.Grid.DY
 }
 
 // PinNode maps a pin reference to its routing-grid node.
@@ -352,5 +353,3 @@ func (db *DB) UsageSnapshot() []float64 {
 	}
 	return out
 }
-
-var _ = math.Sqrt // keep math import while the file evolves

@@ -157,13 +157,6 @@ func TestObstructionForcesClimb(t *testing.T) {
 	}
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func TestCombinedStackCrossesF2F(t *testing.T) {
 	// Pin on a macro-die layer (M4_MD): the route must cross the F2F
 	// boundary exactly once and count one bump.

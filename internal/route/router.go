@@ -1,19 +1,38 @@
 package route
 
 import (
-	"container/heap"
-	"fmt"
 	"sort"
+	"time"
 
+	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs"
-	"macro3d/internal/tech"
+	"macro3d/internal/par"
 )
+
+// routeMetrics bundles the parallel-engine instrumentation handles
+// threaded through routeAll: batch counts, batch-size distribution,
+// planner conflicts (deferred nets per round) and the summed worker
+// busy time feeding the utilization gauge. All handles are nil-safe
+// no-ops when the flow runs without a recorder.
+type routeMetrics struct {
+	batches   *obs.Counter
+	batchNets *obs.Histogram
+	conflicts *obs.Counter
+	busy      time.Duration
+}
 
 // RouteDesign globally routes every non-clock signal net of the design
 // over the database's grid, then runs negotiation iterations until
 // overflow clears or the iteration budget is spent.
+//
+// With Options.Workers != 1 the initial pass and every negotiation
+// wave execute as deterministic spatially-disjoint batches (see
+// batch.go); results are bit-identical to the serial reference at any
+// worker count.
 func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
+	t0 := time.Now()
+	workers := par.Workers(db.opt.Workers)
 	res := &Result{
 		Routes:     make([]*NetRoute, len(d.Nets)),
 		WLPerLayer: make([]float64, db.Beol.NumLayers()),
@@ -49,15 +68,41 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 		"Rip-up attempts that kept the old route after a failed reroute.")
 	overG := reg.Gauge("route_overflow_gcells",
 		"Gcell-layers above capacity after the latest negotiation state.")
+	reg.Gauge("route_workers",
+		"Worker goroutines used by the parallel routing engine.").Set(float64(workers))
+	met := &routeMetrics{
+		batches: reg.Counter("route_parallel_batches_total",
+			"Conflict-free net batches executed by the parallel router."),
+		batchNets: reg.Histogram("route_batch_nets",
+			"Nets per conflict-free routing batch.", 1, 4, 16, 64, 256, 1024, 4096),
+		conflicts: reg.Counter("route_batch_conflicts_total",
+			"Nets deferred to a later batch by a footprint conflict."),
+	}
 
-	for _, n := range order {
-		r, err := db.routeNet(n, false)
+	// One maze scratch per worker, reused across every two-pin search
+	// of the run (index 0 doubles as the serial path's scratch).
+	pool := make([]*mazeScratch, workers)
+	for i := range pool {
+		pool[i] = &mazeScratch{}
+	}
+
+	// Net prep (pin nodes, MST decomposition) is a pure function of
+	// the placement, so it parallelizes freely.
+	tasks := make([]*netTask, len(order))
+	errs := make([]error, len(order))
+	met.busy += par.Items(workers, len(order), func(w, i int) {
+		tasks[i], errs[i] = db.prepTask(order[i])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		db.addUsage(r, 1)
-		res.Routes[n.ID] = r
 	}
+
+	db.routeAll(tasks, false, workers, pool, met, func(t *netTask) {
+		db.addUsage(t.route, 1)
+		res.Routes[t.net.ID] = t.route
+	})
 	routedC.Add(uint64(len(order)))
 
 	// Negotiated rip-up and reroute. Early iterations reroute with
@@ -70,7 +115,7 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 			break
 		}
 		db.bumpHistory()
-		victims := db.overflowedNets(res)
+		victims := db.overflowedNets(res, workers)
 		if len(victims) == 0 {
 			break
 		}
@@ -85,19 +130,21 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 			victims = victims[:maxVictims]
 		}
 		useMaze := it >= 2
+		vt := make([]*netTask, 0, len(victims))
 		for _, n := range victims {
-			old := res.Routes[n.ID]
-			db.addUsage(old, -1)
-			r, err := db.routeNet(n, useMaze)
+			t, err := db.prepTask(n)
 			if err != nil {
 				// Keep the old route rather than fail the design.
-				db.addUsage(old, 1)
 				failC.Inc()
 				continue
 			}
-			db.addUsage(r, 1)
-			res.Routes[n.ID] = r
+			t.old = res.Routes[n.ID]
+			vt = append(vt, t)
 		}
+		db.routeAll(vt, useMaze, workers, pool, met, func(t *netTask) {
+			db.addUsage(t.route, 1)
+			res.Routes[t.net.ID] = t.route
+		})
 		ripupC.Add(uint64(len(victims)))
 		isp.End()
 	}
@@ -127,6 +174,27 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 	}
 	res.Overflow = db.Overflow()
 	overG.Set(float64(res.Overflow))
+
+	// Scratch reuse and worker utilization for this run.
+	var hits, misses uint64
+	for _, s := range pool {
+		hits += s.hits
+		misses += s.misses
+	}
+	reg.Counter("route_scratch_hits_total",
+		"Maze searches served by an already-sized scratch allocation.").Add(hits)
+	reg.Counter("route_scratch_misses_total",
+		"Maze searches that had to grow their scratch backing arrays.").Add(misses)
+	if hits+misses > 0 {
+		reg.Gauge("route_scratch_hit_ratio",
+			"Fraction of maze searches reusing scratch memory, latest run.").
+			Set(float64(hits) / float64(hits+misses))
+	}
+	if wall := time.Since(t0).Seconds(); wall > 0 && workers > 1 {
+		reg.Gauge("route_worker_utilization_ratio",
+			"Summed worker busy time over workers × stage wall time, latest run.").
+			Set(met.busy.Seconds() / (wall * float64(workers)))
+	}
 	return res, nil
 }
 
@@ -134,10 +202,12 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 // its usage. Used by the optimizer for incrementally created nets
 // (buffer insertion) and by flows for ECO reroutes.
 func (db *DB) RouteNet(n *netlist.Net) (*NetRoute, error) {
-	r, err := db.routeNet(n, false)
+	t, err := db.prepTask(n)
 	if err != nil {
 		return nil, err
 	}
+	db.routeTask(t, false, db.scratch())
+	r := t.route
 	db.opt.Obs.Reg().Counter("route_eco_reroutes_total",
 		"Single-net ECO routes (optimizer buffer nets and reroutes).").Inc()
 	db.addUsage(r, 1)
@@ -245,112 +315,66 @@ func (res *Result) Recount(db *DB) {
 }
 
 // overflowedNets returns nets whose routes touch an overflowed
-// gcell-layer.
-func (db *DB) overflowedNets(res *Result) []*netlist.Net {
-	bad := make(map[int]bool)
+// gcell-layer, in net-ID order. The route scan fans out over
+// contiguous net-ID chunks whose per-worker hit lists concatenate in
+// chunk order, so the result is identical at any worker count.
+func (db *DB) overflowedNets(res *Result, workers int) []*netlist.Net {
+	bad := make([]bool, len(db.usage))
+	any := false
 	for i := range db.usage {
 		if db.usage[i] > db.cap[i] {
 			bad[i] = true
+			any = true
 		}
 	}
-	badF2F := make(map[int]bool)
+	var badF2F []bool
 	if db.f2fCap != nil {
+		badF2F = make([]bool, len(db.f2fUse))
 		for i := range db.f2fUse {
 			if db.f2fUse[i] > db.f2fCap[i] {
 				badF2F[i] = true
+				any = true
 			}
 		}
 	}
-	var out []*netlist.Net
-	for _, r := range res.Routes {
-		if r == nil {
-			continue
-		}
-		hit := false
-		for _, s := range r.Segments {
-			if s.IsVia() {
-				if db.f2fIdx >= 0 && min(s.A.L, s.B.L) == db.f2fIdx &&
-					badF2F[db.Grid.Index(s.A.X, s.A.Y)] {
-					hit = true
-				}
+	if !any {
+		return nil
+	}
+	workers = par.Workers(workers)
+	hits := make([][]*netlist.Net, workers)
+	par.Chunks(workers, len(res.Routes), func(w, lo, hi int) {
+		for _, r := range res.Routes[lo:hi] {
+			if r == nil {
 				continue
 			}
-			forEachStep(s, func(n Node) {
-				if bad[db.idx(n)] {
-					hit = true
-				}
-			})
-			if hit {
-				break
-			}
-		}
-		if hit {
-			out = append(out, r.Net)
-		}
-	}
-	return out
-}
-
-// routeNet routes one net: MST decomposition, then pattern (or maze)
-// routing per two-pin connection.
-func (db *DB) routeNet(n *netlist.Net, maze bool) (*NetRoute, error) {
-	pins := n.Pins()
-	r := &NetRoute{Net: n, PinNode: make([]Node, len(pins))}
-	for i, p := range pins {
-		nd, err := db.PinNode(p)
-		if err != nil {
-			return nil, fmt.Errorf("net %s: %w", n.Name, err)
-		}
-		r.PinNode[i] = nd
-	}
-	if len(pins) < 2 {
-		return r, nil
-	}
-	// Prim MST over pin grid locations.
-	inTree := make([]bool, len(pins))
-	inTree[0] = true
-	type edge struct{ from, to int }
-	edges := make([]edge, 0, len(pins)-1)
-	for k := 1; k < len(pins); k++ {
-		best, bi, bj := 1<<30, -1, -1
-		for i := range pins {
-			if !inTree[i] {
-				continue
-			}
-			for j := range pins {
-				if inTree[j] {
+			hit := false
+			for _, s := range r.Segments {
+				if s.IsVia() {
+					if badF2F != nil && db.f2fIdx >= 0 && min(s.A.L, s.B.L) == db.f2fIdx &&
+						badF2F[db.Grid.Index(s.A.X, s.A.Y)] {
+						hit = true
+					}
 					continue
 				}
-				d := abs(r.PinNode[i].X-r.PinNode[j].X) + abs(r.PinNode[i].Y-r.PinNode[j].Y)
-				if d < best {
-					best, bi, bj = d, i, j
+				forEachStep(s, func(n Node) {
+					if bad[db.idx(n)] {
+						hit = true
+					}
+				})
+				if hit {
+					break
 				}
 			}
-		}
-		inTree[bj] = true
-		edges = append(edges, edge{bi, bj})
-	}
-	for _, e := range edges {
-		var segs []Seg
-		var err error
-		if maze {
-			segs, err = db.mazeRoute(r.PinNode[e.from], r.PinNode[e.to])
-			if err != nil {
-				segs = db.patternRoute(r.PinNode[e.from], r.PinNode[e.to])
+			if hit {
+				hits[w] = append(hits[w], r.Net)
 			}
-		} else {
-			segs = db.patternRoute(r.PinNode[e.from], r.PinNode[e.to])
 		}
-		r.Segments = append(r.Segments, segs...)
+	})
+	var out []*netlist.Net
+	for _, h := range hits {
+		out = append(out, h...)
 	}
-	return r, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return out
 }
 
 // viaStack emits via segments moving from layer la to lb at (x, y).
@@ -368,8 +392,8 @@ func viaStack(x, y, la, lb int) []Seg {
 
 // viaStackCost prices a via stack, including F2F crossings.
 func (db *DB) viaStackCost(x, y, la, lb int) float64 {
-	cost := float64(abs(lb-la)) * db.opt.ViaCost
-	lo, hi := min(la, lb), la+lb-min(la, lb)
+	cost := float64(geom.AbsInt(lb-la)) * db.opt.ViaCost
+	lo, hi := min(la, lb), max(la, lb)
 	if db.f2fIdx >= 0 && lo <= db.f2fIdx && hi > db.f2fIdx {
 		i := db.Grid.Index(x, y)
 		if db.f2fUse[i]+1 > db.f2fCap[i] {
@@ -405,7 +429,7 @@ func (db *DB) patternRoute(a, b Node) []Seg {
 	// Candidate pairs: prefer lower pairs for short nets, upper for
 	// long; always consider every pair but bias via order (cost
 	// decides).
-	dist := abs(a.X-b.X) + abs(a.Y-b.Y)
+	dist := geom.AbsInt(a.X-b.X) + geom.AbsInt(a.Y-b.Y)
 	sort.SliceStable(pairs, func(i, j int) bool {
 		// Rank by |preferred − pairLevel|: short nets target low
 		// layers, long nets the top pair of the logic die; the longest
@@ -420,8 +444,8 @@ func (db *DB) patternRoute(a, b Node) []Seg {
 		} else if dist > 4 {
 			pref = 2
 		}
-		di := abs((pairs[i][0]+pairs[i][1])/2 - pref)
-		dj := abs((pairs[j][0]+pairs[j][1])/2 - pref)
+		di := geom.AbsInt((pairs[i][0]+pairs[i][1])/2 - pref)
+		dj := geom.AbsInt((pairs[j][0]+pairs[j][1])/2 - pref)
 		return di < dj
 	})
 	if len(pairs) > 3 {
@@ -491,154 +515,4 @@ func compactSegs(segs []Seg) []Seg {
 		out = append(out, s)
 	}
 	return out
-}
-
-// --- A* maze routing ---
-
-type pqItem struct {
-	node Node
-	cost float64
-	est  float64
-	idx  int
-}
-
-type pq []*pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].est < p[j].est }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i]; p[i].idx = i; p[j].idx = j }
-func (p *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*p); *p = append(*p, it) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
-}
-
-// mazeRoute finds a least-cost path with 3D A*.
-func (db *DB) mazeRoute(a, b Node) ([]Seg, error) {
-	g := db.Grid
-	nl := db.Beol.NumLayers()
-	size := nl * g.Bins()
-	dist := make([]float64, size)
-	for i := range dist {
-		dist[i] = -1
-	}
-	prev := make([]int32, size)
-	for i := range prev {
-		prev[i] = -1
-	}
-	h := func(n Node) float64 {
-		return float64(abs(n.X-b.X)+abs(n.Y-b.Y)) + float64(abs(n.L-b.L))*db.opt.ViaCost
-	}
-	start := db.idx(a)
-	dist[start] = 0
-	q := &pq{}
-	heap.Push(q, &pqItem{node: a, cost: 0, est: h(a)})
-	// Expansion budget keeps pathological cases bounded.
-	budget := size * 2
-	for q.Len() > 0 && budget > 0 {
-		budget--
-		it := heap.Pop(q).(*pqItem)
-		n := it.node
-		ni := db.idx(n)
-		if it.cost > dist[ni] {
-			continue
-		}
-		if n == b {
-			return db.tracePath(prev, a, b), nil
-		}
-		// Neighbors: preferred-direction steps and vias.
-		var neigh [4]Node
-		var ncost [4]float64
-		cnt := 0
-		ly := db.Beol.Layers[n.L]
-		if ly.Dir == tech.DirHorizontal {
-			if n.X > 0 {
-				neigh[cnt] = Node{n.X - 1, n.Y, n.L}
-				cnt++
-			}
-			if n.X < g.NX-1 {
-				neigh[cnt] = Node{n.X + 1, n.Y, n.L}
-				cnt++
-			}
-		} else {
-			if n.Y > 0 {
-				neigh[cnt] = Node{n.X, n.Y - 1, n.L}
-				cnt++
-			}
-			if n.Y < g.NY-1 {
-				neigh[cnt] = Node{n.X, n.Y + 1, n.L}
-				cnt++
-			}
-		}
-		wireN := cnt
-		if n.L > 0 {
-			neigh[cnt] = Node{n.X, n.Y, n.L - 1}
-			cnt++
-		}
-		if n.L < nl-1 {
-			neigh[cnt] = Node{n.X, n.Y, n.L + 1}
-			cnt++
-		}
-		for k := 0; k < cnt; k++ {
-			m := neigh[k]
-			if k < wireN {
-				ncost[k] = 1 + db.congestionCost(db.idx(m))
-			} else {
-				ncost[k] = db.viaStackCost(n.X, n.Y, n.L, m.L)
-			}
-			mi := db.idx(m)
-			nc := it.cost + ncost[k]
-			if dist[mi] < 0 || nc < dist[mi] {
-				dist[mi] = nc
-				prev[mi] = int32(ni)
-				heap.Push(q, &pqItem{node: m, cost: nc, est: nc + h(m)})
-			}
-		}
-	}
-	return nil, fmt.Errorf("route: maze route %v→%v failed", a, b)
-}
-
-// tracePath reconstructs segments from the predecessor array, merging
-// consecutive steps in the same direction.
-func (db *DB) tracePath(prev []int32, a, b Node) []Seg {
-	// Collect nodes b → a.
-	var nodes []Node
-	cur := db.idx(b)
-	for cur >= 0 {
-		nodes = append(nodes, db.nodeOf(cur))
-		if db.nodeOf(cur) == a {
-			break
-		}
-		cur = int(prev[cur])
-	}
-	// Reverse to a → b.
-	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-		nodes[i], nodes[j] = nodes[j], nodes[i]
-	}
-	var segs []Seg
-	for i := 1; i < len(nodes); i++ {
-		p, n := nodes[i-1], nodes[i]
-		if len(segs) > 0 {
-			last := &segs[len(segs)-1]
-			// Extend the last straight segment when collinear.
-			if !last.IsVia() && !(Seg{p, n}).IsVia() &&
-				((last.A.Y == last.B.Y && last.B.Y == n.Y && last.A.L == n.L) ||
-					(last.A.X == last.B.X && last.B.X == n.X && last.A.L == n.L)) {
-				last.B = n
-				continue
-			}
-		}
-		segs = append(segs, Seg{p, n})
-	}
-	return segs
-}
-
-func (db *DB) nodeOf(i int) Node {
-	l := i / db.Grid.Bins()
-	b := i % db.Grid.Bins()
-	x, y := db.Grid.Coords(b)
-	return Node{x, y, l}
 }
