@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race equiv faults bench bench-route benchall obs-smoke
+.PHONY: check build test vet race equiv faults bench bench-route bench-stash benchall obs-smoke cache-smoke
 
 ## check: the full gate — vet, build, unit tests, the race-enabled
-## fault-injection suite, then the observability smoke test (what CI
-## should run).
-check: vet build test race obs-smoke
+## fault-injection suite, then the observability and stage-cache smoke
+## tests (what CI should run).
+check: vet build test race obs-smoke cache-smoke
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,12 @@ equiv:
 obs-smoke:
 	GO="$(GO)" sh scripts/obs_smoke.sh
 
+## cache-smoke: end-to-end stage-cache check — tiny flow cold, warm and
+## in -cache-verify mode, asserting hit counters and byte-identical PPA
+## output, plus the -resume default directory.
+cache-smoke:
+	GO="$(GO)" sh scripts/cache_smoke.sh
+
 ## faults: just the fault-injection matrix, verbosely.
 faults:
 	$(GO) test -race -v -run 'TestInjection|TestOffGrid|TestCleanFlows' ./internal/faults/
@@ -56,6 +62,14 @@ bench:
 ## produce bit-identical results (see `make equiv`).
 bench-route:
 	$(GO) test -bench 'BenchmarkRouteDesign|BenchmarkPlace' -count 5 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson | tee BENCH_route.json
+
+## bench-stash: the stage-cache comparison — the Table I sweep cold
+## (populating the cache) vs warm (restoring every checkpoint), both
+## verified against an uncached reference — recorded as BENCH_stash.json
+## with the stash_cold_over_warm headline ratio.
+bench-stash:
+	$(GO) test -bench BenchmarkStashSweep -count 3 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_stash.json
+	cat BENCH_stash.json
 
 ## benchall: every benchmark, human-readable.
 benchall:

@@ -37,6 +37,7 @@ import (
 	"macro3d/internal/obs"
 	"macro3d/internal/piton"
 	"macro3d/internal/report"
+	"macro3d/internal/stash"
 	"macro3d/internal/tech"
 	"macro3d/internal/viz"
 )
@@ -350,6 +351,46 @@ func RunPitchSweepCtx(ctx context.Context, seed uint64, pitches []float64, keepG
 func RunHeteroTechSweepCtx(ctx context.Context, seed uint64, keepGoing bool) (*HeteroTechSweep, error) {
 	return report.RunHeteroTechSweepCtx(ctx, seed, keepGoing)
 }
+
+// RunIsoPerfWith is RunIsoPerfCtx taking a full flow configuration,
+// so the stage cache and hardening knobs apply to both runs.
+func RunIsoPerfWith(ctx context.Context, cfg FlowConfig) (*IsoPerf, error) {
+	return report.RunIsoPerfWith(ctx, cfg)
+}
+
+// RunBlockageSweepWith is RunBlockageSweepCtx taking a full flow
+// configuration.
+func RunBlockageSweepWith(ctx context.Context, cfg FlowConfig, resolutions []float64, keepGoing bool) (*BlockageSweep, error) {
+	return report.RunBlockageSweepWith(ctx, cfg, resolutions, keepGoing)
+}
+
+// RunPitchSweepWith is RunPitchSweepCtx taking a full flow
+// configuration.
+func RunPitchSweepWith(ctx context.Context, cfg FlowConfig, pitches []float64, keepGoing bool) (*PitchSweep, error) {
+	return report.RunPitchSweepWith(ctx, cfg, pitches, keepGoing)
+}
+
+// RunHeteroTechSweepWith is RunHeteroTechSweepCtx taking a full flow
+// configuration.
+func RunHeteroTechSweepWith(ctx context.Context, cfg FlowConfig, keepGoing bool) (*HeteroTechSweep, error) {
+	return report.RunHeteroTechSweepWith(ctx, cfg, keepGoing)
+}
+
+// --- Stage cache ---
+
+// StageCache is the content-addressed on-disk stage cache: completed
+// place/route/sign-off stages are snapshotted under a key derived from
+// every input that can affect them, and a later run with the same
+// inputs restores the snapshot instead of recomputing. Set it on
+// FlowConfig.Cache; results are bit-identical with or without it.
+type StageCache = stash.Store
+
+// StageCacheStats is a point-in-time snapshot of cache traffic.
+type StageCacheStats = stash.Stats
+
+// OpenStageCache opens (creating if needed) a stage cache rooted at
+// dir.
+func OpenStageCache(dir string) (*StageCache, error) { return stash.Open(dir) }
 
 // --- LEF/DEF interchange ---
 

@@ -6,13 +6,21 @@
 // Usage:
 //
 //	go test -bench 'TableII|Optimize' -count 5 -run '^$' . | benchjson
+//	go test -bench StashSweep -run '^$' . | benchjson -o BENCH_stash.json
+//
+// With -o the summary is written to the file via a same-directory
+// temporary and an atomic rename, so a failed run never leaves a
+// truncated JSON behind.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 )
@@ -36,6 +44,8 @@ type summary struct {
 }
 
 func main() {
+	outPath := flag.String("o", "", "write the JSON summary to this file (atomically) instead of stdout")
+	flag.Parse()
 	byName := map[string]*entry{}
 	var order []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -115,13 +125,50 @@ func main() {
 			out.Speedup[pair[2]] = ser.MeanNsOp / par.MeanNsOp
 		}
 	}
+	// Stage-cache ratio (`make bench-stash`): the same sweep cold
+	// (populating the cache) versus warm (restoring every checkpoint).
+	cold, okC := byName["BenchmarkStashSweep/cold"]
+	if warm, ok := byName["BenchmarkStashSweep/warm"]; ok && okC && warm.MeanNsOp > 0 {
+		out.Speedup["stash_cold_over_warm"] = cold.MeanNsOp / warm.MeanNsOp
+	}
 	if len(out.Speedup) == 0 {
 		out.Speedup = nil
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := write(*outPath, out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// write emits the summary to stdout, or — with a path — atomically via
+// a sibling temporary file and rename.
+func write(path string, out *summary) error {
+	emit := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	if path == "" {
+		return emit(os.Stdout)
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	err = emit(f)
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }

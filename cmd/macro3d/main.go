@@ -7,6 +7,8 @@
 //	macro3d -experiment table1|table2|table3|isoperf|flowtrace [-seed N]
 //	macro3d -experiment table1 -timeout 2m -keep-going
 //	macro3d -experiment table2 -cpuprofile cpu.prof -memprofile mem.prof
+//	macro3d -experiment table1 -cache-dir /tmp/stash   # populate, then re-run to resume
+//	macro3d -flow macro3d -resume                      # cache under .macro3d-stash
 //
 // -timeout bounds the whole invocation (flows are cancelled at the
 // next stage boundary); -keep-going lets multi-column experiments
@@ -14,9 +16,19 @@
 // the stage diagnostics (flow, stage, seed, attempt, cause) are
 // printed to stderr and the exit status is non-zero.
 //
+// -cache-dir enables the content-addressed stage cache: completed
+// place/route/sign-off stages are snapshotted, and a later run with
+// the same inputs restores them instead of recomputing (results are
+// bit-identical either way). -resume is shorthand that defaults the
+// directory to .macro3d-stash; -cache-verify re-runs cached stages
+// and fails if the snapshot does not match bit-for-bit.
+//
 // -cpuprofile and -memprofile write runtime/pprof profiles covering the
 // whole run (the memory profile is a heap snapshot taken at exit, after
-// a final GC). Inspect them with `go tool pprof`.
+// a final GC). Inspect them with `go tool pprof`. All file outputs
+// (-events, -metrics-out, profiles) are written to a temporary file in
+// the destination directory and renamed into place on success, so a
+// crashed or failed write never leaves a truncated file behind.
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"syscall"
@@ -34,29 +47,94 @@ import (
 	"macro3d"
 )
 
+// defaultCacheDir is where -resume keeps snapshots when -cache-dir is
+// not given.
+const defaultCacheDir = ".macro3d-stash"
+
 func main() {
-	// Deferred cleanups (profile flushes) must run even on a failing
-	// exit, so the exit status is decided after realMain returns.
+	// Cleanups (profile flushes, event-stream commits) must run even on
+	// a failing exit, so the exit status is decided after realMain
+	// returns.
 	os.Exit(realMain())
 }
 
-func realMain() int {
+// atomicFile writes to a temporary file next to the destination and
+// renames it into place on Commit, so readers never observe a partial
+// file and a failed run never clobbers a previous good output.
+type atomicFile struct {
+	*os.File
+	path string
+	done bool
+}
+
+func createAtomic(path string) (*atomicFile, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, err
+	}
+	return &atomicFile{File: f, path: path}, nil
+}
+
+// Commit syncs, closes and renames the temporary file onto the
+// destination. Any failure removes the temporary file.
+func (a *atomicFile) Commit() error {
+	if a.done {
+		return nil
+	}
+	a.done = true
+	err := a.File.Sync()
+	if cerr := a.File.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(a.File.Name())
+		return err
+	}
+	if err := os.Rename(a.File.Name(), a.path); err != nil {
+		os.Remove(a.File.Name())
+		return err
+	}
+	return nil
+}
+
+// Abort discards the temporary file, leaving any previous destination
+// file untouched.
+func (a *atomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.File.Close()
+	os.Remove(a.File.Name())
+}
+
+// cleanup is one teardown step; errors surface on stderr and force a
+// non-zero exit.
+type cleanup struct {
+	name string
+	fn   func() error
+}
+
+func realMain() (code int) {
 	var (
-		flow       = flag.String("flow", "", "run one flow: 2d, macro3d, s2d, bfs2d, c2d")
-		experiment = flag.String("experiment", "", "run an experiment: table1, table2, table3, isoperf, flowtrace, sweepblockage, sweeppitch, heterotech")
-		config     = flag.String("config", "small", "tile configuration: small, large or tiny")
-		seed       = flag.Uint64("seed", 1, "deterministic seed")
-		jobs       = flag.Int("j", 0, "routing/placement worker count (0 = all CPUs, 1 = serial; results are bit-identical at any setting)")
-		metals     = flag.Int("macrodiemetals", 6, "macro-die metal layers (3D flows)")
-		array      = flag.Int("array", 0, "after -flow 2d/macro3d: verify an N×N abutted tile array")
-		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
-		keepGoing  = flag.Bool("keep-going", false, "in table experiments, skip failed columns and print the partial table")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		events     = flag.String("events", "", "write the observability JSONL event stream (spans, metric samples, fault tags) to this file")
-		obsAddr    = flag.String("obs-addr", "", "serve live observability endpoints (/metrics, /metrics.json, /debug/vars, /debug/pprof/) on this address, e.g. :9090 or 127.0.0.1:0")
-		metricsOut = flag.String("metrics-out", "", "write a final Prometheus text snapshot of the run's metrics to this file")
-		obsLinger  = flag.Duration("obs-linger", 0, "with -obs-addr: keep serving this long after a successful run (live inspection, smoke tests)")
+		flow        = flag.String("flow", "", "run one flow: 2d, macro3d, s2d, bfs2d, c2d")
+		experiment  = flag.String("experiment", "", "run an experiment: table1, table2, table3, isoperf, flowtrace, sweepblockage, sweeppitch, heterotech")
+		config      = flag.String("config", "small", "tile configuration: small, large or tiny")
+		seed        = flag.Uint64("seed", 1, "deterministic seed")
+		jobs        = flag.Int("j", 0, "routing/placement worker count (0 = all CPUs, 1 = serial; results are bit-identical at any setting)")
+		metals      = flag.Int("macrodiemetals", 6, "macro-die metal layers (3D flows)")
+		array       = flag.Int("array", 0, "after -flow 2d/macro3d: verify an N×N abutted tile array")
+		timeout     = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+		keepGoing   = flag.Bool("keep-going", false, "in table experiments, skip failed columns and print the partial table")
+		cacheDir    = flag.String("cache-dir", "", "content-addressed stage cache directory: snapshots of completed stages skip recomputation on later runs")
+		resume      = flag.Bool("resume", false, "resume from cached stage snapshots (implies -cache-dir "+defaultCacheDir+" when unset)")
+		cacheVerify = flag.Bool("cache-verify", false, "paranoia mode: re-run cached stages and fail unless the snapshot matches bit-for-bit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		events      = flag.String("events", "", "write the observability JSONL event stream (spans, metric samples, fault tags) to this file")
+		obsAddr     = flag.String("obs-addr", "", "serve live observability endpoints (/metrics, /metrics.json, /debug/vars, /debug/pprof/) on this address, e.g. :9090 or 127.0.0.1:0")
+		metricsOut  = flag.String("metrics-out", "", "write a final Prometheus text snapshot of the run's metrics to this file")
+		obsLinger   = flag.Duration("obs-linger", 0, "with -obs-addr: keep serving this long after a successful run (live inspection, smoke tests)")
 	)
 	flag.Parse()
 
@@ -65,32 +143,52 @@ func realMain() int {
 		return 2
 	}
 
+	// Cleanups run last-registered-first on every exit path, so a
+	// failing run still flushes profiles, commits the event stream and
+	// writes the metrics snapshot; a cleanup failure itself makes the
+	// exit status non-zero.
+	var cleanups []cleanup
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			if err := cleanups[i].fn(); err != nil {
+				fmt.Fprintf(os.Stderr, "macro3d: %s: %v\n", cleanups[i].name, err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+	}()
+
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		f, err := createAtomic(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "macro3d: -cpuprofile:", err)
 			return 1
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Abort()
 			fmt.Fprintln(os.Stderr, "macro3d: -cpuprofile:", err)
 			return 1
 		}
-		defer pprof.StopCPUProfile()
+		cleanups = append(cleanups, cleanup{"-cpuprofile", func() error {
+			pprof.StopCPUProfile()
+			return f.Commit()
+		}})
 	}
 	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
+		path := *memProfile
+		cleanups = append(cleanups, cleanup{"-memprofile", func() error {
+			f, err := createAtomic(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "macro3d: -memprofile:", err)
-				return
+				return err
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "macro3d: -memprofile:", err)
+				f.Abort()
+				return err
 			}
-		}()
+			return f.Commit()
+		}})
 	}
 
 	// Any observability flag turns recording on; with all of them off
@@ -101,31 +199,36 @@ func realMain() int {
 		rec = macro3d.NewObsRecorder()
 	}
 	if *events != "" {
-		f, err := os.Create(*events)
+		f, err := createAtomic(*events)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "macro3d: -events:", err)
 			return 1
 		}
-		defer f.Close()
 		rec.SetSink(f)
-		defer func() {
+		cleanups = append(cleanups, cleanup{"-events", func() error {
+			// A cleanly flushed stream is committed even when the run
+			// failed (its events are the diagnostics); a flush error
+			// discards the temp file and fails the invocation.
 			if err := rec.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "macro3d: -events:", err)
+				f.Abort()
+				return err
 			}
-		}()
+			return f.Commit()
+		}})
 	}
 	if *metricsOut != "" {
-		defer func() {
-			f, err := os.Create(*metricsOut)
+		path := *metricsOut
+		cleanups = append(cleanups, cleanup{"-metrics-out", func() error {
+			f, err := createAtomic(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "macro3d: -metrics-out:", err)
-				return
+				return err
 			}
-			defer f.Close()
 			if err := rec.Registry().WritePrometheus(f); err != nil {
-				fmt.Fprintln(os.Stderr, "macro3d: -metrics-out:", err)
+				f.Abort()
+				return err
 			}
-		}()
+			return f.Commit()
+		}})
 	}
 	var obsSrv *macro3d.ObsServer
 	if *obsAddr != "" {
@@ -135,8 +238,31 @@ func realMain() int {
 			return 1
 		}
 		obsSrv = srv
-		defer obsSrv.Close()
+		cleanups = append(cleanups, cleanup{"-obs-addr", obsSrv.Close})
 		fmt.Fprintf(os.Stderr, "macro3d: observability endpoint at %s/metrics (also /metrics.json, /debug/vars, /debug/pprof/)\n", obsSrv.URL())
+	}
+
+	cdir := *cacheDir
+	if cdir == "" && *resume {
+		cdir = defaultCacheDir
+	}
+	if *cacheVerify && cdir == "" {
+		fmt.Fprintln(os.Stderr, "macro3d: -cache-verify needs -cache-dir or -resume")
+		return 2
+	}
+	var cache *macro3d.StageCache
+	if cdir != "" {
+		var err error
+		if cache, err = macro3d.OpenStageCache(cdir); err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d: -cache-dir:", err)
+			return 1
+		}
+		cleanups = append(cleanups, cleanup{"stage cache", func() error {
+			s := cache.Stats()
+			fmt.Fprintf(os.Stderr, "macro3d: stage cache %s: %d hits, %d misses, %d stored, %d evicted, %d errors, %d B read, %d B written\n",
+				cache.Dir(), s.Hits, s.Misses, s.Puts, s.Evictions, s.Errors, s.BytesRead, s.BytesWritten)
+			return nil
+		}})
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -147,7 +273,7 @@ func realMain() int {
 		defer cancel()
 	}
 
-	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec); err != nil {
+	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec, cache, *cacheVerify); err != nil {
 		printFailure(err)
 		return 1
 	}
@@ -196,12 +322,12 @@ func tileConfig(name string) (macro3d.TileConfig, error) {
 	return macro3d.TileConfig{}, fmt.Errorf("unknown config %q (want small, large or tiny)", name)
 }
 
-func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder) error {
+func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder, cache *macro3d.StageCache, cacheVerify bool) error {
 	pc, err := tileConfig(config)
 	if err != nil {
 		return err
 	}
-	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec, Workers: jobs}
+	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec, Workers: jobs, Cache: cache, CacheVerify: cacheVerify}
 
 	if flow != "" {
 		var ppa *macro3d.PPA
@@ -241,6 +367,10 @@ func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs
 		}
 	}
 
+	// Experiments pick their own tiles per column; the shared config
+	// carries the seed, the hardening knobs and the stage cache.
+	ecfg := macro3d.FlowConfig{Seed: seed, Obs: rec, Workers: jobs, Cache: cache, CacheVerify: cacheVerify}
+
 	// Table experiments return the partial table alongside the error,
 	// so in keep-going mode the surviving columns still print before
 	// the failure diagnostics.
@@ -254,23 +384,27 @@ func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs
 	switch experiment {
 	case "":
 	case "table1":
-		t, err := macro3d.RunTableIWith(ctx, macro3d.FlowConfig{Seed: seed, Obs: rec, Workers: jobs}, keepGoing)
+		t, err := macro3d.RunTableIWith(ctx, ecfg, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
 	case "table2":
-		t, err := macro3d.RunTableIIWith(ctx, macro3d.FlowConfig{Seed: seed, MacroDieMetals: metals, Obs: rec, Workers: jobs}, keepGoing)
+		tcfg := ecfg
+		tcfg.MacroDieMetals = metals
+		t, err := macro3d.RunTableIIWith(ctx, tcfg, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
 	case "table3":
-		t, err := macro3d.RunTableIIIWith(ctx, macro3d.FlowConfig{Seed: seed, Obs: rec, Workers: jobs}, keepGoing)
+		t, err := macro3d.RunTableIIIWith(ctx, ecfg, keepGoing)
 		if err := printPartial(t.Format, err); err != nil {
 			return err
 		}
 	case "isoperf":
 		for _, pc := range []macro3d.TileConfig{macro3d.SmallCache(), macro3d.LargeCache()} {
-			r, err := macro3d.RunIsoPerfCtx(ctx, pc, seed)
+			icfg := ecfg
+			icfg.Piton = pc
+			r, err := macro3d.RunIsoPerfWith(ctx, icfg)
 			if err != nil {
 				return err
 			}
@@ -279,17 +413,17 @@ func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs
 	case "flowtrace":
 		return flowTrace(ctx, cfg)
 	case "sweepblockage":
-		sw, err := macro3d.RunBlockageSweepCtx(ctx, seed, nil, keepGoing)
+		sw, err := macro3d.RunBlockageSweepWith(ctx, ecfg, nil, keepGoing)
 		if err := printPartial(sw.Format, err); err != nil {
 			return err
 		}
 	case "sweeppitch":
-		sw, err := macro3d.RunPitchSweepCtx(ctx, seed, nil, keepGoing)
+		sw, err := macro3d.RunPitchSweepWith(ctx, ecfg, nil, keepGoing)
 		if err := printPartial(sw.Format, err); err != nil {
 			return err
 		}
 	case "heterotech":
-		sw, err := macro3d.RunHeteroTechSweepCtx(ctx, seed, keepGoing)
+		sw, err := macro3d.RunHeteroTechSweepWith(ctx, ecfg, keepGoing)
 		if err := printPartial(sw.Format, err); err != nil {
 			return err
 		}

@@ -79,99 +79,104 @@ func RunC2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 
 	// ---- Phase A: the 2×-footprint pseudo design. ----
 	s := math.Sqrt2
+	// Like S2D, the whole pseudo P&R plus the linear map back is one
+	// checkpoint over the real design's standard-cell state.
 	var dP *netlist.Design
 	var fpP *floorplan.Floorplan
 	var dieC geom.Rect
-	if err := r.stage("pseudo-"+StageFloorplan, func() error {
-		dieC = geom.R(die.Lx*s, die.Ly*s, die.Ux*s, die.Uy*s)
-		pseudoTile, err := piton.Generate(cfg.Piton)
-		if err != nil {
+	pseudoBody := func() error {
+		if err := r.stage("pseudo-"+StageFloorplan, func() error {
+			dieC = geom.R(die.Lx*s, die.Ly*s, die.Ux*s, die.Uy*s)
+			pseudoTile, err := piton.Generate(cfg.Piton)
+			if err != nil {
+				return err
+			}
+			dP = pseudoTile.Design
+
+			// Macros at linearly scaled locations; blockage rects scaled
+			// 2× in area (√2 per dimension, about the origin — consistent
+			// with the location map).
+			var logicRects, macroRects []geom.Rect
+			for _, m := range dReal.Macros() {
+				pm := dP.Instance(m.Name)
+				if pm == nil {
+					return fmt.Errorf("c2d: pseudo design lacks macro %s", m.Name)
+				}
+				pm.Loc = m.Loc.Scale(s)
+				pm.Fixed, pm.Placed = true, true
+				pm.Die = netlist.LogicDie
+				scaled := m.Bounds().Scale(s)
+				if m.Die == netlist.LogicDie {
+					logicRects = append(logicRects, scaled)
+				} else {
+					macroRects = append(macroRects, scaled)
+				}
+			}
+			floorplan.AssignPorts(pseudoTile, dieC)
+
+			pbm := floorplan.NewPartialBlockageMap(dieC, cfg.BlockageResolution, logicRects, macroRects)
+			fpP = &floorplan.Floorplan{Die: dieC, PlaceBlk: pbm.Blockages()}
+			for _, m := range dReal.Macros() {
+				if m.Die != netlist.LogicDie {
+					continue
+				}
+				for _, o := range m.Master.Obstructions {
+					fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
+						Layer: o.Layer, Rect: o.Rect.Translate(m.Loc).Scale(s),
+					})
+				}
+			}
+
+			// Per-unit parasitics scaled by 1/√2: routes in the inflated
+			// floorplan estimate target-3D RC.
+			scaledBeol := tech.ScaleParasitics(t.Logic, 1/s)
+			stP.Design, stP.Tile, stP.Die = dP, pseudoTile, dieC
+			stP.FP, stP.Beol, stP.Sizing = fpP, scaledBeol, sz
+			return nil
+		}); err != nil {
 			return err
 		}
-		dP = pseudoTile.Design
 
-		// Macros at linearly scaled locations; blockage rects scaled
-		// 2× in area (√2 per dimension, about the origin — consistent
-		// with the location map).
-		var logicRects, macroRects []geom.Rect
-		for _, m := range dReal.Macros() {
-			pm := dP.Instance(m.Name)
-			if pm == nil {
-				return fmt.Errorf("c2d: pseudo design lacks macro %s", m.Name)
-			}
-			pm.Loc = m.Loc.Scale(s)
-			pm.Fixed, pm.Placed = true, true
-			pm.Die = netlist.LogicDie
-			scaled := m.Bounds().Scale(s)
-			if m.Die == netlist.LogicDie {
-				logicRects = append(logicRects, scaled)
-			} else {
-				macroRects = append(macroRects, scaled)
-			}
-		}
-		floorplan.AssignPorts(pseudoTile, dieC)
-
-		pbm := floorplan.NewPartialBlockageMap(dieC, cfg.BlockageResolution, logicRects, macroRects)
-		fpP = &floorplan.Floorplan{Die: dieC, PlaceBlk: pbm.Blockages()}
-		for _, m := range dReal.Macros() {
-			if m.Die != netlist.LogicDie {
-				continue
-			}
-			for _, o := range m.Master.Obstructions {
-				fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
-					Layer: o.Layer, Rect: o.Rect.Translate(m.Loc).Scale(s),
-				})
-			}
-		}
-
-		// Per-unit parasitics scaled by 1/√2: routes in the inflated
-		// floorplan estimate target-3D RC.
-		scaledBeol := tech.ScaleParasitics(t.Logic, 1/s)
-		stP.Design, stP.Tile, stP.Die = dP, pseudoTile, dieC
-		stP.FP, stP.Beol, stP.Sizing = fpP, scaledBeol, sz
-		return nil
-	}); err != nil {
-		return nil, stP, err
-	}
-
-	if err := r.seededStage("pseudo-"+StagePlace, cfg.Seed+4, func(seed uint64) error {
-		_, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
-		return err
-	}); err != nil {
-		return nil, stP, err
-	}
-
-	if err := r.stage("pseudo-"+StageRoute, func() error {
-		buildClock(stP)
-		stP.DB = route.NewDB(dieC, stP.Beol, fpP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
-		var err error
-		stP.Routes, err = route.RouteDesign(dP, stP.DB)
-		return err
-	}); err != nil {
-		return nil, stP, err
-	}
-
-	if err := r.stage("pseudo-"+StageOpt, func() error {
-		slow := t.CornerScaleFor(tech.CornerSlow)
-		stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
-		if err := stP.ExSlow.CheckFinite(); err != nil {
+		if err := r.seededStage("pseudo-"+StagePlace, cfg.Seed+4, func(seed uint64) error {
+			_, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
+			return err
+		}); err != nil {
 			return err
 		}
-		stP.DDB = ddb.New(dP, stP.DB, stP.Routes, stP.ExSlow, slow)
-		_, err := opt.Optimize(&opt.Context{
-			Clock: stP.Tree,
-			FP:    fpP, RowHeight: t.RowHeight,
-			DDB: stP.DDB,
-		}, sta.Options{}, opt.Options{BufferElmore: 1e12, SelfCheck: cfg.SelfCheck})
-		return err
-	}); err != nil {
-		return nil, stP, err
-	}
 
-	// ---- Transfer: linear map into the 3D footprint. ----
-	if err := r.stage(StageTransfer, func() error {
-		return transferPseudoScaled(dP, dReal, 1/s)
-	}); err != nil {
+		if err := r.stage("pseudo-"+StageRoute, func() error {
+			buildClock(stP)
+			stP.DB = route.NewDB(dieC, stP.Beol, fpP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
+			var err error
+			stP.Routes, err = route.RouteDesign(dP, stP.DB)
+			return err
+		}); err != nil {
+			return err
+		}
+
+		if err := r.stage("pseudo-"+StageOpt, func() error {
+			slow := t.CornerScaleFor(tech.CornerSlow)
+			stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
+			if err := stP.ExSlow.CheckFinite(); err != nil {
+				return err
+			}
+			stP.DDB = ddb.New(dP, stP.DB, stP.Routes, stP.ExSlow, slow)
+			_, err := opt.Optimize(&opt.Context{
+				Clock: stP.Tree,
+				FP:    fpP, RowHeight: t.RowHeight,
+				DDB: stP.DDB,
+			}, sta.Options{}, opt.Options{BufferElmore: 1e12, SelfCheck: cfg.SelfCheck})
+			return err
+		}); err != nil {
+			return err
+		}
+
+		// ---- Transfer: linear map into the 3D footprint. ----
+		return r.stage(StageTransfer, func() error {
+			return transferPseudoScaled(dP, dReal, 1/s)
+		})
+	}
+	if err := r.checkpointed(pseudoCheckpoint(resolutionMaterial(cfg), dReal), pseudoBody); err != nil {
 		return nil, stP, err
 	}
 

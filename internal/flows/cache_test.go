@@ -1,0 +1,330 @@
+package flows
+
+import (
+	"context"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"macro3d/internal/piton"
+	"macro3d/internal/stash"
+)
+
+func tinyCacheCfg() Config {
+	return Config{Piton: piton.Tiny(), Seed: 7}
+}
+
+// runFlow normalizes the four flow entry points to (PPA, error).
+func runFlow(t *testing.T, flow string, cfg Config) *PPA {
+	t.Helper()
+	var ppa *PPA
+	var err error
+	switch flow {
+	case "2d":
+		ppa, _, err = Run2DCtx(context.Background(), cfg)
+	case "macro3d":
+		ppa, _, _, err = RunMacro3DCtx(context.Background(), cfg)
+	case "s2d":
+		ppa, _, err = RunS2DCtx(context.Background(), cfg, false)
+	case "bfs2d":
+		ppa, _, err = RunS2DCtx(context.Background(), cfg, true)
+	case "c2d":
+		ppa, _, err = RunC2DCtx(context.Background(), cfg)
+	default:
+		t.Fatalf("unknown flow %q", flow)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", flow, err)
+	}
+	return ppa
+}
+
+// TestStageCacheEquivalence pins the cache's core contract for every
+// flow: an uncached run, a cold cached run and a warm cached run all
+// produce identical PPA, and the warm run serves every checkpoint from
+// the cache.
+func TestStageCacheEquivalence(t *testing.T) {
+	for _, flow := range []string{"2d", "macro3d", "s2d", "bfs2d", "c2d"} {
+		t.Run(flow, func(t *testing.T) {
+			base := runFlow(t, flow, tinyCacheCfg())
+
+			dir := t.TempDir()
+			cold, err := stash.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tinyCacheCfg()
+			cfg.Cache = cold
+			coldPPA := runFlow(t, flow, cfg)
+			cs := cold.Stats()
+			if cs.Misses == 0 || cs.Puts == 0 || cs.Hits != 0 {
+				t.Errorf("cold stats = %+v; want misses and puts, no hits", cs)
+			}
+
+			warm, err := stash.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg = tinyCacheCfg()
+			cfg.Cache = warm
+			warmPPA := runFlow(t, flow, cfg)
+			ws := warm.Stats()
+			if ws.Hits == 0 || ws.Misses != 0 {
+				t.Errorf("warm stats = %+v; want all hits, no misses", ws)
+			}
+
+			if !reflect.DeepEqual(base, coldPPA) {
+				t.Errorf("cold cached PPA differs from uncached:\n  %+v\n  %+v", base, coldPPA)
+			}
+			if !reflect.DeepEqual(base, warmPPA) {
+				t.Errorf("warm cached PPA differs from uncached:\n  %+v\n  %+v", base, warmPPA)
+			}
+		})
+	}
+}
+
+// TestStageCachePrefixSharing pins that runs differing only in
+// TargetPeriod share the place and route snapshots: the target enters
+// the chain at the signoff checkpoint, not the root key.
+func TestStageCachePrefixSharing(t *testing.T) {
+	dir := t.TempDir()
+	s, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCacheCfg()
+	cfg.Cache = s
+	maxPerf := runFlow(t, "macro3d", cfg)
+
+	s2, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = tinyCacheCfg()
+	cfg.Cache = s2
+	cfg.TargetPeriod = maxPerf.MinPeriodPs * 2
+	runFlow(t, "macro3d", cfg)
+	st := s2.Stats()
+	if st.Hits < 2 {
+		t.Errorf("iso-performance run should hit the shared place+route prefix, stats = %+v", st)
+	}
+	if st.Misses == 0 {
+		t.Errorf("iso-performance run must re-run signoff (different target), stats = %+v", st)
+	}
+}
+
+// TestStageCacheKeyStability pins the -j independence of the cache:
+// serial and parallel runs produce identical keys (file names) and
+// bit-identical snapshot bytes.
+func TestStageCacheKeyStability(t *testing.T) {
+	snapshots := func(workers int) map[string][]byte {
+		dir := t.TempDir()
+		s, err := stash.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := tinyCacheCfg()
+		cfg.Cache = s
+		cfg.Workers = workers
+		runFlow(t, "macro3d", cfg)
+		out := map[string][]byte{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = b
+		}
+		return out
+	}
+
+	serial := snapshots(1)
+	parallel := snapshots(0)
+	if len(serial) == 0 {
+		t.Fatal("no snapshots written")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial run wrote %d snapshots, parallel %d", len(serial), len(parallel))
+	}
+	for name, b := range serial {
+		pb, ok := parallel[name]
+		if !ok {
+			t.Errorf("parallel run lacks snapshot %s (key mismatch)", name)
+			continue
+		}
+		if string(b) != string(pb) {
+			t.Errorf("snapshot %s differs between -j 1 and -j 0", name)
+		}
+	}
+}
+
+// TestStageCacheCorruptionRecovery truncates every snapshot after a
+// cold run: the warm run must treat them as misses, evict them,
+// recompute, and still produce identical PPA — never panic or resume
+// from garbage.
+func TestStageCacheCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCacheCfg()
+	cfg.Cache = s
+	cold := runFlow(t, "s2d", cfg)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no snapshots written")
+	}
+	for i, e := range entries {
+		path := filepath.Join(dir, e.Name())
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			b = b[:len(b)/2] // truncation
+		} else {
+			b[len(b)-1] ^= 0x10 // bit flip
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = tinyCacheCfg()
+	cfg.Cache = warm
+	recomputed := runFlow(t, "s2d", cfg)
+	ws := warm.Stats()
+	if ws.Evictions == 0 || ws.Misses == 0 {
+		t.Errorf("corrupt snapshots must evict and miss, stats = %+v", ws)
+	}
+	if !reflect.DeepEqual(cold, recomputed) {
+		t.Errorf("recovery PPA differs:\n  %+v\n  %+v", cold, recomputed)
+	}
+}
+
+// TestStageCachePayloadCorruptionFallsBack re-frames a snapshot with a
+// truncated payload — a valid checksum over wrong content — to pin the
+// decode-validate-then-apply loader: the load fails cleanly, the entry
+// is evicted, and the stage recomputes to the same result.
+func TestStageCachePayloadCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCacheCfg()
+	cfg.Cache = s
+	cold := runFlow(t, "macro3d", cfg)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewrap, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		hexKey := strings.TrimSuffix(e.Name(), ".snap")
+		raw, err := hex.DecodeString(hexKey)
+		if err != nil || len(raw) != len(stash.Key{}) {
+			t.Fatalf("unexpected snapshot name %q", e.Name())
+		}
+		var k stash.Key
+		copy(k[:], raw)
+		payload, ok := rewrap.Get(k)
+		if !ok {
+			t.Fatalf("cannot read back %s", e.Name())
+		}
+		if err := rewrap.Put(k, payload[:len(payload)*2/3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = tinyCacheCfg()
+	cfg.Cache = warm
+	recomputed := runFlow(t, "macro3d", cfg)
+	ws := warm.Stats()
+	if ws.Evictions == 0 {
+		t.Errorf("undecodable snapshots must be evicted, stats = %+v", ws)
+	}
+	if !reflect.DeepEqual(cold, recomputed) {
+		t.Errorf("fallback PPA differs:\n  %+v\n  %+v", cold, recomputed)
+	}
+}
+
+// TestStageCacheVerify runs the paranoia mode against a warm cache:
+// every hit re-runs and must confirm bit-identical state.
+func TestStageCacheVerify(t *testing.T) {
+	dir := t.TempDir()
+	s, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCacheCfg()
+	cfg.Cache = s
+	cold := runFlow(t, "2d", cfg)
+
+	warm, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = tinyCacheCfg()
+	cfg.Cache = warm
+	cfg.CacheVerify = true
+	verified := runFlow(t, "2d", cfg)
+	ws := warm.Stats()
+	if ws.Hits == 0 {
+		t.Errorf("verify run should still count hits, stats = %+v", ws)
+	}
+	if ws.Errors != 0 || ws.Evictions != 0 {
+		t.Errorf("verify run found mismatches, stats = %+v", ws)
+	}
+	if !reflect.DeepEqual(cold, verified) {
+		t.Errorf("verified PPA differs:\n  %+v\n  %+v", cold, verified)
+	}
+}
+
+// TestStageCacheDisabledWithHooks pins that runs with state-mutating
+// hooks never read or write the cache.
+func TestStageCacheDisabledWithHooks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCacheCfg()
+	cfg.Cache = s
+	cfg.AfterStage = func(flow, stage string, st *State) {}
+	runFlow(t, "2d", cfg)
+	if st := s.Stats(); st.Hits+st.Misses+st.Puts != 0 {
+		t.Errorf("hooked run touched the cache: %+v", st)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("hooked run wrote %d snapshots", len(entries))
+	}
+}

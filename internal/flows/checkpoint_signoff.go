@@ -1,0 +1,336 @@
+package flows
+
+import (
+	"fmt"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/ddb"
+	"macro3d/internal/extract"
+	"macro3d/internal/netlist"
+	"macro3d/internal/sta"
+	"macro3d/internal/stash"
+	"macro3d/internal/tech"
+)
+
+// netStateWire is one net's connectivity in a signoff snapshot.
+// Existing nets are overwritten wholesale because buffer insertion
+// rewires their sinks; appended nets additionally carry their name.
+type netStateWire struct {
+	name   string
+	clock  bool
+	weight float64
+	driver pinRefWire
+	sinks  []pinRefWire
+}
+
+func encodeNetState(e *stash.Enc, n *netlist.Net, withName bool) {
+	if withName {
+		e.Str(n.Name)
+	}
+	e.Bool(n.Clock)
+	e.F64(n.Weight)
+	encodePinRef(e, n.Driver)
+	e.Int(len(n.Sinks))
+	for _, s := range n.Sinks {
+		encodePinRef(e, s)
+	}
+}
+
+func decodeNetState(dec *stash.Dec, withName bool) netStateWire {
+	var w netStateWire
+	if withName {
+		w.name = dec.Str()
+	}
+	w.clock = dec.Bool()
+	w.weight = dec.F64()
+	w.driver = decodePinRefWire(dec)
+	n := dec.Int()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		w.sinks = append(w.sinks, decodePinRefWire(dec))
+	}
+	return w
+}
+
+func (w netStateWire) validate(nInst, nPort int) error {
+	if err := w.driver.validate(nInst, nPort); err != nil {
+		return err
+	}
+	for _, s := range w.sinks {
+		if err := s.validate(nInst, nPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w netStateWire) apply(d *netlist.Design, net *netlist.Net) {
+	net.Clock = w.clock
+	net.Weight = w.weight
+	net.Driver = w.driver.resolve(d)
+	net.Sinks = make([]netlist.PinRef, len(w.sinks))
+	for i, s := range w.sinks {
+		net.Sinks[i] = s.resolve(d)
+	}
+}
+
+func encodeReport(e *stash.Enc, rep *sta.Report) {
+	e.F64(rep.MinPeriod)
+	e.F64(rep.FmaxMHz)
+	e.F64(rep.WNS)
+	e.F64(rep.TNS)
+	encodePath(e, rep.Critical)
+	e.Int(len(rep.Paths))
+	for _, p := range rep.Paths {
+		encodePath(e, p)
+	}
+	e.Int(rep.Endpoints)
+	e.F64(rep.HoldWNS)
+	e.Int(rep.HoldViolations)
+	e.Int(rep.HoldEndpoints)
+}
+
+func encodePath(e *stash.Enc, p sta.Path) {
+	e.Int(len(p.Steps))
+	for _, s := range p.Steps {
+		encodePinRef(e, s.Ref)
+		e.F64(s.Arrival)
+	}
+	e.F64(p.Delay)
+	e.F64(p.Wirelength)
+	e.Bool(p.HalfCycle)
+}
+
+type pathStepWire struct {
+	ref     pinRefWire
+	arrival float64
+}
+
+type pathWire struct {
+	steps []pathStepWire
+	delay float64
+	wl    float64
+	half  bool
+}
+
+type reportWire struct {
+	minPeriod, fmax, wns, tns float64
+	critical                  pathWire
+	paths                     []pathWire
+	endpoints                 int
+	holdWNS                   float64
+	holdViol, holdEnds        int
+}
+
+func decodePathWire(dec *stash.Dec) pathWire {
+	var w pathWire
+	n := dec.Int()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		w.steps = append(w.steps, pathStepWire{ref: decodePinRefWire(dec), arrival: dec.F64()})
+	}
+	w.delay = dec.F64()
+	w.wl = dec.F64()
+	w.half = dec.Bool()
+	return w
+}
+
+func decodeReportWire(dec *stash.Dec) reportWire {
+	var w reportWire
+	w.minPeriod = dec.F64()
+	w.fmax = dec.F64()
+	w.wns = dec.F64()
+	w.tns = dec.F64()
+	w.critical = decodePathWire(dec)
+	n := dec.Int()
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		w.paths = append(w.paths, decodePathWire(dec))
+	}
+	w.endpoints = dec.Int()
+	w.holdWNS = dec.F64()
+	w.holdViol = dec.Int()
+	w.holdEnds = dec.Int()
+	return w
+}
+
+func (w pathWire) validate(nInst, nPort int) error {
+	for _, s := range w.steps {
+		if err := s.ref.validate(nInst, nPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w reportWire) validate(nInst, nPort int) error {
+	if err := w.critical.validate(nInst, nPort); err != nil {
+		return err
+	}
+	for _, p := range w.paths {
+		if err := p.validate(nInst, nPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w pathWire) build(d *netlist.Design) sta.Path {
+	p := sta.Path{Delay: w.delay, Wirelength: w.wl, HalfCycle: w.half}
+	p.Steps = make([]sta.PathStep, len(w.steps))
+	for i, s := range w.steps {
+		p.Steps[i] = sta.PathStep{Ref: s.ref.resolve(d), Arrival: s.arrival}
+	}
+	return p
+}
+
+func (w reportWire) build(d *netlist.Design) *sta.Report {
+	rep := &sta.Report{
+		MinPeriod: w.minPeriod, FmaxMHz: w.fmax, WNS: w.wns, TNS: w.tns,
+		Critical: w.critical.build(d), Endpoints: w.endpoints,
+		HoldWNS: w.holdWNS, HoldViolations: w.holdViol, HoldEndpoints: w.holdEnds,
+	}
+	rep.Paths = make([]sta.Path, len(w.paths))
+	for i, p := range w.paths {
+		rep.Paths[i] = p.build(d)
+	}
+	return rep
+}
+
+// signoffCheckpoint snapshots the extract+opt region: the design delta
+// optimization produced (resizes, inserted buffers and their nets,
+// rewired sinks), the post-ECO routes and DB dynamic state, and the
+// timing report. Slow-corner extraction is cheap and pure, so on load
+// it re-runs from scratch rather than being stored — incremental and
+// from-scratch extraction are bit-identical by the ddb equivalence
+// guarantee.
+func signoffCheckpoint(r *runner, st *State, t *tech.Tech, material []byte, resized, buffers *int) checkpoint {
+	d := st.Design
+	preInst, preNet := d.Counts()
+	return checkpoint{
+		name:     "signoff",
+		material: material,
+		save: func(e *stash.Enc) error {
+			e.Str(d.Name)
+			e.Int(preInst)
+			e.Int(preNet)
+			e.Int(len(d.Instances))
+			e.Int(len(d.Nets))
+			for i, inst := range d.Instances {
+				encodeInstState(e, inst, i >= preInst)
+			}
+			for i, n := range d.Nets {
+				encodeNetState(e, n, i >= preNet)
+			}
+			encodeResult(e, st.Routes)
+			u, h, f := st.DB.DynState()
+			e.I32s(u)
+			e.F32s(h)
+			e.I32s(f)
+			encodeReport(e, st.Report)
+			e.Int(*resized)
+			e.Int(*buffers)
+			return nil
+		},
+		load: func(dec *stash.Dec) error {
+			// Phase 1: decode and validate everything against the live
+			// design without touching it, so a bad snapshot falls back
+			// to the cold path with the design intact.
+			if name := dec.Str(); dec.Err() == nil && name != d.Name {
+				return fmt.Errorf("signoff snapshot is for design %q, running %q", name, d.Name)
+			}
+			if pi, pn := dec.Int(), dec.Int(); dec.Err() == nil && (pi != preInst || pn != preNet) {
+				return fmt.Errorf("signoff snapshot base %d/%d, design at %d/%d", pi, pn, preInst, preNet)
+			}
+			postInst := dec.Int()
+			postNet := dec.Int()
+			if dec.Err() == nil && (postInst < preInst || postNet < preNet) {
+				return fmt.Errorf("signoff snapshot shrinks the design")
+			}
+			insts := make([]instStateWire, 0, preInst)
+			for i := 0; i < postInst && dec.Err() == nil; i++ {
+				insts = append(insts, decodeInstState(dec, i >= preInst))
+			}
+			nets := make([]netStateWire, 0, preNet)
+			for i := 0; i < postNet && dec.Err() == nil; i++ {
+				nets = append(nets, decodeNetState(dec, i >= preNet))
+			}
+			routes := decodeResultWire(dec)
+			u := dec.I32s()
+			h := dec.F32s()
+			f := dec.I32s()
+			rep := decodeReportWire(dec)
+			nResized := dec.Int()
+			nBuffers := dec.Int()
+			if err := dec.Done(); err != nil {
+				return err
+			}
+
+			mdCache := map[string]*cell.Cell{}
+			for i := range insts {
+				var cur *cell.Cell
+				if i < preInst {
+					cur = d.Instances[i].Master
+				} else {
+					if d.Instance(insts[i].name) != nil {
+						return fmt.Errorf("signoff snapshot appends instance %q, which already exists", insts[i].name)
+					}
+					if insts[i].name == "" {
+						return fmt.Errorf("signoff snapshot appends an unnamed instance")
+					}
+				}
+				m, err := resolveMaster(d, cur, insts[i].master, mdCache)
+				if err != nil {
+					return err
+				}
+				insts[i].resolved = m
+			}
+			for i := range nets {
+				if i >= preNet {
+					if d.Net(nets[i].name) != nil {
+						return fmt.Errorf("signoff snapshot appends net %q, which already exists", nets[i].name)
+					}
+					if nets[i].name == "" {
+						return fmt.Errorf("signoff snapshot appends an unnamed net")
+					}
+				}
+				if err := nets[i].validate(postInst, len(d.Ports)); err != nil {
+					return err
+				}
+			}
+			if len(routes.routes) != postNet {
+				return fmt.Errorf("signoff snapshot routes %d nets, design will have %d", len(routes.routes), postNet)
+			}
+			cu, ch, cf := st.DB.DynState()
+			if len(u) != len(cu) || len(h) != len(ch) || len(f) != len(cf) {
+				return fmt.Errorf("signoff snapshot dyn state shape mismatch")
+			}
+			if err := rep.validate(postInst, len(d.Ports)); err != nil {
+				return err
+			}
+
+			// Phase 2: apply. Nothing below can fail.
+			for i := preInst; i < postInst; i++ {
+				inst := d.AddInstance(insts[i].name, insts[i].resolved)
+				insts[i].apply(inst)
+			}
+			for i := 0; i < preInst; i++ {
+				insts[i].apply(d.Instances[i])
+			}
+			for i := preNet; i < postNet; i++ {
+				net := d.AddNet(nets[i].name, nets[i].driver.resolve(d))
+				nets[i].apply(d, net)
+			}
+			for i := 0; i < preNet; i++ {
+				nets[i].apply(d, d.Nets[i])
+			}
+			st.Routes = routes.build(d)
+			st.DB.SetDynState(u, h, f)
+			slow := t.CornerScaleFor(tech.CornerSlow)
+			st.ExSlow = extract.Extract(d, st.Routes, st.DB, slow)
+			st.DDB = ddb.New(d, st.DB, st.Routes, st.ExSlow, slow)
+			st.DDB.AttachObs(r.obs())
+			st.Report = rep.build(d)
+			*resized = nResized
+			*buffers = nBuffers
+			return nil
+		},
+	}
+}

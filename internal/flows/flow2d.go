@@ -60,9 +60,11 @@ func Run2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 		return nil, st, err
 	}
 
-	if err := r.seededStage(StagePlace, cfg.Seed+1, func(seed uint64) error {
-		_, err := place.Place(d, st.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
-		return err
+	if err := r.checkpointed(placementCheckpoint(StagePlace, nil, d), func() error {
+		return r.seededStage(StagePlace, cfg.Seed+1, func(seed uint64) error {
+			_, err := place.Place(d, st.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
+			return err
+		})
 	}); err != nil {
 		return nil, st, err
 	}
@@ -74,11 +76,16 @@ func Run2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 		return nil, st, err
 	}
 
-	if err := r.stage(StageRoute, func() error {
+	buildDB := func() {
 		st.DB = route.NewDB(st.Die, t.Logic, st.FP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
-		var err error
-		st.Routes, err = route.RouteDesign(d, st.DB)
-		return err
+	}
+	if err := r.checkpointed(routeCheckpoint(st, d, nil, buildDB), func() error {
+		return r.stage(StageRoute, func() error {
+			buildDB()
+			var err error
+			st.Routes, err = route.RouteDesign(d, st.DB)
+			return err
+		})
 	}); err != nil {
 		return nil, st, err
 	}

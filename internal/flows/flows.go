@@ -37,6 +37,7 @@ import (
 	"macro3d/internal/power"
 	"macro3d/internal/route"
 	"macro3d/internal/sta"
+	"macro3d/internal/stash"
 	"macro3d/internal/tech"
 	"macro3d/internal/verify"
 )
@@ -116,6 +117,20 @@ type Config struct {
 	// CPU, 1 forces the serial reference path. Results are
 	// bit-identical at any setting.
 	Workers int
+
+	// Cache, when set, enables content-addressed stage checkpointing:
+	// completed regions store deterministic snapshots keyed by
+	// everything they depend on, and later runs with matching inputs
+	// load the snapshot instead of recomputing (DESIGN.md §11).
+	// Results are byte-identical with and without the cache. Disabled
+	// automatically for runs with a custom Generator or an AfterStage
+	// hook, whose state the snapshots cannot capture.
+	Cache *stash.Store
+
+	// CacheVerify is the paranoia mode: a cache hit re-runs the region
+	// anyway and fails the run unless the recomputed state is
+	// bit-identical to the snapshot.
+	CacheVerify bool
 }
 
 // generate produces a fresh benchmark netlist for a flow run.
@@ -214,39 +229,45 @@ func signoff(r *runner, cfg Config, st *State, t *tech.Tech, optCfg opt.Options,
 	slow := t.CornerScaleFor(tech.CornerSlow)
 	typ := t.CornerScaleFor(tech.CornerTypical)
 
-	if err := r.stage(StageExtract, func() error {
-		st.ExSlow = extract.Extract(st.Design, st.Routes, st.DB, slow)
-		if err := st.ExSlow.CheckFinite(); err != nil {
+	// The effective optimization budget is resolved up front so the
+	// signoff checkpoint's key material matches what the optimizer
+	// actually runs with.
+	if optCfg.TargetPeriod == 0 {
+		optCfg.TargetPeriod = cfg.TargetPeriod
+	}
+	optCfg.SelfCheck = optCfg.SelfCheck || cfg.SelfCheck
+
+	var resized, buffers int
+	body := func() error {
+		if err := r.stage(StageExtract, func() error {
+			st.ExSlow = extract.Extract(st.Design, st.Routes, st.DB, slow)
+			if err := st.ExSlow.CheckFinite(); err != nil {
+				return err
+			}
+			st.DDB = ddb.New(st.Design, st.DB, st.Routes, st.ExSlow, slow)
+			st.DDB.AttachObs(r.obs())
+			return nil
+		}); err != nil {
 			return err
 		}
-		st.DDB = ddb.New(st.Design, st.DB, st.Routes, st.ExSlow, slow)
-		st.DDB.AttachObs(r.obs())
-		return nil
-	}); err != nil {
-		return nil, err
+		return r.stage(StageOpt, func() error {
+			octx := &opt.Context{
+				Clock: st.Tree,
+				FP:    st.FP, RowHeight: t.RowHeight,
+				DDB: st.DDB,
+				Obs: r.obs(),
+			}
+			ores, err := opt.Optimize(octx, sta.Options{}, optCfg)
+			if err != nil {
+				return fmt.Errorf("%s: optimization: %w", st.Design.Name, err)
+			}
+			st.Report = ores.Report
+			resized, buffers = ores.Resized, ores.Buffers
+			st.Routes.Recount(st.DB)
+			return nil
+		})
 	}
-
-	var ores *opt.Result
-	if err := r.stage(StageOpt, func() error {
-		octx := &opt.Context{
-			Clock: st.Tree,
-			FP:    st.FP, RowHeight: t.RowHeight,
-			DDB: st.DDB,
-			Obs: r.obs(),
-		}
-		if optCfg.TargetPeriod == 0 {
-			optCfg.TargetPeriod = cfg.TargetPeriod
-		}
-		optCfg.SelfCheck = optCfg.SelfCheck || cfg.SelfCheck
-		var err error
-		ores, err = opt.Optimize(octx, sta.Options{}, optCfg)
-		if err != nil {
-			return fmt.Errorf("%s: optimization: %w", st.Design.Name, err)
-		}
-		st.Report = ores.Report
-		st.Routes.Recount(st.DB)
-		return nil
-	}); err != nil {
+	if err := r.checkpointed(signoffCheckpoint(r, st, t, signoffMaterial(optCfg), &resized, &buffers), body); err != nil {
 		return nil, err
 	}
 
@@ -325,10 +346,26 @@ func signoff(r *runner, cfg Config, st *State, t *tech.Tech, optCfg opt.Options,
 
 		RouteOverflow: st.Routes.Overflow,
 		Dies:          dies,
-		Resized:       ores.Resized,
-		Buffers:       ores.Buffers,
+		Resized:       resized,
+		Buffers:       buffers,
 	}
 	return p, nil
+}
+
+// signoffMaterial is the signoff checkpoint's own key material: the
+// resolved optimization budget. SelfCheck is excluded — it verifies,
+// it never changes results.
+func signoffMaterial(o opt.Options) []byte {
+	e := stash.NewEnc()
+	e.Int(o.MaxIters)
+	e.Int(o.MaxMovesPerIter)
+	e.F64(o.BufferElmore)
+	e.F64(o.BufferSpan)
+	e.F64(o.FanoutCap)
+	e.F64(o.TargetPeriod)
+	e.Bool(o.Frozen)
+	e.Bool(o.FullRecompute)
+	return e.Bytes()
 }
 
 // verifyStage runs the optional independent sign-off check. For 3D

@@ -85,9 +85,14 @@ func RunMacro3DCtx(ctx context.Context, cfg Config) (*PPA, *State, *core.MoLDesi
 
 	// Step 3: standard 2D P&R over the combined stack — the result is
 	// directly valid for the 3D target.
-	if err := r.seededStage(StagePlace, cfg.Seed+2, func(seed uint64) error {
-		_, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
-		return err
+	// The place checkpoint's key material covers the 3D-specific
+	// inputs of the stages above it (prepare's combined BEOL and F2F
+	// spec); everything else is in the root key.
+	if err := r.checkpointed(placementCheckpoint(StagePlace, stackMaterial(cfg, t), d), func() error {
+		return r.seededStage(StagePlace, cfg.Seed+2, func(seed uint64) error {
+			_, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
+			return err
+		})
 	}); err != nil {
 		return nil, st, nil, err
 	}
@@ -99,11 +104,16 @@ func RunMacro3DCtx(ctx context.Context, cfg Config) (*PPA, *State, *core.MoLDesi
 		return nil, st, nil, err
 	}
 
-	if err := r.stage(StageRoute, func() error {
+	buildDB := func() {
 		st.DB = route.NewDB(st.Die, md.Combined, md.FP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
-		var err error
-		st.Routes, err = route.RouteDesign(d, st.DB)
-		return err
+	}
+	if err := r.checkpointed(routeCheckpoint(st, d, nil, buildDB), func() error {
+		return r.stage(StageRoute, func() error {
+			buildDB()
+			var err error
+			st.Routes, err = route.RouteDesign(d, st.DB)
+			return err
+		})
 	}); err != nil {
 		return nil, st, nil, err
 	}

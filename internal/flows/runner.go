@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"macro3d/internal/obs"
+	"macro3d/internal/stash"
 )
 
 // Canonical stage names, in the order the flows execute them. Pseudo
@@ -94,6 +95,7 @@ type StageRecord struct {
 	Seed     uint64
 	Duration time.Duration
 	Panicked bool
+	Cached   bool   // region restored from the stage cache, not run
 	Err      string // empty on success
 }
 
@@ -123,6 +125,9 @@ func (r *RunReport) String() string {
 	b = fmt.Appendf(b, "%s/%s: %d stage attempts, completed=%v\n", r.Flow, r.Config, len(r.Stages), r.Completed)
 	for _, s := range r.Stages {
 		status := "ok"
+		if s.Cached {
+			status = "ok (cached)"
+		}
 		if s.Err != "" {
 			status = s.Err
 			if s.Panicked {
@@ -170,6 +175,12 @@ type runner struct {
 	// recorder — stage timing always flows through them.
 	span *obs.Span
 	cur  *obs.Span
+
+	// key is the checkpoint chain's current cache key; caching is set
+	// only when the run participates in stage checkpointing (see
+	// Config.cacheEnabled and rootKey).
+	key     stash.Key
+	caching bool
 }
 
 // flowSlug maps a flow display name to its span-path segment:
@@ -194,6 +205,13 @@ func newRunner(ctx context.Context, flow string, cfg Config, st *State) *runner 
 		span:  cfg.Obs.StartSpan(flowSlug(flow), obs.KV("config", name)),
 	}
 	st.Trace = r.trace
+	if cfg.cacheEnabled() {
+		// A failing fingerprint (unbuildable tech) silently disables
+		// caching; the flow itself will surface the real error.
+		if k, err := rootKey(flow, cfg); err == nil {
+			r.key, r.caching = k, true
+		}
+	}
 	return r
 }
 

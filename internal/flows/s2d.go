@@ -88,104 +88,110 @@ func RunS2DCtx(ctx context.Context, cfg Config, balanced bool) (*PPA, *State, er
 	}
 
 	// ---- Phase A: the pseudo (shrunk) design. ----
+	// The whole pseudo P&R plus the transfer is one checkpoint: its
+	// only effect phase B can see is the transferred location, placed
+	// flag and drive choice of each real standard cell.
 	var dP *netlist.Design
 	var fpP *floorplan.Floorplan
-	if err := r.stage("pseudo-"+StageFloorplan, func() error {
-		pcfg := cfg.Piton
-		pcfg.TargetLogicArea *= 0.5 // the 50 % area shrink
-		pseudoTile, err := piton.Generate(pcfg)
-		if err != nil {
+	pseudoBody := func() error {
+		if err := r.stage("pseudo-"+StageFloorplan, func() error {
+			pcfg := cfg.Piton
+			pcfg.TargetLogicArea *= 0.5 // the 50 % area shrink
+			pseudoTile, err := piton.Generate(pcfg)
+			if err != nil {
+				return err
+			}
+			dP = pseudoTile.Design
+
+			// Pseudo macros sit at the real floorplan locations, pins in
+			// the single-die BEOL (the S2D inaccuracy: the final pins live
+			// in the other die's metal).
+			var logicRects, macroRects []geom.Rect
+			for _, m := range dReal.Macros() {
+				pm := dP.Instance(m.Name)
+				if pm == nil {
+					return fmt.Errorf("s2d: pseudo design lacks macro %s", m.Name)
+				}
+				pm.Loc = m.Loc
+				pm.Fixed, pm.Placed = true, true
+				pm.Die = netlist.LogicDie // single-die view
+				if m.Die == netlist.LogicDie {
+					logicRects = append(logicRects, m.Bounds())
+				} else {
+					macroRects = append(macroRects, m.Bounds())
+				}
+			}
+			floorplan.AssignPorts(pseudoTile, die)
+
+			// Partial blockages rasterized at the coarse resolution.
+			pbm := floorplan.NewPartialBlockageMap(die, cfg.BlockageResolution, logicRects, macroRects)
+			fpP = &floorplan.Floorplan{Die: die, PlaceBlk: pbm.Blockages()}
+			// Routing obstructions only where a macro occupies *this* die
+			// in the pseudo single-die view (logic-die macros).
+			for _, m := range dReal.Macros() {
+				if m.Die != netlist.LogicDie {
+					continue
+				}
+				for _, o := range m.Master.Obstructions {
+					fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
+						Layer: o.Layer, Rect: o.Rect.Translate(m.Loc),
+					})
+				}
+			}
+
+			// Shrunk interconnect geometry (50 % dimensions → 1/√2 pitch);
+			// per-µm parasitics unchanged — S2D's estimation model.
+			shrunkBeol := tech.ShrinkGeometry(t.Logic, 0.7071)
+			stP.Design, stP.Tile, stP.Die = dP, pseudoTile, die
+			stP.FP, stP.Beol, stP.Sizing = fpP, shrunkBeol, sz
+			return nil
+		}); err != nil {
 			return err
 		}
-		dP = pseudoTile.Design
 
-		// Pseudo macros sit at the real floorplan locations, pins in
-		// the single-die BEOL (the S2D inaccuracy: the final pins live
-		// in the other die's metal).
-		var logicRects, macroRects []geom.Rect
-		for _, m := range dReal.Macros() {
-			pm := dP.Instance(m.Name)
-			if pm == nil {
-				return fmt.Errorf("s2d: pseudo design lacks macro %s", m.Name)
-			}
-			pm.Loc = m.Loc
-			pm.Fixed, pm.Placed = true, true
-			pm.Die = netlist.LogicDie // single-die view
-			if m.Die == netlist.LogicDie {
-				logicRects = append(logicRects, m.Bounds())
-			} else {
-				macroRects = append(macroRects, m.Bounds())
-			}
-		}
-		floorplan.AssignPorts(pseudoTile, die)
-
-		// Partial blockages rasterized at the coarse resolution.
-		pbm := floorplan.NewPartialBlockageMap(die, cfg.BlockageResolution, logicRects, macroRects)
-		fpP = &floorplan.Floorplan{Die: die, PlaceBlk: pbm.Blockages()}
-		// Routing obstructions only where a macro occupies *this* die
-		// in the pseudo single-die view (logic-die macros).
-		for _, m := range dReal.Macros() {
-			if m.Die != netlist.LogicDie {
-				continue
-			}
-			for _, o := range m.Master.Obstructions {
-				fpP.RouteBlk = append(fpP.RouteBlk, floorplan.RouteBlockage{
-					Layer: o.Layer, Rect: o.Rect.Translate(m.Loc),
-				})
-			}
-		}
-
-		// Shrunk interconnect geometry (50 % dimensions → 1/√2 pitch);
-		// per-µm parasitics unchanged — S2D's estimation model.
-		shrunkBeol := tech.ShrinkGeometry(t.Logic, 0.7071)
-		stP.Design, stP.Tile, stP.Die = dP, pseudoTile, die
-		stP.FP, stP.Beol, stP.Sizing = fpP, shrunkBeol, sz
-		return nil
-	}); err != nil {
-		return nil, stP, err
-	}
-
-	if err := r.seededStage("pseudo-"+StagePlace, cfg.Seed+3, func(seed uint64) error {
-		_, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
-		return err
-	}); err != nil {
-		return nil, stP, err
-	}
-
-	if err := r.stage("pseudo-"+StageRoute, func() error {
-		buildClock(stP)
-		stP.DB = route.NewDB(die, stP.Beol, fpP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
-		var err error
-		stP.Routes, err = route.RouteDesign(dP, stP.DB)
-		return err
-	}); err != nil {
-		return nil, stP, err
-	}
-
-	// Optimize against the pseudo parasitics (sizing only — buffer
-	// replication across the transfer is not part of the reference
-	// flows either).
-	if err := r.stage("pseudo-"+StageOpt, func() error {
-		slow := t.CornerScaleFor(tech.CornerSlow)
-		stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
-		if err := stP.ExSlow.CheckFinite(); err != nil {
+		if err := r.seededStage("pseudo-"+StagePlace, cfg.Seed+3, func(seed uint64) error {
+			_, err := place.Place(dP, fpP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers})
+			return err
+		}); err != nil {
 			return err
 		}
-		stP.DDB = ddb.New(dP, stP.DB, stP.Routes, stP.ExSlow, slow)
-		_, err := opt.Optimize(&opt.Context{
-			Clock: stP.Tree,
-			FP:    fpP, RowHeight: t.RowHeight,
-			DDB: stP.DDB,
-		}, sta.Options{}, opt.Options{BufferElmore: 1e12, SelfCheck: cfg.SelfCheck})
-		return err
-	}); err != nil {
-		return nil, stP, err
-	}
 
-	// ---- Transfer: unshrink, keep (x, y) and sizing. ----
-	if err := r.stage(StageTransfer, func() error {
-		return transferPseudoScaled(dP, dReal, 1)
-	}); err != nil {
+		if err := r.stage("pseudo-"+StageRoute, func() error {
+			buildClock(stP)
+			stP.DB = route.NewDB(die, stP.Beol, fpP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
+			var err error
+			stP.Routes, err = route.RouteDesign(dP, stP.DB)
+			return err
+		}); err != nil {
+			return err
+		}
+
+		// Optimize against the pseudo parasitics (sizing only — buffer
+		// replication across the transfer is not part of the reference
+		// flows either).
+		if err := r.stage("pseudo-"+StageOpt, func() error {
+			slow := t.CornerScaleFor(tech.CornerSlow)
+			stP.ExSlow = extract.Extract(dP, stP.Routes, stP.DB, slow)
+			if err := stP.ExSlow.CheckFinite(); err != nil {
+				return err
+			}
+			stP.DDB = ddb.New(dP, stP.DB, stP.Routes, stP.ExSlow, slow)
+			_, err := opt.Optimize(&opt.Context{
+				Clock: stP.Tree,
+				FP:    fpP, RowHeight: t.RowHeight,
+				DDB: stP.DDB,
+			}, sta.Options{}, opt.Options{BufferElmore: 1e12, SelfCheck: cfg.SelfCheck})
+			return err
+		}); err != nil {
+			return err
+		}
+
+		// ---- Transfer: unshrink, keep (x, y) and sizing. ----
+		return r.stage(StageTransfer, func() error {
+			return transferPseudoScaled(dP, dReal, 1)
+		})
+	}
+	if err := r.checkpointed(pseudoCheckpoint(resolutionMaterial(cfg), dReal), pseudoBody); err != nil {
 		return nil, stP, err
 	}
 
@@ -201,13 +207,15 @@ func finish3DBaseline(r *runner, cfg Config, t *tech.Tech, tile *piton.Tile, die
 	st := &State{Design: d, Tile: tile, Die: die, Sizing: sz}
 	r.setState(st)
 
-	if err := r.seededStage(StagePartition, cfg.Seed, func(seed uint64) error {
-		if _, err := partition.TierPartition(d, partition.Options{Seed: seed}); err != nil {
+	if err := r.checkpointed(placementCheckpoint(StagePartition, resolutionMaterial(cfg), d), func() error {
+		return r.seededStage(StagePartition, cfg.Seed, func(seed uint64) error {
+			if _, err := partition.TierPartition(d, partition.Options{Seed: seed}); err != nil {
+				return err
+			}
+			partition.BinBalance(d, die, cfg.BlockageResolution)
+			_, err := partition.LegalizeTiers(d, die, t.RowHeight)
 			return err
-		}
-		partition.BinBalance(d, die, cfg.BlockageResolution)
-		_, err := partition.LegalizeTiers(d, die, t.RowHeight)
-		return err
+		})
 	}); err != nil {
 		return nil, st, err
 	}
@@ -244,11 +252,16 @@ func finish3DBaseline(r *runner, cfg Config, t *tech.Tech, tile *piton.Tile, die
 		return nil, st, err
 	}
 
-	if err := r.stage(StageRoute, func() error {
+	buildDB := func() {
 		st.DB = route.NewDB(die, md.Combined, md.FP.RouteBlk, route.Options{Obs: r.obs(), Workers: cfg.Workers})
-		var err error
-		st.Routes, err = route.RouteDesign(d, st.DB)
-		return err
+	}
+	if err := r.checkpointed(routeCheckpoint(st, d, stackMaterial(cfg, t), buildDB), func() error {
+		return r.stage(StageRoute, func() error {
+			buildDB()
+			var err error
+			st.Routes, err = route.RouteDesign(d, st.DB)
+			return err
+		})
 	}); err != nil {
 		return nil, st, err
 	}

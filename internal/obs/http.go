@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -70,5 +71,14 @@ func (r *Recorder) Serve(addr string) (*Server, error) {
 // URL returns the endpoint base URL, e.g. "http://127.0.0.1:9090".
 func (s *Server) URL() string { return s.url }
 
-// Close shuts the endpoint down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the endpoint down, letting in-flight requests (e.g. a
+// scraper mid-read of /metrics) finish within a short grace period
+// before the listener is torn down hard.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -34,12 +34,24 @@ func RunBlockageSweep(seed uint64, resolutions []float64) (*BlockageSweep, error
 // is honoured at flow-stage boundaries, and with keepGoing a failed
 // point leaves a nil gap instead of aborting the sweep.
 func RunBlockageSweepCtx(ctx context.Context, seed uint64, resolutions []float64, keepGoing bool) (*BlockageSweep, error) {
+	return RunBlockageSweepWith(ctx, flows.Config{Seed: seed}, resolutions, keepGoing)
+}
+
+// RunBlockageSweepWith is RunBlockageSweepCtx taking a full flow
+// configuration, so hardening knobs and the stage cache apply to every
+// point (an unset tile defaults to the small-cache config; the swept
+// BlockageResolution is set per point). With a cache, all points share
+// the 2D and pseudo-phase snapshots where their keys agree.
+func RunBlockageSweepWith(ctx context.Context, cfg flows.Config, resolutions []float64, keepGoing bool) (*BlockageSweep, error) {
 	if len(resolutions) == 0 {
 		resolutions = []float64{15, 30, 50, 80, 120}
 	}
+	if cfg.Piton.Name == "" && cfg.Generator == nil {
+		cfg.Piton = piton.SmallCache()
+	}
 	out := &BlockageSweep{ResolutionsUm: resolutions}
 	cols := []column{{"2D reference", func() (err error) {
-		out.TwoD, _, err = flows.Run2DCtx(ctx, flows.Config{Piton: piton.SmallCache(), Seed: seed})
+		out.TwoD, _, err = flows.Run2DCtx(ctx, cfg)
 		return
 	}}}
 	for _, res := range resolutions {
@@ -47,8 +59,9 @@ func RunBlockageSweepCtx(ctx context.Context, seed uint64, resolutions []float64
 		i := len(out.S2D)
 		out.S2D = append(out.S2D, nil)
 		cols = append(cols, column{fmt.Sprintf("@%.0f µm", res), func() (err error) {
-			cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed, BlockageResolution: res}
-			out.S2D[i], _, err = flows.RunS2DCtx(ctx, cfg, false)
+			pcfg := cfg
+			pcfg.BlockageResolution = res
+			out.S2D[i], _, err = flows.RunS2DCtx(ctx, pcfg, false)
 			return
 		}})
 	}
@@ -98,8 +111,19 @@ func RunPitchSweep(seed uint64, pitches []float64) (*PitchSweep, error) {
 
 // RunPitchSweepCtx is the context-aware pitch-sweep driver.
 func RunPitchSweepCtx(ctx context.Context, seed uint64, pitches []float64, keepGoing bool) (*PitchSweep, error) {
+	return RunPitchSweepWith(ctx, flows.Config{Seed: seed}, pitches, keepGoing)
+}
+
+// RunPitchSweepWith is RunPitchSweepCtx taking a full flow
+// configuration (unset tile defaults to small-cache; the swept F2F
+// pitch is set per point). With a cache, all points share the place
+// snapshot prefix up to where the pitch enters the key.
+func RunPitchSweepWith(ctx context.Context, cfg flows.Config, pitches []float64, keepGoing bool) (*PitchSweep, error) {
 	if len(pitches) == 0 {
 		pitches = []float64{1, 2, 5, 10, 20}
+	}
+	if cfg.Piton.Name == "" && cfg.Generator == nil {
+		cfg.Piton = piton.SmallCache()
 	}
 	out := &PitchSweep{PitchesUm: pitches}
 	var cols []column
@@ -108,7 +132,6 @@ func RunPitchSweepCtx(ctx context.Context, seed uint64, pitches []float64, keepG
 		i := len(out.M3D)
 		out.M3D = append(out.M3D, nil)
 		cols = append(cols, column{fmt.Sprintf("@%.0f µm", pitch), func() (err error) {
-			cfg := flows.Config{Piton: piton.SmallCache(), Seed: seed}
 			out.M3D[i], _, _, err = runMacro3DWithPitch(ctx, cfg, pitch)
 			return
 		}})
@@ -172,6 +195,13 @@ func RunHeteroTechSweep(seed uint64) (*HeteroTechSweep, error) {
 
 // RunHeteroTechSweepCtx is the context-aware heterogeneous-node sweep.
 func RunHeteroTechSweepCtx(ctx context.Context, seed uint64, keepGoing bool) (*HeteroTechSweep, error) {
+	return RunHeteroTechSweepWith(ctx, flows.Config{Seed: seed}, keepGoing)
+}
+
+// RunHeteroTechSweepWith is RunHeteroTechSweepCtx taking a full flow
+// configuration (unset tile defaults to small-cache; the macro-die
+// process is set per point).
+func RunHeteroTechSweepWith(ctx context.Context, cfg flows.Config, keepGoing bool) (*HeteroTechSweep, error) {
 	points := []HeteroPoint{
 		{Label: "same-node", Process: piton.MacroProcess{}},
 		{Label: "low-leak (older node)", Process: piton.MacroProcess{
@@ -179,15 +209,17 @@ func RunHeteroTechSweepCtx(ctx context.Context, seed uint64, keepGoing bool) (*H
 		{Label: "fast-bin memory node", Process: piton.MacroProcess{
 			ClkQScale: 0.6, EnergyScale: 1.1, LeakageScale: 1.6}},
 	}
+	if cfg.Piton.Name == "" && cfg.Generator == nil {
+		cfg.Piton = piton.SmallCache()
+	}
 	out := &HeteroTechSweep{Points: points}
 	var cols []column
 	for i := range out.Points {
 		i := i
 		cols = append(cols, column{fmt.Sprintf("%q", out.Points[i].Label), func() (err error) {
-			pc := piton.SmallCache()
-			pc.MacroProcess = out.Points[i].Process
-			cfg := flows.Config{Piton: pc, Seed: seed}
-			out.Points[i].PPA, _, _, err = flows.RunMacro3DCtx(ctx, cfg)
+			pcfg := cfg
+			pcfg.Piton.MacroProcess = out.Points[i].Process
+			out.Points[i].PPA, _, _, err = flows.RunMacro3DCtx(ctx, pcfg)
 			return
 		}})
 	}
@@ -210,4 +242,3 @@ func (s *HeteroTechSweep) Format() string {
 	}
 	return b.String()
 }
-

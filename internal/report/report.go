@@ -262,7 +262,18 @@ func RunIsoPerf(pc piton.Config, seed uint64) (*IsoPerf, error) {
 // runs are inherently sequential (the Macro-3D target period is the
 // 2D result), so there is no keep-going mode.
 func RunIsoPerfCtx(ctx context.Context, pc piton.Config, seed uint64) (*IsoPerf, error) {
-	cfg := flows.Config{Piton: pc, Seed: seed}
+	return RunIsoPerfWith(ctx, flows.Config{Piton: pc, Seed: seed})
+}
+
+// RunIsoPerfWith is RunIsoPerfCtx taking a full flow configuration
+// (unset tile defaults to small-cache). With a stage cache, the
+// Macro-3D iso-performance run hits the max-performance run's place
+// and route snapshots — only sign-off reruns at the 2D target.
+func RunIsoPerfWith(ctx context.Context, cfg flows.Config) (*IsoPerf, error) {
+	if cfg.Piton.Name == "" && cfg.Generator == nil {
+		cfg.Piton = piton.SmallCache()
+	}
+	pc := cfg.Piton
 	p2d, _, err := flows.Run2DCtx(ctx, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,38 @@
+package stash
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Key is a content address: the SHA-256 over everything that
+// determines a checkpoint's state. Keys chain — each stage's key is
+// derived from the upstream stage's key plus the stage's own inputs —
+// so two runs share a cache entry exactly when every input up to that
+// point is identical.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (the on-disk file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// NewKey hashes root material (technology fingerprint, flow kind,
+// configuration) into the chain's first key.
+func NewKey(material []byte) Key { return sha256.Sum256(material) }
+
+// Derive chains the next stage's key from this one: a hash over the
+// parent key, the stage name and the stage's own key material. The
+// stage name is length-prefixed so (name, material) pairs cannot
+// collide by concatenation.
+func (k Key) Derive(stage string, material []byte) Key {
+	h := sha256.New()
+	h.Write(k[:])
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(stage)))
+	h.Write(n[:])
+	h.Write([]byte(stage))
+	h.Write(material)
+	var out Key
+	h.Sum(out[:0])
+	return out
+}

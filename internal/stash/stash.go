@@ -1,0 +1,186 @@
+// Package stash is a content-addressed, on-disk stage cache for flow
+// checkpoint/resume. A snapshot of a completed stage's state is stored
+// under a key that hashes everything the state depends on (technology,
+// flow kind, configuration, and the upstream stage's key — see Key),
+// so a later run whose inputs match up to some stage loads the
+// snapshot and skips straight past it. Sweeps and tables that revisit
+// the same configuration hit automatically.
+//
+// Snapshots are framed with a magic string, the codec version and a
+// SHA-256 payload checksum, and written atomically (temp file in the
+// cache directory + rename), so a crash mid-write never leaves a
+// readable-but-wrong entry. A truncated or bit-flipped file fails the
+// frame check, is evicted, and reads as a miss — corruption costs a
+// recompute, never a wrong resume.
+package stash
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Version is the snapshot codec version. It participates in every
+// cache key, so bumping it — on any change to the snapshot format or
+// to flow semantics the snapshots capture — invalidates the whole
+// cache without needing to delete files.
+const Version = 1
+
+// fileMagic opens every snapshot file.
+const fileMagic = "M3DSNAP1"
+
+// headerSize is magic + u32 version + u64 payload length + sha256.
+const headerSize = len(fileMagic) + 4 + 8 + sha256.Size
+
+// Stats is a point-in-time summary of one Store handle's traffic.
+// Counters are per-handle (in-memory), not persisted with the cache.
+type Stats struct {
+	Hits, Misses uint64
+	Puts         uint64
+	Evictions    uint64 // corrupt or verify-failed entries removed
+	Errors       uint64 // I/O failures (reads and writes)
+	BytesRead    uint64 // payload bytes served from hits
+	BytesWritten uint64 // payload bytes stored by puts
+}
+
+// Store is a cache directory. All methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	hits, misses, puts, evictions, errs atomic.Uint64
+	bytesRead, bytesWritten             atomic.Uint64
+}
+
+// Open opens (creating if needed) a cache directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stash: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file a key is stored under.
+func (s *Store) Path(k Key) string {
+	return filepath.Join(s.dir, k.String()+".snap")
+}
+
+// Get returns the payload stored under k. A missing entry returns
+// (nil, false); a corrupt entry (bad magic, wrong version, truncation,
+// checksum mismatch) is evicted and also returns (nil, false).
+func (s *Store) Get(k Key) ([]byte, bool) {
+	b, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.errs.Add(1)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := unframe(b)
+	if err != nil {
+		s.Evict(k)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(uint64(len(payload)))
+	return payload, true
+}
+
+// Put stores payload under k, atomically: the frame is written to a
+// temporary file in the cache directory and renamed into place, so a
+// crash or full disk mid-write leaves no entry at all.
+func (s *Store) Put(k Key, payload []byte) error {
+	f, err := os.CreateTemp(s.dir, ".put-*.tmp")
+	if err != nil {
+		s.errs.Add(1)
+		return fmt.Errorf("stash: put %s: %w", k, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		s.errs.Add(1)
+		return fmt.Errorf("stash: put %s: %w", k, err)
+	}
+	if _, err := f.Write(frame(payload)); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, s.Path(k)); err != nil {
+		os.Remove(tmp)
+		s.errs.Add(1)
+		return fmt.Errorf("stash: put %s: %w", k, err)
+	}
+	s.puts.Add(1)
+	s.bytesWritten.Add(uint64(len(payload)))
+	return nil
+}
+
+// Evict removes the entry stored under k, if any.
+func (s *Store) Evict(k Key) {
+	if err := os.Remove(s.Path(k)); err == nil {
+		s.evictions.Add(1)
+	} else if !os.IsNotExist(err) {
+		s.errs.Add(1)
+	}
+}
+
+// Stats returns this handle's traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Puts:         s.puts.Load(),
+		Evictions:    s.evictions.Load(),
+		Errors:       s.errs.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}
+
+// frame wraps a payload with magic, version, length and checksum.
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, headerSize+len(payload))
+	out = append(out, fileMagic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	out = append(out, sum[:]...)
+	return append(out, payload...)
+}
+
+// unframe validates a snapshot file and returns its payload.
+func unframe(b []byte) ([]byte, error) {
+	if len(b) < headerSize {
+		return nil, fmt.Errorf("stash: snapshot truncated (%d bytes)", len(b))
+	}
+	if !bytes.Equal(b[:len(fileMagic)], []byte(fileMagic)) {
+		return nil, fmt.Errorf("stash: bad snapshot magic")
+	}
+	b = b[len(fileMagic):]
+	if v := binary.LittleEndian.Uint32(b); v != Version {
+		return nil, fmt.Errorf("stash: snapshot version %d, want %d", v, Version)
+	}
+	n := binary.LittleEndian.Uint64(b[4:])
+	b = b[12:]
+	var sum [sha256.Size]byte
+	copy(sum[:], b)
+	payload := b[sha256.Size:]
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("stash: snapshot payload is %d bytes, header says %d", len(payload), n)
+	}
+	if got := sha256.Sum256(payload); got != sum {
+		return nil, fmt.Errorf("stash: snapshot checksum mismatch")
+	}
+	return payload, nil
+}

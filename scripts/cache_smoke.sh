@@ -1,0 +1,66 @@
+#!/bin/sh
+# cache-smoke: end-to-end check of the content-addressed stage cache.
+# Runs a tiny flow cold (populating the cache), warm (restoring every
+# checkpoint) and in -cache-verify paranoia mode, asserting hit/miss
+# counters and byte-identical PPA output; then exercises the -resume
+# default directory. Fails on any mismatch.
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+echo "cache-smoke: building cmd/macro3d"
+$GO build -o "$dir/macro3d" ./cmd/macro3d
+
+run="$dir/macro3d -flow macro3d -config tiny -seed 7"
+
+echo "cache-smoke: cold run (empty cache)"
+$run -cache-dir "$dir/stash" >"$dir/cold.out" 2>"$dir/cold.err"
+grep -Eq 'stage cache .*: 0 hits, [1-9][0-9]* misses, [1-9][0-9]* stored' "$dir/cold.err" || {
+	echo "cache-smoke: FAIL: cold run stats should show misses and stores, no hits" >&2
+	cat "$dir/cold.err" >&2
+	exit 1
+}
+ls "$dir/stash"/*.snap >/dev/null 2>&1 || { echo "cache-smoke: FAIL: no snapshots on disk" >&2; exit 1; }
+
+echo "cache-smoke: warm run (every checkpoint restored)"
+$run -cache-dir "$dir/stash" >"$dir/warm.out" 2>"$dir/warm.err"
+grep -Eq 'stage cache .*: [1-9][0-9]* hits, 0 misses' "$dir/warm.err" || {
+	echo "cache-smoke: FAIL: warm run stats should show hits and no misses" >&2
+	cat "$dir/warm.err" >&2
+	exit 1
+}
+cmp -s "$dir/cold.out" "$dir/warm.out" || {
+	echo "cache-smoke: FAIL: warm PPA output differs from cold" >&2
+	diff "$dir/cold.out" "$dir/warm.out" >&2 || true
+	exit 1
+}
+
+echo "cache-smoke: -cache-verify paranoia pass"
+$run -cache-dir "$dir/stash" -cache-verify >"$dir/verify.out" 2>"$dir/verify.err"
+grep -Eq 'stage cache .*: [1-9][0-9]* hits, .* 0 errors' "$dir/verify.err" || {
+	echo "cache-smoke: FAIL: verify run should confirm every hit without errors" >&2
+	cat "$dir/verify.err" >&2
+	exit 1
+}
+cmp -s "$dir/cold.out" "$dir/verify.out" || {
+	echo "cache-smoke: FAIL: verify PPA output differs from cold" >&2
+	exit 1
+}
+
+echo "cache-smoke: -resume default directory"
+(cd "$dir" && ./macro3d -flow macro3d -config tiny -seed 7 -resume >/dev/null 2>&1)
+[ -d "$dir/.macro3d-stash" ] || { echo "cache-smoke: FAIL: -resume did not create .macro3d-stash" >&2; exit 1; }
+(cd "$dir" && ./macro3d -flow macro3d -config tiny -seed 7 -resume >resume.out 2>resume.err)
+grep -Eq 'stage cache .*: [1-9][0-9]* hits, 0 misses' "$dir/resume.err" || {
+	echo "cache-smoke: FAIL: second -resume run should be all hits" >&2
+	cat "$dir/resume.err" >&2
+	exit 1
+}
+cmp -s "$dir/cold.out" "$dir/resume.out" || {
+	echo "cache-smoke: FAIL: -resume PPA output differs from cold" >&2
+	exit 1
+}
+
+echo "cache-smoke: OK"
