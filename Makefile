@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race equiv faults bench bench-route bench-stash benchall obs-smoke cache-smoke
+.PHONY: check build test vet race equiv faults bench bench-route bench-stash benchall obs-smoke cache-smoke serve-smoke serve-load
 
 ## check: the full gate — vet, build, unit tests, the race-enabled
-## fault-injection suite, then the observability and stage-cache smoke
-## tests (what CI should run).
-check: vet build test race obs-smoke cache-smoke
+## fault-injection suite, then the observability, stage-cache and
+## daemon smoke tests (what CI should run).
+check: vet build test race obs-smoke cache-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ vet:
 ## -j 1 serial reference; under -race both run reduced configs — see
 ## the race_on_test.go files.
 race:
-	$(GO) test -race ./internal/faults/ ./internal/report/ ./internal/obs/
+	$(GO) test -race ./internal/faults/ ./internal/report/ ./internal/obs/ ./internal/stash/ ./internal/serve/
 	$(GO) test -race -timeout 30m ./internal/flows/ ./internal/ddb/ ./internal/opt/
 
 ## equiv: just the parallel-vs-serial equivalence proof — every flow at
@@ -44,6 +44,21 @@ obs-smoke:
 ## output, plus the -resume default directory.
 cache-smoke:
 	GO="$(GO)" sh scripts/cache_smoke.sh
+
+## serve-smoke: end-to-end daemon check — start "macro3d serve" with a
+## byte-capped shared cache, submit two overlapping sweep jobs, assert
+## the second is served warm with an identical result, then drain
+## cleanly on SIGTERM.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
+## serve-load: the multi-tenant load driver — 8 concurrent tenants with
+## overlapping specs against a small queue (exercising 429
+## backpressure) plus one injected panicking job; asserts zero
+## dropped/corrupted results, panic isolation, cross-tenant cache hits
+## and the cache byte cap, and prints a JSON summary.
+serve-load:
+	$(GO) run ./cmd/serveload -tenants 8 -jobs-per-tenant 2 -workers 4 -queue 2
 
 ## faults: just the fault-injection matrix, verbosely.
 faults:

@@ -52,6 +52,11 @@ import (
 const defaultCacheDir = ".macro3d-stash"
 
 func main() {
+	// "macro3d serve" is the daemon mode: a JSON-over-HTTP job API in
+	// front of a bounded worker pool sharing one stage cache.
+	if len(os.Args) >= 2 && os.Args[1] == "serve" {
+		os.Exit(serveMain(os.Args[2:]))
+	}
 	// Cleanups (profile flushes, event-stream commits) must run even on
 	// a failing exit, so the exit status is decided after realMain
 	// returns.
@@ -129,6 +134,7 @@ func realMain() (code int) {
 		cacheDir    = flag.String("cache-dir", "", "content-addressed stage cache directory: snapshots of completed stages skip recomputation on later runs")
 		resume      = flag.Bool("resume", false, "resume from cached stage snapshots (implies -cache-dir "+defaultCacheDir+" when unset)")
 		cacheVerify = flag.Bool("cache-verify", false, "paranoia mode: re-run cached stages and fail unless the snapshot matches bit-for-bit")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "stage cache byte budget: evict least-recently-used snapshots to stay under this size (0 = unlimited)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		events      = flag.String("events", "", "write the observability JSONL event stream (spans, metric samples, fault tags) to this file")
@@ -253,7 +259,7 @@ func realMain() (code int) {
 	var cache *macro3d.StageCache
 	if cdir != "" {
 		var err error
-		if cache, err = macro3d.OpenStageCache(cdir); err != nil {
+		if cache, err = macro3d.OpenStageCacheLimited(cdir, *cacheMax); err != nil {
 			fmt.Fprintln(os.Stderr, "macro3d: -cache-dir:", err)
 			return 1
 		}

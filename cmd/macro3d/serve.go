@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"macro3d/internal/serve"
+	"macro3d/internal/stash"
+)
+
+// serveMain is the "macro3d serve" daemon: a JSON-over-HTTP job API
+// (submit, status, cancel, event streaming) in front of a bounded
+// worker pool, with every job sharing one content-addressed stage
+// cache so concurrent tenants warm each other's runs.
+//
+//	macro3d serve -addr 127.0.0.1:8080 -workers 4 -queue 32 \
+//	  -cache-dir /tmp/stash -cache-max-bytes 268435456
+//
+// SIGINT/SIGTERM drains: admission stops, queued and running jobs get
+// -drain-timeout to finish, stragglers are canceled and abandoned past
+// the deadline. The exit status is 0 on a clean drain.
+func serveMain(args []string) int {
+	fs := flag.NewFlagSet("macro3d serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		workers      = fs.Int("workers", 2, "job worker pool size")
+		queue        = fs.Int("queue", 16, "admission queue depth; submissions beyond it are rejected with 429")
+		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "per-job wall-clock ceiling")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "on shutdown: how long queued and running jobs may finish before being canceled")
+		cacheDir     = fs.String("cache-dir", "", "shared content-addressed stage cache directory (empty = caching off)")
+		cacheMax     = fs.Int64("cache-max-bytes", 0, "stage cache byte budget with LRU eviction (0 = unlimited)")
+		cacheVerify  = fs.Bool("cache-verify", false, "paranoia mode: re-run cached stages and fail on snapshot mismatch")
+		allowFaults  = fs.Bool("allow-faults", false, "honour fault-injection fields in job specs (testing only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cache *stash.Store
+	if *cacheDir != "" {
+		var err error
+		if cache, err = stash.OpenLimited(*cacheDir, *cacheMax); err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d serve: -cache-dir:", err)
+			return 1
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		Cache:       cache,
+		CacheVerify: *cacheVerify,
+		AllowFaults: *allowFaults,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "macro3d serve: listen:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	// The smoke script parses this line to find the bound port.
+	fmt.Fprintf(os.Stderr, "macro3d serve: listening at http://%s (POST /jobs)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "macro3d serve: draining...")
+
+	code := 0
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "macro3d serve:", err)
+		code = 1
+	}
+	httpCtx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer hcancel()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		_ = httpSrv.Close()
+	}
+
+	if cache != nil {
+		st := cache.Stats()
+		total, max := cache.Usage()
+		fmt.Fprintf(os.Stderr, "macro3d serve: stage cache %s: %d hits, %d misses, %d stored, %d dup puts, %d evicted, %d B used (cap %d)\n",
+			cache.Dir(), st.Hits, st.Misses, st.Puts, st.DupPuts, st.Evictions, total, max)
+	}
+	fmt.Fprintln(os.Stderr, "macro3d serve: stopped")
+	return code
+}

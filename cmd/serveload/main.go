@@ -1,0 +1,303 @@
+// Command serveload is the daemon's load-test driver: it stands up an
+// in-process macro3d daemon (the same serve.Server "macro3d serve"
+// runs, behind an httptest listener), then hammers it with N
+// concurrent tenants whose sweeps overlap — plus one injected
+// panicking job — and asserts the robustness contract:
+//
+//   - every non-faulted job completes with zero dropped or corrupted
+//     results (identical specs agree byte-for-byte),
+//   - queue overflow surfaces as 429 + Retry-After and retried
+//     submissions eventually land (backpressure, not data loss),
+//   - the panicking job fails typed while the daemon keeps serving,
+//   - cross-tenant cache hits occur and the hit rate is reported,
+//   - the shared stage cache stays under its byte cap throughout.
+//
+// It prints a JSON summary and exits non-zero on any violation.
+//
+//	go run ./cmd/serveload [-tenants 8] [-jobs-per-tenant 2] [-workers 4] [-queue 4] [-cache-max-bytes N]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"macro3d/internal/serve"
+	"macro3d/internal/stash"
+)
+
+type summary struct {
+	Tenants       int      `json:"tenants"`
+	JobsSubmitted int      `json:"jobs_submitted"`
+	JobsDone      int      `json:"jobs_done"`
+	JobsFailed    int      `json:"jobs_failed"` // excluding the injected panic job
+	Rejected429   int      `json:"rejected_429"`
+	PanicIsolated bool     `json:"panic_job_isolated"`
+	CacheHits     uint64   `json:"cache_hits"`
+	CacheMisses   uint64   `json:"cache_misses"`
+	HitRate       float64  `json:"cache_hit_rate"`
+	CacheBytes    int64    `json:"cache_bytes"`
+	CacheCap      int64    `json:"cache_cap_bytes"`
+	DiskBytes     int64    `json:"cache_disk_bytes"`
+	Corrupted     int      `json:"corrupted_results"`
+	ElapsedMS     int64    `json:"elapsed_ms"`
+	Violations    []string `json:"violations"`
+}
+
+func main() {
+	var (
+		tenants  = flag.Int("tenants", 8, "concurrent tenants (the acceptance floor is 8)")
+		perTen   = flag.Int("jobs-per-tenant", 2, "jobs each tenant submits")
+		workers  = flag.Int("workers", 4, "daemon worker pool size")
+		queue    = flag.Int("queue", 4, "queue depth (small, to exercise 429 backpressure)")
+		cacheMax = flag.Int64("cache-max-bytes", 256<<20, "shared stage cache byte cap")
+	)
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "serveload-stash-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cache, err := stash.OpenLimited(dir, *cacheMax)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Cache:       cache,
+		AllowFaults: true,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	sum := summary{Tenants: *tenants}
+	var violations []string
+	violate := func(format string, a ...any) {
+		violations = append(violations, fmt.Sprintf(format, a...))
+	}
+
+	// Each tenant submits jobs from a small spec pool, so tenants
+	// overlap heavily and warm each other's cache. Submissions retry on
+	// 429 with the server's backoff hint.
+	type result struct {
+		seedKey  string
+		view     jobView
+		rejected int
+	}
+	results := make(chan result, *tenants**perTen)
+	var wg sync.WaitGroup
+	for tn := 0; tn < *tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			for j := 0; j < *perTen; j++ {
+				seed := uint64(1 + (tn+j)%2) // two distinct seeds → overlap
+				spec := map[string]any{"flow": "2d", "config": "tiny", "seed": seed}
+				view, rejected, err := submitWithRetry(ts.URL, spec, 60*time.Second)
+				if err != nil {
+					violate("tenant %d job %d: %v", tn, j, err)
+					results <- result{rejected: rejected}
+					continue
+				}
+				results <- result{seedKey: fmt.Sprint(seed), view: view, rejected: rejected}
+			}
+		}(tn)
+	}
+
+	// The saboteur: one panicking job mid-load. The daemon must record
+	// it failed and keep serving everyone else.
+	panicIsolated := make(chan bool, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		view, _, err := submitWithRetry(ts.URL, map[string]any{
+			"flow": "2d", "config": "tiny", "fault": "panic"}, 60*time.Second)
+		if err != nil {
+			panicIsolated <- false
+			return
+		}
+		v, err := awaitTerminal(ts.URL, view.ID, 120*time.Second)
+		panicIsolated <- err == nil && v.State == "failed" && v.StageError != nil && v.StageError.Panicked
+	}()
+	wg.Wait()
+	close(results)
+
+	// Await every tenant job and check result integrity: identical
+	// specs must produce byte-identical results.
+	bySeed := map[string]string{}
+	for r := range results {
+		sum.Rejected429 += r.rejected
+		if r.view.ID == "" {
+			continue
+		}
+		sum.JobsSubmitted++
+		v, err := awaitTerminal(ts.URL, r.view.ID, 300*time.Second)
+		if err != nil {
+			violate("job %s: %v", r.view.ID, err)
+			continue
+		}
+		switch v.State {
+		case "done":
+			sum.JobsDone++
+			if v.Result == "" {
+				sum.Corrupted++
+				violate("job %s: done with empty result", v.ID)
+			} else if prev, ok := bySeed[r.seedKey]; ok && prev != v.Result {
+				sum.Corrupted++
+				violate("job %s: result diverged for seed %s", v.ID, r.seedKey)
+			} else {
+				bySeed[r.seedKey] = v.Result
+			}
+		default:
+			sum.JobsFailed++
+			violate("job %s: state %s (%s)", v.ID, v.State, v.Error)
+		}
+	}
+	sum.PanicIsolated = <-panicIsolated
+	if !sum.PanicIsolated {
+		violate("panicking job was not isolated as a typed failure")
+	}
+
+	// Post-panic liveness: the daemon still takes and finishes work.
+	view, _, err := submitWithRetry(ts.URL, map[string]any{"flow": "2d", "config": "tiny"}, 60*time.Second)
+	if err != nil {
+		violate("post-panic submit: %v", err)
+	} else if v, err := awaitTerminal(ts.URL, view.ID, 120*time.Second); err != nil || v.State != "done" {
+		violate("post-panic job did not complete: %+v (%v)", v, err)
+	}
+
+	// Backpressure must actually have fired with a queue this small.
+	if sum.Rejected429 == 0 {
+		violate("no 429 rejections observed — queue never overflowed (raise -tenants or shrink -queue)")
+	}
+
+	st := cache.Stats()
+	sum.CacheHits, sum.CacheMisses = st.Hits, st.Misses
+	if st.Hits+st.Misses > 0 {
+		sum.HitRate = float64(st.Hits) / float64(st.Hits+st.Misses)
+	}
+	if st.Hits == 0 {
+		violate("zero cross-tenant cache hits under overlapping specs")
+	}
+	sum.CacheBytes, sum.CacheCap = cache.Usage()
+	sum.DiskBytes = diskBytes(dir)
+	if sum.DiskBytes > sum.CacheCap {
+		violate("cache directory %d bytes exceeds its %d cap", sum.DiskBytes, sum.CacheCap)
+	}
+
+	// Clean shutdown under load history.
+	sdCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		violate("shutdown: %v", err)
+	}
+
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+	sum.Violations = violations
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(sum)
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// jobView mirrors the daemon's job record JSON.
+type jobView struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Error      string `json:"error"`
+	Result     string `json:"result"`
+	Abandoned  bool   `json:"abandoned"`
+	StageError *struct {
+		Stage    string `json:"stage"`
+		Panicked bool   `json:"panicked"`
+	} `json:"stage_error"`
+}
+
+// submitWithRetry POSTs a job, retrying 429s with the Retry-After hint
+// (capped to keep the driver brisk) until the deadline. Returns the
+// accepted view and how many rejections preceded it.
+func submitWithRetry(base string, spec map[string]any, within time.Duration) (jobView, int, error) {
+	body, _ := json.Marshal(spec)
+	deadline := time.Now().Add(within)
+	rejected := 0
+	for {
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return jobView{}, rejected, err
+		}
+		var v jobView
+		dec := json.NewDecoder(resp.Body)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			err := dec.Decode(&v)
+			resp.Body.Close()
+			return v, rejected, err
+		case http.StatusTooManyRequests:
+			resp.Body.Close()
+			rejected++
+			if time.Now().After(deadline) {
+				return jobView{}, rejected, fmt.Errorf("still 429 after %v", within)
+			}
+			time.Sleep(25 * time.Millisecond)
+		default:
+			resp.Body.Close()
+			return jobView{}, rejected, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+	}
+}
+
+// awaitTerminal polls a job record until it reaches a terminal state.
+func awaitTerminal(base, id string, within time.Duration) (jobView, error) {
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return jobView{}, err
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return jobView{}, err
+		}
+		switch v.State {
+		case "done", "failed", "canceled":
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			return v, fmt.Errorf("job %s still %s after %v", id, v.State, within)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// diskBytes sums the snapshot files actually on disk.
+func diskBytes(dir string) int64 {
+	paths, _ := filepath.Glob(filepath.Join(dir, "*.snap"))
+	var total int64
+	for _, p := range paths {
+		if info, err := os.Stat(p); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serveload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+package faults_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"macro3d/internal/faults"
+	"macro3d/internal/flows"
+	"macro3d/internal/piton"
+	"macro3d/internal/stash"
+)
+
+func tinyCfg() flows.Config {
+	return flows.Config{Piton: piton.Tiny(), Seed: 1}
+}
+
+// TestPanicHookContained injects a mid-job panic and asserts the flow
+// runner converts it into a typed *flows.StageError carrying the
+// panic stack — the containment the daemon relies on to survive a
+// blowing-up job.
+func TestPanicHookContained(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.AfterStage = faults.PanicHook(flows.StagePlace)
+	_, _, err := flows.Run2DCtx(context.Background(), cfg)
+	if err == nil {
+		t.Fatal("injected panic produced no error")
+	}
+	var se *flows.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a *flows.StageError: %v", err)
+	}
+	if se.Stage != flows.StagePlace {
+		t.Errorf("StageError.Stage = %q, want %q", se.Stage, flows.StagePlace)
+	}
+	if len(se.Stack) == 0 {
+		t.Error("contained panic lost its stack")
+	}
+	var pe *flows.PanicError
+	if !errors.As(se.Cause, &pe) {
+		t.Errorf("StageError.Cause is not a *flows.PanicError: %v", se.Cause)
+	}
+}
+
+// TestHangHookIgnoresCancellation asserts the hang injection really
+// does ignore its context: a flow given a deadline far shorter than
+// the hang cannot return until the hang elapses. This is the
+// pathological stage the daemon's abandon path exists for.
+func TestHangHookIgnoresCancellation(t *testing.T) {
+	const hang = 600 * time.Millisecond
+	cfg := tinyCfg()
+	cfg.AfterStage = faults.HangHook(flows.StagePlace, hang)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := flows.Run2DCtx(ctx, cfg)
+	if err == nil {
+		t.Fatal("hung flow with expired context returned no error")
+	}
+	if elapsed := time.Since(start); elapsed < hang {
+		t.Errorf("flow returned after %v, before the %v hang elapsed — hook honoured cancellation", elapsed, hang)
+	}
+}
+
+// TestCorruptSnapshots asserts the cache-corruption injection flips
+// every snapshot into a checksummed miss: reads never return the
+// corrupt bytes, the entries are evicted, and a clean re-Put restores
+// service — corruption costs a recompute, never a wrong result.
+func TestCorruptSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]stash.Key, 3)
+	payload := bytes.Repeat([]byte("snapshot"), 64)
+	for i := range keys {
+		keys[i] = stash.NewKey([]byte{byte(i)})
+		if err := s.Put(keys[i], payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := faults.CorruptSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(keys) {
+		t.Fatalf("corrupted %d snapshots, want %d", n, len(keys))
+	}
+	for i, k := range keys {
+		if got, ok := s.Get(k); ok {
+			t.Errorf("key %d: corrupt snapshot served as a hit (%d bytes)", i, len(got))
+		}
+	}
+	// Every corrupt entry was evicted from disk by the failed read.
+	left, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("%d corrupt snapshots left on disk after eviction", len(left))
+	}
+	// Recompute path: a clean re-Put restores hits.
+	for _, k := range keys {
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get(k); !ok || !bytes.Equal(got, payload) {
+			t.Error("re-Put after corruption did not restore the entry")
+		}
+	}
+}
+
+// TestCorruptSnapshotsEmptyDir is the degenerate case: nothing to
+// corrupt is not an error.
+func TestCorruptSnapshotsEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	n, err := faults.CorruptSnapshots(dir)
+	if err != nil || n != 0 {
+		t.Fatalf("CorruptSnapshots on empty dir = (%d, %v), want (0, nil)", n, err)
+	}
+}

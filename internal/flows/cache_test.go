@@ -252,6 +252,10 @@ func TestStageCachePayloadCorruptionFallsBack(t *testing.T) {
 		if !ok {
 			t.Fatalf("cannot read back %s", e.Name())
 		}
+		// Put is first-writer-wins (a present entry is never rewritten),
+		// so displace the good snapshot before re-framing the truncated
+		// payload under the same key.
+		rewrap.Evict(k)
 		if err := rewrap.Put(k, payload[:len(payload)*2/3]); err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -49,6 +50,9 @@ func (r *Recorder) Handler() http.Handler {
 type Server struct {
 	srv *http.Server
 	url string
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve starts the inspection endpoint on addr (e.g. ":9090" or
@@ -73,12 +77,16 @@ func (s *Server) URL() string { return s.url }
 
 // Close shuts the endpoint down, letting in-flight requests (e.g. a
 // scraper mid-read of /metrics) finish within a short grace period
-// before the listener is torn down hard.
+// before the listener is torn down hard. Idempotent: daemon restart
+// and teardown paths may double-close; later calls do nothing and
+// return the first call's result.
 func (s *Server) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	if err := s.srv.Shutdown(ctx); err != nil {
-		return s.srv.Close()
-	}
-	return nil
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.srv.Shutdown(ctx); err != nil {
+			s.closeErr = s.srv.Close()
+		}
+	})
+	return s.closeErr
 }

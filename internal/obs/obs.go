@@ -36,8 +36,9 @@ type Recorder struct {
 	reg    *Registry
 	nextID atomic.Int64
 
-	mu   sync.Mutex
-	sink *Sink
+	mu       sync.Mutex
+	sink     *Sink
+	closeErr error // result of the Close that detached the sink
 }
 
 // New returns an enabled Recorder with an empty registry and its
@@ -64,23 +65,33 @@ func (r *Recorder) SetSink(w io.Writer) {
 	}
 	r.mu.Lock()
 	r.sink = newSink(w)
+	r.closeErr = nil
 	r.mu.Unlock()
 }
 
-// Close emits a final sample of every registered metric and flushes
-// the sink. The Recorder stays usable afterwards (Close is a flush
-// point, not a teardown).
+// Close emits a final sample of every registered metric, flushes the
+// sink and detaches it. Idempotent and safe to call twice (daemon
+// restart and teardown paths double-close): later calls return the
+// first call's result, and events emitted after Close are dropped.
+// Spans and metrics stay usable, and SetSink re-arms the event stream.
 func (r *Recorder) Close() error {
 	if r == nil {
 		return nil
 	}
-	r.Sample()
+	r.mu.Lock()
+	detached := r.sink == nil
+	r.mu.Unlock()
+	if !detached {
+		r.Sample()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.sink == nil {
-		return nil
+		return r.closeErr
 	}
-	return r.sink.Flush()
+	r.closeErr = r.sink.Flush()
+	r.sink = nil
+	return r.closeErr
 }
 
 // Emit writes one generic event line (e.g. a fault-injection tag) to

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"macro3d/internal/stash"
+)
+
+// Handler returns the daemon's JSON-over-HTTP API:
+//
+//	POST /jobs              submit a JobSpec; 202 + JobView, 429 when the
+//	                        queue is full (with Retry-After), 503 draining
+//	GET  /jobs              all jobs, submission order
+//	GET  /jobs/{id}         one job record
+//	POST /jobs/{id}/cancel  cancel queued or running job
+//	GET  /jobs/{id}/events  the job's JSONL observability stream
+//	                        (?follow=1 streams until the job is terminal)
+//	GET  /healthz           daemon liveness + queue/job-state snapshot
+//	GET  /stashz            shared stage-cache statistics
+//	GET  /metrics           server-wide Prometheus text exposition
+//	GET  /metrics.json      JSON snapshot of the same
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stashz", s.handleStash)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.rec.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = s.rec.Registry().WriteJSON(w)
+	})
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "macro3d daemon\n\nPOST /jobs\nGET /jobs\nGET /jobs/{id}\nPOST /jobs/{id}/cancel\nGET /jobs/{id}/events\nGET /healthz\nGET /stashz\nGET /metrics\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, job.View())
+	case err == ErrQueueFull:
+		// Backpressure, not failure: the client should retry after the
+		// hinted delay. A queue slot frees as soon as a worker finishes
+		// a job, so the hint is deliberately short.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case err == ErrDraining:
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.Jobs()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	if r.URL.Query().Get("follow") == "" {
+		_, _ = w.Write(job.Events())
+		return
+	}
+	// Follow mode: poll the job's tail buffer and stream new bytes
+	// until the job is terminal (then flush the remainder) or the
+	// client goes away.
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	write := func() {
+		if b := job.events.From(off); len(b) > 0 {
+			off += len(b)
+			_, _ = w.Write(b)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	write()
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-job.Done():
+			write()
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			write()
+		}
+	}
+}
+
+// healthView is the /healthz body.
+type healthView struct {
+	Status     string           `json:"status"` // "ok" or "draining"
+	Draining   bool             `json:"draining"`
+	Workers    int              `json:"workers"`
+	QueueDepth int              `json:"queue_depth"`
+	QueueCap   int              `json:"queue_cap"`
+	Jobs       map[JobState]int `json:"jobs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	v := healthView{
+		Status:     "ok",
+		Draining:   s.Draining(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: len(s.queue),
+		QueueCap:   s.cfg.QueueDepth,
+		Jobs:       s.jobCounts(),
+	}
+	if v.Draining {
+		v.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// stashView is the /stashz body: the shared store's counters plus its
+// byte budget.
+type stashView struct {
+	Enabled    bool        `json:"enabled"`
+	Stats      stash.Stats `json:"stats,omitempty"`
+	TotalBytes int64       `json:"total_bytes"`
+	MaxBytes   int64       `json:"max_bytes,omitempty"`
+}
+
+func (s *Server) handleStash(w http.ResponseWriter, _ *http.Request) {
+	v := stashView{Enabled: s.cfg.Cache != nil}
+	if s.cfg.Cache != nil {
+		v.Stats = s.cfg.Cache.Stats()
+		v.TotalBytes, v.MaxBytes = s.cfg.Cache.Usage()
+	}
+	writeJSON(w, http.StatusOK, v)
+}

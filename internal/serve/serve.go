@@ -1,0 +1,393 @@
+// Package serve is the multi-tenant macro3d daemon: a JSON-over-HTTP
+// job API in front of a bounded worker pool, composing the hardened
+// flow engine (panic containment, ctx cancellation), the observability
+// layer (per-job JSONL event streams, a server-wide metric registry)
+// and the content-addressed stage cache as a *shared* artifact store —
+// concurrent tenants sweeping overlapping configurations hit each
+// other's checkpoints.
+//
+// Robustness contract:
+//
+//   - Admission control: the queue is bounded; an overflowing submit is
+//     rejected immediately (HTTP 429 + Retry-After), never buffered
+//     without bound. A draining server rejects with 503.
+//   - Isolation: a panicking stage becomes a typed StageError in that
+//     job's record; a stage that ignores cancellation past its deadline
+//     is abandoned (its goroutine discarded, its worker slot freed).
+//     Neither takes down the daemon or a neighbouring job.
+//   - Lifecycle: Shutdown stops admission, drains queued and running
+//     jobs, and past its deadline cancels the stragglers — a hard stop
+//     with a bounded wait, not a hang.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"macro3d/internal/obs"
+	"macro3d/internal/stash"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers is the job worker pool size (default 2).
+	Workers int
+
+	// QueueDepth bounds the admission queue (default 16). Submits
+	// beyond running+queued capacity fail with ErrQueueFull.
+	QueueDepth int
+
+	// JobTimeout is the per-job wall-clock ceiling (default 10m). A
+	// spec may request less, never more.
+	JobTimeout time.Duration
+
+	// AbandonGrace is how long a canceled or timed-out job may keep
+	// running before its goroutine is abandoned and the worker slot
+	// freed (default 3s). Flows honour cancellation at stage
+	// boundaries, so the grace normally suffices; a stage that ignores
+	// its context is the pathological case the abandon path exists for.
+	AbandonGrace time.Duration
+
+	// HangDuration is how long an injected "hang" fault blocks
+	// (default 30s; tests shorten it).
+	HangDuration time.Duration
+
+	// Cache, when set, is the shared artifact store every job runs
+	// against. Concurrency safety and the byte cap live in the store
+	// itself (stash.OpenLimited).
+	Cache       *stash.Store
+	CacheVerify bool
+
+	// AllowFaults honours JobSpec.Fault (tests and load drivers only).
+	AllowFaults bool
+
+	// Runner overrides job execution (tests). nil runs the real flows.
+	Runner func(ctx context.Context, job *Job) (string, error)
+
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.AbandonGrace <= 0 {
+		c.AbandonGrace = 3 * time.Second
+	}
+	if c.HangDuration <= 0 {
+		c.HangDuration = 30 * time.Second
+	}
+	return c
+}
+
+// Submission failures the HTTP layer maps onto status codes.
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrDraining  = errors.New("serve: server is draining")
+)
+
+// Server owns the job table, the bounded queue and the worker pool.
+type Server struct {
+	cfg Config
+	rec *obs.Recorder // server-wide metrics (queue, jobs, isolation events)
+
+	baseCtx    context.Context
+	cancelJobs context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []*Job
+	nextID   int
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// Counters are registered once; the Prometheus endpoint exposes
+	// them alongside whatever the jobs' engines record server-wide.
+	submitted, rejected, completed, failed, canceled, abandoned, panics *obs.Counter
+	queueDepth, running                                                 *obs.Gauge
+}
+
+// New starts a Server: its workers are live and its Handler is ready
+// to mount. Stop it with Shutdown.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		rec:        obs.New(),
+		baseCtx:    ctx,
+		cancelJobs: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	reg := s.rec.Registry()
+	s.submitted = reg.Counter("serve_jobs_submitted_total", "Jobs admitted to the queue.")
+	s.rejected = reg.Counter("serve_jobs_rejected_total", "Submissions rejected by admission control (queue full or draining).")
+	s.completed = reg.Counter("serve_jobs_completed_total", "Jobs that finished successfully.")
+	s.failed = reg.Counter("serve_jobs_failed_total", "Jobs that finished with an error.")
+	s.canceled = reg.Counter("serve_jobs_canceled_total", "Jobs canceled before or during execution.")
+	s.abandoned = reg.Counter("serve_jobs_abandoned_total", "Jobs whose runner ignored cancellation past the grace period and was abandoned.")
+	s.panics = reg.Counter("serve_job_panics_total", "Jobs that failed on a contained panic.")
+	s.queueDepth = reg.Gauge("serve_queue_depth_jobs", "Jobs waiting in the admission queue.")
+	s.running = reg.Gauge("serve_running_jobs", "Jobs currently executing.")
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates and enqueues a job. The returned errors ErrQueueFull
+// and ErrDraining are admission rejections; any other error is a spec
+// validation failure.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(s.cfg.AllowFaults); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return nil, ErrDraining
+	}
+	job := newJob(fmt.Sprintf("j%05d", s.nextID+1), spec)
+	select {
+	case s.queue <- job:
+		s.nextID++
+		s.jobs[job.id] = job
+		s.order = append(s.order, job)
+		s.mu.Unlock()
+		s.submitted.Inc()
+		s.queueDepth.Set(float64(len(s.queue)))
+		s.logf("serve: %s queued (%s)", job.id, specLabel(spec))
+		return job, nil
+	default:
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+func specLabel(sp JobSpec) string {
+	if sp.Flow != "" {
+		return fmt.Sprintf("flow %s/%s seed %d", sp.Flow, sp.Config, sp.Seed)
+	}
+	return fmt.Sprintf("sweep %s/%s seed %d", sp.Sweep, sp.Config, sp.Seed)
+}
+
+// Job returns a job by ID, nil when unknown.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Cancel cancels a job: a queued job transitions to canceled
+// immediately and never starts; a running job has its context fired
+// and finishes at the flow's next stage boundary (or is abandoned
+// after the grace period). Canceling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (*Job, error) {
+	job := s.Job(id)
+	if job == nil {
+		return nil, fmt.Errorf("serve: unknown job %q", id)
+	}
+	wasQueued := job.State() == StateQueued
+	if job.requestCancel() && wasQueued && job.State() == StateCanceled {
+		s.canceled.Inc()
+		s.logf("serve: %s canceled while queued", job.id)
+	}
+	return job, nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Registry exposes the server-wide metric registry (the /metrics
+// endpoint's source).
+func (s *Server) Registry() *obs.Registry { return s.rec.Registry() }
+
+// Shutdown drains then stops: admission closes (Submit returns
+// ErrDraining), already-admitted jobs — queued and running — are given
+// until ctx expires to complete, after which every remaining job
+// context is canceled and stragglers are abandoned. Returns nil on a
+// clean drain, the deadline error when jobs had to be cut off.
+// Idempotent: concurrent and repeated calls share one drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers finish the backlog, then exit
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Deadline passed: cancel everything still in flight. Workers
+	// abandon non-cooperating jobs after AbandonGrace, so this wait is
+	// bounded too.
+	s.cancelJobs()
+	select {
+	case <-done:
+		return fmt.Errorf("serve: drain deadline exceeded; in-flight jobs canceled: %w", ctx.Err())
+	case <-time.After(s.cfg.AbandonGrace + 2*time.Second):
+		return fmt.Errorf("serve: drain deadline exceeded and workers did not unwind: %w", ctx.Err())
+	}
+}
+
+// worker drains the queue until it is closed and empty.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.queueDepth.Set(float64(len(s.queue)))
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job with isolation: the runner goes to its own
+// goroutine so a hang can be abandoned, and every outcome (value,
+// error, contained panic, cancellation) lands in the job record.
+func (s *Server) runJob(job *Job) {
+	// Jobs canceled while queued, and backlog drained after the drain
+	// deadline already cut job contexts, finish without running.
+	if s.baseCtx.Err() != nil {
+		if job.finish(StateCanceled, "", "canceled at shutdown before start", nil, false) != "" {
+			s.canceled.Inc()
+		}
+		return
+	}
+	timeout := s.cfg.JobTimeout
+	if t := time.Duration(job.spec.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	if !job.claimRunning(cancel) {
+		return // canceled while queued
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	s.logf("serve: %s running", job.id)
+
+	type outcome struct {
+		result string
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				// Flows contain their own panics; this guard catches
+				// panics outside stage containment (spec plumbing,
+				// result rendering) so the daemon never dies for a job.
+				ch <- outcome{err: fmt.Errorf("job panicked: %v", p)}
+			}
+		}()
+		res, err := s.runner()(ctx, job)
+		ch <- outcome{result: res, err: err}
+	}()
+
+	select {
+	case out := <-ch:
+		s.settle(job, out.result, out.err)
+	case <-ctx.Done():
+		// The job's context ended (timeout, cancel, shutdown). Flows
+		// unwind at the next stage boundary — give them the grace
+		// period, then abandon the goroutine and free the worker.
+		select {
+		case out := <-ch:
+			s.settle(job, out.result, out.err)
+		case <-time.After(s.cfg.AbandonGrace):
+			msg := fmt.Sprintf("abandoned: job ignored cancellation %v past %v", s.cfg.AbandonGrace, ctx.Err())
+			if job.finish(StateFailed, "", msg, nil, true) != "" {
+				s.abandoned.Inc()
+				s.failed.Inc()
+				s.logf("serve: %s abandoned (%v)", job.id, ctx.Err())
+			}
+			// Drain the straggler's eventual result in the background
+			// so its goroutine can exit; the job record is already
+			// sealed, the late outcome is discarded.
+			go func() { <-ch }()
+		}
+	}
+}
+
+// settle maps a runner outcome onto the job record and the counters.
+func (s *Server) settle(job *Job, result string, err error) {
+	switch {
+	case err == nil:
+		if job.finish(StateDone, result, "", nil, false) != "" {
+			s.completed.Inc()
+			s.logf("serve: %s done", job.id)
+		}
+	case job.cancelRequested() && errors.Is(err, context.Canceled):
+		if job.finish(StateCanceled, "", "canceled", nil, false) != "" {
+			s.canceled.Inc()
+			s.logf("serve: %s canceled", job.id)
+		}
+	default:
+		sf := stageFailure(err)
+		if job.finish(StateFailed, "", err.Error(), sf, false) != "" {
+			s.failed.Inc()
+			if sf != nil && sf.Panicked {
+				s.panics.Inc()
+			}
+			s.logf("serve: %s failed: %v", job.id, err)
+		}
+	}
+}
+
+func (s *Server) runner() func(ctx context.Context, job *Job) (string, error) {
+	if s.cfg.Runner != nil {
+		return s.cfg.Runner
+	}
+	return s.runSpec
+}
+
+// jobCounts tallies the job table by state (for /healthz and tests).
+func (s *Server) jobCounts() map[JobState]int {
+	out := make(map[JobState]int, 5)
+	for _, j := range s.Jobs() {
+		out[j.State()]++
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"macro3d/internal/flows"
+)
+
+// stubSpec is a valid spec for stub-runner tests (the stub never looks
+// at it, but validation does).
+func stubSpec() JobSpec { return JobSpec{Flow: "2d", Config: "tiny"} }
+
+// gateRunner blocks each job until the test releases it, recording
+// execution order.
+type gateRunner struct {
+	mu    sync.Mutex
+	order []string
+	gate  chan struct{}
+}
+
+func newGateRunner() *gateRunner { return &gateRunner{gate: make(chan struct{})} }
+
+func (g *gateRunner) run(ctx context.Context, job *Job) (string, error) {
+	g.mu.Lock()
+	g.order = append(g.order, job.ID())
+	g.mu.Unlock()
+	select {
+	case <-g.gate:
+		return "ok", nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+func (g *gateRunner) ran() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+func shutdownClean(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+}
+
+// TestQueueFIFO submits jobs to a single worker and asserts they
+// execute in submission order (FIFO fairness — no tenant's job jumps
+// the queue).
+func TestQueueFIFO(t *testing.T) {
+	g := newGateRunner()
+	s := New(Config{Workers: 1, QueueDepth: 8, Runner: g.run})
+	var submitted []string
+	for i := 0; i < 5; i++ {
+		job, err := s.Submit(stubSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitted = append(submitted, job.ID())
+	}
+	close(g.gate)
+	for _, id := range submitted {
+		<-s.Job(id).Done()
+	}
+	ran := g.ran()
+	if fmt.Sprint(ran) != fmt.Sprint(submitted) {
+		t.Errorf("execution order %v, want submission order %v", ran, submitted)
+	}
+	for _, id := range submitted {
+		if st := s.Job(id).State(); st != StateDone {
+			t.Errorf("job %s state %s, want done", id, st)
+		}
+	}
+	shutdownClean(t, s)
+}
+
+// TestQueueOverflow fills worker and queue capacity and asserts the
+// next submission is rejected with ErrQueueFull — admission control,
+// not unbounded buffering. Freeing a slot re-admits.
+func TestQueueOverflow(t *testing.T) {
+	g := newGateRunner()
+	s := New(Config{Workers: 1, QueueDepth: 2, Runner: g.run})
+	// Fill: 1 running + 2 queued. The worker may not have picked up the
+	// first job yet, so allow one extra submit before asserting.
+	var jobs []*Job
+	deadline := time.Now().Add(5 * time.Second)
+	for len(jobs) < 3 {
+		job, err := s.Submit(stubSpec())
+		if err == nil {
+			jobs = append(jobs, job)
+			continue
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("could not fill queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Wait until the worker has claimed one, so queue depth is exactly 2.
+	waitFor(t, func() bool { return len(g.ran()) == 1 })
+	if _, err := s.Submit(stubSpec()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	close(g.gate) // drain
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	// Capacity freed: submissions are accepted again.
+	job, err := s.Submit(stubSpec())
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	<-job.Done()
+	shutdownClean(t, s)
+}
+
+// TestCancelQueuedJobNeverRuns cancels a job while it waits in the
+// queue and asserts it transitions straight to canceled and its runner
+// is never invoked.
+func TestCancelQueuedJobNeverRuns(t *testing.T) {
+	g := newGateRunner()
+	s := New(Config{Workers: 1, QueueDepth: 4, Runner: g.run})
+	blocker, err := s.Submit(stubSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.ran()) == 1 })
+	queued, err := s.Submit(stubSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	<-queued.Done()
+	if st := queued.State(); st != StateCanceled {
+		t.Fatalf("canceled queued job state %s, want canceled", st)
+	}
+	close(g.gate)
+	<-blocker.Done()
+	shutdownClean(t, s)
+	for _, id := range g.ran() {
+		if id == queued.ID() {
+			t.Error("canceled queued job was executed")
+		}
+	}
+}
+
+// TestCancelRunningJob cancels an in-flight job: its context fires and
+// the job record lands in canceled, not failed.
+func TestCancelRunningJob(t *testing.T) {
+	g := newGateRunner()
+	s := New(Config{Workers: 1, QueueDepth: 4, Runner: g.run})
+	job, err := s.Submit(stubSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(g.ran()) == 1 })
+	if _, err := s.Cancel(job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	if st := job.State(); st != StateCanceled {
+		t.Fatalf("state %s, want canceled", st)
+	}
+	shutdownClean(t, s)
+}
+
+// TestCancelUnknownJob asserts cancel of a bogus ID is a clean error.
+func TestCancelUnknownJob(t *testing.T) {
+	s := New(Config{Workers: 1, Runner: func(context.Context, *Job) (string, error) { return "", nil }})
+	if _, err := s.Cancel("nope"); err == nil {
+		t.Fatal("cancel of unknown job succeeded")
+	}
+	shutdownClean(t, s)
+}
+
+// TestDrainCompletesBacklog asserts Shutdown finishes queued jobs
+// before returning, and rejects new submissions with ErrDraining.
+func TestDrainCompletesBacklog(t *testing.T) {
+	var ran int
+	var mu sync.Mutex
+	s := New(Config{Workers: 1, QueueDepth: 8, Runner: func(ctx context.Context, job *Job) (string, error) {
+		time.Sleep(10 * time.Millisecond)
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return "ok", nil
+	}})
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		job, err := s.Submit(stubSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := s.Submit(stubSpec()); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit while draining: err = %v, want ErrDraining", err)
+	}
+	mu.Lock()
+	if ran != 4 {
+		t.Errorf("drain ran %d jobs, want all 4", ran)
+	}
+	mu.Unlock()
+	for _, j := range jobs {
+		if st := j.State(); st != StateDone {
+			t.Errorf("job %s state %s after drain, want done", j.ID(), st)
+		}
+	}
+}
+
+// TestShutdownDeadlineAbandonsHung gives Shutdown a deadline shorter
+// than a job that ignores its context: Shutdown must return (with an
+// error), the job must be recorded failed+abandoned — a bounded stop,
+// not a hang.
+func TestShutdownDeadlineAbandonsHung(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Workers: 1, AbandonGrace: 50 * time.Millisecond,
+		Runner: func(ctx context.Context, job *Job) (string, error) {
+			<-release // ignores ctx entirely
+			return "late", nil
+		}})
+	defer close(release)
+	job, err := s.Submit(stubSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return job.State() == StateRunning })
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown returned nil with a hung job in flight")
+	}
+	<-job.Done()
+	v := job.View()
+	if v.State != StateFailed || !v.Abandoned {
+		t.Errorf("hung job state=%s abandoned=%v, want failed/true", v.State, v.Abandoned)
+	}
+}
+
+// TestPanicIsolation submits a panicking job between two good ones:
+// the panicking job fails with the panic recorded, the neighbours and
+// the server are untouched.
+func TestPanicIsolation(t *testing.T) {
+	n := 0
+	var mu sync.Mutex
+	s := New(Config{Workers: 1, QueueDepth: 8, Runner: func(ctx context.Context, job *Job) (string, error) {
+		mu.Lock()
+		n++
+		me := n
+		mu.Unlock()
+		if me == 2 {
+			panic("injected runner panic")
+		}
+		return "ok", nil
+	}})
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		job, err := s.Submit(stubSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	states := []JobState{jobs[0].State(), jobs[1].State(), jobs[2].State()}
+	want := []JobState{StateDone, StateFailed, StateDone}
+	for i := range states {
+		if states[i] != want[i] {
+			t.Errorf("job %d state %s, want %s", i, states[i], want[i])
+		}
+	}
+	if v := jobs[1].View(); v.Error == "" {
+		t.Error("panicked job has no error message")
+	}
+	// Server still serves: one more round-trip.
+	job, err := s.Submit(stubSpec())
+	if err != nil {
+		t.Fatalf("submit after panic: %v", err)
+	}
+	<-job.Done()
+	if job.State() != StateDone {
+		t.Errorf("post-panic job state %s, want done", job.State())
+	}
+	shutdownClean(t, s)
+}
+
+// TestJobTimeoutAbandonsHang runs a job that sleeps through its
+// context with a short per-job timeout: the job is abandoned after the
+// grace period and the worker slot is freed for the next job.
+func TestJobTimeoutAbandonsHang(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := New(Config{Workers: 1, AbandonGrace: 50 * time.Millisecond,
+		Runner: func(ctx context.Context, job *Job) (string, error) {
+			if job.Spec().TimeoutMS != 0 {
+				<-release // the hung job ignores cancellation
+				return "late", nil
+			}
+			return "ok", nil
+		}})
+	spec := stubSpec()
+	spec.TimeoutMS = 50
+	hung, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-hung.Done()
+	v := hung.View()
+	if v.State != StateFailed || !v.Abandoned {
+		t.Fatalf("hung job state=%s abandoned=%v, want failed/true", v.State, v.Abandoned)
+	}
+	// The worker survived the abandonment and still takes jobs.
+	next, err := s.Submit(stubSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-next.Done()
+	if next.State() != StateDone {
+		t.Errorf("job after abandoned hang: state %s, want done", next.State())
+	}
+	shutdownClean(t, s)
+}
+
+// TestStageErrorSurfaced asserts a typed flow failure lands in the job
+// record with its stage diagnostics.
+func TestStageErrorSurfaced(t *testing.T) {
+	s := New(Config{Workers: 1, Runner: func(ctx context.Context, job *Job) (string, error) {
+		return "", &flows.StageError{Flow: "2D", Stage: flows.StagePlace, Seed: 7, Attempt: 1,
+			Cause: errors.New("boom"), Stack: []byte("stack")}
+	}})
+	job, err := s.Submit(stubSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	v := job.View()
+	if v.State != StateFailed {
+		t.Fatalf("state %s, want failed", v.State)
+	}
+	if v.StageError == nil {
+		t.Fatal("typed stage failure missing from the record")
+	}
+	if v.StageError.Stage != flows.StagePlace || v.StageError.Seed != 7 || !v.StageError.Panicked {
+		t.Errorf("stage failure = %+v", v.StageError)
+	}
+	shutdownClean(t, s)
+}
+
+// TestSpecValidation spot-checks admission-time validation.
+func TestSpecValidation(t *testing.T) {
+	s := New(Config{Workers: 1, Runner: func(context.Context, *Job) (string, error) { return "", nil }})
+	cases := []JobSpec{
+		{},                              // neither flow nor sweep
+		{Flow: "2d", Sweep: "pitch"},    // both
+		{Flow: "warp"},                  // unknown flow
+		{Sweep: "voltage"},              // unknown sweep
+		{Flow: "2d", Config: "huge"},    // unknown config
+		{Flow: "2d", TimeoutMS: -1},     // negative timeout
+		{Flow: "2d", Fault: "panic"},    // faults not allowed here
+		{Flow: "2d", Fault: "segfault"}, // unknown fault
+	}
+	for i, spec := range cases {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("case %d: invalid spec %+v was admitted", i, spec)
+		}
+	}
+	if got := s.jobCounts(); len(got) != 0 {
+		t.Errorf("rejected specs consumed job slots: %v", got)
+	}
+	shutdownClean(t, s)
+}
+
+// waitFor polls cond up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

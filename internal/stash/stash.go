@@ -16,11 +16,13 @@ package stash
 
 import (
 	"bytes"
+	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 )
 
@@ -41,18 +43,35 @@ const headerSize = len(fileMagic) + 4 + 8 + sha256.Size
 type Stats struct {
 	Hits, Misses uint64
 	Puts         uint64
-	Evictions    uint64 // corrupt or verify-failed entries removed
+	Evictions    uint64 // corrupt, verify-failed or LRU-displaced entries removed
 	Errors       uint64 // I/O failures (reads and writes)
 	BytesRead    uint64 // payload bytes served from hits
 	BytesWritten uint64 // payload bytes stored by puts
+	DupPuts      uint64 // puts that found the entry already stored and skipped the write
+	CapSkips     uint64 // puts refused because the payload alone exceeds the byte cap
 }
 
-// Store is a cache directory. All methods are safe for concurrent use.
+// Store is a cache directory. All methods are safe for concurrent use,
+// including concurrent use of the same key: same-key Puts serialize on
+// a per-key lock (first writer wins, later writers skip), and evicting
+// an entry never corrupts a concurrent read of it. A Store opened with
+// OpenLimited additionally keeps the directory under a byte cap with
+// LRU eviction.
 type Store struct {
 	dir string
 
 	hits, misses, puts, evictions, errs atomic.Uint64
 	bytesRead, bytesWritten             atomic.Uint64
+	dupPuts, capSkips                   atomic.Uint64
+
+	// Per-key write locks (see keyLock) and the LRU index of a
+	// byte-capped store (nil maps/list when unlimited; see lru.go).
+	locks    sync.Map
+	maxBytes int64
+	lmu      sync.Mutex
+	ll       *list.List
+	idx      map[Key]*list.Element
+	total    int64
 }
 
 // Open opens (creating if needed) a cache directory.
@@ -89,6 +108,7 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
+	s.touch(k)
 	s.hits.Add(1)
 	s.bytesRead.Add(uint64(len(payload)))
 	return payload, true
@@ -96,8 +116,26 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 
 // Put stores payload under k, atomically: the frame is written to a
 // temporary file in the cache directory and renamed into place, so a
-// crash or full disk mid-write leaves no entry at all.
+// crash or full disk mid-write leaves no entry at all. Concurrent Puts
+// of the same key serialize; the losers find the entry present and
+// return without writing (the store is content-addressed — same key,
+// same content). On a byte-capped store the write may displace the
+// least-recently-used entries, and a payload that alone exceeds the
+// cap is not stored at all.
 func (s *Store) Put(k Key, payload []byte) error {
+	mu := s.keyLock(k)
+	mu.Lock()
+	defer mu.Unlock()
+	if s.exists(k) {
+		s.dupPuts.Add(1)
+		s.touch(k)
+		return nil
+	}
+	frameSize := int64(headerSize + len(payload))
+	if s.maxBytes > 0 && frameSize > s.maxBytes {
+		s.capSkips.Add(1)
+		return nil
+	}
 	f, err := os.CreateTemp(s.dir, ".put-*.tmp")
 	if err != nil {
 		s.errs.Add(1)
@@ -121,13 +159,21 @@ func (s *Store) Put(k Key, payload []byte) error {
 		s.errs.Add(1)
 		return fmt.Errorf("stash: put %s: %w", k, err)
 	}
+	s.admit(k, frameSize)
 	s.puts.Add(1)
 	s.bytesWritten.Add(uint64(len(payload)))
 	return nil
 }
 
-// Evict removes the entry stored under k, if any.
+// Evict removes the entry stored under k, if any. It takes the key's
+// write lock, so an eviction never interleaves with a Put of the same
+// key (the corrupt-entry path cannot delete a just-rewritten snapshot
+// mid-commit).
 func (s *Store) Evict(k Key) {
+	mu := s.keyLock(k)
+	mu.Lock()
+	defer mu.Unlock()
+	s.forget(k)
 	if err := os.Remove(s.Path(k)); err == nil {
 		s.evictions.Add(1)
 	} else if !os.IsNotExist(err) {
@@ -145,6 +191,8 @@ func (s *Store) Stats() Stats {
 		Errors:       s.errs.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
+		DupPuts:      s.dupPuts.Load(),
+		CapSkips:     s.capSkips.Load(),
 	}
 }
 

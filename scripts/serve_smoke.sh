@@ -1,0 +1,99 @@
+#!/bin/sh
+# serve-smoke: end-to-end check of the "macro3d serve" daemon. Starts
+# the daemon with a shared byte-capped stage cache, submits two
+# overlapping sweep jobs, asserts the second is served from the first
+# job's warm snapshots with an identical result, exercises queue
+# rejection surfaces, and checks a clean SIGTERM drain (exit 0).
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$dir"' EXIT INT TERM
+
+echo "serve-smoke: building cmd/macro3d"
+$GO build -o "$dir/macro3d" ./cmd/macro3d
+
+echo "serve-smoke: starting the daemon"
+"$dir/macro3d" serve -addr 127.0.0.1:0 -workers 2 -queue 8 \
+	-cache-dir "$dir/stash" -cache-max-bytes 268435456 \
+	>"$dir/stdout.log" 2>"$dir/stderr.log" &
+pid=$!
+
+# The bound URL (ephemeral port) is printed on startup.
+url=""
+for _ in $(seq 1 100); do
+	url=$(sed -n 's#.*listening at \(http://[^/ ]*\).*#\1#p' "$dir/stderr.log" | head -n 1)
+	[ -n "$url" ] && break
+	kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: FAIL: daemon exited before printing its URL" >&2; cat "$dir/stderr.log" >&2; exit 1; }
+	sleep 0.1
+done
+[ -n "$url" ] || { echo "serve-smoke: FAIL: daemon URL never appeared on stderr" >&2; exit 1; }
+echo "serve-smoke: daemon at $url"
+
+curl -fsS "$url/healthz" | grep -q '"status": "ok"' || {
+	echo "serve-smoke: FAIL: /healthz not ok" >&2; exit 1; }
+
+# submit_job <json> -> job id on stdout
+submit_job() {
+	curl -fsS -X POST -H 'Content-Type: application/json' -d "$1" "$url/jobs" |
+		sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -n 1
+}
+
+# await_job <id>: poll until terminal; prints the final state.
+await_job() {
+	for _ in $(seq 1 1200); do
+		state=$(curl -fsS "$url/jobs/$1" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -n 1)
+		case "$state" in
+		done|failed|canceled) echo "$state"; return 0 ;;
+		esac
+		sleep 0.1
+	done
+	echo "timeout"
+	return 1
+}
+
+spec='{"sweep":"pitch","config":"tiny","seed":7,"pitches":[2,5]}'
+
+echo "serve-smoke: submitting sweep job A (cold)"
+a=$(submit_job "$spec")
+[ -n "$a" ] || { echo "serve-smoke: FAIL: job A not accepted" >&2; exit 1; }
+sa=$(await_job "$a")
+[ "$sa" = "done" ] || { echo "serve-smoke: FAIL: job A ended $sa" >&2; curl -fsS "$url/jobs/$a" >&2; exit 1; }
+
+echo "serve-smoke: submitting identical sweep job B (warm)"
+b=$(submit_job "$spec")
+[ -n "$b" ] || { echo "serve-smoke: FAIL: job B not accepted" >&2; exit 1; }
+sb=$(await_job "$b")
+[ "$sb" = "done" ] || { echo "serve-smoke: FAIL: job B ended $sb" >&2; exit 1; }
+
+echo "serve-smoke: comparing results and cache hits"
+curl -fsS "$url/jobs/$a" | sed -n 's/.*"result": "\(.*\)".*/\1/p' >"$dir/a.result"
+curl -fsS "$url/jobs/$b" | sed -n 's/.*"result": "\(.*\)".*/\1/p' >"$dir/b.result"
+[ -s "$dir/a.result" ] || { echo "serve-smoke: FAIL: job A has no result" >&2; exit 1; }
+cmp -s "$dir/a.result" "$dir/b.result" || {
+	echo "serve-smoke: FAIL: warm job B's result differs from cold job A's" >&2; exit 1; }
+hits=$(curl -fsS "$url/stashz" | sed -n 's/.*"Hits": \([0-9]*\).*/\1/p' | head -n 1)
+[ -n "$hits" ] && [ "$hits" -gt 0 ] || {
+	echo "serve-smoke: FAIL: warm job produced no cache hits (hits=$hits)" >&2
+	curl -fsS "$url/stashz" >&2
+	exit 1
+}
+echo "serve-smoke: warm run hit the shared cache $hits times"
+
+echo "serve-smoke: checking rejection surfaces"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' -d '{}' "$url/jobs")
+[ "$code" = "400" ] || { echo "serve-smoke: FAIL: invalid spec answered $code, want 400" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+	-d '{"flow":"2d","config":"tiny","fault":"panic"}' "$url/jobs")
+[ "$code" = "400" ] || { echo "serve-smoke: FAIL: fault injection without -allow-faults answered $code, want 400" >&2; exit 1; }
+curl -fsS "$url/metrics" | grep -q '^serve_jobs_submitted_total' || {
+	echo "serve-smoke: FAIL: /metrics lacks serve_ counters" >&2; exit 1; }
+
+echo "serve-smoke: draining with SIGTERM"
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+[ "$status" = "0" ] || { echo "serve-smoke: FAIL: daemon exited $status on SIGTERM drain" >&2; cat "$dir/stderr.log" >&2; exit 1; }
+grep -q 'stage cache' "$dir/stderr.log" || { echo "serve-smoke: FAIL: no cache summary on shutdown" >&2; exit 1; }
+
+echo "serve-smoke: OK"
