@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race equiv faults bench bench-route bench-stash benchall obs-smoke cache-smoke serve-smoke serve-load
+.PHONY: check build test vet race equiv faults bench bench-route bench-stash bench-harden benchall obs-smoke cache-smoke serve-smoke harden-smoke serve-load
 
 ## check: the full gate — vet, build, unit tests, the race-enabled
-## fault-injection suite, then the observability, stage-cache and
-## daemon smoke tests (what CI should run).
-check: vet build test race obs-smoke cache-smoke serve-smoke
+## fault-injection suite, then the observability, stage-cache, daemon
+## and hardened-macro smoke tests (what CI should run).
+check: vet build test race obs-smoke cache-smoke serve-smoke harden-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,13 @@ cache-smoke:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
 
+## harden-smoke: end-to-end hierarchical-flow check — harden the tiny
+## tile cold into the cache, reload it warm into a 3×3 parent array,
+## asserting harden-cache counters, clean verification, closure at the
+## tile period and a well-formed abstract LEF export.
+harden-smoke:
+	GO="$(GO)" sh scripts/harden_smoke.sh
+
 ## serve-load: the multi-tenant load driver — 8 concurrent tenants with
 ## overlapping specs against a small queue (exercising 429
 ## backpressure) plus one injected panicking job; asserts zero
@@ -85,6 +92,14 @@ bench-route:
 bench-stash:
 	$(GO) test -bench BenchmarkStashSweep -count 3 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_stash.json
 	cat BENCH_stash.json
+
+## bench-harden: the hierarchical-flow comparison — the same 4×4 tile
+## array re-verified flat (full STA over every cell) vs instantiated
+## from a cached hardened abstract in the parent flow — recorded as
+## BENCH_harden.json with the harden_flat_over_hier headline ratio.
+bench-harden:
+	$(GO) test -bench BenchmarkHardenArray -count 3 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_harden.json
+	cat BENCH_harden.json
 
 ## benchall: every benchmark, human-readable.
 benchall:

@@ -124,6 +124,10 @@ func NewSensor(name string, w, h float64, dataBits int) (*Cell, error) {
 	return cell.NewSensor(name, w, h, dataBits)
 }
 
+// NewLibrary returns an empty cell library (e.g. to hold a single
+// hardened abstract for LEF export).
+func NewLibrary(name string) *Library { return cell.NewLibrary(name) }
+
 // NewStdLib28 builds the synthetic 28 nm standard-cell library.
 func NewStdLib28(opt cell.LibOptions) *Library { return cell.NewStdLib28(opt) }
 
@@ -249,6 +253,73 @@ type ArrayReport = flows.ArrayReport
 // claim.
 func VerifyTileArray(cfg FlowConfig, st *FlowState, t *Tech, nx, ny int) (*ArrayReport, error) {
 	return flows.VerifyTileArray(cfg, st, t, nx, ny)
+}
+
+// --- Hierarchical hardened-macro flow (DESIGN.md §13) ---
+
+// AbstractInfo is the provenance and signoff record a hardened macro
+// abstract carries (source flow, internal minimum period, per-cycle
+// energy).
+type AbstractInfo = cell.AbstractInfo
+
+// HardenResult is the outcome of hardening a sub-block into an
+// abstract master.
+type HardenResult = flows.HardenResult
+
+// HierReport is the outcome of the hierarchical parent flow.
+type HierReport = flows.HierReport
+
+// Hardening flow kinds accepted by Harden and RunHierArray.
+const (
+	HardenFlowMacro3D = flows.HardenMacro3D
+	HardenFlow2D      = flows.Harden2D
+)
+
+// Harden runs a sub-block flow to signoff and condenses it into an
+// abstract master: LEF-style boundary pins with entry caps and
+// boundary timing arcs, per-layer routing obstructions, and the
+// AbstractInfo record. With FlowConfig.Cache set, the abstract is
+// content-addressed so each distinct configuration hardens once.
+func Harden(cfg FlowConfig, flow string) (*HardenResult, error) {
+	return flows.Harden(cfg, flow)
+}
+
+// HardenCtx is Harden with run cancellation.
+func HardenCtx(ctx context.Context, cfg FlowConfig, flow string) (*HardenResult, error) {
+	return flows.HardenCtx(ctx, cfg, flow)
+}
+
+// RunHierArray hardens the configured tile (or loads it from the
+// cache) and instantiates the abstract nx×ny by abutment, signing off
+// only the parent level against the boundary timing model.
+func RunHierArray(cfg FlowConfig, flow string, nx, ny int) (*HierReport, error) {
+	return flows.RunHierArray(cfg, flow, nx, ny)
+}
+
+// RunHierArrayCtx is RunHierArray with run cancellation.
+func RunHierArrayCtx(ctx context.Context, cfg FlowConfig, flow string, nx, ny int) (*HierReport, error) {
+	return flows.RunHierArrayCtx(ctx, cfg, flow, nx, ny)
+}
+
+// InstantiateArray runs just the parent level on an already-hardened
+// block.
+func InstantiateArray(cfg FlowConfig, hr *HardenResult, nx, ny int) (*HierReport, error) {
+	return flows.InstantiateArray(cfg, hr, nx, ny)
+}
+
+// ComposeAbstractArray stitches nx×ny instances of a hardened
+// abstract into a parent netlist by abutment (the hierarchical analog
+// of AbutTiles).
+func ComposeAbstractArray(t *Tile, abs *Cell, die geom.Rect, nx, ny int) (*Design, geom.Rect, error) {
+	return piton.ComposeAbstract(t, abs, die, nx, ny)
+}
+
+// RemapAbstractForMacroDie clones a hardened abstract with its pin
+// and obstruction layers remapped onto the combined stack's _MD
+// macro-die layers, so a block hardened on a plain logic stack can be
+// re-instantiated on the macro die of a Macro-3D parent.
+func RemapAbstractForMacroDie(m *Cell, combined *BEOL) (*Cell, error) {
+	return core.RemapAbstractForMacroDie(m, combined)
 }
 
 // --- Experiments (the paper's tables) ---

@@ -131,6 +131,13 @@ func main() {
 	if warm, ok := byName["BenchmarkStashSweep/warm"]; ok && okC && warm.MeanNsOp > 0 {
 		out.Speedup["stash_cold_over_warm"] = cold.MeanNsOp / warm.MeanNsOp
 	}
+	// Hierarchical ratio (`make bench-harden`): the same 4×4 tile
+	// array re-verified flat versus instantiated from a cached
+	// hardened abstract in the parent flow.
+	flat, okF := byName["BenchmarkHardenArray/flat"]
+	if hier, ok := byName["BenchmarkHardenArray/hier"]; ok && okF && hier.MeanNsOp > 0 {
+		out.Speedup["harden_flat_over_hier"] = flat.MeanNsOp / hier.MeanNsOp
+	}
 	if len(out.Speedup) == 0 {
 		out.Speedup = nil
 	}

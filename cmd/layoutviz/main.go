@@ -5,10 +5,13 @@
 //	-fig 4: memory-macro floorplans of the 2D and MoL designs
 //	-fig 5: final placed-and-routed 2D layout
 //	-fig 6: separated MoL dies with F2F bumps
+//	-fig 7: hierarchical parent array of hardened-macro abstracts with
+//	        their dashed boundaries and per-layer routing obstructions
+//	        (logic-die layers blue, _MD macro-die layers red)
 //
 // Usage:
 //
-//	layoutviz -fig 1|4|5|6 [-config small|large] [-o DIR] [-seed N]
+//	layoutviz -fig 1|4|5|6|7 [-config tiny|small|large] [-o DIR] [-seed N] [-array N]
 package main
 
 import (
@@ -23,21 +26,24 @@ import (
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 4, "paper figure to regenerate: 1, 4, 5 or 6")
-		config = flag.String("config", "small", "tile configuration: small or large")
+		fig    = flag.Int("fig", 4, "paper figure to regenerate: 1, 4, 5, 6 or 7")
+		config = flag.String("config", "small", "tile configuration: tiny, small or large")
 		out    = flag.String("o", ".", "output directory for SVG files")
 		seed   = flag.Uint64("seed", 1, "deterministic seed")
+		array  = flag.Int("array", 3, "abstract array size for -fig 7 (N×N)")
 	)
 	flag.Parse()
-	if err := run(*fig, *config, *out, *seed); err != nil {
+	if err := run(*fig, *config, *out, *seed, *array); err != nil {
 		fmt.Fprintln(os.Stderr, "layoutviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, config, out string, seed uint64) error {
+func run(fig int, config, out string, seed uint64, array int) error {
 	var pc macro3d.TileConfig
 	switch config {
+	case "tiny":
+		pc = macro3d.TinyTile()
 	case "small":
 		pc = macro3d.SmallCache()
 	case "large":
@@ -134,6 +140,33 @@ func run(fig int, config, out string, seed uint64) error {
 				Title:     fmt.Sprintf("MoL macro die (%s) — %d bumps", config, len(macroD.Bumps)),
 				DieFilter: &mdie, Bumps: macroD.Bumps,
 			}))
+
+	case 7:
+		if array < 2 {
+			array = 2
+		}
+		rep, err := macro3d.RunHierArray(cfg, macro3d.HardenFlowMacro3D, array, array)
+		if err != nil {
+			return err
+		}
+		mdObs := 0
+		for _, inst := range rep.Design.Macros() {
+			if inst.Master.Abstract == nil {
+				continue
+			}
+			for _, ob := range inst.Master.Obstructions {
+				if len(ob.Layer) > 3 && ob.Layer[len(ob.Layer)-3:] == "_MD" {
+					mdObs++
+				}
+			}
+		}
+		fmt.Print(macro3d.ASCIIDensity(rep.Design, rep.Die, 72, nil))
+		return write(fmt.Sprintf("fig7_hier_array_%s_%dx%d.svg", config, array, array),
+			macro3d.LayoutSVG(rep.Design, rep.Die, macro3d.VizOptions{
+				Title: fmt.Sprintf("hierarchical %d×%d array of %s (%d _MD obstructions/instance total %d)",
+					array, array, rep.Abstract.Name, mdObs/(array*array), mdObs),
+				ShowObstructions: true, ShowPorts: true,
+			}))
 	}
-	return fmt.Errorf("unknown figure %d (want 1, 4, 5 or 6)", fig)
+	return fmt.Errorf("unknown figure %d (want 1, 4, 5, 6 or 7)", fig)
 }

@@ -57,6 +57,11 @@ func main() {
 	if len(os.Args) >= 2 && os.Args[1] == "serve" {
 		os.Exit(serveMain(os.Args[2:]))
 	}
+	// "macro3d harden" hardens a sub-block into a reusable abstract
+	// and optionally instantiates it as a hierarchical array.
+	if len(os.Args) >= 2 && os.Args[1] == "harden" {
+		os.Exit(hardenMain(os.Args[2:]))
+	}
 	// Cleanups (profile flushes, event-stream commits) must run even on
 	// a failing exit, so the exit status is decided after realMain
 	// returns.
@@ -264,9 +269,7 @@ func realMain() (code int) {
 			return 1
 		}
 		cleanups = append(cleanups, cleanup{"stage cache", func() error {
-			s := cache.Stats()
-			fmt.Fprintf(os.Stderr, "macro3d: stage cache %s: %d hits, %d misses, %d stored, %d evicted, %d errors, %d B read, %d B written\n",
-				cache.Dir(), s.Hits, s.Misses, s.Puts, s.Evictions, s.Errors, s.BytesRead, s.BytesWritten)
+			printCacheSummary(cache)
 			return nil
 		}})
 	}
@@ -291,6 +294,19 @@ func realMain() (code int) {
 		}
 	}
 	return 0
+}
+
+// printCacheSummary renders one run's cache traffic, including the
+// duplicate-put races a shared cache absorbs and the hardened-abstract
+// lookups (a harden hit skips an entire sub-block signoff).
+func printCacheSummary(cache *macro3d.StageCache) {
+	s := cache.Stats()
+	fmt.Fprintf(os.Stderr, "macro3d: stage cache %s: %d hits, %d misses, %d stored (%d dup), %d evicted, %d errors, %d B read, %d B written\n",
+		cache.Dir(), s.Hits, s.Misses, s.Puts, s.DupPuts, s.Evictions, s.Errors, s.BytesRead, s.BytesWritten)
+	if s.HardenHits+s.HardenMisses > 0 {
+		fmt.Fprintf(os.Stderr, "macro3d: hardened abstracts: %d cache hits, %d hardened fresh\n",
+			s.HardenHits, s.HardenMisses)
+	}
 }
 
 // printFailure renders a flow failure: StageError diagnostics when the

@@ -44,6 +44,19 @@ type Pin struct {
 	Offset geom.Point // location in the cell's local frame, µm
 	Layer  string     // metal layer the pin shape sits on
 	Clock  bool       // true for clock inputs
+
+	// Boundary timing arcs of hardened-macro abstracts (Cell.Abstract
+	// != nil), in sign-off-corner-absolute ps — STA consumes them
+	// without applying a corner scale, unlike the cell-level
+	// Setup/ClkQ. Zero on ordinary masters.
+	//
+	// Setup at a data input is the full internal budget of the pin:
+	// worst path delay from the pin to an internal capture register
+	// plus that register's setup, referenced to the abstract's clock
+	// pin. ClkQ at an output is the worst internal clock-edge→pin
+	// delay at the hardened block's own load.
+	Setup float64
+	ClkQ  float64
 }
 
 // Kind classifies cell masters.
@@ -116,6 +129,10 @@ type Cell struct {
 	// Macro-only data.
 	Obstructions []Obstruction
 	Macro        *MacroInfo
+
+	// Abstract marks a master produced by hardening a sub-block
+	// through our own P&R (flows.Harden) rather than by a compiler.
+	Abstract *AbstractInfo
 }
 
 // MacroInfo carries SRAM-compiler metadata for KindMacro cells.
@@ -124,6 +141,32 @@ type MacroInfo struct {
 	Bits            int
 	CapacityBytes   int
 	EnergyPerAccess float64 // fJ
+}
+
+// AbstractInfo carries the sign-off summary of a hardened sub-block.
+// An abstract's per-pin boundary arcs (Pin.Setup/Pin.ClkQ) plus
+// MinPeriodPs fully describe its timing to a parent flow; the
+// geometry side is the usual pins + per-layer Obstructions.
+type AbstractInfo struct {
+	// SourceFlow and SourceConfig record provenance: the flow kind the
+	// sub-block was signed off with ("Macro-3D", "2D") and the
+	// benchmark configuration name.
+	SourceFlow   string
+	SourceConfig string
+
+	// MinPeriodPs is the sub-block's own sign-off minimum period
+	// (slow corner). A parent clock cannot beat it: STA floors the
+	// parent MinPeriod at the worst instantiated abstract.
+	MinPeriodPs float64
+
+	// EnergyPerCycleFJ and LeakageUW summarize the sub-block's
+	// typical-corner power for parent-level accounting.
+	EnergyPerCycleFJ float64
+	LeakageUW        float64
+
+	// F2FBumps is the bonding via count the hardened block consumes
+	// internally (Macro-3D sub-blocks only).
+	F2FBumps int
 }
 
 // Area returns the footprint area in µm².
@@ -197,6 +240,10 @@ func (c *Cell) Clone() *Cell {
 	if c.Macro != nil {
 		m := *c.Macro
 		d.Macro = &m
+	}
+	if c.Abstract != nil {
+		a := *c.Abstract
+		d.Abstract = &a
 	}
 	return &d
 }

@@ -64,6 +64,43 @@ func EditMacroForMacroDie(m *cell.Cell, fillerW, fillerH float64) (*cell.Cell, e
 	return e, nil
 }
 
+// RemapAbstractForMacroDie rewrites a hardened abstract's layer
+// geometry onto the _MD layers of a combined stack, so a block
+// hardened on a plain single-die stack (e.g. by the 2D flow) can live
+// on the macro die of an F2F stack. Unlike EditMacroForMacroDie the
+// mapping is validated layer by layer against the combined stack — an
+// abstract hardened with more metals than the macro die offers is an
+// error, not a silent rename — and the substrate footprint is kept
+// (the abstract *is* the macro-die content, not a logic-die stand-in).
+// The original master is not modified.
+func RemapAbstractForMacroDie(m *cell.Cell, combined *tech.BEOL) (*cell.Cell, error) {
+	if m.Abstract == nil {
+		return nil, fmt.Errorf("core: %s is not a hardened abstract", m.Name)
+	}
+	e := m.Clone()
+	if !strings.HasSuffix(e.Name, tech.MDSuffix) {
+		e.Name = m.Name + tech.MDSuffix
+	}
+	for i := range e.Pins {
+		if e.Pins[i].Layer == "" {
+			continue
+		}
+		name, err := combined.MacroDieName(e.Pins[i].Layer)
+		if err != nil {
+			return nil, fmt.Errorf("core: abstract %s pin %s: %w", m.Name, e.Pins[i].Name, err)
+		}
+		e.Pins[i].Layer = name
+	}
+	for i := range e.Obstructions {
+		name, err := combined.MacroDieName(e.Obstructions[i].Layer)
+		if err != nil {
+			return nil, fmt.Errorf("core: abstract %s obstruction %d: %w", m.Name, i, err)
+		}
+		e.Obstructions[i].Layer = name
+	}
+	return e, nil
+}
+
 // MoLDesign is a design prepared for single-pass 3D P&R.
 type MoLDesign struct {
 	Design   *netlist.Design

@@ -204,3 +204,50 @@ func TestCellForDie(t *testing.T) {
 		t.Fatal("CellForDie mutated original")
 	}
 }
+
+func TestRemapAbstractForMacroDie(t *testing.T) {
+	logic, _ := tech.NewBEOL28("logic", 6)
+	macro, _ := tech.NewBEOL28("macro", 6)
+	combined, err := tech.Combine(logic, macro, tech.DefaultF2F())
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := &cell.Cell{
+		Name: "blk_abs", Kind: cell.KindMacro, Width: 40, Height: 40,
+		Pins: []cell.Pin{
+			{Name: "CK", Dir: cell.DirIn, Clock: true, Layer: "M6", Offset: geom.Pt(0, 20)},
+			{Name: "Q", Dir: cell.DirOut, Layer: "M4", Offset: geom.Pt(40, 20), ClkQ: 80},
+		},
+		Obstructions: []cell.Obstruction{
+			{Layer: "M2", Rect: geom.R(0, 0, 40, 10)},
+		},
+		Abstract: &cell.AbstractInfo{SourceFlow: "2D", MinPeriodPs: 500},
+	}
+	got, err := RemapAbstractForMacroDie(abs, combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "blk_abs_MD" {
+		t.Fatalf("name %s", got.Name)
+	}
+	if got.Pins[0].Layer != "M6_MD" || got.Pins[1].Layer != "M4_MD" {
+		t.Fatalf("pin layers %s/%s not remapped", got.Pins[0].Layer, got.Pins[1].Layer)
+	}
+	if got.Obstructions[0].Layer != "M2_MD" {
+		t.Fatalf("obstruction layer %s not remapped", got.Obstructions[0].Layer)
+	}
+	// Timing arcs and provenance ride along untouched; the source is
+	// not mutated.
+	if got.Pins[1].ClkQ != 80 || got.Abstract.MinPeriodPs != 500 {
+		t.Fatal("remap lost timing data")
+	}
+	if abs.Pins[0].Layer != "M6" || abs.Obstructions[0].Layer != "M2" {
+		t.Fatal("remap mutated its input")
+	}
+	// A non-abstract macro is rejected: the remap is only defined for
+	// hardened abstracts.
+	plain := &cell.Cell{Name: "m", Kind: cell.KindMacro}
+	if _, err := RemapAbstractForMacroDie(plain, combined); err == nil {
+		t.Fatal("remap accepted a cell without AbstractInfo")
+	}
+}

@@ -138,9 +138,17 @@ func Build(d *netlist.Design, clk *netlist.Net, src geom.Point, lib *cell.Librar
 		t.Skew = spread
 	}
 
+	// Sum in sorted-ID order: float addition is order-sensitive and
+	// map iteration is randomized, so a raw range would make
+	// MeanLatency wobble by an ULP between otherwise identical runs.
+	ids := make([]int, 0, len(t.LatencyOf))
+	for id := range t.LatencyOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	sum := 0.0
-	for _, l := range t.LatencyOf {
-		sum += l
+	for _, id := range ids {
+		sum += t.LatencyOf[id]
 	}
 	t.MeanLatency = sum / float64(len(t.LatencyOf))
 	return t

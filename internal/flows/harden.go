@@ -1,0 +1,359 @@
+package flows
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/geom"
+	"macro3d/internal/piton"
+	"macro3d/internal/sta"
+	"macro3d/internal/stash"
+	"macro3d/internal/tech"
+)
+
+// Hardening flow kinds accepted by Harden.
+const (
+	HardenMacro3D = "macro3d" // sub-block signed off with the paper's 3D flow
+	Harden2D      = "2d"      // sub-block signed off with the 2D baseline
+)
+
+// HardenResult is the outcome of hardening a sub-block: the abstract
+// master ready for re-instantiation, plus the sub-block's full
+// implementation when it was actually run (nil on a warm cache hit —
+// the whole point of the cache is not having it).
+type HardenResult struct {
+	// Abstract is the hardened macro: boundary pins with entry caps
+	// and timing arcs, per-layer routing obstructions, and the
+	// AbstractInfo provenance record. Local frame origin (0,0).
+	Abstract *cell.Cell
+
+	// Tile is a fresh (un-implemented) handle of the hardened
+	// benchmark, carrying the netlist-level facts composition needs:
+	// port directions, abutment groups, half-cycle flags, clock port.
+	Tile *piton.Tile
+
+	// PPA and State hold the sub-block signoff when the flow ran;
+	// both are nil when the abstract came out of the cache.
+	PPA   *PPA
+	State *State
+
+	CacheHit bool
+	Elapsed  time.Duration
+}
+
+// Harden runs a sub-block flow to signoff and condenses the result
+// into an abstract master (LEF-style boundary view: pins, per-layer
+// obstructions, boundary timing model) that a parent flow instantiates
+// as an opaque macro. With cfg.Cache set, the abstract is
+// content-addressed by everything the sub-block implementation depends
+// on, so sweeps and concurrent serve tenants harden each distinct
+// configuration exactly once.
+func Harden(cfg Config, flow string) (*HardenResult, error) {
+	return HardenCtx(context.Background(), cfg, flow)
+}
+
+// HardenCtx is Harden with run cancellation.
+func HardenCtx(ctx context.Context, cfg Config, flow string) (*HardenResult, error) {
+	cfg = cfg.withDefaults()
+	if flow == "" {
+		flow = HardenMacro3D
+	}
+	start := time.Now()
+
+	t, err := tech.New28(cfg.LogicMetals)
+	if err != nil {
+		return nil, err
+	}
+
+	var key stash.Key
+	useCache := cfg.cacheEnabled()
+	if useCache {
+		key, err = hardenKey(cfg, flow, t)
+		if err != nil {
+			return nil, err
+		}
+		if b, ok := cfg.Cache.Get(key); ok {
+			abs, err := decodeAbstract(b)
+			if err == nil {
+				cfg.Cache.NoteHarden(true)
+				tile, err := cfg.generate()
+				if err != nil {
+					return nil, err
+				}
+				return &HardenResult{
+					Abstract: abs, Tile: tile,
+					CacheHit: true, Elapsed: time.Since(start),
+				}, nil
+			}
+			// A snapshot that frames correctly but no longer decodes
+			// (codec drift) reads as a miss.
+			cfg.Cache.Evict(key)
+		}
+		cfg.Cache.NoteHarden(false)
+	}
+
+	var (
+		ppa *PPA
+		st  *State
+	)
+	switch flow {
+	case HardenMacro3D:
+		ppa, st, _, err = RunMacro3DCtx(ctx, cfg)
+	case Harden2D:
+		ppa, st, err = Run2DCtx(ctx, cfg)
+	default:
+		return nil, fmt.Errorf("harden: unknown flow %q (want %q or %q)", flow, HardenMacro3D, Harden2D)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	abs, err := buildAbstract(st, ppa, t)
+	if err != nil {
+		return nil, fmt.Errorf("harden %s: %w", st.Design.Name, err)
+	}
+	if useCache {
+		if err := cfg.Cache.Put(key, encodeAbstract(abs)); err != nil {
+			return nil, err
+		}
+	}
+	return &HardenResult{
+		Abstract: abs, Tile: st.Tile, PPA: ppa, State: st,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// hardenKey content-addresses a hardened abstract: the root material
+// of the sub-block run (technology fingerprint, benchmark config,
+// seed) under a harden-specific flow kind, chained with the inputs the
+// signoff additionally depends on (3D stack, optimization target).
+func hardenKey(cfg Config, flow string, t *tech.Tech) (stash.Key, error) {
+	rk, err := rootKey("harden:"+flow, cfg)
+	if err != nil {
+		return stash.Key{}, err
+	}
+	e := stash.NewEnc()
+	e.F64(cfg.TargetPeriod)
+	e.Blob(stackMaterial(cfg, t))
+	return rk.Derive("harden", e.Bytes()), nil
+}
+
+// buildAbstract condenses a signed-off implementation into its
+// abstract master. The local frame is the die translated to origin
+// (0,0); pins keep the signoff port locations so abutment composition
+// reproduces the §V-1 alignment invariant exactly.
+func buildAbstract(st *State, ppa *PPA, t *tech.Tech) (*cell.Cell, error) {
+	d := st.Design
+	tile := st.Tile
+	origin := st.Die.LL()
+	slow := t.CornerScaleFor(tech.CornerSlow)
+
+	arcs, err := sta.BoundaryArcs(d, st.ExSlow, sta.Options{Corner: slow, Clock: st.Tree})
+	if err != nil {
+		return nil, fmt.Errorf("boundary arcs: %w", err)
+	}
+
+	// Entry cap of an input pin is everything the parent drives
+	// through it: the port's internal net, wire plus sink pins, at
+	// the signoff extraction.
+	inNet := map[int]int{}  // port ID → net ID driven by the port
+	outNet := map[int]int{} // port ID → net ID sunk by the port
+	for _, n := range d.Nets {
+		if n.Clock {
+			continue
+		}
+		if n.Driver.IsPort() {
+			inNet[n.Driver.Port.ID] = n.ID
+		}
+		for _, s := range n.Sinks {
+			if s.IsPort() {
+				outNet[s.Port.ID] = n.ID
+			}
+		}
+	}
+
+	abs := &cell.Cell{
+		Name:   d.Name + "_abs",
+		Kind:   cell.KindMacro,
+		Width:  st.Die.W(),
+		Height: st.Die.H(),
+		// The block's standing power; its dynamic energy lives in
+		// AbstractInfo and is accounted per cycle by the parent flow.
+		Leakage: ppa.LeakageUW * 1000, // µW → nW
+		Abstract: &cell.AbstractInfo{
+			SourceFlow:       ppa.Flow,
+			SourceConfig:     ppa.Config,
+			MinPeriodPs:      ppa.MinPeriodPs,
+			EnergyPerCycleFJ: ppa.EmeanFJ,
+			LeakageUW:        ppa.LeakageUW,
+			F2FBumps:         ppa.F2FBumps,
+		},
+	}
+
+	clkCap := clockEntryCap(d.Lib)
+	for _, p := range d.Ports {
+		pin := cell.Pin{
+			Name:   p.Name,
+			Dir:    p.Dir,
+			Offset: p.Loc.Sub(origin),
+			Layer:  p.Layer,
+			Clock:  p.Name == tile.ClockPort,
+		}
+		arc := arcs[p.Name]
+		switch {
+		case pin.Clock:
+			pin.Cap = clkCap
+		case p.Dir == cell.DirIn:
+			if id, ok := inNet[p.ID]; ok && st.ExSlow.Nets[id] != nil {
+				pin.Cap = st.ExSlow.Nets[id].CTotal()
+			}
+			pin.Setup = arc.SetupPs
+		default:
+			pin.ClkQ = arc.ClkQPs
+			if id, ok := outNet[p.ID]; ok {
+				n := d.Nets[id]
+				if !n.Driver.IsPort() {
+					if r := n.Driver.Inst.Master.DriveRes; r > abs.DriveRes {
+						abs.DriveRes = r
+					}
+				}
+			}
+		}
+		abs.Pins = append(abs.Pins, pin)
+	}
+	if abs.ClockPin() == nil {
+		return nil, fmt.Errorf("abstract %s has no clock pin", abs.Name)
+	}
+
+	// Per-layer obstructions: every gcell the implementation actually
+	// uses (or fully blocks), per layer — including the _MD macro-die
+	// layers of a Macro-3D-hardened block — so the parent router sees
+	// exactly the residual capacity over the instance.
+	for _, b := range st.DB.UsedObstructions() {
+		abs.Obstructions = append(abs.Obstructions, cell.Obstruction{
+			Layer: b.Layer,
+			Rect:  b.Rect.Translate(geom.Point{}.Sub(origin)),
+		})
+	}
+	return abs, nil
+}
+
+// clockEntryCap is the load a parent clock tree sees at the abstract's
+// clock pin: the input of the hardened block's root clock buffer (the
+// biggest buffer in its library; the internal tree behind it is
+// already folded into the boundary arcs via the mean-latency
+// reference).
+func clockEntryCap(lib *cell.Library) float64 {
+	best := 2.0
+	drive := -1
+	for _, c := range lib.Cells() {
+		if c.Kind != cell.KindBuf || c.Drive <= drive {
+			continue
+		}
+		for i := range c.Pins {
+			if c.Pins[i].Dir == cell.DirIn {
+				best, drive = c.Pins[i].Cap, c.Drive
+				break
+			}
+		}
+	}
+	return best
+}
+
+// Abstract snapshot codec (cache payload). Purely self-describing
+// numbers and strings; decode validates fully before returning.
+
+func encodeAbstract(c *cell.Cell) []byte {
+	e := stash.NewEnc()
+	e.Str(c.Name)
+	e.F64(c.Width)
+	e.F64(c.Height)
+	e.F64(c.DriveRes)
+	e.F64(c.Leakage)
+	e.Int(len(c.Pins))
+	for i := range c.Pins {
+		p := &c.Pins[i]
+		e.Str(p.Name)
+		e.U8(uint8(p.Dir))
+		e.F64(p.Cap)
+		e.F64(p.Offset.X)
+		e.F64(p.Offset.Y)
+		e.Str(p.Layer)
+		e.Bool(p.Clock)
+		e.F64(p.Setup)
+		e.F64(p.ClkQ)
+	}
+	e.Int(len(c.Obstructions))
+	for _, o := range c.Obstructions {
+		e.Str(o.Layer)
+		e.F64(o.Rect.Lx)
+		e.F64(o.Rect.Ly)
+		e.F64(o.Rect.Ux)
+		e.F64(o.Rect.Uy)
+	}
+	a := c.Abstract
+	e.Str(a.SourceFlow)
+	e.Str(a.SourceConfig)
+	e.F64(a.MinPeriodPs)
+	e.F64(a.EnergyPerCycleFJ)
+	e.F64(a.LeakageUW)
+	e.Int(a.F2FBumps)
+	return e.Bytes()
+}
+
+func decodeAbstract(b []byte) (*cell.Cell, error) {
+	d := stash.NewDec(b)
+	c := &cell.Cell{Kind: cell.KindMacro}
+	c.Name = d.Str()
+	c.Width = d.F64()
+	c.Height = d.F64()
+	c.DriveRes = d.F64()
+	c.Leakage = d.F64()
+	nPins := d.Int()
+	if nPins < 0 || nPins > 1<<20 {
+		return nil, fmt.Errorf("harden: snapshot pin count %d", nPins)
+	}
+	for i := 0; i < nPins; i++ {
+		var p cell.Pin
+		p.Name = d.Str()
+		p.Dir = cell.PinDir(d.U8())
+		p.Cap = d.F64()
+		p.Offset.X = d.F64()
+		p.Offset.Y = d.F64()
+		p.Layer = d.Str()
+		p.Clock = d.Bool()
+		p.Setup = d.F64()
+		p.ClkQ = d.F64()
+		c.Pins = append(c.Pins, p)
+	}
+	nObs := d.Int()
+	if nObs < 0 || nObs > 1<<24 {
+		return nil, fmt.Errorf("harden: snapshot obstruction count %d", nObs)
+	}
+	for i := 0; i < nObs; i++ {
+		var o cell.Obstruction
+		o.Layer = d.Str()
+		o.Rect.Lx = d.F64()
+		o.Rect.Ly = d.F64()
+		o.Rect.Ux = d.F64()
+		o.Rect.Uy = d.F64()
+		c.Obstructions = append(c.Obstructions, o)
+	}
+	a := &cell.AbstractInfo{}
+	a.SourceFlow = d.Str()
+	a.SourceConfig = d.Str()
+	a.MinPeriodPs = d.F64()
+	a.EnergyPerCycleFJ = d.F64()
+	a.LeakageUW = d.F64()
+	a.F2FBumps = d.Int()
+	c.Abstract = a
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("harden: %w", err)
+	}
+	if c.Name == "" || c.Width <= 0 || c.Height <= 0 || len(c.Pins) == 0 {
+		return nil, fmt.Errorf("harden: snapshot decodes to degenerate abstract")
+	}
+	return c, nil
+}

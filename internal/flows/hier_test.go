@@ -1,0 +1,177 @@
+package flows
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"macro3d/internal/piton"
+	"macro3d/internal/stash"
+	"macro3d/internal/tech"
+)
+
+func hierCfg() Config {
+	return Config{Piton: piton.Tiny(), Seed: 7}
+}
+
+// TestHardenAbstract checks that hardening the tiny tile through the
+// Macro-3D flow produces a well-formed abstract: every tile port
+// becomes a boundary pin, the clock pin exists, the boundary timing
+// model is populated, and the obstructions include the macro-die
+// (_MD) layers the implementation routed on.
+func TestHardenAbstract(t *testing.T) {
+	hr, err := Harden(hierCfg(), HardenMacro3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs := hr.Abstract
+	if abs == nil || abs.Abstract == nil {
+		t.Fatal("no abstract produced")
+	}
+	if hr.CacheHit {
+		t.Fatal("cacheless harden reported a cache hit")
+	}
+	if abs.Abstract.MinPeriodPs <= 0 {
+		t.Fatalf("abstract MinPeriodPs = %v", abs.Abstract.MinPeriodPs)
+	}
+	if abs.Width <= 0 || abs.Height <= 0 {
+		t.Fatalf("degenerate abstract %v×%v", abs.Width, abs.Height)
+	}
+	if got, want := len(abs.Pins), len(hr.State.Design.Ports); got != want {
+		t.Fatalf("abstract has %d pins, tile has %d ports", got, want)
+	}
+	if abs.ClockPin() == nil {
+		t.Fatal("abstract has no clock pin")
+	}
+	var setups, clkqs, md int
+	for _, p := range abs.Pins {
+		if p.Setup > 0 {
+			setups++
+		}
+		if p.ClkQ > 0 {
+			clkqs++
+		}
+	}
+	if setups == 0 || clkqs == 0 {
+		t.Fatalf("boundary timing model empty: %d setups, %d clk→out arcs", setups, clkqs)
+	}
+	if len(abs.Obstructions) == 0 {
+		t.Fatal("abstract has no routing obstructions")
+	}
+	for _, o := range abs.Obstructions {
+		if strings.HasSuffix(o.Layer, tech.MDSuffix) {
+			md++
+		}
+		r := o.Rect
+		if r.Lx < -1e-6 || r.Ly < -1e-6 || r.Ux > abs.Width+1e-6 || r.Uy > abs.Height+1e-6 {
+			t.Fatalf("obstruction %v on %s outside the abstract frame", r, o.Layer)
+		}
+	}
+	if md == 0 {
+		t.Fatal("Macro-3D-hardened abstract has no _MD-layer obstructions")
+	}
+}
+
+// TestHierArrayClosesAtTile proves the hierarchical §V-1 argument:
+// 2×2 abstract instances composed by abutment verify clean and close
+// timing at the tile's own period.
+func TestHierArrayClosesAtTile(t *testing.T) {
+	cfg := hierCfg()
+	cfg.Verify = true
+	rep, err := RunHierArray(cfg, HardenMacro3D, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ClosesAtTile {
+		t.Fatalf("array period %.1f ps does not close at tile period %.1f ps",
+			rep.ArrayPeriodPs, rep.TilePeriodPs)
+	}
+	if rep.ArrayPeriodPs < rep.TilePeriodPs {
+		t.Fatalf("array period %.1f ps below the tile floor %.1f ps",
+			rep.ArrayPeriodPs, rep.TilePeriodPs)
+	}
+	if rep.StitchedNets == 0 {
+		t.Fatal("no stitched inter-tile nets")
+	}
+	if rep.EnergyPerCycleFJ <= 0 || rep.LeakageUW <= 0 {
+		t.Fatalf("power accounting empty: E=%v fJ, leak=%v µW",
+			rep.EnergyPerCycleFJ, rep.LeakageUW)
+	}
+	if n := len(rep.Design.Instances); n != 4 {
+		t.Fatalf("parent design has %d instances, want 4", n)
+	}
+}
+
+// TestHardenCacheWarm checks that a second harden of the same
+// configuration is served from the stash — bit-identical abstract,
+// no sub-block flow run — and that the harden traffic counters see it.
+func TestHardenCacheWarm(t *testing.T) {
+	store, err := stash.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hierCfg()
+	cfg.Cache = store
+
+	cold, err := Harden(cfg, HardenMacro3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first harden hit an empty cache")
+	}
+	warm, err := Harden(cfg, HardenMacro3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second harden missed the cache")
+	}
+	if warm.State != nil || warm.PPA != nil {
+		t.Fatal("warm harden carries implementation state")
+	}
+	if !bytes.Equal(encodeAbstract(cold.Abstract), encodeAbstract(warm.Abstract)) {
+		t.Fatal("cached abstract differs from the freshly built one")
+	}
+	st := store.Stats()
+	if st.HardenHits != 1 || st.HardenMisses != 1 {
+		t.Fatalf("harden traffic = %d hits / %d misses, want 1/1", st.HardenHits, st.HardenMisses)
+	}
+
+	// A different seed is a different block: it must not share the entry.
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	other, err := Harden(cfg2, HardenMacro3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHit {
+		t.Fatal("different seed hit the first seed's cache entry")
+	}
+}
+
+// TestHierArrayDeterministic pins the parallel-engine guarantee on the
+// hierarchical flow: identical results at any worker count.
+func TestHierArrayDeterministic(t *testing.T) {
+	run := func(workers int) *HierReport {
+		cfg := hierCfg()
+		cfg.Workers = workers
+		rep, err := RunHierArray(cfg, HardenMacro3D, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(4)
+	if a.ArrayPeriodPs != b.ArrayPeriodPs {
+		t.Fatalf("array period differs across worker counts: %v vs %v",
+			a.ArrayPeriodPs, b.ArrayPeriodPs)
+	}
+	if a.StitchedNets != b.StitchedNets || a.F2FBumps != b.F2FBumps {
+		t.Fatalf("stitch results differ: %d/%d nets, %d/%d bumps",
+			a.StitchedNets, b.StitchedNets, a.F2FBumps, b.F2FBumps)
+	}
+	if !bytes.Equal(encodeAbstract(a.Abstract), encodeAbstract(b.Abstract)) {
+		t.Fatal("abstract differs across worker counts")
+	}
+}

@@ -84,12 +84,23 @@ func writeMacro(w io.Writer, c *cell.Cell) {
 		fmt.Fprintf(w, "  PROPERTY sram words %d bits %d energy %.4f ;\n",
 			c.Macro.Words, c.Macro.Bits, c.Macro.EnergyPerAccess)
 	}
+	// Abstract provenance and per-pin boundary arcs are emitted only
+	// for hardened masters, so the LEF of ordinary libraries (and the
+	// cache fingerprints hashed over it) is unchanged.
+	if c.Abstract != nil {
+		fmt.Fprintf(w, "  PROPERTY abstract flow \"%s\" config \"%s\" minperiod %.4f energy %.4f leakage %.4f bumps %d ;\n",
+			c.Abstract.SourceFlow, c.Abstract.SourceConfig, c.Abstract.MinPeriodPs,
+			c.Abstract.EnergyPerCycleFJ, c.Abstract.LeakageUW, c.Abstract.F2FBumps)
+	}
 	for _, p := range c.Pins {
 		fmt.Fprintf(w, "  PIN %s\n    DIRECTION %s ;\n", p.Name, lefPinDir(p.Dir))
 		if p.Clock {
 			fmt.Fprintf(w, "    USE CLOCK ;\n")
 		}
 		fmt.Fprintf(w, "    CAPACITANCE %.4f ;\n", p.Cap)
+		if c.Abstract != nil {
+			fmt.Fprintf(w, "    PROPERTY arc setup %.4f clkq %.4f ;\n", p.Setup, p.ClkQ)
+		}
 		fmt.Fprintf(w, "    PORT\n      LAYER %s ;\n      POINT %.4f %.4f ;\n    END\n", p.Layer, p.Offset.X, p.Offset.Y)
 		fmt.Fprintf(w, "  END %s\n", p.Name)
 	}
@@ -385,6 +396,16 @@ func parseProperty(tk *tokenizer, c *cell.Cell) error {
 			CapacityBytes:   words * bits / 8,
 			EnergyPerAccess: f("energy"),
 		}
+	case "abstract":
+		bumps, _ := strconv.Atoi(vals["bumps"])
+		c.Abstract = &cell.AbstractInfo{
+			SourceFlow:       vals["flow"],
+			SourceConfig:     vals["config"],
+			MinPeriodPs:      f("minperiod"),
+			EnergyPerCycleFJ: f("energy"),
+			LeakageUW:        f("leakage"),
+			F2FBumps:         bumps,
+		}
 	}
 	return nil
 }
@@ -421,6 +442,29 @@ func parsePinBody(tk *tokenizer, name string) (*cell.Pin, error) {
 			}
 			p.Cap = v
 			tk.expect(";")
+		case "PROPERTY":
+			kind, _ := tk.next()
+			vals := map[string]float64{}
+			key := ""
+			for {
+				x, ok := tk.next()
+				if !ok {
+					return nil, tk.errf("unexpected EOF in PIN %s PROPERTY", name)
+				}
+				if x == ";" {
+					break
+				}
+				if key == "" {
+					key = x
+				} else {
+					vals[key], _ = strconv.ParseFloat(x, 64)
+					key = ""
+				}
+			}
+			if kind == "arc" {
+				p.Setup = vals["setup"]
+				p.ClkQ = vals["clkq"]
+			}
 		case "PORT":
 			for {
 				x, _ := tk.next()

@@ -387,3 +387,110 @@ func TestDEFFullTileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLEFRoundTripAbstract pins the hardened-macro abstract view
+// through the LEF writer and parser: size, boundary pins with their
+// timing arcs, per-layer obstructions (including macro-die _MD
+// layers) and the AbstractInfo provenance record all survive.
+func TestLEFRoundTripAbstract(t *testing.T) {
+	abs := &cell.Cell{
+		Name: "tile_abs", Kind: cell.KindMacro,
+		Width: 325.5021, Height: 326.4,
+		DriveRes: 2.6, Leakage: 6373.2,
+		Pins: []cell.Pin{
+			{Name: "clk_i", Dir: cell.DirIn, Cap: 11.33, Offset: geom.Pt(0, 163.2), Layer: "M6", Clock: true},
+			{Name: "noc_in", Dir: cell.DirIn, Cap: 7.8272, Offset: geom.Pt(172.923, 326.4), Layer: "M6", Setup: 35.5626},
+			{Name: "noc_out", Dir: cell.DirOut, Offset: geom.Pt(193.267, 0), Layer: "M6", ClkQ: 167.3429},
+		},
+		Obstructions: []cell.Obstruction{
+			{Layer: "M1", Rect: geom.R(14.7956, 0, 103.5689, 14.8364)},
+			{Layer: "M4_MD", Rect: geom.R(0, 0, 325.5021, 14.8364)},
+			{Layer: "F2F_VIA", Rect: geom.R(10, 10, 20, 20)},
+		},
+		Abstract: &cell.AbstractInfo{
+			SourceFlow: "Macro-3D", SourceConfig: "piton_tiny",
+			MinPeriodPs: 727.7372, EnergyPerCycleFJ: 5514.8886,
+			LeakageUW: 6.3732, F2FBumps: 149,
+		},
+	}
+	lib := cell.NewLibrary("x")
+	lib.Add(abs)
+	got := roundTripLEF(t, nil, lib)
+	g := got.Lib.Cell("tile_abs")
+	if g == nil {
+		t.Fatal("abstract lost in round trip")
+	}
+	if g.Kind != cell.KindMacro {
+		t.Fatalf("kind %v", g.Kind)
+	}
+	if math.Abs(g.Width-abs.Width) > 1e-3 || math.Abs(g.Height-abs.Height) > 1e-3 {
+		t.Fatalf("size %v×%v vs %v×%v", g.Width, g.Height, abs.Width, abs.Height)
+	}
+	if len(g.Pins) != len(abs.Pins) {
+		t.Fatalf("pins %d vs %d", len(g.Pins), len(abs.Pins))
+	}
+	for i, want := range abs.Pins {
+		p := g.Pins[i]
+		if p.Name != want.Name || p.Dir != want.Dir || p.Clock != want.Clock || p.Layer != want.Layer {
+			t.Fatalf("pin %s identity lost", want.Name)
+		}
+		if p.Offset.Dist(want.Offset) > 1e-3 || math.Abs(p.Cap-want.Cap) > 1e-3 {
+			t.Fatalf("pin %s geometry/cap lost", want.Name)
+		}
+		if math.Abs(p.Setup-want.Setup) > 1e-3 || math.Abs(p.ClkQ-want.ClkQ) > 1e-3 {
+			t.Fatalf("pin %s boundary arc lost: setup %v vs %v, clkq %v vs %v",
+				want.Name, p.Setup, want.Setup, p.ClkQ, want.ClkQ)
+		}
+	}
+	if len(g.Obstructions) != len(abs.Obstructions) {
+		t.Fatalf("obstructions %d vs %d", len(g.Obstructions), len(abs.Obstructions))
+	}
+	for i, want := range abs.Obstructions {
+		o := g.Obstructions[i]
+		if o.Layer != want.Layer {
+			t.Fatalf("obstruction %d layer %s vs %s", i, o.Layer, want.Layer)
+		}
+		if math.Abs(o.Rect.Lx-want.Rect.Lx) > 1e-3 || math.Abs(o.Rect.Ly-want.Rect.Ly) > 1e-3 ||
+			math.Abs(o.Rect.Ux-want.Rect.Ux) > 1e-3 || math.Abs(o.Rect.Uy-want.Rect.Uy) > 1e-3 {
+			t.Fatalf("obstruction %d rect %v vs %v", i, o.Rect, want.Rect)
+		}
+	}
+	a := g.Abstract
+	if a == nil {
+		t.Fatal("AbstractInfo lost in round trip")
+	}
+	if a.SourceFlow != abs.Abstract.SourceFlow || a.SourceConfig != abs.Abstract.SourceConfig ||
+		a.F2FBumps != abs.Abstract.F2FBumps {
+		t.Fatalf("AbstractInfo identity: %+v", a)
+	}
+	if math.Abs(a.MinPeriodPs-abs.Abstract.MinPeriodPs) > 1e-3 ||
+		math.Abs(a.EnergyPerCycleFJ-abs.Abstract.EnergyPerCycleFJ) > 1e-3 ||
+		math.Abs(a.LeakageUW-abs.Abstract.LeakageUW) > 1e-3 {
+		t.Fatalf("AbstractInfo numbers: %+v", a)
+	}
+	// A second write from the parsed library is byte-identical —
+	// the emit→parse→emit fixpoint.
+	var first, second strings.Builder
+	if err := WriteLEF(&first, nil, lib); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLEF(&second, nil, got.Lib); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("abstract LEF is not an emit→parse→emit fixpoint")
+	}
+}
+
+// TestLEFAbstractPropertiesConditional pins cache-key stability: a
+// library without abstracts emits byte-identical LEF before and after
+// the abstract extension (no PROPERTY arc/abstract lines).
+func TestLEFAbstractPropertiesConditional(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteLEF(&sb, nil, cell.NewStdLib28(cell.DefaultLibOptions())); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "PROPERTY arc") || strings.Contains(sb.String(), "PROPERTY abstract") {
+		t.Fatal("ordinary library LEF grew abstract properties — stage-cache keys would shift")
+	}
+}

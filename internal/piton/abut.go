@@ -157,6 +157,107 @@ func Abut(t *Tile, die geom.Rect, nx, ny int) (*netlist.Design, geom.Rect, error
 	return out, arrayDie, nil
 }
 
+// ComposeAbstract instantiates nx×ny copies of a hardened tile
+// abstract (flows.Harden) and stitches them by abutment — Abut at the
+// macro level. Facing NoC pins of adjacent abstract instances connect
+// with two-pin nets at coinciding edge coordinates, pins on the array
+// boundary become array ports, and one clock net fans out to every
+// instance's clock pin. Pin geometry comes from the abstract itself,
+// so the tile handle only supplies netlist-level facts (port pairing
+// groups, directions, half-cycle constraints) and needs no floorplan.
+func ComposeAbstract(t *Tile, abs *cell.Cell, die geom.Rect, nx, ny int) (*netlist.Design, geom.Rect, error) {
+	if nx < 1 || ny < 1 {
+		return nil, geom.Rect{}, fmt.Errorf("piton: compose needs nx, ny >= 1")
+	}
+	if abs.Abstract == nil {
+		return nil, geom.Rect{}, fmt.Errorf("piton: %s is not a hardened abstract", abs.Name)
+	}
+	ck := abs.ClockPin()
+	if ck == nil {
+		return nil, geom.Rect{}, fmt.Errorf("piton: abstract %s has no clock pin", abs.Name)
+	}
+	src := t.Design
+	arrayDie := geom.R(die.Lx, die.Ly,
+		die.Lx+die.W()*float64(nx), die.Ly+die.H()*float64(ny))
+	lib := src.Lib
+	if lib.Cell(abs.Name) == nil {
+		lib.Add(abs)
+	}
+	out := netlist.NewDesign(fmt.Sprintf("%s_hier_%dx%d", src.Name, nx, ny), lib)
+
+	partnerName := buildPartnerNames(t)
+
+	clkPort := out.AddPort("clk_i", cell.DirIn)
+	clkPort.Layer = "M6"
+	clkPort.Loc = geom.Pt(arrayDie.Lx, arrayDie.Center().Y)
+	var clkSinks []netlist.PinRef
+
+	insts := make([][]*netlist.Instance, ny)
+	for iy := 0; iy < ny; iy++ {
+		insts[iy] = make([]*netlist.Instance, nx)
+		for ix := 0; ix < nx; ix++ {
+			inst := out.AddInstance(fmt.Sprintf("t%d_%d", ix, iy), abs)
+			inst.Loc = geom.Pt(die.Lx+die.W()*float64(ix), die.Ly+die.H()*float64(iy))
+			inst.Placed = true
+			inst.Fixed = true
+			insts[iy][ix] = inst
+			clkSinks = append(clkSinks, netlist.IPin(inst, ck.Name))
+		}
+	}
+
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			inst := insts[iy][ix]
+			off := geom.Pt(die.W()*float64(ix), die.H()*float64(iy))
+			tag := fmt.Sprintf("t%d_%d_", ix, iy)
+			for _, p := range src.Ports {
+				if p.Name == t.ClockPort {
+					continue
+				}
+				ap := abs.Pin(p.Name)
+				if ap == nil {
+					return nil, geom.Rect{}, fmt.Errorf("piton: abstract %s lost pin %s", abs.Name, p.Name)
+				}
+				switch p.Dir {
+				case cell.DirOut:
+					if pn, interior := interiorNeighbor(partnerName, p.Name, ix, iy, nx, ny); interior {
+						nb := insts[pn.iy][pn.ix]
+						out.AddNet(tag+p.Name, netlist.IPin(inst, p.Name), netlist.IPin(nb, pn.name))
+						continue
+					}
+					q := out.AddPort(tag+p.Name, cell.DirOut)
+					q.Layer = ap.Layer
+					q.Loc = ap.Offset.Add(off)
+					q.HalfCycle = p.HalfCycle
+					q.ExtCap = p.ExtCap
+					q.ExtDelay = p.ExtDelay
+					out.AddNet(tag+p.Name, netlist.IPin(inst, p.Name), netlist.PPin(q))
+				case cell.DirIn:
+					// Interior-facing inputs are stitched from the
+					// driving neighbour's side.
+					if _, interior := interiorNeighbor(partnerName, p.Name, ix, iy, nx, ny); interior {
+						continue
+					}
+					q := out.AddPort(tag+p.Name, cell.DirIn)
+					q.Layer = ap.Layer
+					q.Loc = ap.Offset.Add(off)
+					q.HalfCycle = p.HalfCycle
+					q.ExtCap = p.ExtCap
+					q.ExtDelay = p.ExtDelay
+					out.AddNet(tag+p.Name, netlist.PPin(q), netlist.IPin(inst, p.Name))
+				}
+			}
+		}
+	}
+
+	cn := out.AddNet("clk", netlist.PPin(clkPort), clkSinks...)
+	cn.Clock = true
+	if err := out.Validate(); err != nil {
+		return nil, geom.Rect{}, fmt.Errorf("piton: composed design invalid: %w", err)
+	}
+	return out, arrayDie, nil
+}
+
 // partner describes the tile-relative neighbour a grouped port faces.
 type partner struct {
 	dx, dy int

@@ -335,6 +335,82 @@ func (db *DB) bumpHistory() {
 	}
 }
 
+// UsedObstructions condenses the committed routing into per-layer
+// blockage rectangles: every gcell with nonzero usage (or with its
+// capacity fully knocked out by an input obstruction) is covered.
+// Per row, consecutive used gcells merge into runs; vertically
+// identical runs merge into taller rects. This is what hardening a
+// block exports as the abstract's routing obstructions — a parent flow
+// then blocks only the layers and regions the block really uses,
+// instead of treating it as an opaque full-stack blockage. Output
+// order is deterministic (layer index, then scan order).
+func (db *DB) UsedObstructions() []floorplan.RouteBlockage {
+	type run struct {
+		x0, x1, y0, y1 int
+	}
+	var out []floorplan.RouteBlockage
+	g := db.Grid
+	for l := 0; l < db.Beol.NumLayers(); l++ {
+		base := l * g.Bins()
+		used := func(ix, iy int) bool {
+			i := base + g.Index(ix, iy)
+			return db.usage[i] > 0 || db.cap[i] == 0
+		}
+		var open []run // runs still growing upward, sorted by x0
+		for iy := 0; iy < g.NY; iy++ {
+			var rows []run
+			for ix := 0; ix < g.NX; ix++ {
+				if !used(ix, iy) {
+					continue
+				}
+				x1 := ix
+				for x1+1 < g.NX && used(x1+1, iy) {
+					x1++
+				}
+				rows = append(rows, run{x0: ix, x1: x1, y0: iy, y1: iy})
+				ix = x1
+			}
+			// Extend an open run only by an identical row run; emit the
+			// rest.
+			var next []run
+			for _, o := range open {
+				ext := false
+				for i := range rows {
+					if rows[i].x0 == o.x0 && rows[i].x1 == o.x1 && rows[i].y0 == o.y1+1 {
+						o.y1 = rows[i].y0
+						rows[i].x1 = -1 // consumed
+						next = append(next, o)
+						ext = true
+						break
+					}
+				}
+				if !ext {
+					out = append(out, db.runBlockage(l, o.x0, o.y0, o.x1, o.y1))
+				}
+			}
+			for _, r := range rows {
+				if r.x1 >= 0 {
+					next = append(next, r)
+				}
+			}
+			open = next
+		}
+		for _, o := range open {
+			out = append(out, db.runBlockage(l, o.x0, o.y0, o.x1, o.y1))
+		}
+	}
+	return out
+}
+
+func (db *DB) runBlockage(l, x0, y0, x1, y1 int) floorplan.RouteBlockage {
+	a := db.Grid.BinRect(x0, y0)
+	b := db.Grid.BinRect(x1, y1)
+	return floorplan.RouteBlockage{
+		Layer: db.Beol.Layers[l].Name,
+		Rect:  a.Union(b),
+	}
+}
+
 // UsageSnapshot returns a per-layer utilization summary (mean fill of
 // used gcells) for reports.
 func (db *DB) UsageSnapshot() []float64 {

@@ -1,0 +1,175 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"macro3d/internal/cell"
+	"macro3d/internal/extract"
+	"macro3d/internal/geom"
+	"macro3d/internal/netlist"
+	"macro3d/internal/route"
+	"macro3d/internal/tech"
+)
+
+// abstractPair builds clk port → two hardened-abstract instances with
+// A.Q driving B.D, routed and extracted at unit corner.
+func abstractPair(t *testing.T, clkq, setup, minPeriod float64) (*netlist.Design, *extract.Design) {
+	t.Helper()
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	abs := &cell.Cell{
+		Name: "blk_abs", Kind: cell.KindMacro,
+		Width: 50, Height: 50, DriveRes: 2,
+		Pins: []cell.Pin{
+			{Name: "CK", Dir: cell.DirIn, Cap: 5, Clock: true, Offset: geom.Pt(0, 25), Layer: "M6"},
+			{Name: "D", Dir: cell.DirIn, Cap: 3, Offset: geom.Pt(0, 10), Layer: "M6", Setup: setup},
+			{Name: "Q", Dir: cell.DirOut, Offset: geom.Pt(50, 10), Layer: "M6", ClkQ: clkq},
+		},
+		Abstract: &cell.AbstractInfo{SourceFlow: "test", MinPeriodPs: minPeriod},
+	}
+	lib.Add(abs)
+
+	d := netlist.NewDesign("pair", lib)
+	clk := d.AddPort("clk", cell.DirIn)
+	clk.Loc = geom.Pt(0, 0)
+	a := d.AddInstance("a", abs)
+	a.Loc = geom.Pt(10, 10)
+	a.Placed = true
+	b := d.AddInstance("b", abs)
+	b.Loc = geom.Pt(110, 10)
+	b.Placed = true
+	d.AddNet("x", netlist.IPin(a, "Q"), netlist.IPin(b, "D"))
+	cn := d.AddNet("clk", netlist.PPin(clk), netlist.IPin(a, "CK"), netlist.IPin(b, "CK"))
+	cn.Clock = true
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	beol, _ := tech.NewBEOL28("logic", 6)
+	db := route.NewDB(geom.R(0, 0, 300, 200), beol, nil, route.Options{GCellPitch: 10})
+	res, err := route.RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := extract.Extract(d, res, db, tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1})
+	return d, ex
+}
+
+// TestAbstractMinPeriodFloor: a hardened block's own sign-off period
+// floors the parent clock even when every boundary path has slack.
+func TestAbstractMinPeriodFloor(t *testing.T) {
+	d, ex := abstractPair(t, 100, 50, 700)
+	rep, err := Analyze(d, ex, 1000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MinPeriod != 700 {
+		t.Fatalf("MinPeriod = %v, want the 700 ps abstract floor", rep.MinPeriod)
+	}
+	if rep.FmaxMHz != 1e6/700 {
+		t.Fatalf("FmaxMHz = %v", rep.FmaxMHz)
+	}
+	// Both instances contribute a floor endpoint on top of the
+	// boundary path endpoints.
+	if rep.Endpoints < 2 {
+		t.Fatalf("endpoints = %d", rep.Endpoints)
+	}
+}
+
+// TestAbstractBoundaryArcsConsumed: with a negligible internal floor,
+// the parent period is the boundary path — launch clk→out arc, drive
+// into the stitched wire, and the capture pin's setup budget — and it
+// tracks the per-pin arcs ps for ps.
+func TestAbstractBoundaryArcsConsumed(t *testing.T) {
+	run := func(clkq, setup float64) float64 {
+		d, ex := abstractPair(t, clkq, setup, 1)
+		rep, err := Analyze(d, ex, 1000, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MinPeriod
+	}
+	base := run(100, 50)
+	if base < 150 {
+		t.Fatalf("boundary path %v ps shorter than its arcs alone", base)
+	}
+	// Per-pin arcs are corner-absolute: +100 ps of clk→out arc and
+	// +30 ps of setup budget move the period by exactly that much.
+	if got := run(200, 50); math.Abs(got-base-100) > 1e-9 {
+		t.Fatalf("clk→out arc not consumed ps-for-ps: %v vs %v", got, base)
+	}
+	if got := run(100, 80); math.Abs(got-base-30) > 1e-9 {
+		t.Fatalf("setup arc not consumed ps-for-ps: %v vs %v", got, base)
+	}
+}
+
+// TestAbstractCornerAbsolute: scaling the cell-delay corner must not
+// scale the corner-absolute boundary arcs — only the drive-into-load
+// term moves.
+func TestAbstractCornerAbsolute(t *testing.T) {
+	d, ex := abstractPair(t, 100, 50, 1)
+	at1, err := Analyze(d, ex, 1000, Options{Corner: tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at2, err := Analyze(d, ex, 1000, Options{Corner: tech.CornerScale{CellDelay: 2, WireR: 1, WireC: 1, Leakage: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := at2.MinPeriod - at1.MinPeriod
+	// The arcs (150 ps combined) must not have doubled; only the
+	// DriveRes·Cload launch term may.
+	if grow <= 0 || grow >= 150 {
+		t.Fatalf("corner scaling moved the period by %v ps — boundary arcs were corner-scaled", grow)
+	}
+}
+
+// TestBoundaryArcsFromImplementation derives boundary arcs for a
+// port-bounded FF design and checks they reflect the internal paths.
+func TestBoundaryArcsFromImplementation(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("leaf", lib)
+	clk := d.AddPort("clk_i", cell.DirIn)
+	clk.Loc = geom.Pt(0, 0)
+	clk.Layer = "M6"
+	in := d.AddPort("d_i", cell.DirIn)
+	in.Loc = geom.Pt(0, 50)
+	in.Layer = "M6"
+	out := d.AddPort("q_o", cell.DirOut)
+	out.Loc = geom.Pt(200, 50)
+	out.Layer = "M6"
+
+	ff := d.AddInstance("ff", lib.MustCell("DFF_X1"))
+	ff.Loc = geom.Pt(100, 50)
+	ff.Placed = true
+	d.AddNet("nin", netlist.PPin(in), netlist.IPin(ff, "D"))
+	d.AddNet("nout", netlist.IPin(ff, "Q"), netlist.PPin(out))
+	cn := d.AddNet("clk", netlist.PPin(clk), netlist.IPin(ff, "CK"))
+	cn.Clock = true
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	beol, _ := tech.NewBEOL28("logic", 6)
+	db := route.NewDB(geom.R(0, 0, 300, 200), beol, nil, route.Options{GCellPitch: 10})
+	res, err := route.RouteDesign(d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := extract.Extract(d, res, db, tech.CornerScale{CellDelay: 1, WireR: 1, WireC: 1, Leakage: 1})
+
+	arcs, err := BoundaryArcs(d, ex, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dff := lib.MustCell("DFF_X1")
+	din := arcs["d_i"]
+	if din.SetupPs < dff.Setup {
+		t.Fatalf("d_i setup budget %v ps below the FF's own %v ps", din.SetupPs, dff.Setup)
+	}
+	qo := arcs["q_o"]
+	if qo.ClkQPs < dff.ClkQ {
+		t.Fatalf("q_o clk→out arc %v ps below the FF's own %v ps", qo.ClkQPs, dff.ClkQ)
+	}
+	if ck := arcs["clk_i"]; ck.SetupPs != 0 || ck.ClkQPs != 0 {
+		t.Fatalf("clock port grew arcs: %+v", ck)
+	}
+}

@@ -33,13 +33,17 @@ type Engine struct {
 	nPorts int
 	nNodes int
 
-	isComb []bool                // by instance ID
-	order  []*netlist.Instance   // combinational topological order
-	level  []int32               // by instance ID: wave index in the order
-	waves  [][]*netlist.Instance // order grouped by level (parallel full passes)
-	fanout [][]*netlist.Instance // by node: combinational sink instances
-	inputs [][]inEdge            // by instance ID: driving arcs
-	outNet []*netlist.Net        // by node: driven signal net (last wins)
+	isComb []bool // by instance ID
+	// hasAbstract short-circuits the per-arc launch adjustment of
+	// hardened-macro abstracts; designs without abstracts (every flat
+	// flow) take bit-identical pre-existing paths.
+	hasAbstract bool
+	order       []*netlist.Instance   // combinational topological order
+	level       []int32               // by instance ID: wave index in the order
+	waves       [][]*netlist.Instance // order grouped by level (parallel full passes)
+	fanout      [][]*netlist.Instance // by node: combinational sink instances
+	inputs      [][]inEdge            // by instance ID: driving arcs
+	outNet      []*netlist.Net        // by node: driven signal net (last wins)
 
 	full, half pass
 
@@ -150,9 +154,13 @@ func (e *Engine) rebuildTopo() error {
 		e.isComb = make([]bool, len(e.d.Instances))
 	}
 	e.isComb = e.isComb[:len(e.d.Instances)]
+	e.hasAbstract = false
 	for i, inst := range e.d.Instances {
 		e.isComb[i] = !inst.Master.IsSequential() &&
 			inst.Master.Kind != cell.KindFiller && inst.Master.Output() != nil
+		if inst.Master.Abstract != nil {
+			e.hasAbstract = true
+		}
 	}
 
 	if err := e.levelize(); err != nil {
@@ -507,8 +515,17 @@ func (e *Engine) seed(p *pass, half bool, dirty []bool) {
 					load = rc.CTotal()
 				}
 			}
-			v := e.clockLatency(inst) +
-				(inst.Master.ClkQ+inst.Master.DriveRes*load)*e.opt.Corner.CellDelay
+			var v float64
+			if inst.Master.Abstract != nil {
+				// Hardened abstracts launch at the clock edge; the
+				// per-pin clk→out arc and the drive into the parent
+				// load are applied per driven net (arcLaunch), since
+				// each output pin carries its own arc.
+				v = e.clockLatency(inst)
+			} else {
+				v = e.clockLatency(inst) +
+					(inst.Master.ClkQ+inst.Master.DriveRes*load)*e.opt.Corner.CellDelay
+			}
 			e.setSeed(p, node, v, dirty)
 		}
 	}
@@ -530,6 +547,27 @@ func (e *Engine) setSeed(p *pass, node int, v float64, dirty []bool) {
 			dirty[e.nPorts+f.ID] = true
 		}
 	}
+}
+
+// arcLaunch returns the launch adjustment of a driver node when it is
+// a hardened-abstract output: the pin's clk→out arc (sign-off-absolute,
+// so no corner scale) plus the drive into the parent net's load (corner
+// scaled like any gate delay). Ordinary drivers return 0 and designs
+// without abstracts skip the lookup entirely, keeping flat flows on the
+// bit-identical pre-existing path.
+func (e *Engine) arcLaunch(drv int, n *netlist.Net, rc *extract.NetRC) float64 {
+	if !e.hasAbstract || drv < e.nPorts {
+		return 0
+	}
+	inst := e.d.Instances[drv-e.nPorts]
+	if inst.Master.Abstract == nil {
+		return 0
+	}
+	p := inst.Master.Pin(n.Driver.Pin)
+	if p == nil {
+		return 0
+	}
+	return p.ClkQ + inst.Master.DriveRes*rc.CTotal()*e.opt.Corner.CellDelay
 }
 
 // evalNode computes a combinational instance's output tuple from the
@@ -556,6 +594,9 @@ func (e *Engine) evalNode(p *pass, inst *netlist.Instance) (arr, slew, wl float6
 		ia := p.arr[ev.drv]
 		if ia <= negInf {
 			continue
+		}
+		if e.hasAbstract {
+			ia += e.arcLaunch(int(ev.drv), e.d.Nets[ev.net], rc)
 		}
 		elm := rc.ElmoreTo[ev.si]
 		inArr := ia + elm

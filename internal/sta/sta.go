@@ -168,16 +168,30 @@ func (e *Engine) buildReport(period float64) (*Report, error) {
 		if !ok {
 			continue
 		}
+		// Launch adjustment when the driver is a hardened-abstract
+		// output pin (0 otherwise; see Engine.arcLaunch).
+		adj := 0.0
+		if e.hasAbstract {
+			adj = e.arcLaunch(drvNode, n, rc)
+		}
 		for si, s := range n.Sinks {
 			elm := rc.ElmoreTo[si] // already corner-scaled by extraction
 			// Endpoint classification.
 			switch {
 			case s.Inst != nil && s.Inst.Master.IsSequential() && !s.Inst.Master.Pin(s.Pin).Clock:
 				setup := s.Inst.Master.Setup * opt.Corner.CellDelay
+				if s.Inst.Master.Abstract != nil {
+					// A hardened abstract's data-input setup is the
+					// pin's full internal budget, already sign-off
+					// absolute — no corner scale.
+					if p := s.Inst.Master.Pin(s.Pin); p != nil {
+						setup = p.Setup
+					}
+				}
 				capLat := e.clockLatency(s.Inst)
 				// Full-cycle launched paths.
 				if fa := full.arr[drvNode]; fa > negInf {
-					at := fa + elm
+					at := fa + adj + elm
 					req := at + setup - capLat + opt.SkewGuard
 					consider(endpoint{
 						req: req, node: drvNode, ref: s,
@@ -187,7 +201,7 @@ func (e *Engine) buildReport(period float64) (*Report, error) {
 				}
 				// Half-cycle launched paths: budget T/2.
 				if ha := half.arr[drvNode]; ha > negInf {
-					at := ha + elm
+					at := ha + adj + elm
 					req := 2 * (at + setup - capLat + opt.SkewGuard)
 					consider(endpoint{
 						req: req, node: drvNode, ref: s,
@@ -197,7 +211,7 @@ func (e *Engine) buildReport(period float64) (*Report, error) {
 				}
 			case s.Port != nil && s.Port.Dir == cell.DirOut:
 				if fa := full.arr[drvNode]; fa > negInf {
-					at := fa + elm
+					at := fa + adj + elm
 					div := 1.0
 					if s.Port.HalfCycle {
 						div = 2
@@ -215,7 +229,7 @@ func (e *Engine) buildReport(period float64) (*Report, error) {
 				// are feedthroughs; OpenPiton tiles register at both
 				// ends, so they are rare — still checked.
 				if ha := half.arr[drvNode]; ha > negInf && s.Port.HalfCycle {
-					at := ha + elm
+					at := ha + adj + elm
 					rel := at - ioRef
 					consider(endpoint{
 						req: rel, node: drvNode, ref: s,
@@ -239,6 +253,28 @@ func (e *Engine) buildReport(period float64) (*Report, error) {
 	rep.MinPeriod = worst.req
 	rep.FmaxMHz = 1e6 / worst.req
 	rep.Critical = e.trace(worst.node, worst.snap, worst.ref, worst.delay, worst.sinkWL, worst.isHalf)
+
+	// A hardened abstract's own sign-off period floors the parent clock:
+	// no boundary path can relax what the block needs internally.
+	if e.hasAbstract {
+		for _, inst := range d.Instances {
+			a := inst.Master.Abstract
+			if a == nil || a.MinPeriodPs <= 0 {
+				continue
+			}
+			rep.Endpoints++
+			if s := period - a.MinPeriodPs; s < 0 {
+				rep.TNS += s
+				if s < rep.WNS {
+					rep.WNS = s
+				}
+			}
+			if a.MinPeriodPs > rep.MinPeriod {
+				rep.MinPeriod = a.MinPeriodPs
+				rep.FmaxMHz = 1e6 / a.MinPeriodPs
+			}
+		}
+	}
 
 	// Top-K paths, one per distinct launch node so the optimizer sees
 	// independent problems rather than K sinks of one bus.

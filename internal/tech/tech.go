@@ -269,6 +269,28 @@ func Combine(logic, macro *BEOL, f2f F2FSpec) (*BEOL, error) {
 	return c, nil
 }
 
+// MacroDieName maps a single-die layer name onto its macro-die
+// counterpart in this (combined) stack: "M3" → "M3_MD", validated to
+// exist. Names already carrying the suffix pass through unchanged
+// (geometry hardened over a combined stack is already in the combined
+// frame), as does the F2F via name. Used when a block hardened on a
+// plain single-die stack is re-instantiated on the macro die of an F2F
+// stack — every pin and obstruction layer remaps through here.
+func (b *BEOL) MacroDieName(layer string) (string, error) {
+	if layer == F2FLayerName {
+		return layer, nil
+	}
+	name := layer
+	if !strings.HasSuffix(name, MDSuffix) {
+		name += MDSuffix
+	}
+	if b.LayerIndex(name) < 0 {
+		return "", fmt.Errorf("tech: stack %q has no macro-die layer for %q (want %q)",
+			b.Name, layer, name)
+	}
+	return name, nil
+}
+
 // Separate splits a combined stack back into the per-die layer-name
 // sets used when writing the two production layouts. Both sets include
 // the F2F via layer, mirroring the paper's "the F2F_VIA layer is

@@ -350,3 +350,34 @@ func TestLayerIndexAndTop(t *testing.T) {
 		t.Fatalf("M4_MD index = %d (flipped traversal: top macro metal first)", c.LayerIndex("M4_MD"))
 	}
 }
+
+func TestMacroDieName(t *testing.T) {
+	logic, _ := NewBEOL28("logic", 6)
+	macro, _ := NewBEOL28("macro", 6)
+	combined, err := Combine(logic, macro, DefaultF2F())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ in, want string }{
+		{"M1", "M1_MD"},
+		{"M6", "M6_MD"},
+		{"M4_MD", "M4_MD"}, // already a macro-die layer
+		{F2FLayerName, F2FLayerName},
+	} {
+		got, err := combined.MacroDieName(tc.in)
+		if err != nil {
+			t.Fatalf("MacroDieName(%s): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("MacroDieName(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+	if _, err := combined.MacroDieName("M9"); err == nil {
+		t.Fatal("MacroDieName accepted a layer the combined stack does not have")
+	}
+	// On an uncombined stack no _MD layer exists, so remapping fails
+	// loudly instead of fabricating a name.
+	if _, err := logic.MacroDieName("M1"); err == nil {
+		t.Fatal("MacroDieName on a plain logic stack should fail")
+	}
+}

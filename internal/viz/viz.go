@@ -27,6 +27,10 @@ type Options struct {
 	Bumps []geom.Point
 	// ShowPorts marks perimeter ports.
 	ShowPorts bool
+	// ShowObstructions draws the per-layer routing obstructions of
+	// hardened-macro abstracts inside their outlines — logic-die
+	// layers in blue, macro-die (_MD) layers in red.
+	ShowObstructions bool
 }
 
 // LayoutSVG renders the design inside the die outline.
@@ -65,12 +69,34 @@ func LayoutSVG(d *netlist.Design, die geom.Rect, o Options) string {
 			rect(inst.Bounds(), "#7fbf7f", "none", 0)
 		}
 	}
-	// Macros with labels.
+	// Macros with labels. Hardened abstracts get a distinct dashed
+	// gold boundary — they are our own signed-off sub-blocks, not
+	// compiler macros — and optionally their per-layer obstructions.
 	for _, inst := range d.Macros() {
 		if !inst.Placed || !keep(inst) {
 			continue
 		}
 		r := inst.Bounds()
+		if inst.Master.Abstract != nil {
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#f4ecd2" stroke="#8a6d1a" stroke-width="1.2" stroke-dasharray="5,3"/>`+"\n",
+				tx(r.Lx), ty(r.Uy), r.W()*s, r.H()*s)
+			if o.ShowObstructions {
+				for _, ob := range inst.Master.Obstructions {
+					or := ob.Rect.Translate(inst.Loc)
+					fill := "#3b6fb5" // logic-die layer
+					if strings.HasSuffix(ob.Layer, "_MD") {
+						fill = "#b54a3b" // macro-die layer
+					}
+					fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.12" stroke="none"/>`+"\n",
+						tx(or.Lx), ty(or.Uy), or.W()*s, or.H()*s, fill)
+				}
+			}
+			if r.W()*s > 40 {
+				fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="9" font-family="monospace" fill="#8a6d1a">%s</text>`+"\n",
+					tx(r.Lx)+2, ty(r.Center().Y), inst.Name)
+			}
+			continue
+		}
 		fill := "#9db7d9"
 		if inst.Die == netlist.MacroDie {
 			fill = "#d9a9a9"

@@ -1,0 +1,65 @@
+#!/bin/sh
+# harden-smoke: end-to-end check of the hierarchical hardened-macro
+# flow. Hardens the tiny tile cold (populating the cache with the
+# abstract), re-hardens warm and instantiates a 3×3 parent array off
+# the cached abstract, asserting the harden-cache counters, a clean
+# parent verification, timing closure at the tile period, and a
+# well-formed abstract LEF export. Fails on any mismatch.
+set -eu
+
+GO=${GO:-go}
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+echo "harden-smoke: building cmd/macro3d"
+$GO build -o "$dir/macro3d" ./cmd/macro3d
+
+run="$dir/macro3d harden -config tiny -seed 7 -cache-dir $dir/stash"
+
+echo "harden-smoke: cold harden (abstract hardened fresh)"
+$run -o "$dir/abs.lef" >"$dir/cold.out" 2>"$dir/cold.err"
+grep -q 'hardened,' "$dir/cold.out" || {
+	echo "harden-smoke: FAIL: cold run should harden fresh" >&2
+	cat "$dir/cold.out" >&2
+	exit 1
+}
+grep -Eq 'hardened abstracts: 0 cache hits, 1 hardened fresh' "$dir/cold.err" || {
+	echo "harden-smoke: FAIL: cold harden-cache counters wrong" >&2
+	cat "$dir/cold.err" >&2
+	exit 1
+}
+grep -Eq '[1-9][0-9]* on _MD layers' "$dir/cold.out" || {
+	echo "harden-smoke: FAIL: abstract carries no macro-die obstructions" >&2
+	cat "$dir/cold.out" >&2
+	exit 1
+}
+grep -q 'MACRO ' "$dir/abs.lef" && grep -q 'PROPERTY abstract' "$dir/abs.lef" \
+	&& grep -q 'PROPERTY arc' "$dir/abs.lef" && grep -q 'OBS' "$dir/abs.lef" || {
+	echo "harden-smoke: FAIL: abstract LEF missing macro/properties/obstructions" >&2
+	exit 1
+}
+
+echo "harden-smoke: warm harden + 3x3 parent array"
+$run -array 3 >"$dir/warm.out" 2>"$dir/warm.err"
+grep -q '(cache,' "$dir/warm.out" || {
+	echo "harden-smoke: FAIL: warm run should reload the abstract from cache" >&2
+	cat "$dir/warm.out" >&2
+	exit 1
+}
+grep -Eq 'hardened abstracts: 1 cache hits, 0 hardened fresh' "$dir/warm.err" || {
+	echo "harden-smoke: FAIL: warm harden-cache counters wrong" >&2
+	cat "$dir/warm.err" >&2
+	exit 1
+}
+grep -q 'timing closes: true' "$dir/warm.out" || {
+	echo "harden-smoke: FAIL: hierarchical array did not close at the tile period" >&2
+	cat "$dir/warm.out" >&2
+	exit 1
+}
+grep -q 'verification   clean' "$dir/warm.out" || {
+	echo "harden-smoke: FAIL: parent array verification not clean" >&2
+	cat "$dir/warm.out" >&2
+	exit 1
+}
+
+echo "harden-smoke: PASS"
