@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race equiv faults bench bench-route bench-stash bench-harden benchall obs-smoke cache-smoke serve-smoke harden-smoke serve-load
+.PHONY: check build test vet race equiv faults bench bench-route bench-stash bench-harden benchall obs-smoke cache-smoke serve-smoke harden-smoke trace-smoke serve-load
 
 ## check: the full gate — vet, build, unit tests, the race-enabled
-## fault-injection suite, then the observability, stage-cache, daemon
-## and hardened-macro smoke tests (what CI should run).
-check: vet build test race obs-smoke cache-smoke serve-smoke harden-smoke
+## fault-injection suite, then the observability, stage-cache, daemon,
+## hardened-macro and execution-tracer smoke tests (what CI should run).
+check: vet build test race obs-smoke cache-smoke serve-smoke harden-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,13 @@ serve-smoke:
 ## tile period and a well-formed abstract LEF export.
 harden-smoke:
 	GO="$(GO)" sh scripts/harden_smoke.sh
+
+## trace-smoke: end-to-end execution-tracer check — tiny flow with
+## -trace, Chrome trace-event JSON validation, normalized-determinism
+## comparison of two identical runs, the trace-report bottleneck table,
+## and byte-identical flow output with tracing off.
+trace-smoke:
+	GO="$(GO)" sh scripts/trace_smoke.sh
 
 ## serve-load: the multi-tenant load driver — 8 concurrent tenants with
 ## overlapping specs against a small queue (exercising 429

@@ -35,6 +35,7 @@ import (
 	"macro3d/internal/lefdef"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/piton"
 	"macro3d/internal/report"
 	"macro3d/internal/stash"
@@ -547,3 +548,30 @@ type ObsServer = obs.Server
 // NewObsRecorder returns an enabled recorder with an empty metric
 // registry.
 func NewObsRecorder() *ObsRecorder { return obs.New() }
+
+// --- Execution tracing ---
+
+// ExecTracer records the engines' per-worker execution timeline —
+// task-level slices with phase, step and stash-attribution args.
+// Attach one to FlowConfig.Trace to trace a run; a nil tracer (the
+// default) disables tracing with near-zero overhead and byte-identical
+// results. Export with WriteChrome (Perfetto / chrome://tracing) and
+// analyze with AnalyzeExecTrace.
+type ExecTracer = trace.Tracer
+
+// ExecTraceReport is the analyzer's verdict on a recorded timeline:
+// per-phase worker occupancy, serial fraction, critical path and
+// Amdahl speedup ceilings, plus the top serial segments by wall-clock
+// share. Render with its Format method.
+type ExecTraceReport = trace.Report
+
+// NewExecTracer returns an enabled execution tracer.
+func NewExecTracer() *ExecTracer { return trace.New() }
+
+// AnalyzeExecTrace computes the parallelism report of a recorded
+// timeline.
+func AnalyzeExecTrace(t *ExecTracer) *ExecTraceReport { return trace.Analyze(t) }
+
+// ReadExecTrace parses a Chrome trace-event JSON file previously
+// written by ExecTracer.WriteChrome back into a tracer for analysis.
+func ReadExecTrace(r io.Reader) (*ExecTracer, error) { return trace.ReadChrome(r) }

@@ -14,11 +14,29 @@ import (
 
 	"macro3d/internal/floorplan"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/piton"
 	"macro3d/internal/place"
 	"macro3d/internal/route"
 	"macro3d/internal/tech"
 )
+
+// reportTraceStats runs the execution-trace analyzer over one traced
+// engine run and reports the named phase's parallelism numbers as
+// benchmark metrics, so `make bench-route` lands worker occupancy,
+// serial fraction and the Amdahl ceiling in BENCH_route.json next to
+// the wall-clock ratio they explain.
+func reportTraceStats(b *testing.B, tr *trace.Tracer, phase string) {
+	b.Helper()
+	for _, ph := range trace.Analyze(tr).Phases {
+		if ph.Phase != phase {
+			continue
+		}
+		b.ReportMetric(ph.Occupancy, phase+"_occupancy")
+		b.ReportMetric(ph.SerialFrac, phase+"_serial_frac")
+		b.ReportMetric(ph.AmdahlAtW, phase+"_amdahl_atW")
+	}
+}
 
 // routeBench is the shared placed large-cache tile. Building it once
 // is safe: RouteDesign never mutates the design, and place.Place
@@ -96,6 +114,16 @@ func benchRouteDesign(b *testing.B, workers int) {
 		b.ReportMetric(last.WL/1e6, "WL_m")
 		b.ReportMetric(float64(last.Overflow), "overflow")
 	}
+	// One extra traced run, off the clock: tracing is only near-zero
+	// overhead, so the timed iterations stay untraced.
+	b.StopTimer()
+	tr := trace.New()
+	db := route.NewDB(routeBench.sz.Die2D, routeBench.t.Logic,
+		routeBench.fp.RouteBlk, route.Options{Workers: workers, Trace: tr})
+	if _, err := route.RouteDesign(routeBench.d, db); err != nil {
+		b.Fatal(err)
+	}
+	reportTraceStats(b, tr, "route")
 }
 
 func BenchmarkRouteDesign(b *testing.B) {
@@ -118,6 +146,13 @@ func benchPlace(b *testing.B, workers int) {
 	if last != nil {
 		b.ReportMetric(last.HPWL/1e6, "HPWL_m")
 	}
+	b.StopTimer()
+	tr := trace.New()
+	if _, err := place.Place(routeBench.d, routeBench.fp, routeBench.t.RowHeight,
+		place.Options{Seed: 2, Workers: workers, Trace: tr}); err != nil {
+		b.Fatal(err)
+	}
+	reportTraceStats(b, tr, "place")
 }
 
 func BenchmarkPlace(b *testing.B) {

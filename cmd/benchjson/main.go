@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // line shape: BenchmarkName-8   3   123456789 ns/op   12 extra/op ...
@@ -41,6 +42,12 @@ type entry struct {
 type summary struct {
 	Benchmarks []*entry           `json:"benchmarks"`
 	Speedup    map[string]float64 `json:"speedup,omitempty"`
+
+	// Parallelism lifts the execution-trace metrics the engine
+	// benchmarks report (per-phase worker occupancy, serial fraction,
+	// Amdahl ceiling at the native worker count) to the top level, keyed
+	// "<metric>/<variant>", e.g. "route_occupancy/parallel".
+	Parallelism map[string]float64 `json:"parallelism,omitempty"`
 }
 
 func main() {
@@ -140,6 +147,29 @@ func main() {
 	}
 	if len(out.Speedup) == 0 {
 		out.Speedup = nil
+	}
+	// Parallelism rollup (`make bench-route`): the traced engines'
+	// occupancy / serial-fraction / Amdahl numbers explain the speedup
+	// ratios above, so they ride along at the top level.
+	out.Parallelism = map[string]float64{}
+	for _, pair := range [][2]string{
+		{"BenchmarkRouteDesign/serial", "serial"},
+		{"BenchmarkRouteDesign/parallel", "parallel"},
+		{"BenchmarkPlace/serial", "serial"},
+		{"BenchmarkPlace/parallel", "parallel"},
+	} {
+		e := byName[pair[0]]
+		if e == nil {
+			continue
+		}
+		for k, v := range e.Metrics {
+			if strings.HasSuffix(k, "_occupancy") || strings.HasSuffix(k, "_serial_frac") || strings.HasSuffix(k, "_amdahl_atW") {
+				out.Parallelism[k+"/"+pair[1]] = v
+			}
+		}
+	}
+	if len(out.Parallelism) == 0 {
+		out.Parallelism = nil
 	}
 	if err := write(*outPath, out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

@@ -62,6 +62,11 @@ func main() {
 	if len(os.Args) >= 2 && os.Args[1] == "harden" {
 		os.Exit(hardenMain(os.Args[2:]))
 	}
+	// "macro3d trace-report" analyzes an execution trace (or records
+	// one) and prints the parallelism bottleneck report.
+	if len(os.Args) >= 2 && os.Args[1] == "trace-report" {
+		os.Exit(traceReportMain(os.Args[2:]))
+	}
 	// Cleanups (profile flushes, event-stream commits) must run even on
 	// a failing exit, so the exit status is decided after realMain
 	// returns.
@@ -146,6 +151,7 @@ func realMain() (code int) {
 		obsAddr     = flag.String("obs-addr", "", "serve live observability endpoints (/metrics, /metrics.json, /debug/vars, /debug/pprof/) on this address, e.g. :9090 or 127.0.0.1:0")
 		metricsOut  = flag.String("metrics-out", "", "write a final Prometheus text snapshot of the run's metrics to this file")
 		obsLinger   = flag.Duration("obs-linger", 0, "with -obs-addr: keep serving this long after a successful run (live inspection, smoke tests)")
+		traceOut    = flag.String("trace", "", "record the engines' per-worker execution timeline and write it as Chrome trace-event JSON (Perfetto / chrome://tracing; analyze with 'macro3d trace-report -in')")
 	)
 	flag.Parse()
 
@@ -241,6 +247,24 @@ func realMain() (code int) {
 			return f.Commit()
 		}})
 	}
+	// Like observability, tracing is off (nil, near-zero overhead) by
+	// default; results are byte-identical with it on.
+	var tracer *macro3d.ExecTracer
+	if *traceOut != "" {
+		tracer = macro3d.NewExecTracer()
+		path := *traceOut
+		cleanups = append(cleanups, cleanup{"-trace", func() error {
+			f, err := createAtomic(path)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChrome(f); err != nil {
+				f.Abort()
+				return err
+			}
+			return f.Commit()
+		}})
+	}
 	var obsSrv *macro3d.ObsServer
 	if *obsAddr != "" {
 		srv, err := rec.Serve(*obsAddr)
@@ -282,7 +306,7 @@ func realMain() (code int) {
 		defer cancel()
 	}
 
-	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec, cache, *cacheVerify); err != nil {
+	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec, tracer, cache, *cacheVerify); err != nil {
 		printFailure(err)
 		return 1
 	}
@@ -344,12 +368,12 @@ func tileConfig(name string) (macro3d.TileConfig, error) {
 	return macro3d.TileConfig{}, fmt.Errorf("unknown config %q (want small, large or tiny)", name)
 }
 
-func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder, cache *macro3d.StageCache, cacheVerify bool) error {
+func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder, tracer *macro3d.ExecTracer, cache *macro3d.StageCache, cacheVerify bool) error {
 	pc, err := tileConfig(config)
 	if err != nil {
 		return err
 	}
-	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec, Workers: jobs, Cache: cache, CacheVerify: cacheVerify}
+	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec, Trace: tracer, Workers: jobs, Cache: cache, CacheVerify: cacheVerify}
 
 	if flow != "" {
 		var ppa *macro3d.PPA
@@ -391,7 +415,7 @@ func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs
 
 	// Experiments pick their own tiles per column; the shared config
 	// carries the seed, the hardening knobs and the stage cache.
-	ecfg := macro3d.FlowConfig{Seed: seed, Obs: rec, Workers: jobs, Cache: cache, CacheVerify: cacheVerify}
+	ecfg := macro3d.FlowConfig{Seed: seed, Obs: rec, Trace: tracer, Workers: jobs, Cache: cache, CacheVerify: cacheVerify}
 
 	// Table experiments return the partial table alongside the error,
 	// so in keep-going mode the surviving columns still print before

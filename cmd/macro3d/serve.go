@@ -38,6 +38,7 @@ func serveMain(args []string) int {
 		cacheMax     = fs.Int64("cache-max-bytes", 0, "stage cache byte budget with LRU eviction (0 = unlimited)")
 		cacheVerify  = fs.Bool("cache-verify", false, "paranoia mode: re-run cached stages and fail on snapshot mismatch")
 		allowFaults  = fs.Bool("allow-faults", false, "honour fault-injection fields in job specs (testing only)")
+		traceDir     = fs.String("trace-dir", "", "write per-job execution traces (<jobid>.trace.json) and the server scheduling trace (serve.trace.json) to this directory as Chrome trace-event JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,6 +60,7 @@ func serveMain(args []string) int {
 		Cache:       cache,
 		CacheVerify: *cacheVerify,
 		AllowFaults: *allowFaults,
+		TraceDir:    *traceDir,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"macro3d"
+)
+
+// traceReportMain is the "macro3d trace-report" subcommand: the
+// parallelism bottleneck report of an execution trace. It either
+// analyzes a trace file previously written with -trace (or by the
+// daemon's -trace-dir) or runs a flow with an in-memory tracer and
+// reports on it directly.
+//
+//	macro3d trace-report -in route.trace.json
+//	macro3d trace-report -flow macro3d -config tiny -j 4 -top 10
+//
+// The report lists, per engine phase, worker occupancy, serial
+// fraction, critical path and the Amdahl speedup ceiling, followed by
+// the top serial segments ranked by wall-clock share — the places
+// where adding workers cannot help.
+func traceReportMain(args []string) int {
+	fs := flag.NewFlagSet("macro3d trace-report", flag.ExitOnError)
+	var (
+		in      = fs.String("in", "", "analyze this Chrome trace-event JSON file (written by -trace or serve -trace-dir)")
+		flow    = fs.String("flow", "", "run this flow with tracing and report on it: 2d, macro3d, s2d, bfs2d, c2d")
+		config  = fs.String("config", "small", "tile configuration for -flow: small, large or tiny")
+		seed    = fs.Uint64("seed", 1, "deterministic seed for -flow")
+		jobs    = fs.Int("j", 0, "worker count for -flow (0 = all CPUs)")
+		metals  = fs.Int("macrodiemetals", 6, "macro-die metal layers (3D flows)")
+		out     = fs.String("out", "", "with -flow: also write the recorded trace to this file")
+		top     = fs.Int("top", 10, "serial segments to list")
+		timeout = fs.Duration("timeout", 0, "with -flow: cancel the run after this duration (0 = no limit)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*in == "") == (*flow == "") {
+		fmt.Fprintln(os.Stderr, "macro3d trace-report: exactly one of -in or -flow is required")
+		fs.Usage()
+		return 2
+	}
+
+	var tr *macro3d.ExecTracer
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d trace-report: -in:", err)
+			return 1
+		}
+		tr, err = macro3d.ReadExecTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d trace-report: -in:", err)
+			return 1
+		}
+	} else {
+		pc, err := tileConfig(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macro3d trace-report:", err)
+			return 2
+		}
+		tr = macro3d.NewExecTracer()
+		cfg := macro3d.FlowConfig{Piton: pc, Seed: *seed, MacroDieMetals: *metals, Workers: *jobs, Trace: tr}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		start := time.Now()
+		switch *flow {
+		case "2d":
+			_, _, err = macro3d.Run2DCtx(ctx, cfg)
+		case "macro3d":
+			_, _, _, err = macro3d.RunMacro3DCtx(ctx, cfg)
+		case "s2d":
+			_, _, err = macro3d.RunS2DCtx(ctx, cfg, false)
+		case "bfs2d":
+			_, _, err = macro3d.RunS2DCtx(ctx, cfg, true)
+		case "c2d":
+			_, _, err = macro3d.RunC2DCtx(ctx, cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "macro3d trace-report: unknown flow %q\n", *flow)
+			return 2
+		}
+		if err != nil {
+			printFailure(err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "macro3d trace-report: %s/%s completed in %v\n",
+			*flow, *config, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			f, err := createAtomic(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "macro3d trace-report: -out:", err)
+				return 1
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				f.Abort()
+				fmt.Fprintln(os.Stderr, "macro3d trace-report: -out:", err)
+				return 1
+			}
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "macro3d trace-report: -out:", err)
+				return 1
+			}
+		}
+	}
+
+	fmt.Print(macro3d.AnalyzeExecTrace(tr).Format(*top))
+	return 0
+}

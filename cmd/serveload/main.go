@@ -49,7 +49,16 @@ type summary struct {
 	DiskBytes     int64    `json:"cache_disk_bytes"`
 	Corrupted     int      `json:"corrupted_results"`
 	ElapsedMS     int64    `json:"elapsed_ms"`
-	Violations    []string `json:"violations"`
+
+	// Queue-wait visibility from /metrics.json: the daemon's
+	// serve_queue_wait_ms histogram must have observed every executed
+	// job — a small queue in front of a busy pool makes waits the
+	// load story, so an empty histogram means the metric is broken.
+	QueueWaitObserved uint64  `json:"queue_wait_observed"`
+	QueueWaitMeanMS   float64 `json:"queue_wait_mean_ms"`
+	JobRunObserved    uint64  `json:"job_run_observed"`
+
+	Violations []string `json:"violations"`
 }
 
 func main() {
@@ -197,6 +206,23 @@ func main() {
 		violate("cache directory %d bytes exceeds its %d cap", sum.DiskBytes, sum.CacheCap)
 	}
 
+	// Queue-wait visibility: every job that ran must have contributed a
+	// serve_queue_wait_ms and a serve_job_run_ms observation.
+	if qw, jr, err := scrapeWaitMetrics(ts.URL); err != nil {
+		violate("metrics scrape: %v", err)
+	} else {
+		sum.QueueWaitObserved, sum.JobRunObserved = qw.count, jr.count
+		if qw.count > 0 {
+			sum.QueueWaitMeanMS = qw.sum / float64(qw.count)
+		}
+		if qw.count == 0 {
+			violate("serve_queue_wait_ms observed no jobs — queue-wait visibility is broken")
+		}
+		if jr.count == 0 {
+			violate("serve_job_run_ms observed no jobs")
+		}
+	}
+
 	// Clean shutdown under load history.
 	sdCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -283,6 +309,43 @@ func awaitTerminal(base, id string, within time.Duration) (jobView, error) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// histStat is one histogram's scrape: observation count and sum.
+type histStat struct {
+	count uint64
+	sum   float64
+}
+
+// scrapeWaitMetrics pulls the serve_queue_wait_ms and serve_job_run_ms
+// histograms from the daemon's /metrics.json endpoint.
+func scrapeWaitMetrics(base string) (queueWait, jobRun histStat, err error) {
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		return histStat{}, histStat{}, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Metrics []struct {
+			Name  string          `json:"name"`
+			Count uint64          `json:"count"`
+			Sum   json.RawMessage `json:"sum"` // float, or a string for ±Inf/NaN
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return histStat{}, histStat{}, err
+	}
+	for _, m := range doc.Metrics {
+		var sum float64
+		_ = json.Unmarshal(m.Sum, &sum)
+		switch m.Name {
+		case "serve_queue_wait_ms":
+			queueWait = histStat{count: m.Count, sum: sum}
+		case "serve_job_run_ms":
+			jobRun = histStat{count: m.Count, sum: sum}
+		}
+	}
+	return queueWait, jobRun, nil
 }
 
 // diskBytes sums the snapshot files actually on disk.

@@ -61,7 +61,7 @@ func VerifyTileArray(cfg Config, st *State, t *tech.Tech, nx, ny int) (*ArrayRep
 			})
 		}
 	}
-	db := route.NewDB(arrayDie, st.Beol, fp.RouteBlk, route.Options{Grid: &ag, Workers: cfg.Workers})
+	db := route.NewDB(arrayDie, st.Beol, fp.RouteBlk, route.Options{Grid: &ag, Workers: cfg.Workers, Trace: cfg.Trace})
 
 	res := &route.Result{
 		Routes:     make([]*route.NetRoute, len(arr.Nets)),

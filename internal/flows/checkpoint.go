@@ -12,6 +12,7 @@ import (
 	"macro3d/internal/lefdef"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/route"
 	"macro3d/internal/stash"
 	"macro3d/internal/tech"
@@ -48,8 +49,10 @@ func techFingerprint(logicMetals int) ([]byte, error) {
 //
 // Deliberately excluded: Workers (results are bit-identical at any
 // worker count — the parallel-engine equivalence guarantee, pinned by
-// TestStageCacheKeyStability), Obs/SelfCheck/Verify (pure observation
-// and checking), StageTimeout (fails runs, never changes results), and
+// TestStageCacheKeyStability), Obs/Trace/SelfCheck/Verify (pure
+// observation and checking — the execution tracer records timelines,
+// it never changes results), StageTimeout (fails runs, never changes
+// results), and
 // per-stage inputs like TargetPeriod, MacroDieMetals, F2F and
 // BlockageResolution, which enter the chain as key material of the
 // first checkpoint that depends on them so unrelated prefixes still
@@ -169,7 +172,9 @@ func (r *runner) checkpointed(cp checkpoint, body func() error) error {
 		}
 		sp := r.span.Child(cp.name, obs.KV("cache", "hit"), obs.KV("bytes", len(payload)))
 		r.cur = sp
+		csl := r.stages.Begin("cache", cp.name+" (cache-load)")
 		err := contain(func() error { return cp.load(stash.NewDec(payload)) })
+		csl.End(trace.N("hit", 1), trace.N("bytes", int64(len(payload))))
 		if err == nil {
 			sp.End()
 			r.cur = nil

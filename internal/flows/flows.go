@@ -32,6 +32,7 @@ import (
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/opt"
 	"macro3d/internal/piton"
 	"macro3d/internal/power"
@@ -111,6 +112,14 @@ type Config struct {
 	// stream. nil (the default) disables observability entirely —
 	// flows produce byte-identical results either way.
 	Obs *obs.Recorder
+
+	// Trace, when set, records the execution timeline: stage slices
+	// on a flow-stage track plus per-worker task slices from the
+	// parallel engines, exportable as Chrome trace-event JSON
+	// (DESIGN.md §14). nil (the default) disables tracing; like Obs,
+	// tracing never changes results — flows are byte-identical with
+	// it on or off, and it does not enter the stage-cache key.
+	Trace *trace.Tracer
 
 	// Workers sets the worker count of the parallel routing and
 	// placement engines (the CLI's -j flag): 0 (default) uses every

@@ -43,6 +43,24 @@ type HardenResult struct {
 	Elapsed  time.Duration
 }
 
+// hardenCounter mirrors the stash's harden hit/miss tallies into the
+// run's metric registry, so the Prometheus and JSON exporters surface
+// them alongside the stage-cache counters (the CLI summary and
+// /stashz read the store's own Stats directly).
+func hardenCounter(cfg Config, hit bool) {
+	reg := cfg.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	if hit {
+		reg.Counter("stash_harden_hits_total",
+			"Hardened-abstract cache hits (abstract restored instead of hardening).").Inc()
+	} else {
+		reg.Counter("stash_harden_misses_total",
+			"Hardened-abstract cache misses (the sub-block flow ran and stored its abstract).").Inc()
+	}
+}
+
 // Harden runs a sub-block flow to signoff and condenses the result
 // into an abstract master (LEF-style boundary view: pins, per-layer
 // obstructions, boundary timing model) that a parent flow instantiates
@@ -78,6 +96,7 @@ func HardenCtx(ctx context.Context, cfg Config, flow string) (*HardenResult, err
 			abs, err := decodeAbstract(b)
 			if err == nil {
 				cfg.Cache.NoteHarden(true)
+				hardenCounter(cfg, true)
 				tile, err := cfg.generate()
 				if err != nil {
 					return nil, err
@@ -92,6 +111,7 @@ func HardenCtx(ctx context.Context, cfg Config, flow string) (*HardenResult, err
 			cfg.Cache.Evict(key)
 		}
 		cfg.Cache.NoteHarden(false)
+		hardenCounter(cfg, false)
 	}
 
 	var (

@@ -119,7 +119,7 @@ func InstantiateArray(cfg Config, hr *HardenResult, nx, ny int) (*HierReport, er
 			})
 		}
 	}
-	db := route.NewDB(die, beol, blk, route.Options{Workers: cfg.Workers})
+	db := route.NewDB(die, beol, blk, route.Options{Workers: cfg.Workers, Trace: cfg.Trace})
 	res, err := route.RouteDesign(d, db)
 	if err != nil {
 		return nil, fmt.Errorf("hier: stitch routing: %w", err)

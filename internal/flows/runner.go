@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"macro3d/internal/obs"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/stash"
 )
 
@@ -181,6 +182,11 @@ type runner struct {
 	// Config.cacheEnabled and rootKey).
 	key     stash.Key
 	caching bool
+
+	// stages is the execution tracer's flow-stage track (nil when
+	// tracing is off): one container slice per stage attempt, under
+	// which the engines' per-worker slices nest in the timeline view.
+	stages *trace.Track
 }
 
 // flowSlug maps a flow display name to its span-path segment:
@@ -201,8 +207,9 @@ func newRunner(ctx context.Context, flow string, cfg Config, st *State) *runner 
 	}
 	r := &runner{
 		flow: flow, cfg: cfg, ctx: ctx, st: st,
-		trace: &RunReport{Flow: flow, Config: name},
-		span:  cfg.Obs.StartSpan(flowSlug(flow), obs.KV("config", name)),
+		trace:  &RunReport{Flow: flow, Config: name},
+		span:   cfg.Obs.StartSpan(flowSlug(flow), obs.KV("config", name)),
+		stages: cfg.Trace.Track("stages"),
 	}
 	st.Trace = r.trace
 	if cfg.cacheEnabled() {
@@ -256,7 +263,9 @@ func (r *runner) run(name string, seed uint64, fn func(uint64) error, attempts i
 		s := PerturbSeed(seed, attempt)
 		sp := r.span.Child(name, obs.KV("attempt", attempt), obs.KV("seed", s))
 		r.cur = sp
+		stsl := r.stages.Begin("stage", name)
 		err := contain(func() error { return fn(s) })
+		stsl.End(trace.N("attempt", int64(attempt)))
 		if err != nil {
 			sp.SetAttr("err", err.Error())
 		}

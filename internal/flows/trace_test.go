@@ -1,0 +1,145 @@
+package flows
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"macro3d/internal/obs/trace"
+	"macro3d/internal/piton"
+)
+
+// tracedRun executes the tiny Macro-3D flow with an execution tracer
+// attached and returns the outcome plus the tracer.
+func tracedRun(t *testing.T) (*PPA, *State, *trace.Tracer) {
+	t.Helper()
+	tr := trace.New()
+	cfg := Config{Piton: piton.Tiny(), Seed: 7, Workers: 4, Verify: true, Trace: tr}
+	ppa, st, _, err := RunMacro3D(cfg)
+	if err != nil {
+		t.Fatalf("traced run failed: %v", err)
+	}
+	return ppa, st, tr
+}
+
+// TestTraceDisabledIsByteIdentical extends the zero-overhead contract
+// to the execution tracer: the same flow with tracing off (nil Tracer,
+// the default) and on must produce byte-identical results — identical
+// PPA in every field and the same stage sequence. The tracer records
+// the timeline, it never steers it.
+func TestTraceDisabledIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two tiny flows")
+	}
+	off, stOff, _, err := RunMacro3D(Config{Piton: piton.Tiny(), Seed: 7, Workers: 4, Verify: true})
+	if err != nil {
+		t.Fatalf("untraced run failed: %v", err)
+	}
+	on, stOn, tr := tracedRun(t)
+
+	if !reflect.DeepEqual(*off, *on) {
+		t.Errorf("PPA differs with tracing on:\noff: %#v\non:  %#v", *off, *on)
+	}
+	if got, want := fmt.Sprintf("%#v", *on), fmt.Sprintf("%#v", *off); got != want {
+		t.Errorf("PPA rendering not byte-identical:\noff: %s\non:  %s", want, got)
+	}
+	var offStages, onStages []string
+	for _, s := range stOff.Trace.Stages {
+		offStages = append(offStages, s.Stage)
+	}
+	for _, s := range stOn.Trace.Stages {
+		onStages = append(onStages, s.Stage)
+	}
+	if !reflect.DeepEqual(offStages, onStages) {
+		t.Errorf("stage sequence differs:\noff: %v\non:  %v", offStages, onStages)
+	}
+	if len(tr.Tracks()) == 0 {
+		t.Fatal("traced run recorded no tracks")
+	}
+}
+
+// TestTraceChromeExportIsDeterministic is the golden-determinism
+// contract at the flow level: two identical runs export byte-identical
+// Chrome trace JSON once wall-clock timestamps and durations are
+// normalized — same tracks in the same order, same slices in the same
+// order, same step ids and args. This is what makes traces diffable
+// across commits.
+func TestTraceChromeExportIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two tiny flows")
+	}
+	export := func() []byte {
+		t.Helper()
+		_, _, tr := tracedRun(t)
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		return trace.NormalizeChrome(buf.Bytes())
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := max(0, i-120)
+				t.Fatalf("normalized Chrome exports diverge at byte %d:\nrun1: …%s\nrun2: …%s",
+					i, a[lo:min(len(a), i+120)], b[lo:min(len(b), i+120)])
+			}
+		}
+		t.Fatalf("normalized Chrome exports differ in length: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestTraceCoversFlowStructure checks the recorded timeline has the
+// shape the analyzer and the timeline viewer rely on: a stage track
+// naming every executed stage in order, per-worker engine tracks, and
+// an analyzer report with route and place phases plus serial segments.
+func TestTraceCoversFlowStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a tiny flow")
+	}
+	_, st, tr := tracedRun(t)
+
+	byName := map[string][]trace.Slice{}
+	for _, trk := range tr.Tracks() {
+		byName[trk.Name()] = trk.Slices()
+	}
+	var stageNames []string
+	for _, sl := range byName["stages"] {
+		stageNames = append(stageNames, sl.Name)
+	}
+	var want []string
+	for _, s := range st.Trace.Stages {
+		want = append(want, s.Stage)
+	}
+	if !reflect.DeepEqual(stageNames, want) {
+		t.Errorf("stage track does not match RunReport:\ntrack:  %v\nreport: %v", stageNames, want)
+	}
+	if len(byName["worker 0"]) == 0 {
+		t.Error("no slices on worker 0's track")
+	}
+
+	rep := trace.Analyze(tr)
+	if rep.WallNS <= 0 {
+		t.Fatalf("analyzer wall clock %d", rep.WallNS)
+	}
+	phases := map[string]bool{}
+	for _, ph := range rep.Phases {
+		phases[ph.Phase] = true
+		if ph.Occupancy < 0 || ph.Occupancy > 1 {
+			t.Errorf("phase %s occupancy %v out of range", ph.Phase, ph.Occupancy)
+		}
+		if ph.SerialFrac < 0 || ph.SerialFrac > 1 {
+			t.Errorf("phase %s serial fraction %v out of range", ph.Phase, ph.SerialFrac)
+		}
+	}
+	for _, p := range []string{"route", "place"} {
+		if !phases[p] {
+			t.Errorf("analyzer report lacks the %s phase (got %v)", p, rep.Phases)
+		}
+	}
+	if len(rep.Serial) == 0 {
+		t.Error("analyzer found no serial segments in a full flow run")
+	}
+}

@@ -1,0 +1,220 @@
+// Chrome trace-event export. The on-disk shape is the JSON object
+// form of the trace-event format — {"traceEvents":[...]} — which
+// loads directly in Perfetto and chrome://tracing:
+//
+//   - one ph:"M" process_name record, then one ph:"M" thread_name
+//     record per track (tid = track registration index), so the UI
+//     shows one named row per worker plus the flow-stage row;
+//   - one ph:"X" complete event per slice with ts/dur in microseconds
+//     and the slice attributes (plus the fork-join step id) in args.
+//
+// Events are written in track-registration order, then append order
+// within each track — never sorted by timestamp — so two identical
+// runs differ only in ts/dur values. NormalizeChrome exists for
+// exactly that comparison.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"time"
+)
+
+const chromePID = 1
+
+// chromeEvent is the wire shape of one trace event. Field order is
+// fixed by the struct, keeping the output byte-deterministic.
+type chromeEvent struct {
+	Ph   string           `json:"ph"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ts   *float64         `json:"ts,omitempty"`
+	Dur  *float64         `json:"dur,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Name string            `json:"name"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteChrome writes the trace as Chrome trace-event JSON. The writer
+// is buffered internally; the first error is returned.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := func(v any, last bool) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		sep := ",\n"
+		if last {
+			sep = "\n"
+		}
+		_, err = bw.WriteString(sep)
+		return err
+	}
+	tracks := t.Tracks()
+	total := 1 + len(tracks) // metadata events
+	type flat struct {
+		tid int
+		sl  Slice
+	}
+	var all []flat
+	for tid, k := range tracks {
+		for _, sl := range k.Slices() {
+			all = append(all, flat{tid, sl})
+		}
+	}
+	total += len(all)
+	n := 0
+	emit := func(v any) error {
+		n++
+		return enc(v, n == total)
+	}
+	if err := emit(chromeMeta{Ph: "M", Pid: chromePID, Tid: 0,
+		Name: "process_name", Args: map[string]string{"name": "macro3d"}}); err != nil {
+		return err
+	}
+	for tid, k := range tracks {
+		if err := emit(chromeMeta{Ph: "M", Pid: chromePID, Tid: tid,
+			Name: "thread_name", Args: map[string]string{"name": k.Name()}}); err != nil {
+			return err
+		}
+	}
+	for _, f := range all {
+		ts := float64(f.sl.Start) / 1e3
+		dur := float64(f.sl.Dur) / 1e3
+		ev := chromeEvent{Ph: "X", Pid: chromePID, Tid: f.tid,
+			Name: f.sl.Name, Cat: f.sl.Cat, Ts: &ts, Dur: &dur}
+		if f.sl.Step != 0 || len(f.sl.Args) > 0 {
+			ev.Args = map[string]int64{}
+			if f.sl.Step != 0 {
+				ev.Args["step"] = f.sl.Step
+			}
+			for _, a := range f.sl.Args {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+var chromeTimeRe = regexp.MustCompile(`"(ts|dur)":[0-9][0-9.e+-]*`)
+
+// NormalizeChrome replaces every ts/dur value with a placeholder so
+// two traces of identical runs can be compared byte-for-byte. The
+// structure — track order, event order, names, categories, step ids
+// and counts — is untouched.
+func NormalizeChrome(b []byte) []byte {
+	return chromeTimeRe.ReplaceAll(b, []byte(`"$1":0`))
+}
+
+// ReadChrome parses a trace previously written by WriteChrome back
+// into a Tracer, so `macro3d trace-report -in trace.json` can analyze
+// a file captured earlier. It accepts only this package's dialect
+// (complete events plus thread_name metadata), not arbitrary Chrome
+// traces.
+func ReadChrome(r io.Reader) (*Tracer, error) {
+	var raw struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	type anyEvent struct {
+		Ph   string          `json:"ph"`
+		Tid  int             `json:"tid"`
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		Ts   float64         `json:"ts"`
+		Dur  float64         `json:"dur"`
+		Args json.RawMessage `json:"args"`
+	}
+	t := NewAt(time.Unix(0, 0))
+	names := map[int]string{}
+	var events []anyEvent
+	for _, rm := range raw.TraceEvents {
+		var ev anyEvent
+		if err := json.Unmarshal(rm, &ev); err != nil {
+			return nil, fmt.Errorf("trace: parse event: %w", err)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				var args struct {
+					Args map[string]string `json:"args"`
+				}
+				if err := json.Unmarshal(rm, &args); err == nil {
+					names[ev.Tid] = args.Args["name"]
+				}
+			}
+		case "X":
+			events = append(events, ev)
+		}
+	}
+	// Materialize tracks in tid order so analysis sees the same
+	// registration order the writer used.
+	var tids []int
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		t.Track(names[tid])
+	}
+	for _, ev := range events {
+		name := names[ev.Tid]
+		if name == "" {
+			name = "tid " + strconv.Itoa(ev.Tid)
+		}
+		sl := Slice{
+			Name:  ev.Name,
+			Cat:   ev.Cat,
+			Start: int64(ev.Ts * 1e3),
+			Dur:   int64(ev.Dur * 1e3),
+		}
+		if len(ev.Args) > 0 {
+			var args map[string]int64
+			if err := json.Unmarshal(ev.Args, &args); err == nil {
+				var keys []string
+				for k := range args {
+					if k == "step" {
+						sl.Step = args[k]
+						continue
+					}
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					sl.Args = append(sl.Args, Arg{Key: k, Val: args[k]})
+				}
+			}
+		}
+		t.Track(name).addSlice(sl)
+	}
+	return t, nil
+}

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"macro3d/internal/obs/trace"
 )
 
 // Workers resolves a requested worker count: n <= 0 selects
@@ -75,5 +77,39 @@ func Items(workers, n int, fn func(w, i int)) time.Duration {
 		for i := lo; i < hi; i++ {
 			fn(w, i)
 		}
+	})
+}
+
+// ChunksTr is Chunks with execution tracing: each chunk records one
+// slice named `name` on worker w's track, all stamped with a fresh
+// fork-join step id, with the chunk size attached. A nil Set falls
+// straight through to Chunks — one pointer comparison, so the traced
+// call sites stay on the engines' hot paths unconditionally. Tracing
+// wraps fn without reordering or altering it, preserving the
+// bit-identical-results contract.
+func ChunksTr(ts *trace.Set, name string, workers, n int, fn func(w, lo, hi int)) time.Duration {
+	if ts == nil {
+		return Chunks(workers, n, fn)
+	}
+	ts.NextStep()
+	return Chunks(workers, n, func(w, lo, hi int) {
+		sp := ts.Begin(w, name)
+		fn(w, lo, hi)
+		sp.End(trace.N("items", int64(hi-lo)))
+	})
+}
+
+// ItemsTr is Items with execution tracing; see ChunksTr.
+func ItemsTr(ts *trace.Set, name string, workers, n int, fn func(w, i int)) time.Duration {
+	if ts == nil {
+		return Items(workers, n, fn)
+	}
+	ts.NextStep()
+	return Chunks(workers, n, func(w, lo, hi int) {
+		sp := ts.Begin(w, name)
+		for i := lo; i < hi; i++ {
+			fn(w, i)
+		}
+		sp.End(trace.N("items", int64(hi-lo)))
 	})
 }

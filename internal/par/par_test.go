@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"macro3d/internal/obs/trace"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -79,5 +81,80 @@ func TestItems(t *testing.T) {
 		if c != 1 {
 			t.Fatalf("item %d visited %d times", i, c)
 		}
+	}
+}
+
+func TestChunksTrNilSetMatchesChunks(t *testing.T) {
+	const n = 40
+	seen := make([]int32, n)
+	ChunksTr(nil, "x", 4, n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("nil-set ChunksTr: index %d visited %d times", i, c)
+		}
+	}
+	seen = make([]int32, n)
+	ItemsTr(nil, "x", 4, n, func(w, i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("nil-set ItemsTr: item %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestChunksTrRecordsOneSlicePerChunk(t *testing.T) {
+	tr := trace.New()
+	ts := tr.WorkerSet("route", 4)
+	const n = 100
+	seen := make([]int32, n)
+	ChunksTr(ts, "route/batch", 4, n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	ItemsTr(ts, "route/prep", 4, n, func(w, i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 2 {
+			t.Fatalf("index %d visited %d times, want 2", i, c)
+		}
+	}
+	var slices []trace.Slice
+	for _, k := range tr.Tracks() {
+		slices = append(slices, k.Slices()...)
+	}
+	if len(slices) != 8 {
+		t.Fatalf("got %d slices, want 8 (4 chunks × 2 fan-outs)", len(slices))
+	}
+	var items int64
+	steps := map[int64]int{}
+	for _, sl := range slices {
+		if sl.Cat != "route" || sl.Step == 0 {
+			t.Fatalf("bad slice %+v", sl)
+		}
+		steps[sl.Step]++
+		if len(sl.Args) != 1 || sl.Args[0].Key != "items" {
+			t.Fatalf("missing items arg: %+v", sl)
+		}
+		items += sl.Args[0].Val
+	}
+	if len(steps) != 2 {
+		t.Fatalf("got %d distinct steps, want 2", len(steps))
+	}
+	if items != 2*n {
+		t.Fatalf("items sum %d, want %d", items, 2*n)
+	}
+}
+
+func TestChunksTrSerialInlineStillTraces(t *testing.T) {
+	tr := trace.New()
+	ts := tr.WorkerSet("place", 1)
+	ChunksTr(ts, "place/solve", 1, 50, func(w, lo, hi int) {})
+	sl := tr.Track("worker 0").Slices()
+	if len(sl) != 1 || sl[0].Step == 0 || sl[0].Args[0].Val != 50 {
+		t.Fatalf("inline traced run: %+v", sl)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"macro3d/internal/floorplan"
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/par"
 )
 
@@ -67,13 +68,13 @@ func (s *segment) occupy(x, w float64) {
 // >= 1) blockages. Partial blockages deliberately do not fence rows —
 // see the package comment.
 func buildSegments(fp *floorplan.Floorplan, rowHeight float64) []*segment {
-	return buildSegmentsN(fp, rowHeight, 1)
+	return buildSegmentsN(fp, rowHeight, 1, nil)
 }
 
 // buildSegmentsN is the row-parallel form: rows are independent, so
 // each builds its own segment list and the results concatenate in row
 // order — identical to the serial sweep at any worker count.
-func buildSegmentsN(fp *floorplan.Floorplan, rowHeight float64, workers int) []*segment {
+func buildSegmentsN(fp *floorplan.Floorplan, rowHeight float64, workers int, ts *trace.Set) []*segment {
 	die := fp.Die
 	var hard []geom.Rect
 	for _, b := range fp.PlaceBlk {
@@ -83,7 +84,7 @@ func buildSegmentsN(fp *floorplan.Floorplan, rowHeight float64, workers int) []*
 	}
 	nRows := int(die.H() / rowHeight)
 	rows := make([][]*segment, nRows)
-	par.Items(workers, nRows, func(w, r int) {
+	par.ItemsTr(ts, "place/row-segments", workers, nRows, func(w, r int) {
 		rows[r] = buildRowSegments(die, hard, rowHeight, r)
 	})
 	var segs []*segment
@@ -131,14 +132,15 @@ func buildRowSegments(die geom.Rect, hard []geom.Rect, rowHeight float64, r int)
 // sweep: cells sorted by x are committed left-to-right into the
 // segment minimizing displacement. Returns mean and max displacement.
 func legalize(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64) (mean, maxd float64, err error) {
-	return legalizeN(movable, fp, rowHeight, 1)
+	return legalizeN(movable, fp, rowHeight, 1, nil, nil)
 }
 
 // legalizeN is legalize with a worker count for the row-parallel
 // segment construction (the Tetris commit sweep stays serial — each
 // commit depends on every earlier one).
-func legalizeN(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64, workers int) (mean, maxd float64, err error) {
-	mean, maxd, failed, err := legalizeBestEffort(movable, fp, rowHeight, workers)
+func legalizeN(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64, workers int,
+	ts *trace.Set, mt *trace.Track) (mean, maxd float64, err error) {
+	mean, maxd, failed, err := legalizeBestEffort(movable, fp, rowHeight, workers, ts, mt)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -153,14 +155,19 @@ func legalizeN(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight f
 // found no space instead of failing. The S2D/C2D flows use this: cells
 // that cannot fit a tier spill back to the other die.
 func LegalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64) (mean, maxd float64, failed []*netlist.Instance, err error) {
-	return legalizeBestEffort(movable, fp, rowHeight, 1)
+	return legalizeBestEffort(movable, fp, rowHeight, 1, nil, nil)
 }
 
-func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64, workers int) (mean, maxd float64, failed []*netlist.Instance, err error) {
-	segs := buildSegmentsN(fp, rowHeight, workers)
+func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64, workers int,
+	ts *trace.Set, mt *trace.Track) (mean, maxd float64, failed []*netlist.Instance, err error) {
+	segs := buildSegmentsN(fp, rowHeight, workers, ts)
 	if len(segs) == 0 {
 		return 0, 0, nil, fmt.Errorf("place: no placement rows available")
 	}
+	// The Tetris commit sweep is inherently serial; record it so the
+	// analyzer can rank it among the serial segments.
+	ssp := mt.Begin("place", "place/legalize-sweep")
+	defer func() { ssp.End(trace.N("cells", int64(len(movable)))) }()
 	// Index segments by row for fast lookup.
 	byRow := map[int][]*segment{}
 	maxRow := 0

@@ -19,6 +19,7 @@ import (
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/par"
 )
 
@@ -50,6 +51,12 @@ type Options struct {
 	// global/legalize phase spans under and whose registry receives
 	// the placement metrics. nil disables instrumentation.
 	Obs *obs.Span
+
+	// Trace, when non-nil, receives task-level execution slices —
+	// solve/spread chunks, legalization row sweeps — on per-worker
+	// tracks. nil disables tracing for the cost of one pointer
+	// comparison per call site; placements are identical either way.
+	Trace *trace.Tracer
 }
 
 // withDefaults fills unset options.
@@ -118,10 +125,13 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 	anchor := make([]geom.Point, len(d.Instances))
 	anchorW := 0.0
 
+	ts := opt.Trace.WorkerSet("place", workers)
+	mt := opt.Trace.Track("main")
+
 	gsp := opt.Obs.Child("global", obs.KV("cells", len(movable)))
 	for gi := 0; gi < opt.GlobalIters; gi++ {
-		busy += solve(d, movable, adj, pos, anchor, anchorW, die, opt.SolveIters, workers)
-		busy += spread(movable, pos, bins, rng, workers)
+		busy += solve(d, movable, adj, pos, anchor, anchorW, die, opt.SolveIters, workers, ts)
+		busy += spread(movable, pos, bins, rng, workers, ts, mt)
 		for _, inst := range movable {
 			anchor[inst.ID] = pos[inst.ID]
 		}
@@ -141,7 +151,7 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 
 	// Legalization.
 	lsp := opt.Obs.Child("legalize")
-	disp, maxDisp, err := legalizeN(movable, fp, rowHeight, workers)
+	disp, maxDisp, err := legalizeN(movable, fp, rowHeight, workers, ts, mt)
 	lsp.End()
 	if err != nil {
 		return nil, err
@@ -191,7 +201,8 @@ func movableCells(d *netlist.Design) []*netlist.Instance {
 // stays a per-element sequential loop. The barrier between phases is
 // the Jacobi iteration boundary itself.
 func solve(d *netlist.Design, movable []*netlist.Instance, adj [][]*netlist.Net,
-	pos, anchor []geom.Point, anchorW float64, die geom.Rect, iters, workers int) time.Duration {
+	pos, anchor []geom.Point, anchorW float64, die geom.Rect, iters, workers int,
+	ts *trace.Set) time.Duration {
 
 	// Net centroid cache.
 	cx := make([]float64, len(d.Nets))
@@ -201,7 +212,7 @@ func solve(d *netlist.Design, movable []*netlist.Instance, adj [][]*netlist.Net,
 	var busy time.Duration
 	for it := 0; it < iters; it++ {
 		// Phase 1: net centroids from current positions and fixed pins.
-		busy += par.Chunks(workers, len(d.Nets), func(w, lo, hi int) {
+		busy += par.ChunksTr(ts, "place/centroid", workers, len(d.Nets), func(w, lo, hi int) {
 			for _, n := range d.Nets[lo:hi] {
 				if n.Clock {
 					continue // clock is routed by CTS, not a placement force
@@ -231,7 +242,7 @@ func solve(d *netlist.Design, movable []*netlist.Instance, adj [][]*netlist.Net,
 		})
 		// Phase 2: move each movable cell to the weighted average of
 		// its nets' centroids (small nets pull harder).
-		busy += par.Chunks(workers, len(movable), func(w, lo, hi int) {
+		busy += par.ChunksTr(ts, "place/move", workers, len(movable), func(w, lo, hi int) {
 			for _, inst := range movable[lo:hi] {
 				var sx, sy, wt float64
 				for _, n := range adj[inst.ID] {
@@ -301,16 +312,18 @@ func newBinGrid(die geom.Rect, pitch float64, blk []floorplan.Blockage, maxFill 
 // bit-identical at any worker count. The eviction sweep itself is
 // serial — it consumes the RNG, which must never run concurrently.
 func spread(movable []*netlist.Instance, pos []geom.Point, b *binGrid, rng *geom.RNG,
-	workers int) time.Duration {
+	workers int, ts *trace.Set, mt *trace.Track) time.Duration {
 
 	g := b.grid
 	binOf := make([]int32, len(movable))
-	busy := par.Chunks(workers, len(movable), func(w, lo, hi int) {
+	busy := par.ChunksTr(ts, "place/bin-index", workers, len(movable), func(w, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			ix, iy := g.Locate(pos[movable[k].ID])
 			binOf[k] = int32(g.Index(ix, iy))
 		}
 	})
+	ssp := mt.Begin("place", "place/spread-serial")
+	defer func() { ssp.End(trace.N("cells", int64(len(movable)))) }()
 	usage := make([]float64, g.Bins())
 	members := make([][]*netlist.Instance, g.Bins())
 	for k, inst := range movable {

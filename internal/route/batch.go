@@ -5,6 +5,7 @@ import (
 
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/par"
 )
 
@@ -244,6 +245,7 @@ func (db *DB) routeAll(tasks []*netTask, maze bool, workers int, pool []*mazeScr
 	met *routeMetrics, commit func(*netTask)) {
 
 	if workers <= 1 {
+		ssp := met.main.Begin("route", "route/serial-pass")
 		s := pool[0]
 		for _, t := range tasks {
 			if t.old != nil {
@@ -252,6 +254,7 @@ func (db *DB) routeAll(tasks []*netTask, maze bool, workers int, pool []*mazeScr
 			db.routeTask(t, maze, s)
 			commit(t)
 		}
+		ssp.End(trace.N("nets", int64(len(tasks))))
 		return
 	}
 	m := db.tiles
@@ -261,28 +264,36 @@ func (db *DB) routeAll(tasks []*netTask, maze bool, workers int, pool []*mazeScr
 	}
 	pending := tasks
 	for len(pending) > 0 {
+		psp := met.main.Begin("route", "route/plan")
 		batch, deferred := db.planBatch(pending, maze, m)
+		psp.End(trace.N("batch", int64(len(batch))), trace.N("deferred", int64(len(deferred))))
 		met.batches.Inc()
 		met.batchNets.Observe(float64(len(batch)))
 		met.conflicts.Add(uint64(len(deferred)))
 		// Rip-up releases, in order, before the concurrent phase. A
 		// released route lies inside its task's stamped footprint, so
 		// it is invisible to every other batch member.
+		rsp := met.main.Begin("route", "route/release")
+		released := 0
 		for _, t := range batch {
 			if t.old != nil {
 				db.addUsage(t.old, -1)
+				released++
 			}
 		}
-		met.busy += par.Chunks(workers, len(batch), func(w, lo, hi int) {
+		rsp.End(trace.N("nets", int64(released)))
+		met.busy += par.ChunksTr(met.ts, "route/batch", workers, len(batch), func(w, lo, hi int) {
 			s := pool[w]
 			for _, t := range batch[lo:hi] {
 				db.routeTask(t, maze, s)
 			}
 		})
 		// Ordered merge: usage deltas commit in net order.
+		csp := met.main.Begin("route", "route/commit")
 		for _, t := range batch {
 			commit(t)
 		}
+		csp.End(trace.N("nets", int64(len(batch))))
 		pending = deferred
 	}
 }

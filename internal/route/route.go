@@ -19,6 +19,7 @@ import (
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/tech"
 )
 
@@ -48,6 +49,13 @@ type Options struct {
 	// rip-up-iteration phase spans under and whose registry receives
 	// the routing metrics. nil disables instrumentation.
 	Obs *obs.Span
+
+	// Trace, when non-nil, receives task-level execution slices —
+	// batch plan/execute/commit, prep fan-outs, rip-up iterations —
+	// on per-worker tracks. nil disables tracing at the cost of one
+	// pointer comparison per call site; routing results are identical
+	// either way.
+	Trace *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {

@@ -7,6 +7,7 @@ import (
 	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/par"
 )
 
@@ -20,6 +21,12 @@ type routeMetrics struct {
 	batchNets *obs.Histogram
 	conflicts *obs.Counter
 	busy      time.Duration
+
+	// Execution-tracer handles: the per-worker track set for routing
+	// chunks and the orchestrator track for the serial plan/commit
+	// segments. Both are nil-safe; nil means tracing is off.
+	ts   *trace.Set
+	main *trace.Track
 }
 
 // RouteDesign globally routes every non-clock signal net of the design
@@ -77,7 +84,12 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 			"Nets per conflict-free routing batch.", 1, 4, 16, 64, 256, 1024, 4096),
 		conflicts: reg.Counter("route_batch_conflicts_total",
 			"Nets deferred to a later batch by a footprint conflict."),
+		ts:   db.opt.Trace.WorkerSet("route", workers),
+		main: db.opt.Trace.Track("main"),
 	}
+	// Rip-up iterations render as containers on their own track; the
+	// analyzer charges them only for time no leaf slice covers.
+	iterTrack := db.opt.Trace.Track("route iterations")
 
 	// One maze scratch per worker, reused across every two-pin search
 	// of the run (index 0 doubles as the serial path's scratch).
@@ -90,7 +102,7 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 	// the placement, so it parallelizes freely.
 	tasks := make([]*netTask, len(order))
 	errs := make([]error, len(order))
-	met.busy += par.Items(workers, len(order), func(w, i int) {
+	met.busy += par.ItemsTr(met.ts, "route/prep", workers, len(order), func(w, i int) {
 		tasks[i], errs[i] = db.prepTask(order[i])
 	})
 	for _, err := range errs {
@@ -121,6 +133,7 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 		}
 		isp := sp.Child("rip-up-iter",
 			obs.KV("iter", it), obs.KV("overflow", over), obs.KV("victims", len(victims)))
+		itsl := iterTrack.Begin("stage", "route/rip-up-iter")
 		iterC.Inc()
 		// Bound the work per iteration; the worst offenders first
 		// (longest nets through congestion).
@@ -146,6 +159,8 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 			res.Routes[t.net.ID] = t.route
 		})
 		ripupC.Add(uint64(len(victims)))
+		itsl.End(trace.N("iter", int64(it)), trace.N("victims", int64(len(victims))),
+			trace.N("overflow", int64(over)))
 		isp.End()
 	}
 

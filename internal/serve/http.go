@@ -32,10 +32,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stashz", s.handleStash)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.syncStashMetrics()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.rec.Registry().WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		s.syncStashMetrics()
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = s.rec.Registry().WriteJSON(w)
 	})

@@ -239,6 +239,14 @@ func (j *Job) finish(state JobState, result, errMsg string, stageErr *StageFailu
 	return state
 }
 
+// times snapshots the job's lifecycle timestamps (zero when the
+// corresponding transition has not happened).
+func (j *Job) times() (submitted, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted, j.started, j.finished
+}
+
 // canceledRequested reports whether Cancel was called on the job.
 func (j *Job) cancelRequested() bool {
 	j.mu.Lock()

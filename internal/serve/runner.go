@@ -7,6 +7,7 @@ import (
 
 	"macro3d/internal/faults"
 	"macro3d/internal/flows"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/piton"
 	"macro3d/internal/report"
 )
@@ -17,12 +18,18 @@ import (
 // and — on fault-permitting servers — the injected daemon-path faults.
 func (s *Server) runSpec(ctx context.Context, job *Job) (string, error) {
 	spec := job.Spec()
+	var tr *trace.Tracer
+	if s.cfg.TraceDir != "" {
+		tr = trace.New()
+		defer s.writeJobTrace(job.ID(), tr)
+	}
 	fc := flows.Config{
 		Piton:          tileConfig(spec.Config),
 		Seed:           spec.Seed,
 		MacroDieMetals: spec.MacroDieMetals,
 		Workers:        spec.Workers,
 		Obs:            job.rec,
+		Trace:          tr,
 		Cache:          s.cfg.Cache,
 		CacheVerify:    s.cfg.CacheVerify,
 		Verify:         spec.Verify,

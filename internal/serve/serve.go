@@ -24,10 +24,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"macro3d/internal/obs"
+	"macro3d/internal/obs/trace"
 	"macro3d/internal/stash"
 )
 
@@ -63,6 +66,13 @@ type Config struct {
 
 	// AllowFaults honours JobSpec.Fault (tests and load drivers only).
 	AllowFaults bool
+
+	// TraceDir, when set, enables execution tracing: each job's engine
+	// timeline is written to TraceDir/<jobid>.trace.json as it settles,
+	// and a server-wide scheduling trace (per-job queue-wait and run
+	// slices, one track per job) lands in TraceDir/serve.trace.json at
+	// Shutdown. All files are Chrome trace-event JSON.
+	TraceDir string
 
 	// Runner overrides job execution (tests). nil runs the real flows.
 	Runner func(ctx context.Context, job *Job) (string, error)
@@ -117,6 +127,13 @@ type Server struct {
 	// them alongside whatever the jobs' engines record server-wide.
 	submitted, rejected, completed, failed, canceled, abandoned, panics *obs.Counter
 	queueDepth, running                                                 *obs.Gauge
+	queueWait, jobRun                                                   *obs.Histogram
+	hardenHits, hardenMisses                                            *obs.Counter
+
+	// tracer is the server-wide scheduling tracer (nil unless
+	// Config.TraceDir is set); traceOnce guards the Shutdown-time write.
+	tracer    *trace.Tracer
+	traceOnce sync.Once
 }
 
 // New starts a Server: its workers are live and its Handler is ready
@@ -142,6 +159,13 @@ func New(cfg Config) *Server {
 	s.panics = reg.Counter("serve_job_panics_total", "Jobs that failed on a contained panic.")
 	s.queueDepth = reg.Gauge("serve_queue_depth_jobs", "Jobs waiting in the admission queue.")
 	s.running = reg.Gauge("serve_running_jobs", "Jobs currently executing.")
+	s.queueWait = reg.Histogram("serve_queue_wait_ms", "Milliseconds jobs waited in the queue before a worker claimed them.")
+	s.jobRun = reg.Histogram("serve_job_run_ms", "Milliseconds jobs spent executing, claim to terminal state.")
+	s.hardenHits = reg.Counter("stash_harden_hits_total", "Hardened-abstract cache hits on the shared stage cache.")
+	s.hardenMisses = reg.Counter("stash_harden_misses_total", "Hardened-abstract cache misses on the shared stage cache.")
+	if cfg.TraceDir != "" {
+		s.tracer = trace.New()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -250,6 +274,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue) // workers finish the backlog, then exit
 	}
 	s.mu.Unlock()
+	defer s.writeServeTrace()
 
 	done := make(chan struct{})
 	go func() {
@@ -306,6 +331,13 @@ func (s *Server) runJob(job *Job) {
 	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	if sub, started, _ := job.times(); !started.IsZero() {
+		s.queueWait.Observe(float64(started.Sub(sub)) / float64(time.Millisecond))
+		if s.tracer != nil {
+			s.tracer.Track(job.id).Add("serve", job.id+"/queue-wait", sub, started)
+		}
+	}
+	defer s.recordRun(job)
 	s.logf("serve: %s running", job.id)
 
 	type outcome struct {
@@ -373,6 +405,86 @@ func (s *Server) settle(job *Job, result string, err error) {
 			}
 			s.logf("serve: %s failed: %v", job.id, err)
 		}
+	}
+}
+
+// recordRun publishes a terminal job's execution time: the
+// serve_job_run_ms histogram and, when tracing, a run slice on the
+// job's tenant track of the server scheduling trace.
+func (s *Server) recordRun(job *Job) {
+	_, started, finished := job.times()
+	if started.IsZero() || finished.IsZero() {
+		return
+	}
+	s.jobRun.Observe(float64(finished.Sub(started)) / float64(time.Millisecond))
+	if s.tracer != nil {
+		s.tracer.Track(job.id).Add("serve", job.id+"/run", started, finished)
+	}
+}
+
+// writeJobTrace atomically writes one job's engine timeline to
+// TraceDir/<jobid>.trace.json (temp + rename, so readers never see a
+// partial file). Trace I/O failures are logged, never fatal: tracing
+// must not fail jobs.
+func (s *Server) writeJobTrace(id string, tr *trace.Tracer) {
+	if tr == nil || s.cfg.TraceDir == "" {
+		return
+	}
+	if err := writeTraceFile(filepath.Join(s.cfg.TraceDir, id+".trace.json"), tr); err != nil {
+		s.logf("serve: %s trace write failed: %v", id, err)
+	}
+}
+
+// writeServeTrace writes the server-wide scheduling trace once, at
+// Shutdown.
+func (s *Server) writeServeTrace() {
+	if s.tracer == nil {
+		return
+	}
+	s.traceOnce.Do(func() {
+		if err := writeTraceFile(filepath.Join(s.cfg.TraceDir, "serve.trace.json"), s.tracer); err != nil {
+			s.logf("serve: scheduling trace write failed: %v", err)
+		}
+	})
+}
+
+// writeTraceFile renders a tracer as Chrome trace-event JSON at path,
+// atomically.
+func writeTraceFile(path string, tr *trace.Tracer) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".trace-*")
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// syncStashMetrics folds the shared cache's harden counters into the
+// server registry so /metrics and /metrics.json expose them (the
+// per-job recorders the engines write to are not server-wide).
+// Delta-tracked against the registry's own counters, so repeated
+// scrapes stay monotonic.
+func (s *Server) syncStashMetrics() {
+	if s.cfg.Cache == nil {
+		return
+	}
+	st := s.cfg.Cache.Stats()
+	if d := st.HardenHits - s.hardenHits.Value(); d > 0 {
+		s.hardenHits.Add(d)
+	}
+	if d := st.HardenMisses - s.hardenMisses.Value(); d > 0 {
+		s.hardenMisses.Add(d)
 	}
 }
 

@@ -1,14 +1,20 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"macro3d/internal/flows"
+	"macro3d/internal/obs/trace"
+	"macro3d/internal/stash"
 )
 
 // stubSpec is a valid spec for stub-runner tests (the stub never looks
@@ -400,5 +406,94 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached in 5s")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTraceDirSchedulingTrace runs jobs on a traced server and checks
+// the Shutdown-time scheduling trace: one track per job, each carrying
+// a queue-wait and a run slice, in a file Perfetto can load — plus the
+// serve_queue_wait_ms / serve_job_run_ms histograms observing every
+// executed job.
+func TestTraceDirSchedulingTrace(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, TraceDir: dir, Runner: func(ctx context.Context, job *Job) (string, error) {
+		time.Sleep(2 * time.Millisecond)
+		return "ok", nil
+	}})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		job, err := s.Submit(stubSpec())
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, job.ID())
+	}
+	for _, id := range ids {
+		<-s.Job(id).Done()
+	}
+	shutdownClean(t, s)
+
+	f, err := os.Open(filepath.Join(dir, "serve.trace.json"))
+	if err != nil {
+		t.Fatalf("scheduling trace not written: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadChrome(f)
+	if err != nil {
+		t.Fatalf("scheduling trace unreadable: %v", err)
+	}
+	byName := map[string][]trace.Slice{}
+	for _, trk := range tr.Tracks() {
+		byName[trk.Name()] = trk.Slices()
+	}
+	for _, id := range ids {
+		slices := byName[id]
+		if len(slices) != 2 {
+			t.Fatalf("job %s track has %d slices, want queue-wait + run", id, len(slices))
+		}
+		if got, want := slices[0].Name, id+"/queue-wait"; got != want {
+			t.Errorf("job %s slice 0 named %q, want %q", id, got, want)
+		}
+		if got, want := slices[1].Name, id+"/run"; got != want {
+			t.Errorf("job %s slice 1 named %q, want %q", id, got, want)
+		}
+		if slices[1].Start < slices[0].End() {
+			t.Errorf("job %s run starts before its queue wait ends", id)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := s.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, want := range []string{"serve_queue_wait_ms_count 3", "serve_job_run_ms_count 3"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics lacks %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestSyncStashMetricsExportsHardenCounters checks that the shared
+// cache's hardened-abstract hit/miss counters reach the server-wide
+// registry the /metrics endpoints render.
+func TestSyncStashMetricsExportsHardenCounters(t *testing.T) {
+	cache, err := stash.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, Cache: cache, Runner: func(ctx context.Context, job *Job) (string, error) {
+		return "ok", nil
+	}})
+	defer shutdownClean(t, s)
+	cache.NoteHarden(false)
+	cache.NoteHarden(true)
+	cache.NoteHarden(true)
+	s.syncStashMetrics()
+	s.syncStashMetrics() // idempotent: deltas, not double counts
+	if got := s.hardenHits.Value(); got != 2 {
+		t.Errorf("stash_harden_hits_total = %d, want 2", got)
+	}
+	if got := s.hardenMisses.Value(); got != 1 {
+		t.Errorf("stash_harden_misses_total = %d, want 1", got)
 	}
 }
