@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race equiv faults bench bench-route bench-stash bench-harden benchall obs-smoke cache-smoke serve-smoke harden-smoke trace-smoke serve-load
+.PHONY: check build test vet race equiv faults bench bench-route bench-stash bench-harden benchall obs-smoke cache-smoke serve-smoke harden-smoke trace-smoke bench-route-smoke serve-load
 
 ## check: the full gate — vet, build, unit tests, the race-enabled
 ## fault-injection suite, then the observability, stage-cache, daemon,
 ## hardened-macro and execution-tracer smoke tests (what CI should run).
-check: vet build test race obs-smoke cache-smoke serve-smoke harden-smoke trace-smoke
+check: vet build test race obs-smoke cache-smoke serve-smoke harden-smoke trace-smoke bench-route-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,13 @@ harden-smoke:
 trace-smoke:
 	GO="$(GO)" sh scripts/trace_smoke.sh
 
+## bench-route-smoke: benchmark-pipeline check — one cheap flat-array
+## benchmark run (N=1, count 1) piped through benchjson, asserting the
+## speedup pair, its noise verdict, stddev/CV and the pinned
+## environment all land in the JSON.
+bench-route-smoke:
+	GO="$(GO)" sh scripts/bench_route_smoke.sh
+
 ## serve-load: the multi-tenant load driver — 8 concurrent tenants with
 ## overlapping specs against a small queue (exercising 429
 ## backpressure) plus one injected panicking job; asserts zero
@@ -84,13 +91,18 @@ faults:
 bench:
 	$(GO) test -bench 'TableII|Optimize' -count 5 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson | tee BENCH_opt.json
 
-## bench-route: the parallel-engine comparison — large-cache route and
-## placement stages, serial (-j 1) vs parallel (-j 0, native
-## GOMAXPROCS) — recorded as machine-readable BENCH_route.json. The
-## serial/parallel ratio is pure scheduling win: both configurations
-## produce bit-identical results (see `make equiv`).
+## bench-route: the parallel-engine comparison — the large-cache tile
+## and the flat BENCH_SIZE×BENCH_SIZE tile array, serial (-j 1) vs the
+## default parallel engines vs -fast-route (sharded router, banded
+## legalizer) at BENCH_J pinned workers — recorded as machine-readable
+## BENCH_route.json with stddev/CV and a noise verdict per speedup
+## pair. Knobs: BENCH_COUNT repetitions, BENCH_SIZE array edge,
+## BENCH_J workers, e.g. `make bench-route BENCH_COUNT=3 BENCH_SIZE=2`.
+BENCH_COUNT ?= 5
+BENCH_SIZE  ?= 3
+BENCH_J     ?= 8
 bench-route:
-	$(GO) test -bench 'BenchmarkRouteDesign|BenchmarkPlace' -count 5 -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson | tee BENCH_route.json
+	BENCH_ROUTE_N=$(BENCH_SIZE) BENCH_ROUTE_J=$(BENCH_J) $(GO) test -timeout 0 -bench 'BenchmarkRouteDesign|BenchmarkPlace|BenchmarkRouteFlat|BenchmarkPlaceFlat' -count $(BENCH_COUNT) -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson | tee BENCH_route.json
 
 ## bench-stash: the stage-cache comparison — the Table I sweep cold
 ## (populating the cache) vs warm (restoring every checkpoint), both

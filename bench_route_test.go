@@ -1,25 +1,67 @@
 // Routing and placement engine benchmarks: the large-cache tile's
 // route stage and global-placement stage, serial reference (Workers 1)
-// against the parallel engines at the host's native GOMAXPROCS
-// (Workers 0). Both configurations produce bit-identical results —
-// TestWorkerEquivalence asserts exactly that — so the ratio measures
-// scheduling, not quality drift. `make bench-route` records the
-// comparison in BENCH_route.json; on a single-CPU host Workers 0
-// resolves to the serial path and the ratio is ~1.
+// against the parallel engines at a pinned worker count (BENCH_ROUTE_J,
+// default 8). Default-mode serial and parallel produce bit-identical
+// results — TestWorkerEquivalence asserts exactly that — so the ratio
+// measures scheduling, not quality drift. The flat N×N benchmarks add
+// the -fast-route configurations (sharded router, banded legalizer),
+// which are deterministic at any worker count but trade bit-identity
+// with the default engines for concurrency. `make bench-route` records
+// everything in BENCH_route.json; on a host whose GOMAXPROCS caps real
+// concurrency the wall-clock ratios saturate at the core count and the
+// *_cp_speedup metrics report what the recorded fork-join structure
+// supports.
 package macro3d_test
 
 import (
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 
 	"macro3d/internal/floorplan"
+	"macro3d/internal/geom"
 	"macro3d/internal/netlist"
 	"macro3d/internal/obs/trace"
+	"macro3d/internal/par"
 	"macro3d/internal/piton"
 	"macro3d/internal/place"
 	"macro3d/internal/route"
 	"macro3d/internal/tech"
 )
+
+// benchWorkers is the pinned parallel worker count. The benchmarks
+// never depend silently on the host's GOMAXPROCS: the parallel
+// configurations run at exactly this count (BENCH_ROUTE_J, default 8)
+// and every benchmark reports both gomaxprocs and workers as metrics,
+// so BENCH_route.json records the environment a ratio was measured in.
+func benchWorkers() int {
+	if s := os.Getenv("BENCH_ROUTE_J"); s != "" {
+		if j, err := strconv.Atoi(s); err == nil && j > 0 {
+			return j
+		}
+	}
+	return 8
+}
+
+// benchArrayN is the flat-array edge size: the large-cache tile abutted
+// N×N and routed/placed as one flat design (BENCH_ROUTE_N, default 3).
+func benchArrayN() int {
+	if s := os.Getenv("BENCH_ROUTE_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 3
+}
+
+// reportEnv pins the execution environment into the benchmark record.
+func reportEnv(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(par.Workers(workers)), "workers")
+}
 
 // reportTraceStats runs the execution-trace analyzer over one traced
 // engine run and reports the named phase's parallelism numbers as
@@ -35,6 +77,11 @@ func reportTraceStats(b *testing.B, tr *trace.Tracer, phase string) {
 		b.ReportMetric(ph.Occupancy, phase+"_occupancy")
 		b.ReportMetric(ph.SerialFrac, phase+"_serial_frac")
 		b.ReportMetric(ph.AmdahlAtW, phase+"_amdahl_atW")
+		// CP speedup = wall / critical path: the speedup the recorded
+		// fork-join structure supports with enough cores. On a host
+		// whose GOMAXPROCS serializes the workers this is the honest
+		// parallelism headline — the wall-clock ratio cannot move there.
+		b.ReportMetric(ph.CPSpeedup, phase+"_cp_speedup")
 	}
 }
 
@@ -46,10 +93,11 @@ var routeBench struct {
 	once sync.Once
 	err  error
 
-	t  *tech.Tech
-	d  *netlist.Design
-	fp *floorplan.Floorplan
-	sz floorplan.Sizing
+	t    *tech.Tech
+	tile *piton.Tile
+	d    *netlist.Design
+	fp   *floorplan.Floorplan
+	sz   floorplan.Sizing
 }
 
 func routeBenchSetup(b *testing.B) {
@@ -85,7 +133,7 @@ func routeBenchSetup(b *testing.B) {
 			if _, err := route.RouteDesign(d, db); err != nil {
 				return err
 			}
-			routeBench.t, routeBench.d, routeBench.fp = t, d, fp
+			routeBench.t, routeBench.tile, routeBench.d, routeBench.fp = t, tile, d, fp
 			routeBench.sz = sz
 			return nil
 		}()
@@ -110,6 +158,8 @@ func benchRouteDesign(b *testing.B, workers int) {
 		}
 		last = res
 	}
+	// Metrics only after the loop: ResetTimer deletes reported metrics.
+	reportEnv(b, workers)
 	if last != nil {
 		b.ReportMetric(last.WL/1e6, "WL_m")
 		b.ReportMetric(float64(last.Overflow), "overflow")
@@ -128,7 +178,7 @@ func benchRouteDesign(b *testing.B, workers int) {
 
 func BenchmarkRouteDesign(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchRouteDesign(b, 1) })
-	b.Run("parallel", func(b *testing.B) { benchRouteDesign(b, 0) })
+	b.Run("parallel", func(b *testing.B) { benchRouteDesign(b, benchWorkers()) })
 }
 
 func benchPlace(b *testing.B, workers int) {
@@ -143,6 +193,7 @@ func benchPlace(b *testing.B, workers int) {
 		}
 		last = res
 	}
+	reportEnv(b, workers)
 	if last != nil {
 		b.ReportMetric(last.HPWL/1e6, "HPWL_m")
 	}
@@ -157,5 +208,148 @@ func benchPlace(b *testing.B, workers int) {
 
 func BenchmarkPlace(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { benchPlace(b, 1) })
-	b.Run("parallel", func(b *testing.B) { benchPlace(b, 0) })
+	b.Run("parallel", func(b *testing.B) { benchPlace(b, benchWorkers()) })
+}
+
+// --- Flat N×N array benchmarks ---
+//
+// The sharded router's case: a single flat design big enough that the
+// region decomposition has real work per region. The placed large-cache
+// tile is abutted N×N into ONE flat netlist (piton.Abut — the paper's
+// §V-1 composition) and then placed/routed from scratch as a flat
+// problem: no per-tile route replication, no hierarchy. serial is the
+// -j 1 reference; parallel is the default deterministic batch engine at
+// the pinned worker count; sharded adds -fast-route (region-sharded
+// concurrent routing, deterministic at any -j but not bit-identical to
+// the default engine — see DESIGN.md §15).
+
+var flatBench struct {
+	once sync.Once
+	err  error
+
+	n   int
+	die geom.Rect
+	d   *netlist.Design
+	fp  *floorplan.Floorplan
+}
+
+func flatBenchSetup(b *testing.B) {
+	b.Helper()
+	routeBenchSetup(b)
+	flatBench.once.Do(func() {
+		flatBench.err = func() error {
+			n := benchArrayN()
+			arr, die, err := piton.Abut(routeBench.tile, routeBench.sz.Die2D, n, n)
+			if err != nil {
+				return err
+			}
+			// Every copy contributes its macro blockages at its offset.
+			fp := &floorplan.Floorplan{Die: die, RowHeight: routeBench.t.RowHeight}
+			tw, th := routeBench.sz.Die2D.W(), routeBench.sz.Die2D.H()
+			for iy := 0; iy < n; iy++ {
+				for ix := 0; ix < n; ix++ {
+					off := geom.Pt(tw*float64(ix), th*float64(iy))
+					for _, bl := range routeBench.fp.PlaceBlk {
+						fp.PlaceBlk = append(fp.PlaceBlk, floorplan.Blockage{
+							Rect: bl.Rect.Translate(off), Fraction: bl.Fraction,
+						})
+					}
+					for _, bl := range routeBench.fp.RouteBlk {
+						fp.RouteBlk = append(fp.RouteBlk, floorplan.RouteBlockage{
+							Layer: bl.Layer, Rect: bl.Rect.Translate(off),
+						})
+					}
+				}
+			}
+			// Canonical flat placement: Place reseeds from its RNG, so
+			// re-running it (as BenchmarkPlaceFlat does) reproduces the
+			// same locations — benchmark ordering cannot skew the route
+			// comparisons.
+			if _, err := place.Place(arr, fp, routeBench.t.RowHeight, place.Options{Seed: 2}); err != nil {
+				return err
+			}
+			flatBench.n, flatBench.die, flatBench.d, flatBench.fp = n, die, arr, fp
+			return nil
+		}()
+	})
+	if flatBench.err != nil {
+		b.Fatal(flatBench.err)
+	}
+}
+
+func benchRouteFlat(b *testing.B, workers int, sharded bool) {
+	flatBenchSetup(b)
+	b.ResetTimer()
+	var last *route.Result
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := route.NewDB(flatBench.die, routeBench.t.Logic, flatBench.fp.RouteBlk,
+			route.Options{Workers: workers, Sharded: sharded})
+		b.StartTimer()
+		res, err := route.RouteDesign(flatBench.d, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportEnv(b, workers)
+	b.ReportMetric(float64(flatBench.n), "array_n")
+	if last != nil {
+		b.ReportMetric(last.WL/1e6, "WL_m")
+		b.ReportMetric(float64(last.Overflow), "overflow")
+	}
+	b.StopTimer()
+	tr := trace.New()
+	db := route.NewDB(flatBench.die, routeBench.t.Logic, flatBench.fp.RouteBlk,
+		route.Options{Workers: workers, Sharded: sharded, Trace: tr})
+	if _, err := route.RouteDesign(flatBench.d, db); err != nil {
+		b.Fatal(err)
+	}
+	reportTraceStats(b, tr, "route")
+}
+
+func BenchmarkRouteFlat(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchRouteFlat(b, 1, false) })
+	b.Run("parallel", func(b *testing.B) { benchRouteFlat(b, benchWorkers(), false) })
+	b.Run("sharded", func(b *testing.B) { benchRouteFlat(b, benchWorkers(), true) })
+}
+
+func benchPlaceFlat(b *testing.B, workers int, fast bool) {
+	flatBenchSetup(b)
+	b.ResetTimer()
+	var last *place.Result
+	for i := 0; i < b.N; i++ {
+		res, err := place.Place(flatBench.d, flatBench.fp, routeBench.t.RowHeight,
+			place.Options{Seed: 2, Workers: workers, Fast: fast})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportEnv(b, workers)
+	b.ReportMetric(float64(flatBench.n), "array_n")
+	if last != nil {
+		b.ReportMetric(last.HPWL/1e6, "HPWL_m")
+	}
+	b.StopTimer()
+	tr := trace.New()
+	if _, err := place.Place(flatBench.d, flatBench.fp, routeBench.t.RowHeight,
+		place.Options{Seed: 2, Workers: workers, Fast: fast, Trace: tr}); err != nil {
+		b.Fatal(err)
+	}
+	reportTraceStats(b, tr, "place")
+	// Leave the canonical default-mode placement behind for any later
+	// route benchmark iteration in the same process.
+	if fast {
+		if _, err := place.Place(flatBench.d, flatBench.fp, routeBench.t.RowHeight,
+			place.Options{Seed: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaceFlat(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchPlaceFlat(b, 1, false) })
+	b.Run("parallel", func(b *testing.B) { benchPlaceFlat(b, benchWorkers(), false) })
+	b.Run("fast", func(b *testing.B) { benchPlaceFlat(b, benchWorkers(), true) })
 }

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -35,19 +36,66 @@ type entry struct {
 	Runs      []float64          `json:"ns_per_op"`
 	MeanNsOp  float64            `json:"mean_ns_per_op"`
 	BestNsOp  float64            `json:"best_ns_per_op"`
+	StddevNs  float64            `json:"stddev_ns_per_op"` // sample stddev; 0 with <2 runs
+	CV        float64            `json:"cv"`               // stddev/mean — run-to-run noise level
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
 	RunsCount int                `json:"runs"`
+}
+
+// pairStats qualifies one speedup ratio. Ratio compares the means;
+// Noise reports whether the two sides' ~95% confidence intervals
+// (mean ± 1.96·stddev/√n) overlap — an overlapping pair means the
+// measured difference is not distinguishable from run-to-run variance,
+// so the ratio should be read as ~1× regardless of its nominal value.
+type pairStats struct {
+	Ratio     float64 `json:"ratio"`
+	BestRatio float64 `json:"best_ratio"` // best-over-best, noise floor
+	Noise     bool    `json:"noise"`
+	NumCV     float64 `json:"numerator_cv"`
+	DenCV     float64 `json:"denominator_cv"`
 }
 
 type summary struct {
 	Benchmarks []*entry           `json:"benchmarks"`
 	Speedup    map[string]float64 `json:"speedup,omitempty"`
 
+	// SpeedupStats carries, per Speedup key, the confidence view of the
+	// same ratio: is it real or inside the noise band?
+	SpeedupStats map[string]*pairStats `json:"speedup_stats,omitempty"`
+
+	// Env pins the measurement environment the engine benchmarks
+	// report: gomaxprocs, the pinned worker count, the flat array size.
+	Env map[string]float64 `json:"env,omitempty"`
+
 	// Parallelism lifts the execution-trace metrics the engine
 	// benchmarks report (per-phase worker occupancy, serial fraction,
-	// Amdahl ceiling at the native worker count) to the top level, keyed
-	// "<metric>/<variant>", e.g. "route_occupancy/parallel".
+	// Amdahl ceiling at the pinned worker count, critical-path speedup)
+	// to the top level, keyed "<metric>/<variant>", e.g.
+	// "route_occupancy/parallel" or "route_cp_speedup/flat_sharded".
 	Parallelism map[string]float64 `json:"parallelism,omitempty"`
+}
+
+// ci returns the half-width of the ~95% confidence interval of the
+// mean under a normal approximation. Zero with fewer than two runs —
+// single-run pairs are then never flagged as noise, matching the old
+// behaviour of trusting the point estimate.
+func (e *entry) ci() float64 {
+	if e.RunsCount < 2 {
+		return 0
+	}
+	return 1.96 * e.StddevNs / math.Sqrt(float64(e.RunsCount))
+}
+
+// pair builds the qualified ratio num.Mean/den.Mean.
+func pair(num, den *entry) *pairStats {
+	p := &pairStats{Ratio: num.MeanNsOp / den.MeanNsOp, NumCV: num.CV, DenCV: den.CV}
+	if den.BestNsOp > 0 {
+		p.BestRatio = num.BestNsOp / den.BestNsOp
+	}
+	nLo, nHi := num.MeanNsOp-num.ci(), num.MeanNsOp+num.ci()
+	dLo, dHi := den.MeanNsOp-den.ci(), den.MeanNsOp+den.ci()
+	p.Noise = nLo <= dHi && dLo <= nHi
+	return p
 }
 
 func main() {
@@ -103,6 +151,17 @@ func main() {
 		}
 		e.MeanNsOp = sum / float64(len(e.Runs))
 		e.BestNsOp = best
+		if n := len(e.Runs); n >= 2 {
+			var ss float64
+			for _, v := range e.Runs {
+				d := v - e.MeanNsOp
+				ss += d * d
+			}
+			e.StddevNs = math.Sqrt(ss / float64(n-1))
+			if e.MeanNsOp > 0 {
+				e.CV = e.StddevNs / e.MeanNsOp
+			}
+		}
 		if len(e.Metrics) == 0 {
 			e.Metrics = nil
 		}
@@ -120,17 +179,29 @@ func main() {
 		out.Speedup["optimize_prerefactor_over_incremental"] = pre.MeanNsOp / inc.MeanNsOp
 	}
 	// Parallel-engine ratios (`make bench-route`): serial reference
-	// over the parallel engine at native GOMAXPROCS. Both produce
-	// bit-identical results, so >1 is pure scheduling win.
-	for _, pair := range [][3]string{
+	// over the parallel engine at the pinned worker count. The default
+	// engines produce bit-identical results, so >1 is pure scheduling
+	// win; the flat sharded/fast ratios additionally buy concurrency
+	// with the -fast-route engines (deterministic, not bit-identical).
+	// Every ratio carries a SpeedupStats twin with the noise verdict.
+	out.SpeedupStats = map[string]*pairStats{}
+	for _, pr := range [][3]string{
 		{"BenchmarkRouteDesign/serial", "BenchmarkRouteDesign/parallel", "route_serial_over_parallel"},
 		{"BenchmarkPlace/serial", "BenchmarkPlace/parallel", "place_serial_over_parallel"},
+		{"BenchmarkRouteFlat/serial", "BenchmarkRouteFlat/parallel", "flat_route_serial_over_parallel"},
+		{"BenchmarkRouteFlat/serial", "BenchmarkRouteFlat/sharded", "flat_route_serial_over_sharded"},
+		{"BenchmarkPlaceFlat/serial", "BenchmarkPlaceFlat/parallel", "flat_place_serial_over_parallel"},
+		{"BenchmarkPlaceFlat/serial", "BenchmarkPlaceFlat/fast", "flat_place_serial_over_fast"},
 	} {
-		ser, okS := byName[pair[0]]
-		par, okP := byName[pair[1]]
+		ser, okS := byName[pr[0]]
+		par, okP := byName[pr[1]]
 		if okS && okP && par.MeanNsOp > 0 {
-			out.Speedup[pair[2]] = ser.MeanNsOp / par.MeanNsOp
+			out.Speedup[pr[2]] = ser.MeanNsOp / par.MeanNsOp
+			out.SpeedupStats[pr[2]] = pair(ser, par)
 		}
+	}
+	if len(out.SpeedupStats) == 0 {
+		out.SpeedupStats = nil
 	}
 	// Stage-cache ratio (`make bench-stash`): the same sweep cold
 	// (populating the cache) versus warm (restoring every checkpoint).
@@ -152,24 +223,40 @@ func main() {
 	// occupancy / serial-fraction / Amdahl numbers explain the speedup
 	// ratios above, so they ride along at the top level.
 	out.Parallelism = map[string]float64{}
-	for _, pair := range [][2]string{
+	out.Env = map[string]float64{}
+	for _, vp := range [][2]string{
 		{"BenchmarkRouteDesign/serial", "serial"},
 		{"BenchmarkRouteDesign/parallel", "parallel"},
 		{"BenchmarkPlace/serial", "serial"},
 		{"BenchmarkPlace/parallel", "parallel"},
+		{"BenchmarkRouteFlat/serial", "flat_serial"},
+		{"BenchmarkRouteFlat/parallel", "flat_parallel"},
+		{"BenchmarkRouteFlat/sharded", "flat_sharded"},
+		{"BenchmarkPlaceFlat/serial", "flat_serial"},
+		{"BenchmarkPlaceFlat/parallel", "flat_parallel"},
+		{"BenchmarkPlaceFlat/fast", "flat_fast"},
 	} {
-		e := byName[pair[0]]
+		e := byName[vp[0]]
 		if e == nil {
 			continue
 		}
 		for k, v := range e.Metrics {
-			if strings.HasSuffix(k, "_occupancy") || strings.HasSuffix(k, "_serial_frac") || strings.HasSuffix(k, "_amdahl_atW") {
-				out.Parallelism[k+"/"+pair[1]] = v
+			switch {
+			case strings.HasSuffix(k, "_occupancy"), strings.HasSuffix(k, "_serial_frac"),
+				strings.HasSuffix(k, "_amdahl_atW"), strings.HasSuffix(k, "_cp_speedup"):
+				out.Parallelism[k+"/"+vp[1]] = v
+			case k == "gomaxprocs" || k == "array_n":
+				out.Env[k] = v
+			case k == "workers" && !strings.HasSuffix(vp[0], "/serial"):
+				out.Env[k] = v
 			}
 		}
 	}
 	if len(out.Parallelism) == 0 {
 		out.Parallelism = nil
+	}
+	if len(out.Env) == 0 {
+		out.Env = nil
 	}
 	if err := write(*outPath, out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

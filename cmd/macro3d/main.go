@@ -152,6 +152,8 @@ func realMain() (code int) {
 		metricsOut  = flag.String("metrics-out", "", "write a final Prometheus text snapshot of the run's metrics to this file")
 		obsLinger   = flag.Duration("obs-linger", 0, "with -obs-addr: keep serving this long after a successful run (live inspection, smoke tests)")
 		traceOut    = flag.String("trace", "", "record the engines' per-worker execution timeline and write it as Chrome trace-event JSON (Perfetto / chrome://tracing; analyze with 'macro3d trace-report -in')")
+		fastRoute   = flag.Bool("fast-route", false, "region-sharded router and banded legalizer: deterministic at any -j but NOT bit-identical to the default engines; PPA stays within the bounds documented in DESIGN.md §15")
+		fastVerify  = flag.Bool("fast-route-verify", false, "with -fast-route: re-route serially with the default engine and fail unless the fast result is within the documented wirelength/overflow bounds")
 	)
 	flag.Parse()
 
@@ -306,7 +308,7 @@ func realMain() (code int) {
 		defer cancel()
 	}
 
-	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec, tracer, cache, *cacheVerify); err != nil {
+	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec, tracer, cache, *cacheVerify, *fastRoute, *fastVerify); err != nil {
 		printFailure(err)
 		return 1
 	}
@@ -368,12 +370,13 @@ func tileConfig(name string) (macro3d.TileConfig, error) {
 	return macro3d.TileConfig{}, fmt.Errorf("unknown config %q (want small, large or tiny)", name)
 }
 
-func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder, tracer *macro3d.ExecTracer, cache *macro3d.StageCache, cacheVerify bool) error {
+func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder, tracer *macro3d.ExecTracer, cache *macro3d.StageCache, cacheVerify, fastRoute, fastVerify bool) error {
 	pc, err := tileConfig(config)
 	if err != nil {
 		return err
 	}
-	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec, Trace: tracer, Workers: jobs, Cache: cache, CacheVerify: cacheVerify}
+	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec, Trace: tracer, Workers: jobs, Cache: cache, CacheVerify: cacheVerify,
+		FastRoute: fastRoute, FastRouteVerify: fastVerify}
 
 	if flow != "" {
 		var ppa *macro3d.PPA
@@ -415,7 +418,8 @@ func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs
 
 	// Experiments pick their own tiles per column; the shared config
 	// carries the seed, the hardening knobs and the stage cache.
-	ecfg := macro3d.FlowConfig{Seed: seed, Obs: rec, Trace: tracer, Workers: jobs, Cache: cache, CacheVerify: cacheVerify}
+	ecfg := macro3d.FlowConfig{Seed: seed, Obs: rec, Trace: tracer, Workers: jobs, Cache: cache, CacheVerify: cacheVerify,
+		FastRoute: fastRoute, FastRouteVerify: fastVerify}
 
 	// Table experiments return the partial table alongside the error,
 	// so in keep-going mode the surviving columns still print before

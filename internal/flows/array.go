@@ -61,7 +61,8 @@ func VerifyTileArray(cfg Config, st *State, t *tech.Tech, nx, ny int) (*ArrayRep
 			})
 		}
 	}
-	db := route.NewDB(arrayDie, st.Beol, fp.RouteBlk, route.Options{Grid: &ag, Workers: cfg.Workers, Trace: cfg.Trace})
+	db := route.NewDB(arrayDie, st.Beol, fp.RouteBlk, route.Options{Grid: &ag, Workers: cfg.Workers,
+		Sharded: cfg.FastRoute, ShardVerify: cfg.FastRouteVerify, Trace: cfg.Trace})
 
 	res := &route.Result{
 		Routes:     make([]*route.NetRoute, len(arr.Nets)),

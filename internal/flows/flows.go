@@ -127,6 +127,23 @@ type Config struct {
 	// bit-identical at any setting.
 	Workers int
 
+	// FastRoute enables the fast physical-design engines (the CLI's
+	// -fast-route flag): the region-sharded router, which routes
+	// region-local nets concurrently without the batch engine's serial
+	// planning and ordered commits, and the placer's banded parallel
+	// legalization. Results stay deterministic at any Workers setting
+	// but are NOT bit-identical to the default engines — the flag is
+	// part of the result-defining configuration and enters the
+	// stage-cache key. PPA stays within the bounds documented in
+	// DESIGN.md §15 (wirelength within 10% of the reference).
+	FastRoute bool
+
+	// FastRouteVerify, with FastRoute, re-routes each design with the
+	// serial reference engine and fails the run if the fast result
+	// drifts past the documented PPA bounds. Roughly doubles routing
+	// cost; pure checking, so it does not enter the cache key.
+	FastRouteVerify bool
+
 	// Cache, when set, enables content-addressed stage checkpointing:
 	// completed regions store deterministic snapshots keyed by
 	// everything they depend on, and later runs with matching inputs

@@ -119,7 +119,8 @@ func InstantiateArray(cfg Config, hr *HardenResult, nx, ny int) (*HierReport, er
 			})
 		}
 	}
-	db := route.NewDB(die, beol, blk, route.Options{Workers: cfg.Workers, Trace: cfg.Trace})
+	db := route.NewDB(die, beol, blk, route.Options{Workers: cfg.Workers,
+		Sharded: cfg.FastRoute, ShardVerify: cfg.FastRouteVerify, Trace: cfg.Trace})
 	res, err := route.RouteDesign(d, db)
 	if err != nil {
 		return nil, fmt.Errorf("hier: stitch routing: %w", err)

@@ -45,6 +45,14 @@ type PhaseStats struct {
 	SerialFrac float64 `json:"serial_fraction"` // serial/wall
 	AmdahlAtW  float64 `json:"amdahl_at_workers"`
 	AmdahlInf  float64 `json:"amdahl_ceiling"` // 1/s; +Inf rendered as 0
+
+	// CPSpeedup = wall / critical path: the speedup this phase's
+	// dependency structure supports with unlimited workers. Unlike the
+	// measured wall-clock ratio it stays meaningful on a host that
+	// serializes the workers (GOMAXPROCS=1): the chunks then run
+	// back-to-back, wall ≈ busy, and wall/CP reports what the same
+	// fork-join structure would deliver given the cores.
+	CPSpeedup float64 `json:"cp_speedup"`
 }
 
 // SerialSeg is one named serial segment, aggregated over its
@@ -177,6 +185,9 @@ func Analyze(t *Tracer) *Report {
 		if s > 0 {
 			ps.AmdahlInf = 1 / s
 		}
+		if ps.CritPathNS > 0 {
+			ps.CPSpeedup = float64(ps.WallNS) / float64(ps.CritPathNS)
+		}
 		rep.Phases = append(rep.Phases, ps)
 	}
 
@@ -297,17 +308,17 @@ func (r *Report) Format(topN int) string {
 	var b strings.Builder
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	fmt.Fprintf(&b, "trace: wall %.2f ms\n\n", ms(r.WallNS))
-	fmt.Fprintf(&b, "%-8s %10s %10s %8s %7s %10s %8s %10s %11s\n",
+	fmt.Fprintf(&b, "%-8s %10s %10s %8s %7s %10s %8s %10s %11s %8s\n",
 		"phase", "wall ms", "busy ms", "workers", "steps",
-		"occupancy", "serial", "amdahl@W", "amdahl@inf")
+		"occupancy", "serial", "amdahl@W", "amdahl@inf", "cp")
 	for _, ps := range r.Phases {
 		inf := "inf"
 		if ps.AmdahlInf > 0 {
 			inf = fmt.Sprintf("%.2fx", ps.AmdahlInf)
 		}
-		fmt.Fprintf(&b, "%-8s %10.2f %10.2f %8d %7d %9.1f%% %7.1f%% %9.2fx %11s\n",
+		fmt.Fprintf(&b, "%-8s %10.2f %10.2f %8d %7d %9.1f%% %7.1f%% %9.2fx %11s %7.2fx\n",
 			ps.Phase, ms(ps.WallNS), ms(ps.BusyNS), ps.Workers, ps.Steps,
-			100*ps.Occupancy, 100*ps.SerialFrac, ps.AmdahlAtW, inf)
+			100*ps.Occupancy, 100*ps.SerialFrac, ps.AmdahlAtW, inf, ps.CPSpeedup)
 	}
 	b.WriteString("\n")
 	n := len(r.Serial)

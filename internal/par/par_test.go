@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"macro3d/internal/obs/trace"
 )
@@ -156,5 +157,81 @@ func TestChunksTrSerialInlineStillTraces(t *testing.T) {
 	sl := tr.Track("worker 0").Slices()
 	if len(sl) != 1 || sl[0].Step == 0 || sl[0].Args[0].Val != 50 {
 		t.Fatalf("inline traced run: %+v", sl)
+	}
+}
+
+// TestChunksBusyTimeInline pins the serial accounting contract: an
+// inline run (workers == 1) reports its wall time as busy time.
+func TestChunksBusyTimeInline(t *testing.T) {
+	const d = 20 * time.Millisecond
+	busy := Chunks(1, 10, func(w, lo, hi int) { time.Sleep(d) })
+	if busy < d {
+		t.Fatalf("inline busy %v, want ≥ %v", busy, d)
+	}
+	if busy > 50*d {
+		t.Fatalf("inline busy %v implausibly large", busy)
+	}
+}
+
+// TestChunksBusyTimeSums pins the parallel accounting contract: the
+// returned duration is the SUM of per-worker busy times, not the wall
+// time — four workers sleeping d each report ≥ 4d even though they
+// sleep concurrently and the wall clock advances by roughly d. This is
+// the numerator of every worker-utilization gauge.
+func TestChunksBusyTimeSums(t *testing.T) {
+	const workers = 4
+	const d = 20 * time.Millisecond
+	t0 := time.Now()
+	busy := Chunks(workers, workers, func(w, lo, hi int) { time.Sleep(d) })
+	wall := time.Since(t0)
+	if busy < workers*d {
+		t.Fatalf("summed busy %v, want ≥ %v", busy, workers*d)
+	}
+	// Sleeps overlap regardless of CPU count, so summed busy must
+	// exceed wall — the signature of per-worker accounting.
+	if busy <= wall {
+		t.Fatalf("busy %v not above wall %v: accounting looks wall-clock-based", busy, wall)
+	}
+}
+
+// TestChunksBusyTimeEmpty pins the degenerate case: no items, no busy
+// time.
+func TestChunksBusyTimeEmpty(t *testing.T) {
+	if busy := Chunks(4, 0, func(w, lo, hi int) { time.Sleep(time.Millisecond) }); busy != 0 {
+		t.Fatalf("empty fan-out reported busy %v", busy)
+	}
+}
+
+// TestChunksTrBusyTimeMatches pins that tracing does not change the
+// accounting: the traced forms report the same summed-busy semantics
+// as the plain ones (within the tracing overhead).
+func TestChunksTrBusyTimeMatches(t *testing.T) {
+	const workers = 3
+	const d = 15 * time.Millisecond
+	tr := trace.New()
+	ts := tr.WorkerSet("route", workers)
+	busy := ChunksTr(ts, "route/batch", workers, workers, func(w, lo, hi int) { time.Sleep(d) })
+	if busy < workers*d {
+		t.Fatalf("traced summed busy %v, want ≥ %v", busy, workers*d)
+	}
+	busy = ItemsTr(ts, "route/prep", workers, workers, func(w, i int) { time.Sleep(d) })
+	if busy < workers*d {
+		t.Fatalf("traced per-item summed busy %v, want ≥ %v", busy, workers*d)
+	}
+}
+
+// TestUtilizationRatioFromBusy ties the accounting to the gauge the
+// engines publish: utilization = busy / (workers × wall) lands in a
+// plausible (0, 1] band for balanced CPU-free work, and the perfectly
+// balanced sleep case approaches 1.
+func TestUtilizationRatioFromBusy(t *testing.T) {
+	const workers = 4
+	const d = 25 * time.Millisecond
+	t0 := time.Now()
+	busy := Chunks(workers, workers, func(w, lo, hi int) { time.Sleep(d) })
+	wall := time.Since(t0)
+	util := busy.Seconds() / (wall.Seconds() * workers)
+	if util <= 0.5 || util > 1.01 {
+		t.Fatalf("utilization %0.3f outside (0.5, 1.01]: busy %v wall %v", util, busy, wall)
 	}
 }

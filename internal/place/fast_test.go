@@ -1,0 +1,131 @@
+package place
+
+import (
+	"testing"
+
+	"macro3d/internal/floorplan"
+	"macro3d/internal/netlist"
+	"macro3d/internal/piton"
+)
+
+// placedTileFixture builds the small piton tile floorplan the fast-mode
+// tests place.
+func placedTileFixture(t *testing.T) (*netlist.Design, *floorplan.Floorplan) {
+	t.Helper()
+	tile, err := piton.Generate(piton.SmallCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tile.Design
+	sz, err := floorplan.SizeDesign(d, 0.70, 1.0, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _, err := floorplan.PlaceMacros(d, sz.Die2D, floorplan.Style2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floorplan.BuildBlockages(fp, d, netlist.LogicDie)
+	floorplan.AssignPorts(tile, sz.Die2D)
+	return d, fp
+}
+
+// TestPlaceWorkerEquivalence pins the default engine's bit-identity
+// contract at the package level, covering the counting-sort spread
+// accumulation: serial (Workers 1) and forced-parallel (Workers 4)
+// placements of the same tile land every instance identically.
+func TestPlaceWorkerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tile placement in -short mode")
+	}
+	d1, fp1 := placedTileFixture(t)
+	d2, fp2 := placedTileFixture(t)
+	r1, err := Place(d1, fp1, 1.2, Options{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Place(d2, fp2, 1.2, Options{Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.HPWL != r2.HPWL || r1.GlobalHPWL != r2.GlobalHPWL {
+		t.Fatalf("HPWL diverged across workers: %.6f/%.6f (global %.6f/%.6f)",
+			r1.HPWL, r2.HPWL, r1.GlobalHPWL, r2.GlobalHPWL)
+	}
+	for i := range d1.Instances {
+		if d1.Instances[i].Loc != d2.Instances[i].Loc {
+			t.Fatalf("instance %s placed differently: %v vs %v",
+				d1.Instances[i].Name, d1.Instances[i].Loc, d2.Instances[i].Loc)
+		}
+	}
+}
+
+// TestPlaceFastDeterminism pins the fast engine's contract: banded
+// legalization is NOT bit-identical to the default sweep, but it IS
+// deterministic across worker counts — the band count is fixed, never
+// derived from -j.
+func TestPlaceFastDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tile placement in -short mode")
+	}
+	d1, fp1 := placedTileFixture(t)
+	d2, fp2 := placedTileFixture(t)
+	if _, err := Place(d1, fp1, 1.2, Options{Seed: 5, Workers: 1, Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Place(d2, fp2, 1.2, Options{Seed: 5, Workers: 4, Fast: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Instances {
+		if d1.Instances[i].Loc != d2.Instances[i].Loc {
+			t.Fatalf("fast instance %s placed differently across workers: %v vs %v",
+				d1.Instances[i].Name, d1.Instances[i].Loc, d2.Instances[i].Loc)
+		}
+	}
+}
+
+// TestPlaceFastQuality bounds the fast engine's PPA drift: the banded
+// placement must stay legal and keep HPWL within 10% of the default
+// serial sweep on the same tile.
+func TestPlaceFastQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tile placement in -short mode")
+	}
+	dRef, fpRef := placedTileFixture(t)
+	ref, err := Place(dRef, fpRef, 1.2, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFast, fpFast := placedTileFixture(t)
+	fast, err := Place(dFast, fpFast, 1.2, Options{Seed: 5, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol := CheckLegal(dFast, fpFast); len(viol) > 0 {
+		t.Fatalf("fast placement illegal: %d violations, e.g. %v", len(viol), viol[0])
+	}
+	if fast.HPWL > ref.HPWL*1.10 {
+		t.Fatalf("fast HPWL %.3f m drifts past 10%% of default %.3f m",
+			fast.HPWL/1e6, ref.HPWL/1e6)
+	}
+	t.Logf("fast HPWL %.3f m vs default %.3f m (%.2f%%), disp %.1f vs %.1f µm",
+		fast.HPWL/1e6, ref.HPWL/1e6, 100*(fast.HPWL/ref.HPWL-1),
+		fast.Displacement, ref.Displacement)
+}
+
+// TestPlaceFastChain is the cheap smoke: fast mode on a small design
+// (which runs the banded path at workers=1) still produces a legal,
+// fully placed result.
+func TestPlaceFastChain(t *testing.T) {
+	d, fp := chainDesign(50)
+	res, err := Place(d, fp, 1.2, Options{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol := CheckLegal(d, fp); len(viol) > 0 {
+		t.Fatalf("illegal fast placement: %v", viol[0])
+	}
+	if res.HPWL <= 0 || res.HPWL > 400 {
+		t.Fatalf("fast chain HPWL = %.1f µm", res.HPWL)
+	}
+}

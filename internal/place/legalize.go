@@ -132,15 +132,16 @@ func buildRowSegments(die geom.Rect, hard []geom.Rect, rowHeight float64, r int)
 // sweep: cells sorted by x are committed left-to-right into the
 // segment minimizing displacement. Returns mean and max displacement.
 func legalize(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64) (mean, maxd float64, err error) {
-	return legalizeN(movable, fp, rowHeight, 1, nil, nil)
+	return legalizeN(movable, fp, rowHeight, 1, false, nil, nil)
 }
 
 // legalizeN is legalize with a worker count for the row-parallel
-// segment construction (the Tetris commit sweep stays serial — each
-// commit depends on every earlier one).
+// segment construction and, when fast is set, the banded parallel
+// commit sweep (the default sweep stays serial — each commit depends
+// on every earlier one).
 func legalizeN(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64, workers int,
-	ts *trace.Set, mt *trace.Track) (mean, maxd float64, err error) {
-	mean, maxd, failed, err := legalizeBestEffort(movable, fp, rowHeight, workers, ts, mt)
+	fast bool, ts *trace.Set, mt *trace.Track) (mean, maxd float64, err error) {
+	mean, maxd, failed, err := legalizeBestEffort(movable, fp, rowHeight, workers, fast, ts, mt)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -155,19 +156,90 @@ func legalizeN(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight f
 // found no space instead of failing. The S2D/C2D flows use this: cells
 // that cannot fit a tier spill back to the other die.
 func LegalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64) (mean, maxd float64, failed []*netlist.Instance, err error) {
-	return legalizeBestEffort(movable, fp, rowHeight, 1, nil, nil)
+	return legalizeBestEffort(movable, fp, rowHeight, 1, false, nil, nil)
+}
+
+// legalizeBands is the fixed band count of the fast banded sweep. A
+// configuration constant like the router's region count: changing it
+// changes results, changing the worker count does not.
+const legalizeBands = 8
+
+// tetris is the shared state of a legalization sweep: the per-row
+// segment index plus the geometry needed to score candidates. Bands of
+// the fast sweep touch disjoint row ranges, so they share one tetris
+// concurrently (map reads only; segment mutations stay inside a band's
+// rows).
+type tetris struct {
+	byRow     map[int][]*segment
+	die       geom.Rect
+	rowHeight float64
+	maxRow    int
+}
+
+// place commits inst into the best-fit segment searching rows
+// [lo, hi] outward from its target row, returning the displacement.
+// ok is false when no segment in range fits the cell.
+func (t *tetris) place(inst *netlist.Instance, lo, hi int) (disp float64, ok bool) {
+	w := inst.Master.Width
+	target := inst.Loc
+	targetRow := geom.ClampInt(int((target.Y-t.die.Ly)/t.rowHeight), lo, hi)
+
+	bestCost := -1.0
+	var bestSeg *segment
+	var bestX float64
+	// Search rows outward from the target row.
+	for dr := 0; dr <= hi-lo; dr++ {
+		for _, sgn := range []int{1, -1} {
+			if dr == 0 && sgn == -1 {
+				continue
+			}
+			r := targetRow + sgn*dr
+			if r < lo || r > hi {
+				continue
+			}
+			dy := float64(dr) * t.rowHeight
+			if bestCost >= 0 && dy > bestCost {
+				continue // cannot beat best even with zero dx
+			}
+			for _, s := range t.byRow[r] {
+				x, fits := s.bestFit(target.X, w)
+				if !fits {
+					continue
+				}
+				cost := dy + math.Abs(x-target.X)
+				if bestCost < 0 || cost < bestCost {
+					bestCost = cost
+					bestSeg = s
+					bestX = x
+				}
+			}
+		}
+		// Early exit: once a best is found and the next row band
+		// already costs more, stop.
+		if bestCost >= 0 && float64(dr+1)*t.rowHeight > bestCost {
+			break
+		}
+	}
+	if bestSeg == nil {
+		return 0, false
+	}
+	inst.Loc = geom.Pt(bestX, bestSeg.y)
+	// Alternate row orientation like real row-based designs.
+	if bestSeg.row%2 == 1 {
+		inst.Orient = geom.OrientFS
+	} else {
+		inst.Orient = geom.OrientN
+	}
+	bestSeg.occupy(bestX, w)
+	return math.Abs(bestX-target.X) + math.Abs(bestSeg.y-target.Y), true
 }
 
 func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, rowHeight float64, workers int,
-	ts *trace.Set, mt *trace.Track) (mean, maxd float64, failed []*netlist.Instance, err error) {
+	fast bool, ts *trace.Set, mt *trace.Track) (mean, maxd float64, failed []*netlist.Instance, err error) {
 	segs := buildSegmentsN(fp, rowHeight, workers, ts)
 	if len(segs) == 0 {
 		return 0, 0, nil, fmt.Errorf("place: no placement rows available")
 	}
-	// The Tetris commit sweep is inherently serial; record it so the
-	// analyzer can rank it among the serial segments.
-	ssp := mt.Begin("place", "place/legalize-sweep")
-	defer func() { ssp.End(trace.N("cells", int64(len(movable)))) }()
 	// Index segments by row for fast lookup.
 	byRow := map[int][]*segment{}
 	maxRow := 0
@@ -186,68 +258,110 @@ func legalizeBestEffort(movable []*netlist.Instance, fp *floorplan.Floorplan, ro
 		return order[i].Name < order[j].Name
 	})
 
-	die := fp.Die
+	t := &tetris{byRow: byRow, die: fp.Die, rowHeight: rowHeight, maxRow: maxRow}
+	if fast && maxRow+1 >= 2 {
+		return legalizeBanded(order, t, workers, ts, mt)
+	}
+
+	// The default Tetris commit sweep is inherently serial; record it
+	// so the analyzer can rank it among the serial segments.
+	ssp := mt.Begin("place", "place/legalize-sweep")
+	defer func() { ssp.End(trace.N("cells", int64(len(order)))) }()
 	var sum float64
 	for _, inst := range order {
-		w := inst.Master.Width
-		target := inst.Loc
-		targetRow := geom.ClampInt(int((target.Y-die.Ly)/rowHeight), 0, maxRow)
-
-		bestCost := -1.0
-		var bestSeg *segment
-		var bestX float64
-		// Search rows outward from the target row.
-		for dr := 0; dr <= maxRow+1; dr++ {
-			for _, sgn := range []int{1, -1} {
-				if dr == 0 && sgn == -1 {
-					continue
-				}
-				r := targetRow + sgn*dr
-				if r < 0 || r > maxRow {
-					continue
-				}
-				dy := float64(dr) * rowHeight
-				if bestCost >= 0 && dy > bestCost {
-					continue // cannot beat best even with zero dx
-				}
-				for _, s := range byRow[r] {
-					x, ok := s.bestFit(target.X, w)
-					if !ok {
-						continue
-					}
-					cost := dy + math.Abs(x-target.X)
-					if bestCost < 0 || cost < bestCost {
-						bestCost = cost
-						bestSeg = s
-						bestX = x
-					}
-				}
-			}
-			// Early exit: once a best is found and the next row band
-			// already costs more, stop.
-			if bestCost >= 0 && float64(dr+1)*rowHeight > bestCost {
-				break
-			}
-		}
-		if bestSeg == nil {
+		d, ok := t.place(inst, 0, maxRow)
+		if !ok {
 			failed = append(failed, inst)
 			continue
 		}
-		inst.Loc = geom.Pt(bestX, bestSeg.y)
-		// Alternate row orientation like real row-based designs.
-		if bestSeg.row%2 == 1 {
-			inst.Orient = geom.OrientFS
-		} else {
-			inst.Orient = geom.OrientN
-		}
-		bestSeg.occupy(bestX, w)
-		d := math.Abs(bestX-target.X) + math.Abs(bestSeg.y-target.Y)
 		sum += d
 		if d > maxd {
 			maxd = d
 		}
 	}
 	if n := len(order) - len(failed); n > 0 {
+		mean = sum / float64(n)
+	}
+	return mean, maxd, failed, nil
+}
+
+// legalizeBanded is the fast parallel commit sweep: the rows split
+// into legalizeBands contiguous bands, every cell is assigned to the
+// band holding its target row, and the bands run their ordered Tetris
+// sweeps concurrently — bands own disjoint row ranges, so their
+// segment mutations never touch. Cells that find no space inside
+// their band spill to a serial full-range reconciliation pass, in
+// band-then-sweep order. Deterministic at any worker count (the band
+// count and assignment are pure functions of the placement); not
+// bit-identical to the serial sweep, which may place a cell across a
+// band boundary when that row is marginally closer.
+func legalizeBanded(order []*netlist.Instance, t *tetris, workers int,
+	ts *trace.Set, mt *trace.Track) (mean, maxd float64, failed []*netlist.Instance, err error) {
+
+	bands := legalizeBands
+	if t.maxRow+1 < bands {
+		bands = t.maxRow + 1
+	}
+	rowsPer := (t.maxRow + 1 + bands - 1) / bands
+
+	cells := make([][]*netlist.Instance, bands)
+	for _, inst := range order {
+		r := geom.ClampInt(int((inst.Loc.Y-t.die.Ly)/t.rowHeight), 0, t.maxRow)
+		b := min(r/rowsPer, bands-1)
+		cells[b] = append(cells[b], inst)
+	}
+
+	sums := make([]float64, bands)
+	maxds := make([]float64, bands)
+	placed := make([]int, bands)
+	spills := make([][]*netlist.Instance, bands)
+	par.ItemsTr(ts, "place/legalize-band", workers, bands, func(w, b int) {
+		lo := b * rowsPer
+		hi := min(lo+rowsPer-1, t.maxRow)
+		for _, inst := range cells[b] {
+			d, ok := t.place(inst, lo, hi)
+			if !ok {
+				spills[b] = append(spills[b], inst)
+				continue
+			}
+			sums[b] += d
+			placed[b]++
+			if d > maxds[b] {
+				maxds[b] = d
+			}
+		}
+	})
+	var sum float64
+	n := 0
+	for b := 0; b < bands; b++ {
+		sum += sums[b]
+		n += placed[b]
+		if maxds[b] > maxd {
+			maxd = maxds[b]
+		}
+	}
+
+	// Ordered serial reconciliation: band-spilled cells search the full
+	// row range against the free space the bands left behind.
+	ssp := mt.Begin("place", "place/legalize-spill")
+	spilled := 0
+	for b := 0; b < bands; b++ {
+		for _, inst := range spills[b] {
+			spilled++
+			d, ok := t.place(inst, 0, t.maxRow)
+			if !ok {
+				failed = append(failed, inst)
+				continue
+			}
+			sum += d
+			n++
+			if d > maxd {
+				maxd = d
+			}
+		}
+	}
+	ssp.End(trace.N("cells", int64(spilled)))
+	if n > 0 {
 		mean = sum / float64(n)
 	}
 	return mean, maxd, failed, nil

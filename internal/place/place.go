@@ -46,6 +46,16 @@ type Options struct {
 	// accumulation in serial order, so results are bit-identical at
 	// any setting.
 	Workers int
+	// Fast enables banded parallel legalization (part of the flows'
+	// fast physical-design mode alongside the sharded router): the
+	// placement rows split into a fixed number of bands that run their
+	// Tetris sweeps concurrently, with cells that find no space in
+	// their band spilling to an ordered serial reconciliation pass.
+	// Deterministic at any Workers setting (the band count is fixed,
+	// never derived from the worker count) but NOT bit-identical to
+	// the default serial sweep, so the flag is part of the
+	// result-defining configuration.
+	Fast bool
 
 	// Obs, when non-nil, is the stage span the placer hangs its
 	// global/legalize phase spans under and whose registry receives
@@ -151,7 +161,7 @@ func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Op
 
 	// Legalization.
 	lsp := opt.Obs.Child("legalize")
-	disp, maxDisp, err := legalizeN(movable, fp, rowHeight, workers, ts, mt)
+	disp, maxDisp, err := legalizeN(movable, fp, rowHeight, workers, opt.Fast, ts, mt)
 	lsp.End()
 	if err != nil {
 		return nil, err
@@ -307,14 +317,23 @@ func newBinGrid(die geom.Rect, pitch float64, blk []floorplan.Blockage, maxFill 
 // spread moves cells out of overfilled bins into the nearest bins with
 // headroom, ring-searching outward.
 //
-// The bin lookup fans out (one disjoint slot per cell); the float area
-// accumulation then replays serially in movable order so bin sums stay
-// bit-identical at any worker count. The eviction sweep itself is
-// serial — it consumes the RNG, which must never run concurrently.
+// Accumulation runs as a per-partition counting sort with an ordered
+// merge: each worker chunk counts its cells per bin, a cheap serial
+// prefix pass turns the counts into disjoint write offsets, and the
+// scatter places every cell at its stable rank — the exact position
+// the serial movable-order loop would have given it. Per-bin area sums
+// then reduce independently over the member lists, adding in that same
+// movable order, so the result is bit-identical to the historical
+// serial accumulation at any worker count. (The former implementation
+// replayed the whole accumulation serially, which trace-report ranked
+// as the placer's dominant serial segment on large designs.) The
+// eviction sweep itself stays serial — it consumes the RNG, which must
+// never run concurrently.
 func spread(movable []*netlist.Instance, pos []geom.Point, b *binGrid, rng *geom.RNG,
 	workers int, ts *trace.Set, mt *trace.Track) time.Duration {
 
 	g := b.grid
+	nb := g.Bins()
 	binOf := make([]int32, len(movable))
 	busy := par.ChunksTr(ts, "place/bin-index", workers, len(movable), func(w, lo, hi int) {
 		for k := lo; k < hi; k++ {
@@ -322,15 +341,72 @@ func spread(movable []*netlist.Instance, pos []geom.Point, b *binGrid, rng *geom
 			binOf[k] = int32(g.Index(ix, iy))
 		}
 	})
+	// Per-chunk bin counts. Chunk boundaries are a pure function of
+	// (workers, n), so the scatter below sees the same ranges.
+	cnt := make([][]int32, workers)
+	busy += par.ChunksTr(ts, "place/spread-count", workers, len(movable), func(w, lo, hi int) {
+		c := make([]int32, nb)
+		for k := lo; k < hi; k++ {
+			c[binOf[k]]++
+		}
+		cnt[w] = c
+	})
+	// Serial prefix pass: bin base offsets in the flat member array,
+	// then per-chunk write cursors (chunk w's cells of bin i start
+	// after every earlier chunk's cells of that bin).
+	base := make([]int32, nb+1)
+	for _, c := range cnt {
+		if c == nil {
+			continue
+		}
+		for i, n := range c {
+			base[i+1] += n
+		}
+	}
+	for i := 0; i < nb; i++ {
+		base[i+1] += base[i]
+	}
+	off := make([][]int32, workers)
+	cursor := append([]int32(nil), base[:nb]...)
+	for w, c := range cnt {
+		if c == nil {
+			continue
+		}
+		o := make([]int32, nb)
+		copy(o, cursor)
+		for i, n := range c {
+			cursor[i] += n
+		}
+		off[w] = o
+	}
+	// Scatter: every cell lands at its stable rank — flat holds each
+	// bin's members contiguously, in movable order.
+	flat := make([]*netlist.Instance, len(movable))
+	busy += par.ChunksTr(ts, "place/spread-scatter", workers, len(movable), func(w, lo, hi int) {
+		o := off[w]
+		for k := lo; k < hi; k++ {
+			i := binOf[k]
+			flat[o[i]] = movable[k]
+			o[i]++
+		}
+	})
+	// Per-bin area sums reduce independently, each adding in movable
+	// order — the same float sequence per slot as the serial loop.
+	usage := make([]float64, nb)
+	members := make([][]*netlist.Instance, nb)
+	busy += par.ChunksTr(ts, "place/spread-usage", workers, nb, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ms := flat[base[i]:base[i+1]]
+			var u float64
+			for _, inst := range ms {
+				u += inst.Master.Area()
+			}
+			usage[i] = u
+			members[i] = ms
+		}
+	})
 	ssp := mt.Begin("place", "place/spread-serial")
 	defer func() { ssp.End(trace.N("cells", int64(len(movable)))) }()
-	usage := make([]float64, g.Bins())
-	members := make([][]*netlist.Instance, g.Bins())
-	for k, inst := range movable {
-		i := int(binOf[k])
-		usage[i] += inst.Master.Area()
-		members[i] = append(members[i], inst)
-	}
 	// Process most-overfilled bins first.
 	order := make([]int, 0, g.Bins())
 	for i := range usage {

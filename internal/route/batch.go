@@ -108,12 +108,16 @@ func (db *DB) routeTask(t *netTask, maze bool, s *mazeScratch) {
 }
 
 // tileMap is the conflict raster of the batch planner: the gcell grid
-// coarsened to tilePx×tilePx tiles, stamped with an epoch so rounds
-// reset in O(1).
+// coarsened to tilePx×tilePx tiles. Each tile records (epoch, token)
+// packed into one uint64, so rounds reset in O(1) (epoch bump) and a
+// task can stamp-and-detect in a single visit: tiles marked this epoch
+// by a *different* token are conflicts, its own token is not — which
+// is what lets the conflict check and the claim share one pass where
+// the historical planner walked every footprint twice.
 type tileMap struct {
 	tx, ty int
 	epoch  uint32
-	mark   []uint32
+	mark   []uint64
 }
 
 // tilePx is the conflict-tile edge in gcells. Coarser tiles cost
@@ -124,29 +128,34 @@ const tilePx = 4
 func newTileMap(g geom.Grid) *tileMap {
 	tx := (g.NX + tilePx - 1) / tilePx
 	ty := (g.NY + tilePx - 1) / tilePx
-	return &tileMap{tx: tx, ty: ty, mark: make([]uint32, tx*ty)}
+	return &tileMap{tx: tx, ty: ty, mark: make([]uint64, tx*ty)}
 }
 
 func (m *tileMap) next() { m.epoch++ }
 
-// rect visits the tiles covering the inclusive gcell rectangle,
-// returning whether any was already stamped this epoch; with stamp it
-// also claims them.
-func (m *tileMap) rect(x0, y0, x1, y1 int, stamp bool) bool {
-	tx0, ty0 := x0/tilePx, y0/tilePx
-	tx1, ty1 := x1/tilePx, y1/tilePx
+// tileRect is one stamped rectangle in tile coordinates — the
+// precomputed unit the serial planner scan marks. Footprints are
+// reduced to tile rects in parallel ahead of the scan, so the scan
+// itself is pure integer marking.
+type tileRect struct {
+	x0, y0, x1, y1 int32
+}
+
+// stampTok claims the tile rect for (current epoch, tok) and reports
+// whether any tile was already claimed this epoch by a different
+// token. Rectangles of one task may overlap each other; sharing the
+// token keeps self-overlap from reading as a conflict.
+func (m *tileMap) stampTok(r tileRect, tok uint32) bool {
+	v := uint64(m.epoch)<<32 | uint64(tok)
 	hit := false
-	for ty := ty0; ty <= ty1; ty++ {
-		row := ty * m.tx
-		for tx := tx0; tx <= tx1; tx++ {
-			if m.mark[row+tx] == m.epoch {
+	for ty := r.y0; ty <= r.y1; ty++ {
+		row := int(ty) * m.tx
+		for tx := r.x0; tx <= r.x1; tx++ {
+			i := row + int(tx)
+			if cur := m.mark[i]; cur>>32 == uint64(m.epoch) && cur != v {
 				hit = true
-				if !stamp {
-					return true
-				}
-			} else if stamp {
-				m.mark[row+tx] = m.epoch
 			}
+			m.mark[i] = v
 		}
 	}
 	return hit
@@ -178,23 +187,15 @@ func (db *DB) footprint(t *netTask, maze bool, visit func(x0, y0, x1, y1 int)) {
 	}
 }
 
-// conflicts reports whether the task's footprint hits any stamped
-// tile of the current epoch.
-func (db *DB) conflicts(t *netTask, maze bool, m *tileMap) bool {
-	hit := false
+// footprintRects appends the task's footprint as tile-space rects.
+func (db *DB) footprintRects(t *netTask, maze bool, dst []tileRect) []tileRect {
 	db.footprint(t, maze, func(x0, y0, x1, y1 int) {
-		if !hit && m.rect(x0, y0, x1, y1, false) {
-			hit = true
-		}
+		dst = append(dst, tileRect{
+			x0: int32(x0 / tilePx), y0: int32(y0 / tilePx),
+			x1: int32(x1 / tilePx), y1: int32(y1 / tilePx),
+		})
 	})
-	return hit
-}
-
-// stamp claims the task's footprint tiles for the current epoch.
-func (db *DB) stamp(t *netTask, maze bool, m *tileMap) {
-	db.footprint(t, maze, func(x0, y0, x1, y1 int) {
-		m.rect(x0, y0, x1, y1, true)
-	})
+	return dst
 }
 
 // Per-round planning caps. Scanning stops after scanCap tasks (or
@@ -204,10 +205,13 @@ func (db *DB) stamp(t *netTask, maze bool, m *tileMap) {
 // batches small. Both are constants, never derived from the worker
 // count: batch composition feeds each net a specific congestion
 // snapshot, so a workers-dependent cap would break the bit-identical
-// guarantee across -j settings.
+// guarantee across -j settings. The caps were grown 4× from the
+// first parallel engine (128/512): on flat multi-tile designs the
+// small caps throttled batches far below what spatial disjointness
+// allows, making the per-round serial overhead dominate.
 const (
-	batchCap = 128
-	scanCap  = 512
+	batchCap = 512
+	scanCap  = 2048
 )
 
 // planBatch splits pending (in order) into the next conflict-free
@@ -215,12 +219,38 @@ const (
 // footprint — batched or not — so no later task can overtake a
 // conflicting predecessor; that ordering invariant is what makes the
 // parallel schedule equivalent to the serial one.
-func (db *DB) planBatch(pending []*netTask, maze bool, m *tileMap) (batch, deferred []*netTask) {
+//
+// The geometric work (windows, frames, tile reduction) fans out over
+// the workers first; the serial scan that remains is pure integer
+// marking over the precomputed rects. Stamp order — and therefore
+// batch composition — stays a pure function of the scan order, so
+// results are independent of the worker count.
+func (db *DB) planBatch(pending []*netTask, maze bool, m *tileMap, workers int,
+	ts *trace.Set) (batch, deferred []*netTask) {
+
 	m.next()
 	n := min(len(pending), scanCap)
+	// Parallel footprint precompute into per-task reusable buffers.
+	if cap(db.planRects) < n {
+		db.planRects = make([][]tileRect, n)
+	}
+	rects := db.planRects[:n]
+	par.ChunksTr(ts, "route/plan-footprints", workers, n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rects[i] = db.footprintRects(pending[i], maze, rects[i][:0])
+		}
+	})
+	// Serial ordered scan: stamp-and-detect per task, first hit defers.
 	batch = make([]*netTask, 0, min(n, batchCap))
 	for i, t := range pending[:n] {
-		if db.conflicts(t, maze, m) {
+		tok := uint32(i + 1) // 0 is the unstamped sentinel
+		hit := false
+		for _, r := range rects[i] {
+			if m.stampTok(r, tok) {
+				hit = true
+			}
+		}
+		if hit {
 			deferred = append(deferred, t)
 		} else {
 			batch = append(batch, t)
@@ -229,7 +259,6 @@ func (db *DB) planBatch(pending []*netTask, maze bool, m *tileMap) (batch, defer
 				return batch, deferred
 			}
 		}
-		db.stamp(t, maze, m)
 	}
 	deferred = append(deferred, pending[n:]...)
 	return batch, deferred
@@ -265,7 +294,7 @@ func (db *DB) routeAll(tasks []*netTask, maze bool, workers int, pool []*mazeScr
 	pending := tasks
 	for len(pending) > 0 {
 		psp := met.main.Begin("route", "route/plan")
-		batch, deferred := db.planBatch(pending, maze, m)
+		batch, deferred := db.planBatch(pending, maze, m, workers, met.ts)
 		psp.End(trace.N("batch", int64(len(batch))), trace.N("deferred", int64(len(deferred))))
 		met.batches.Inc()
 		met.batchNets.Observe(float64(len(batch)))

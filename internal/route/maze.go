@@ -72,10 +72,21 @@ type mazeEntry struct {
 // dist/prev backing arrays sized to the largest window seen so far,
 // the typed binary heap, and the path-trace node buffer. One scratch
 // serves one goroutine; RouteDesign keeps one per worker and reuses
-// them across every two-pin search of the run.
+// them across every two-pin search of the run — including across
+// shard batches of the region-sharded router, whose per-region
+// windows vary wildly in size.
+//
+// Visited state is generation-stamped: a node's dist/prev entries are
+// valid only when gen[i] matches the current search generation, so a
+// reset never touches the backing arrays at all — it bumps one
+// counter. The historical implementation re-filled dist with -1 on
+// every search (O(window) per two-pin connection), which showed up as
+// measurable reset time once windows grew to region size.
 type mazeScratch struct {
 	dist  []float64
 	prev  []int32
+	gen   []uint32 // dist/prev valid iff gen[i] == cur
+	cur   uint32   // current search generation
 	heap  []mazeEntry
 	nodes []Node
 
@@ -83,24 +94,42 @@ type mazeScratch struct {
 	misses uint64 // searches that had to (re)grow the arrays
 }
 
-// reset prepares the scratch for a search over `size` window nodes,
-// growing the backing arrays only when the window exceeds every
-// previous one.
+// reset prepares the scratch for a search over `size` window nodes:
+// grow-only — the backing arrays reallocate only when the window
+// exceeds every previous one, and an in-capacity reset is O(1) (a
+// generation bump, no clearing).
 func (s *mazeScratch) reset(size int) {
 	if cap(s.dist) < size {
 		s.dist = make([]float64, size)
 		s.prev = make([]int32, size)
+		s.gen = make([]uint32, size) // zeroed: nothing valid yet
+		s.cur = 0
 		s.misses++
 	} else {
 		s.hits++
 	}
 	s.dist = s.dist[:size]
 	s.prev = s.prev[:size]
-	for i := range s.dist {
-		s.dist[i] = -1
+	s.gen = s.gen[:size]
+	s.cur++
+	if s.cur == 0 { // generation wrap: stale stamps could collide
+		for i := range s.gen {
+			s.gen[i] = 0
+		}
+		s.cur = 1
 	}
 	s.heap = s.heap[:0]
 	s.nodes = s.nodes[:0]
+}
+
+// visited reports whether the node has a valid dist this generation.
+func (s *mazeScratch) visited(i int) bool { return s.gen[i] == s.cur }
+
+// visit records dist/prev for a node under the current generation.
+func (s *mazeScratch) visit(i int, d float64, p int32) {
+	s.dist[i] = d
+	s.prev[i] = p
+	s.gen[i] = s.cur
 }
 
 func (s *mazeScratch) push(e mazeEntry) {
@@ -172,8 +201,7 @@ func (db *DB) mazeRouteScratch(s *mazeScratch, a, b Node, dst []Seg) ([]Seg, err
 	}
 	start := win.idx(a)
 	goal := int32(win.idx(b))
-	s.dist[start] = 0
-	s.prev[start] = -1
+	s.visit(start, 0, -1)
 	s.push(mazeEntry{idx: int32(start), cost: 0, est: h(a)})
 	// Expansion budget keeps pathological cases bounded.
 	budget := size * 2
@@ -230,9 +258,8 @@ func (db *DB) mazeRouteScratch(s *mazeScratch, a, b Node, dst []Seg) ([]Seg, err
 			}
 			mi := win.idx(m)
 			nc := it.cost + ncost[k]
-			if s.dist[mi] < 0 || nc < s.dist[mi] {
-				s.dist[mi] = nc
-				s.prev[mi] = it.idx
+			if !s.visited(mi) || nc < s.dist[mi] {
+				s.visit(mi, nc, it.idx)
 				s.push(mazeEntry{idx: int32(mi), cost: nc, est: nc + h(m)})
 			}
 		}

@@ -163,7 +163,7 @@ func TestPlanBatchOrdering(t *testing.T) {
 		r := &NetRoute{PinNode: []Node{{X: i * 3, Y: 5, L: 0}, {X: i*3 + 6, Y: 5, L: 0}}}
 		tasks = append(tasks, &netTask{route: r, edges: [][2]int{{0, 1}}})
 	}
-	batch, deferred := db.planBatch(tasks, false, m)
+	batch, deferred := db.planBatch(tasks, false, m, 1, nil)
 	if len(batch) == 0 {
 		t.Fatal("first task must always batch (fresh epoch)")
 	}

@@ -44,6 +44,24 @@ type Options struct {
 	// n > 1 routes spatially disjoint net batches on n goroutines.
 	// Results are bit-identical at any setting.
 	Workers int
+	// Sharded enables the region-sharded fast engine (the CLI's
+	// -fast-route): the gcell grid splits into a fixed region grid and
+	// region-local nets route concurrently without the batch engine's
+	// per-round serial planning and ordered commits (see shard.go).
+	// Results stay deterministic at any Workers setting but are NOT
+	// bit-identical to the default engine, so the flag is part of the
+	// result-defining configuration (it enters the stage-cache key).
+	Sharded bool
+	// ShardRegions is the fixed region count of the sharded engine
+	// (default 8). A configuration constant, never derived from
+	// Workers — that independence is what keeps sharded results
+	// identical across -j settings.
+	ShardRegions int
+	// ShardVerify re-routes the design with the serial reference after
+	// a sharded run and fails if wirelength or overflow drift past the
+	// documented bounds (shardVerifyWLTol, shardVerifyOverflowFrac).
+	// Roughly doubles routing cost; a validation mode, not a default.
+	ShardVerify bool
 
 	// Obs, when non-nil, is the stage span the router hangs its
 	// rip-up-iteration phase spans under and whose registry receives
@@ -70,6 +88,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ViaCost <= 0 {
 		o.ViaCost = 1.0
+	}
+	if o.ShardRegions <= 0 {
+		o.ShardRegions = defaultShardRegions
 	}
 	return o
 }
@@ -131,8 +152,10 @@ type DB struct {
 	f2fUse  []int32
 	gcellWL float64 // µm per grid step (average of DX, DY)
 
-	eco   *mazeScratch // single-thread maze scratch (ECO routes, tests)
-	tiles *tileMap     // batch-planner conflict raster, reused per round
+	eco       *mazeScratch // single-thread maze scratch (ECO routes, tests)
+	tiles     *tileMap     // batch-planner conflict raster, reused per round
+	planRects [][]tileRect // per-task footprint buffers, reused per round
+	shards    *shardPlan   // region decomposition of the sharded router
 }
 
 // NewDB builds the routing database for a die, BEOL and blockage set.

@@ -17,10 +17,11 @@ import (
 // busy time feeding the utilization gauge. All handles are nil-safe
 // no-ops when the flow runs without a recorder.
 type routeMetrics struct {
-	batches   *obs.Counter
-	batchNets *obs.Histogram
-	conflicts *obs.Counter
-	busy      time.Duration
+	batches       *obs.Counter
+	batchNets     *obs.Histogram
+	conflicts     *obs.Counter
+	shardBoundary *obs.Counter
+	busy          time.Duration
 
 	// Execution-tracer handles: the per-worker track set for routing
 	// chunks and the orchestrator track for the serial plan/commit
@@ -84,8 +85,20 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 			"Nets per conflict-free routing batch.", 1, 4, 16, 64, 256, 1024, 4096),
 		conflicts: reg.Counter("route_batch_conflicts_total",
 			"Nets deferred to a later batch by a footprint conflict."),
+		shardBoundary: reg.Counter("route_shard_boundary_nets_total",
+			"Region-crossing nets reconciled through the ordered batch engine."),
 		ts:   db.opt.Trace.WorkerSet("route", workers),
 		main: db.opt.Trace.Track("main"),
+	}
+	// The engine dispatcher: the default deterministic batch engine, or
+	// the region-sharded fast engine when Options.Sharded is set. Both
+	// the initial pass and every negotiation wave go through it.
+	routeWave := db.routeAll
+	if db.opt.Sharded {
+		routeWave = db.routeAllSharded
+		reg.Gauge("route_shard_regions",
+			"Fixed region count of the sharded routing engine.").
+			Set(float64(db.shardPlanFor().regions()))
 	}
 	// Rip-up iterations render as containers on their own track; the
 	// analyzer charges them only for time no leaf slice covers.
@@ -111,7 +124,7 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 		}
 	}
 
-	db.routeAll(tasks, false, workers, pool, met, func(t *netTask) {
+	routeWave(tasks, false, workers, pool, met, func(t *netTask) {
 		db.addUsage(t.route, 1)
 		res.Routes[t.net.ID] = t.route
 	})
@@ -154,7 +167,7 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 			t.old = res.Routes[n.ID]
 			vt = append(vt, t)
 		}
-		db.routeAll(vt, useMaze, workers, pool, met, func(t *netTask) {
+		routeWave(vt, useMaze, workers, pool, met, func(t *netTask) {
 			db.addUsage(t.route, 1)
 			res.Routes[t.net.ID] = t.route
 		})
@@ -209,6 +222,11 @@ func RouteDesign(d *netlist.Design, db *DB) (*Result, error) {
 		reg.Gauge("route_worker_utilization_ratio",
 			"Summed worker busy time over workers × stage wall time, latest run.").
 			Set(met.busy.Seconds() / (wall * float64(workers)))
+	}
+	if db.opt.Sharded && db.opt.ShardVerify {
+		if err := db.verifySharded(d, res); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

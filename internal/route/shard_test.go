@@ -1,0 +1,159 @@
+package route
+
+import (
+	"testing"
+
+	"macro3d/internal/geom"
+	"macro3d/internal/tech"
+)
+
+// TestShardPlanGeometry pins the region decomposition: a fixed region
+// count factors to the near-square grid, every gcell maps to exactly
+// one in-range region, and the mapping is independent of anything but
+// the grid.
+func TestShardPlanGeometry(t *testing.T) {
+	g := geom.NewGrid(geom.R(0, 0, 1200, 600), 15)
+	p := newShardPlan(g, 8)
+	if p.regions() != 8 {
+		t.Fatalf("regions = %d, want 8", p.regions())
+	}
+	// 1200×600 µm at 15 µm pitch is an 80×40 grid; the squarest 8-way
+	// split is 4×2 (20×20-gcell regions).
+	if p.rx != 4 || p.ry != 2 {
+		t.Fatalf("factorization = %d×%d, want 4×2", p.rx, p.ry)
+	}
+	seen := make([]bool, p.regions())
+	for y := 0; y < g.NY; y++ {
+		for x := 0; x < g.NX; x++ {
+			r := p.regionOf(x, y)
+			if r < 0 || r >= p.regions() {
+				t.Fatalf("regionOf(%d,%d) = %d out of range", x, y, r)
+			}
+			seen[r] = true
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("region %d owns no gcells", r)
+		}
+	}
+	// A grid smaller than the requested split degrades gracefully.
+	tiny := geom.Grid{NX: 2, NY: 1, DX: 15, DY: 15}
+	tp := newShardPlan(tiny, 8)
+	if tp.regions() > 2 {
+		t.Fatalf("tiny grid got %d regions, want ≤ 2", tp.regions())
+	}
+}
+
+// TestShardAssignContainment checks the ownership rule: a task is
+// owned by a region only if its whole footprint bbox is inside it;
+// bbox-crossing tasks report boundary (-1). Maze mode must use the
+// expanded search window, not the bare pin bbox.
+func TestShardAssignContainment(t *testing.T) {
+	db := db6(t, geom.R(0, 0, 1200, 600), nil)
+	p := db.shardPlanFor() // 120×60 gcells → 4×2 regions of 30×30
+
+	task := func(ax, ay, bx, by int) *netTask {
+		r := &NetRoute{PinNode: []Node{{X: ax, Y: ay, L: 0}, {X: bx, Y: by, L: 0}}}
+		return &netTask{route: r, edges: [][2]int{{0, 1}}}
+	}
+
+	// Fully inside region 0 (x,y < 30).
+	if r := db.shardAssign(p, task(27, 27, 28, 28), false); r != 0 {
+		t.Fatalf("interior pattern task assigned to %d, want 0", r)
+	}
+	// Crossing the x=30 region boundary.
+	if r := db.shardAssign(p, task(28, 5, 32, 5), false); r != -1 {
+		t.Fatalf("boundary-crossing task assigned to %d, want -1", r)
+	}
+	// Pattern-safe but maze-unsafe: the pin bbox sits inside region 0,
+	// but the ±16-gcell maze window leaks across x=30.
+	if r := db.shardAssign(p, task(27, 27, 28, 28), true); r != -1 {
+		t.Fatalf("maze window leaks the region but task assigned to %d", r)
+	}
+	// Maze-safe only when the window clamps to the grid edge inside the
+	// region: pins at the origin corner keep the whole window in region 0.
+	if r := db.shardAssign(p, task(0, 0, 2, 2), true); r != 0 {
+		t.Fatalf("clamped maze window task assigned to %d, want 0", r)
+	}
+}
+
+// TestShardedWorkerDeterminism pins the sharded engine's contract:
+// results are NOT bit-identical to the default engine, but they ARE
+// byte-identical across worker counts — the region grid is fixed and
+// never derived from -j.
+func TestShardedWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tile routing in -short mode")
+	}
+	d, die, blk := placedSmallTile(t)
+	b6, _ := tech.NewBEOL28("logic", 6)
+
+	type run struct {
+		workers int
+		db      *DB
+		res     *Result
+	}
+	var runs []run
+	for _, w := range []int{1, 4, 0} {
+		db := NewDB(die, b6, blk, Options{Workers: w, Sharded: true})
+		res, err := RouteDesign(d, db)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		runs = append(runs, run{w, db, res})
+	}
+	ref := runs[0]
+	for _, r := range runs[1:] {
+		if r.res.WL != ref.res.WL || r.res.Vias != ref.res.Vias ||
+			r.res.F2FBumps != ref.res.F2FBumps || r.res.Overflow != ref.res.Overflow {
+			t.Fatalf("sharded workers=%d aggregates diverged: WL %v/%v vias %d/%d overflow %d/%d",
+				r.workers, r.res.WL, ref.res.WL, r.res.Vias, ref.res.Vias,
+				r.res.Overflow, ref.res.Overflow)
+		}
+		for i := range ref.db.usage {
+			if r.db.usage[i] != ref.db.usage[i] {
+				t.Fatalf("sharded workers=%d usage[%d] = %d, want %d",
+					r.workers, i, r.db.usage[i], ref.db.usage[i])
+			}
+		}
+		for id, rr := range ref.res.Routes {
+			pr := r.res.Routes[id]
+			if (rr == nil) != (pr == nil) {
+				t.Fatalf("sharded workers=%d net %d presence diverged", r.workers, id)
+			}
+			if rr == nil {
+				continue
+			}
+			if len(pr.Segments) != len(rr.Segments) {
+				t.Fatalf("sharded workers=%d net %d has %d segments, want %d",
+					r.workers, id, len(pr.Segments), len(rr.Segments))
+			}
+			for si := range rr.Segments {
+				if pr.Segments[si] != rr.Segments[si] {
+					t.Fatalf("sharded workers=%d net %d segment %d = %v, want %v",
+						r.workers, id, si, pr.Segments[si], rr.Segments[si])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedVerifyBounds runs the sharded engine with ShardVerify on:
+// the built-in serial-reference comparison must hold on the small tile
+// (WL within shardVerifyWLTol, overflow within the documented slack).
+func TestShardedVerifyBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tile routing in -short mode")
+	}
+	d, die, blk := placedSmallTile(t)
+	b6, _ := tech.NewBEOL28("logic", 6)
+	db := NewDB(die, b6, blk, Options{Workers: 0, Sharded: true, ShardVerify: true})
+	res, err := RouteDesign(d, db)
+	if err != nil {
+		t.Fatalf("sharded route with verify: %v", err)
+	}
+	if res.WL <= 0 {
+		t.Fatal("sharded route produced no wirelength")
+	}
+}
