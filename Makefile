@@ -19,13 +19,15 @@ vet:
 ## race: race-enabled run of the hardened-runner, fault-harness and
 ## incremental-engine packages. Includes the ddb equivalence property
 ## test (parallel extract/STA at GOMAXPROCS 4) and the flows
-## worker-equivalence test, which audits the parallel router and
-## placer for data races while asserting bit-identical PPA against the
-## -j 1 serial reference; under -race both run reduced configs — see
-## the race_on_test.go files.
+## worker-equivalence tests — default and -analytic-place — which
+## audit the parallel router and placers for data races while
+## asserting identical PPA against the -j 1 serial reference; under
+## -race both run reduced configs — see the race_on_test.go files.
+## internal/place rides along for the analytic placer's own
+## determinism and quality tests.
 race:
 	$(GO) test -race ./internal/faults/ ./internal/report/ ./internal/obs/ ./internal/stash/ ./internal/serve/
-	$(GO) test -race -timeout 30m ./internal/flows/ ./internal/ddb/ ./internal/opt/
+	$(GO) test -race -timeout 30m ./internal/flows/ ./internal/ddb/ ./internal/opt/ ./internal/place/
 
 ## equiv: just the parallel-vs-serial equivalence proof — every flow at
 ## -j 1 / 4 / 0 must produce an identical PPA, run under the race
@@ -68,8 +70,9 @@ trace-smoke:
 
 ## bench-route-smoke: benchmark-pipeline check — one cheap flat-array
 ## benchmark run (N=1, count 1) piped through benchjson, asserting the
-## speedup pair, its noise verdict, stddev/CV and the pinned
-## environment all land in the JSON.
+## speedup pairs, their noise verdicts, stddev/CV, the analytic
+## placer's HPWL quality row and the pinned environment all land in
+## the JSON.
 bench-route-smoke:
 	GO="$(GO)" sh scripts/bench_route_smoke.sh
 
@@ -94,10 +97,12 @@ bench:
 ## bench-route: the parallel-engine comparison — the large-cache tile
 ## and the flat BENCH_SIZE×BENCH_SIZE tile array, serial (-j 1) vs the
 ## default parallel engines vs -fast-route (sharded router, banded
-## legalizer) at BENCH_J pinned workers — recorded as machine-readable
-## BENCH_route.json with stddev/CV and a noise verdict per speedup
-## pair. Knobs: BENCH_COUNT repetitions, BENCH_SIZE array edge,
-## BENCH_J workers, e.g. `make bench-route BENCH_COUNT=3 BENCH_SIZE=2`.
+## legalizer) vs -analytic-place (electrostatics placer) at BENCH_J
+## pinned workers — recorded as machine-readable BENCH_route.json with
+## stddev/CV, a noise verdict per speedup pair, and the analytic
+## placer's HPWL-over-default quality ratio. Knobs: BENCH_COUNT
+## repetitions, BENCH_SIZE array edge, BENCH_J workers, e.g.
+## `make bench-route BENCH_COUNT=3 BENCH_SIZE=2`.
 BENCH_COUNT ?= 5
 BENCH_SIZE  ?= 3
 BENCH_J     ?= 8

@@ -314,13 +314,13 @@ func BenchmarkRouteFlat(b *testing.B) {
 	b.Run("sharded", func(b *testing.B) { benchRouteFlat(b, benchWorkers(), true) })
 }
 
-func benchPlaceFlat(b *testing.B, workers int, fast bool) {
+func benchPlaceFlat(b *testing.B, workers int, fast, analytic bool) {
 	flatBenchSetup(b)
 	b.ResetTimer()
 	var last *place.Result
 	for i := 0; i < b.N; i++ {
 		res, err := place.Place(flatBench.d, flatBench.fp, routeBench.t.RowHeight,
-			place.Options{Seed: 2, Workers: workers, Fast: fast})
+			place.Options{Seed: 2, Workers: workers, Fast: fast, Analytic: analytic})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -334,13 +334,13 @@ func benchPlaceFlat(b *testing.B, workers int, fast bool) {
 	b.StopTimer()
 	tr := trace.New()
 	if _, err := place.Place(flatBench.d, flatBench.fp, routeBench.t.RowHeight,
-		place.Options{Seed: 2, Workers: workers, Fast: fast, Trace: tr}); err != nil {
+		place.Options{Seed: 2, Workers: workers, Fast: fast, Analytic: analytic, Trace: tr}); err != nil {
 		b.Fatal(err)
 	}
 	reportTraceStats(b, tr, "place")
 	// Leave the canonical default-mode placement behind for any later
 	// route benchmark iteration in the same process.
-	if fast {
+	if fast || analytic {
 		if _, err := place.Place(flatBench.d, flatBench.fp, routeBench.t.RowHeight,
 			place.Options{Seed: 2}); err != nil {
 			b.Fatal(err)
@@ -348,8 +348,13 @@ func benchPlaceFlat(b *testing.B, workers int, fast bool) {
 	}
 }
 
+// The analytic variant is the -analytic-place engine (DESIGN.md §16):
+// its HPWL_m metric against serial's is the quality row benchjson
+// records as flat_place_analytic_hpwl_over_default — ≤ 1.0 is the
+// engine's acceptance bound.
 func BenchmarkPlaceFlat(b *testing.B) {
-	b.Run("serial", func(b *testing.B) { benchPlaceFlat(b, 1, false) })
-	b.Run("parallel", func(b *testing.B) { benchPlaceFlat(b, benchWorkers(), false) })
-	b.Run("fast", func(b *testing.B) { benchPlaceFlat(b, benchWorkers(), true) })
+	b.Run("serial", func(b *testing.B) { benchPlaceFlat(b, 1, false, false) })
+	b.Run("parallel", func(b *testing.B) { benchPlaceFlat(b, benchWorkers(), false, false) })
+	b.Run("fast", func(b *testing.B) { benchPlaceFlat(b, benchWorkers(), true, false) })
+	b.Run("analytic", func(b *testing.B) { benchPlaceFlat(b, benchWorkers(), false, true) })
 }

@@ -67,6 +67,12 @@ type summary struct {
 	// report: gomaxprocs, the pinned worker count, the flat array size.
 	Env map[string]float64 `json:"env,omitempty"`
 
+	// Quality compares result metrics rather than runtimes: the flat
+	// placement benchmark's HPWL under each alternative engine over the
+	// default quadratic engine's. flat_place_analytic_hpwl_over_default
+	// ≤ 1.0 is the -analytic-place acceptance bound (DESIGN.md §16).
+	Quality map[string]float64 `json:"quality,omitempty"`
+
 	// Parallelism lifts the execution-trace metrics the engine
 	// benchmarks report (per-phase worker occupancy, serial fraction,
 	// Amdahl ceiling at the pinned worker count, critical-path speedup)
@@ -75,10 +81,40 @@ type summary struct {
 	Parallelism map[string]float64 `json:"parallelism,omitempty"`
 }
 
+// finalize computes the derived statistics from Runs. Every divisor is
+// guarded: a single run leaves StddevNs, CV (and later ci) at zero
+// rather than NaN, and a zero mean leaves CV at zero. `go test -bench X
+// -count 1` is the common case, so n=1 must produce a clean summary.
+func (e *entry) finalize() {
+	e.RunsCount = len(e.Runs)
+	if e.RunsCount == 0 {
+		return
+	}
+	best := e.Runs[0]
+	sum := 0.0
+	for _, v := range e.Runs {
+		sum += v
+		if v < best {
+			best = v
+		}
+	}
+	e.MeanNsOp = sum / float64(e.RunsCount)
+	e.BestNsOp = best
+	if n := e.RunsCount; n >= 2 {
+		var ss float64
+		for _, v := range e.Runs {
+			d := v - e.MeanNsOp
+			ss += d * d
+		}
+		e.StddevNs = math.Sqrt(ss / float64(n-1))
+		if e.MeanNsOp > 0 {
+			e.CV = e.StddevNs / e.MeanNsOp
+		}
+	}
+}
+
 // ci returns the half-width of the ~95% confidence interval of the
-// mean under a normal approximation. Zero with fewer than two runs —
-// single-run pairs are then never flagged as noise, matching the old
-// behaviour of trusting the point estimate.
+// mean under a normal approximation. Zero with fewer than two runs.
 func (e *entry) ci() float64 {
 	if e.RunsCount < 2 {
 		return 0
@@ -86,15 +122,25 @@ func (e *entry) ci() float64 {
 	return 1.96 * e.StddevNs / math.Sqrt(float64(e.RunsCount))
 }
 
-// pair builds the qualified ratio num.Mean/den.Mean.
+// pair builds the qualified ratio num.Mean/den.Mean, or nil when the
+// denominator mean is not positive (a zero-mean entry would otherwise
+// put ±Inf/NaN in the JSON). Noise — the two ~95% confidence intervals
+// overlapping — is only meaningful when both sides carry a spread, so
+// pairs where either side has fewer than two runs are never flagged:
+// with a single run the point estimate is all there is to trust.
 func pair(num, den *entry) *pairStats {
+	if den.MeanNsOp <= 0 {
+		return nil
+	}
 	p := &pairStats{Ratio: num.MeanNsOp / den.MeanNsOp, NumCV: num.CV, DenCV: den.CV}
 	if den.BestNsOp > 0 {
 		p.BestRatio = num.BestNsOp / den.BestNsOp
 	}
-	nLo, nHi := num.MeanNsOp-num.ci(), num.MeanNsOp+num.ci()
-	dLo, dHi := den.MeanNsOp-den.ci(), den.MeanNsOp+den.ci()
-	p.Noise = nLo <= dHi && dLo <= nHi
+	if num.RunsCount >= 2 && den.RunsCount >= 2 {
+		nLo, nHi := num.MeanNsOp-num.ci(), num.MeanNsOp+num.ci()
+		dLo, dHi := den.MeanNsOp-den.ci(), den.MeanNsOp+den.ci()
+		p.Noise = nLo <= dHi && dLo <= nHi
+	}
 	return p
 }
 
@@ -140,28 +186,7 @@ func main() {
 	out := &summary{Speedup: map[string]float64{}}
 	for _, name := range order {
 		e := byName[name]
-		e.RunsCount = len(e.Runs)
-		best := e.Runs[0]
-		sum := 0.0
-		for _, v := range e.Runs {
-			sum += v
-			if v < best {
-				best = v
-			}
-		}
-		e.MeanNsOp = sum / float64(len(e.Runs))
-		e.BestNsOp = best
-		if n := len(e.Runs); n >= 2 {
-			var ss float64
-			for _, v := range e.Runs {
-				d := v - e.MeanNsOp
-				ss += d * d
-			}
-			e.StddevNs = math.Sqrt(ss / float64(n-1))
-			if e.MeanNsOp > 0 {
-				e.CV = e.StddevNs / e.MeanNsOp
-			}
-		}
+		e.finalize()
 		if len(e.Metrics) == 0 {
 			e.Metrics = nil
 		}
@@ -192,12 +217,15 @@ func main() {
 		{"BenchmarkRouteFlat/serial", "BenchmarkRouteFlat/sharded", "flat_route_serial_over_sharded"},
 		{"BenchmarkPlaceFlat/serial", "BenchmarkPlaceFlat/parallel", "flat_place_serial_over_parallel"},
 		{"BenchmarkPlaceFlat/serial", "BenchmarkPlaceFlat/fast", "flat_place_serial_over_fast"},
+		{"BenchmarkPlaceFlat/serial", "BenchmarkPlaceFlat/analytic", "flat_place_serial_over_analytic"},
 	} {
 		ser, okS := byName[pr[0]]
 		par, okP := byName[pr[1]]
-		if okS && okP && par.MeanNsOp > 0 {
-			out.Speedup[pr[2]] = ser.MeanNsOp / par.MeanNsOp
-			out.SpeedupStats[pr[2]] = pair(ser, par)
+		if okS && okP {
+			if p := pair(ser, par); p != nil {
+				out.Speedup[pr[2]] = p.Ratio
+				out.SpeedupStats[pr[2]] = p
+			}
 		}
 	}
 	if len(out.SpeedupStats) == 0 {
@@ -219,6 +247,23 @@ func main() {
 	if len(out.Speedup) == 0 {
 		out.Speedup = nil
 	}
+	// Quality ratios (`make bench-route`): HPWL of the flat placement
+	// under the alternative engines over the default engine's. <1 means
+	// the engine places tighter; the analytic row must stay ≤1.
+	out.Quality = map[string]float64{}
+	if ref, ok := byName["BenchmarkPlaceFlat/serial"]; ok && ref.Metrics["HPWL_m"] > 0 {
+		for _, qr := range [][2]string{
+			{"BenchmarkPlaceFlat/fast", "flat_place_fast_hpwl_over_default"},
+			{"BenchmarkPlaceFlat/analytic", "flat_place_analytic_hpwl_over_default"},
+		} {
+			if e, ok := byName[qr[0]]; ok && e.Metrics["HPWL_m"] > 0 {
+				out.Quality[qr[1]] = e.Metrics["HPWL_m"] / ref.Metrics["HPWL_m"]
+			}
+		}
+	}
+	if len(out.Quality) == 0 {
+		out.Quality = nil
+	}
 	// Parallelism rollup (`make bench-route`): the traced engines'
 	// occupancy / serial-fraction / Amdahl numbers explain the speedup
 	// ratios above, so they ride along at the top level.
@@ -235,6 +280,7 @@ func main() {
 		{"BenchmarkPlaceFlat/serial", "flat_serial"},
 		{"BenchmarkPlaceFlat/parallel", "flat_parallel"},
 		{"BenchmarkPlaceFlat/fast", "flat_fast"},
+		{"BenchmarkPlaceFlat/analytic", "flat_analytic"},
 	} {
 		e := byName[vp[0]]
 		if e == nil {

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func ent(runs ...float64) *entry {
+	e := &entry{Name: "b", Runs: runs, Metrics: map[string]float64{}}
+	e.finalize()
+	return e
+}
+
+// A single run — the `-count 1` common case — must yield clean zeros
+// for the spread statistics, never NaN or Inf.
+func TestFinalizeSingleRun(t *testing.T) {
+	e := ent(100)
+	if e.RunsCount != 1 || e.MeanNsOp != 100 || e.BestNsOp != 100 {
+		t.Fatalf("basic stats wrong: %+v", e)
+	}
+	for _, v := range []float64{e.StddevNs, e.CV, e.ci()} {
+		if v != 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("n=1 spread stat not a clean zero: stddev=%v cv=%v ci=%v",
+				e.StddevNs, e.CV, e.ci())
+		}
+	}
+}
+
+func TestFinalizeMultiRun(t *testing.T) {
+	e := ent(90, 110, 100)
+	if e.MeanNsOp != 100 || e.BestNsOp != 90 {
+		t.Fatalf("mean/best: %v/%v", e.MeanNsOp, e.BestNsOp)
+	}
+	if math.Abs(e.StddevNs-10) > 1e-9 {
+		t.Fatalf("sample stddev = %v, want 10", e.StddevNs)
+	}
+	if math.Abs(e.CV-0.1) > 1e-9 {
+		t.Fatalf("cv = %v, want 0.1", e.CV)
+	}
+	if e.ci() <= 0 {
+		t.Fatalf("ci = %v, want positive with 3 runs", e.ci())
+	}
+}
+
+// A zero mean (degenerate input) must leave CV at zero, not NaN.
+func TestFinalizeZeroMean(t *testing.T) {
+	e := ent(0, 0)
+	if e.CV != 0 || math.IsNaN(e.CV) {
+		t.Fatalf("zero-mean cv = %v", e.CV)
+	}
+}
+
+func TestFinalizeEmpty(t *testing.T) {
+	e := &entry{Name: "b"}
+	e.finalize()
+	if e.RunsCount != 0 || e.MeanNsOp != 0 || math.IsNaN(e.MeanNsOp) {
+		t.Fatalf("empty entry: %+v", e)
+	}
+}
+
+// A zero-mean denominator yields no pair at all — the old code put
+// ±Inf in the ratio.
+func TestPairZeroDenominator(t *testing.T) {
+	if p := pair(ent(100), ent(0)); p != nil {
+		t.Fatalf("pair against zero mean = %+v, want nil", p)
+	}
+}
+
+// Two single-run entries with identical means must not be flagged as
+// noise: with n=1 there is no spread to overlap, and the documented
+// contract is to trust the point estimate. The old overlap test
+// degenerated to mean-equality and returned Noise=true here.
+func TestPairSingleRunNeverNoise(t *testing.T) {
+	p := pair(ent(100), ent(100))
+	if p == nil {
+		t.Fatal("pair = nil")
+	}
+	if p.Noise {
+		t.Fatal("n=1 pair flagged as noise")
+	}
+	if p.Ratio != 1 || p.BestRatio != 1 {
+		t.Fatalf("ratios: %v / %v", p.Ratio, p.BestRatio)
+	}
+}
+
+// With real spreads the overlap verdict still fires both ways.
+func TestPairNoiseVerdict(t *testing.T) {
+	overlapping := pair(ent(95, 105), ent(96, 106))
+	if overlapping == nil || !overlapping.Noise {
+		t.Fatalf("overlapping CIs not flagged: %+v", overlapping)
+	}
+	distinct := pair(ent(200, 201), ent(100, 101))
+	if distinct == nil || distinct.Noise {
+		t.Fatalf("well-separated CIs flagged as noise: %+v", distinct)
+	}
+	if math.Abs(distinct.Ratio-2.0) > 0.02 {
+		t.Fatalf("ratio = %v, want ~2", distinct.Ratio)
+	}
+}

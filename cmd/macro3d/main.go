@@ -132,28 +132,29 @@ type cleanup struct {
 
 func realMain() (code int) {
 	var (
-		flow        = flag.String("flow", "", "run one flow: 2d, macro3d, s2d, bfs2d, c2d")
-		experiment  = flag.String("experiment", "", "run an experiment: table1, table2, table3, isoperf, flowtrace, sweepblockage, sweeppitch, heterotech")
-		config      = flag.String("config", "small", "tile configuration: small, large or tiny")
-		seed        = flag.Uint64("seed", 1, "deterministic seed")
-		jobs        = flag.Int("j", 0, "routing/placement worker count (0 = all CPUs, 1 = serial; results are bit-identical at any setting)")
-		metals      = flag.Int("macrodiemetals", 6, "macro-die metal layers (3D flows)")
-		array       = flag.Int("array", 0, "after -flow 2d/macro3d: verify an N×N abutted tile array")
-		timeout     = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
-		keepGoing   = flag.Bool("keep-going", false, "in table experiments, skip failed columns and print the partial table")
-		cacheDir    = flag.String("cache-dir", "", "content-addressed stage cache directory: snapshots of completed stages skip recomputation on later runs")
-		resume      = flag.Bool("resume", false, "resume from cached stage snapshots (implies -cache-dir "+defaultCacheDir+" when unset)")
-		cacheVerify = flag.Bool("cache-verify", false, "paranoia mode: re-run cached stages and fail unless the snapshot matches bit-for-bit")
-		cacheMax    = flag.Int64("cache-max-bytes", 0, "stage cache byte budget: evict least-recently-used snapshots to stay under this size (0 = unlimited)")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		events      = flag.String("events", "", "write the observability JSONL event stream (spans, metric samples, fault tags) to this file")
-		obsAddr     = flag.String("obs-addr", "", "serve live observability endpoints (/metrics, /metrics.json, /debug/vars, /debug/pprof/) on this address, e.g. :9090 or 127.0.0.1:0")
-		metricsOut  = flag.String("metrics-out", "", "write a final Prometheus text snapshot of the run's metrics to this file")
-		obsLinger   = flag.Duration("obs-linger", 0, "with -obs-addr: keep serving this long after a successful run (live inspection, smoke tests)")
-		traceOut    = flag.String("trace", "", "record the engines' per-worker execution timeline and write it as Chrome trace-event JSON (Perfetto / chrome://tracing; analyze with 'macro3d trace-report -in')")
-		fastRoute   = flag.Bool("fast-route", false, "region-sharded router and banded legalizer: deterministic at any -j but NOT bit-identical to the default engines; PPA stays within the bounds documented in DESIGN.md §15")
-		fastVerify  = flag.Bool("fast-route-verify", false, "with -fast-route: re-route serially with the default engine and fail unless the fast result is within the documented wirelength/overflow bounds")
+		flow          = flag.String("flow", "", "run one flow: 2d, macro3d, s2d, bfs2d, c2d")
+		experiment    = flag.String("experiment", "", "run an experiment: table1, table2, table3, isoperf, flowtrace, sweepblockage, sweeppitch, heterotech")
+		config        = flag.String("config", "small", "tile configuration: small, large or tiny")
+		seed          = flag.Uint64("seed", 1, "deterministic seed")
+		jobs          = flag.Int("j", 0, "routing/placement worker count (0 = all CPUs, 1 = serial; results are bit-identical at any setting)")
+		metals        = flag.Int("macrodiemetals", 6, "macro-die metal layers (3D flows)")
+		array         = flag.Int("array", 0, "after -flow 2d/macro3d: verify an N×N abutted tile array")
+		timeout       = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+		keepGoing     = flag.Bool("keep-going", false, "in table experiments, skip failed columns and print the partial table")
+		cacheDir      = flag.String("cache-dir", "", "content-addressed stage cache directory: snapshots of completed stages skip recomputation on later runs")
+		resume        = flag.Bool("resume", false, "resume from cached stage snapshots (implies -cache-dir "+defaultCacheDir+" when unset)")
+		cacheVerify   = flag.Bool("cache-verify", false, "paranoia mode: re-run cached stages and fail unless the snapshot matches bit-for-bit")
+		cacheMax      = flag.Int64("cache-max-bytes", 0, "stage cache byte budget: evict least-recently-used snapshots to stay under this size (0 = unlimited)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		events        = flag.String("events", "", "write the observability JSONL event stream (spans, metric samples, fault tags) to this file")
+		obsAddr       = flag.String("obs-addr", "", "serve live observability endpoints (/metrics, /metrics.json, /debug/vars, /debug/pprof/) on this address, e.g. :9090 or 127.0.0.1:0")
+		metricsOut    = flag.String("metrics-out", "", "write a final Prometheus text snapshot of the run's metrics to this file")
+		obsLinger     = flag.Duration("obs-linger", 0, "with -obs-addr: keep serving this long after a successful run (live inspection, smoke tests)")
+		traceOut      = flag.String("trace", "", "record the engines' per-worker execution timeline and write it as Chrome trace-event JSON (Perfetto / chrome://tracing; analyze with 'macro3d trace-report -in')")
+		fastRoute     = flag.Bool("fast-route", false, "region-sharded router and banded legalizer: deterministic at any -j but NOT bit-identical to the default engines; PPA stays within the bounds documented in DESIGN.md §15")
+		fastVerify    = flag.Bool("fast-route-verify", false, "with -fast-route: re-route serially with the default engine and fail unless the fast result is within the documented wirelength/overflow bounds")
+		analyticPlace = flag.Bool("analytic-place", false, "electrostatics-style analytical global placer (WA wirelength + Poisson density, die-aware F2F-bump weighting): deterministic at any -j but NOT bit-identical to the default quadratic placer; HPWL no worse on the reference tiles (DESIGN.md §16)")
 	)
 	flag.Parse()
 
@@ -308,7 +309,7 @@ func realMain() (code int) {
 		defer cancel()
 	}
 
-	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec, tracer, cache, *cacheVerify, *fastRoute, *fastVerify); err != nil {
+	if err := run(ctx, *flow, *experiment, *config, *seed, *jobs, *metals, *array, *keepGoing, rec, tracer, cache, *cacheVerify, *fastRoute, *fastVerify, *analyticPlace); err != nil {
 		printFailure(err)
 		return 1
 	}
@@ -370,13 +371,13 @@ func tileConfig(name string) (macro3d.TileConfig, error) {
 	return macro3d.TileConfig{}, fmt.Errorf("unknown config %q (want small, large or tiny)", name)
 }
 
-func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder, tracer *macro3d.ExecTracer, cache *macro3d.StageCache, cacheVerify, fastRoute, fastVerify bool) error {
+func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs, metals, array int, keepGoing bool, rec *macro3d.ObsRecorder, tracer *macro3d.ExecTracer, cache *macro3d.StageCache, cacheVerify, fastRoute, fastVerify, analyticPlace bool) error {
 	pc, err := tileConfig(config)
 	if err != nil {
 		return err
 	}
 	cfg := macro3d.FlowConfig{Piton: pc, Seed: seed, MacroDieMetals: metals, Obs: rec, Trace: tracer, Workers: jobs, Cache: cache, CacheVerify: cacheVerify,
-		FastRoute: fastRoute, FastRouteVerify: fastVerify}
+		FastRoute: fastRoute, FastRouteVerify: fastVerify, AnalyticPlace: analyticPlace}
 
 	if flow != "" {
 		var ppa *macro3d.PPA
@@ -419,7 +420,7 @@ func run(ctx context.Context, flow, experiment, config string, seed uint64, jobs
 	// Experiments pick their own tiles per column; the shared config
 	// carries the seed, the hardening knobs and the stage cache.
 	ecfg := macro3d.FlowConfig{Seed: seed, Obs: rec, Trace: tracer, Workers: jobs, Cache: cache, CacheVerify: cacheVerify,
-		FastRoute: fastRoute, FastRouteVerify: fastVerify}
+		FastRoute: fastRoute, FastRouteVerify: fastVerify, AnalyticPlace: analyticPlace}
 
 	// Table experiments return the partial table alongside the error,
 	// so in keep-going mode the surviving columns still print before

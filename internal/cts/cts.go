@@ -72,6 +72,10 @@ type Tree struct {
 	MinLatency  float64 // ps
 	Skew        float64 // ps (max − min)
 	MeanLatency float64
+	// RootDelay is the root buffer's stage delay, ps — the fixed
+	// source-insertion component every sink path shares, and a lower
+	// bound on every sink latency.
+	RootDelay float64
 
 	// Latency per sink instance ID (ps).
 	LatencyOf map[int]float64
@@ -157,10 +161,11 @@ func Build(d *netlist.Design, clk *netlist.Net, src geom.Point, lib *cell.Librar
 // buildNode recursively splits the sink set; it accounts the buffer at
 // this node, the wires to children, and repeaters on long spans.
 // depth counts buffers from the root, latency in ps accumulates along
-// the path. Returns nothing; results accumulate in t.
+// the path. Results accumulate in t; the root call's return — the path
+// latency through the root buffer — is the tree's source insertion
+// delay and lands in t.RootDelay.
 func buildNode(t *Tree, sinks []Sink, at geom.Point, depth int, buf *cell.Cell, rPer, cPer float64, opt Options) {
-	latency := buildNodeFrom(t, sinks, at, depth, 0, buf, rPer, cPer, opt)
-	_ = latency
+	t.RootDelay = buildNodeFrom(t, sinks, at, depth, 0, buf, rPer, cPer, opt)
 }
 
 func buildNodeFrom(t *Tree, sinks []Sink, at geom.Point, depth int, pathLatency float64, buf *cell.Cell, rPer, cPer float64, opt Options) float64 {

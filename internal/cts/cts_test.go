@@ -85,6 +85,28 @@ func TestBuildGrid(t *testing.T) {
 	}
 }
 
+// TestRootDelayAccounted pins the once-discarded root return of the
+// tree builder: RootDelay must carry the root buffer's stage delay —
+// positive, and a lower bound on every sink latency (each path goes
+// through the root buffer and only accumulates from there). The empty
+// tree keeps it at zero.
+func TestRootDelayAccounted(t *testing.T) {
+	d, clk, src := gridDesign(16, 16, 50)
+	tr := Build(d, clk, src, d.Lib, beol(t), Options{})
+	if tr.RootDelay <= 0 {
+		t.Fatalf("RootDelay = %v, want the root buffer's positive stage delay", tr.RootDelay)
+	}
+	if tr.RootDelay > tr.MinLatency {
+		t.Fatalf("RootDelay %v exceeds MinLatency %v: every sink path includes the root stage",
+			tr.RootDelay, tr.MinLatency)
+	}
+	for id, lat := range tr.LatencyOf {
+		if lat < tr.RootDelay {
+			t.Fatalf("sink %d latency %v below RootDelay %v", id, lat, tr.RootDelay)
+		}
+	}
+}
+
 func TestDepthGrowsWithDieSize(t *testing.T) {
 	// The paper's Table II observes deeper trees on bigger floorplans
 	// (2D large: 20 vs 3D large: 16). Same sink count, scaled pitch.

@@ -1,0 +1,84 @@
+package flows
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"macro3d/internal/stash"
+)
+
+// TestAnalyticWorkerEquivalence pins the analytic placer's flow-level
+// determinism contract: the Macro-3D flow with AnalyticPlace produces
+// an identical PPA at Workers 1, 4 and 0. (The default path's
+// bit-identity is TestWorkerEquivalence; this covers the other engine.)
+func TestAnalyticWorkerEquivalence(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	workerSets := []int{1, 4, 0}
+	if raceEnabled {
+		workerSets = []int{1, 4}
+	}
+	var ref *PPA
+	for _, w := range workerSets {
+		cfg := tinyCacheCfg()
+		cfg.Workers = w
+		cfg.AnalyticPlace = true
+		got := runFlow(t, "macro3d", cfg)
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if *got != *ref {
+			t.Fatalf("analytic workers=%d PPA diverged:\n got: %+v\nwant: %+v", w, *got, *ref)
+		}
+	}
+}
+
+// TestStageCacheAnalyticKeySplit pins the snapshot-aliasing contract:
+// AnalyticPlace selects a different placement engine with different
+// results, so an analytic run over a store populated by a default run
+// must miss every checkpoint (the flag is part of the rootKey hash
+// chain), while a second analytic run hits all of its own.
+func TestStageCacheAnalyticKeySplit(t *testing.T) {
+	dir := t.TempDir()
+
+	def, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyCacheCfg()
+	cfg.Cache = def
+	defPPA := runFlow(t, "macro3d", cfg)
+
+	an, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = tinyCacheCfg()
+	cfg.Cache = an
+	cfg.AnalyticPlace = true
+	anPPA := runFlow(t, "macro3d", cfg)
+	if st := an.Stats(); st.Hits != 0 || st.Misses == 0 {
+		t.Errorf("analytic run over default store: stats = %+v; want no hits (snapshots must never alias)", st)
+	}
+
+	warm, err := stash.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = tinyCacheCfg()
+	cfg.Cache = warm
+	cfg.AnalyticPlace = true
+	warmPPA := runFlow(t, "macro3d", cfg)
+	if st := warm.Stats(); st.Misses != 0 || st.Hits == 0 {
+		t.Errorf("warm analytic run: stats = %+v; want all hits", st)
+	}
+	if !reflect.DeepEqual(anPPA, warmPPA) {
+		t.Errorf("warm analytic PPA differs from cold:\n  %+v\n  %+v", anPPA, warmPPA)
+	}
+	if reflect.DeepEqual(defPPA, anPPA) {
+		t.Logf("note: analytic and default PPA coincide on the tiny tile: %+v", defPPA)
+	}
+}

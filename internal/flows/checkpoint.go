@@ -91,6 +91,9 @@ func rootKey(flow string, cfg Config) (stash.Key, error) {
 	// fast and default runs must never share snapshots.
 	// FastRouteVerify is pure checking and stays excluded.
 	e.Bool(cfg.FastRoute)
+	// AnalyticPlace likewise selects a different placement engine with
+	// different results; analytic and default runs never alias.
+	e.Bool(cfg.AnalyticPlace)
 	return stash.NewKey(e.Bytes()), nil
 }
 

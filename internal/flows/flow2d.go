@@ -62,7 +62,7 @@ func Run2DCtx(ctx context.Context, cfg Config) (*PPA, *State, error) {
 
 	if err := r.checkpointed(placementCheckpoint(StagePlace, nil, d), func() error {
 		return r.seededStage(StagePlace, cfg.Seed+1, func(seed uint64) error {
-			_, err := place.Place(d, st.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers, Fast: cfg.FastRoute, Trace: cfg.Trace})
+			_, err := place.Place(d, st.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers, Fast: cfg.FastRoute, Analytic: cfg.AnalyticPlace, Trace: cfg.Trace})
 			return err
 		})
 	}); err != nil {

@@ -144,6 +144,17 @@ type Config struct {
 	// cost; pure checking, so it does not enter the cache key.
 	FastRouteVerify bool
 
+	// AnalyticPlace switches global placement to the analytic
+	// electrostatics-style engine (the CLI's -analytic-place flag):
+	// WA wirelength gradient plus a Poisson bin-density field, with a
+	// die-aware weight pricing F2F-bump crossings on nets that span
+	// `_MD` macro-die layers. Deterministic at any Workers setting but
+	// NOT bit-identical to the default quadratic placer — the flag is
+	// part of the result-defining configuration and enters the
+	// stage-cache key. HPWL is no worse than the default engine's on
+	// the reference tiles (DESIGN.md §16).
+	AnalyticPlace bool
+
 	// Cache, when set, enables content-addressed stage checkpointing:
 	// completed regions store deterministic snapshots keyed by
 	// everything they depend on, and later runs with matching inputs

@@ -90,7 +90,7 @@ func RunMacro3DCtx(ctx context.Context, cfg Config) (*PPA, *State, *core.MoLDesi
 	// spec); everything else is in the root key.
 	if err := r.checkpointed(placementCheckpoint(StagePlace, stackMaterial(cfg, t), d), func() error {
 		return r.seededStage(StagePlace, cfg.Seed+2, func(seed uint64) error {
-			_, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers, Fast: cfg.FastRoute, Trace: cfg.Trace})
+			_, err := place.Place(d, md.FP, t.RowHeight, place.Options{Seed: seed, Obs: r.obs(), Workers: cfg.Workers, Fast: cfg.FastRoute, Analytic: cfg.AnalyticPlace, Trace: cfg.Trace})
 			return err
 		})
 	}); err != nil {

@@ -250,7 +250,10 @@ func parsePins(tk *tokenizer, d *netlist.Design) error {
 					dir = cell.DirInOut
 				}
 			case "LAYER":
-				layer, _ = tk.next()
+				var lok bool
+				if layer, lok = tk.next(); !lok {
+					return tk.errf("unexpected EOF after LAYER in pin %s", name)
+				}
 				tk.expect("(")
 				var err error
 				if x, err = tk.nextFloat(); err != nil {

@@ -127,6 +127,50 @@ func TestParseDEFDuplicateNames(t *testing.T) {
 	}
 }
 
+// TestParseLEFSwallowedErrors pins the once-swallowed tokenizer and
+// number-parse failures inside LAYER/PIN/OBS bodies: each malformed
+// stream must surface a line-numbered error. Several of these inputs
+// made the old parser hang (EOF-unchecked token loops) or silently
+// accept a zeroed value.
+func TestParseLEFSwallowedErrors(t *testing.T) {
+	cases := []struct {
+		name, lef string
+		wants     []string
+	}{
+		{"truncated-after-TYPE", "LAYER M1\n  TYPE",
+			[]string{"unexpected EOF after TYPE in LAYER M1", "line 2"}},
+		{"truncated-TYPE-tail", "LAYER M1\n  TYPE ROUTING",
+			[]string{"unexpected EOF in TYPE of LAYER M1", "line 2"}},
+		{"truncated-CLASS", "MACRO A\n  CLASS CORE",
+			[]string{"unexpected EOF in CLASS of MACRO A", "line 2"}},
+		{"pin-property-bad-number", "MACRO A\n  SIZE 1 BY 1 ;\n  PIN X\n" +
+			"    DIRECTION INPUT ;\n    PROPERTY arc setup oops ;\n  END X\nEND A\n",
+			[]string{`bad number "oops" for setup in PIN X PROPERTY`, "line 5"}},
+		{"truncated-PORT", "MACRO A\n  SIZE 1 BY 1 ;\n  PIN X\n    PORT",
+			[]string{"unexpected EOF in PORT of PIN X", "line 4"}},
+		{"truncated-PORT-LAYER", "MACRO A\n  SIZE 1 BY 1 ;\n  PIN X\n    PORT\n      LAYER",
+			[]string{"unexpected EOF after LAYER in PORT of PIN X", "line 5"}},
+		{"truncated-OBS-LAYER", "MACRO A\n  SIZE 1 BY 1 ;\n  OBS\n    LAYER",
+			[]string{"unexpected EOF after LAYER in OBS", "line 4"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLEF(strings.NewReader(tc.lef))
+			mustErr(t, err, tc.wants...)
+		})
+	}
+}
+
+// TestParseDEFTruncatedPinLayer pins the DEF-side swallowed read: a pin
+// statement ending right after LAYER must name the pin and the line.
+func TestParseDEFTruncatedPinLayer(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	def := "DESIGN x ;\nPINS 1 ;\n  - p1 + DIRECTION INPUT + LAYER"
+	_, err := ParseDEF(strings.NewReader(def), lib)
+	mustErr(t, err, "unexpected EOF after LAYER in pin p1", "line 3")
+}
+
 func TestTokenizerLineTracking(t *testing.T) {
 	tk := newTokenizer(strings.NewReader("A B\n# only a comment\nC\n"))
 	for _, want := range []struct {

@@ -230,10 +230,17 @@ func parseLayerBody(tk *tokenizer, name string) (string, map[string]float64, err
 		}
 		switch w {
 		case "TYPE":
-			kind, _ = tk.next()
+			var ok bool
+			kind, ok = tk.next()
+			if !ok {
+				return "", nil, tk.errf("unexpected EOF after TYPE in LAYER %s", name)
+			}
 			// optional F2F marker before ';'
 			for {
-				x, _ := tk.next()
+				x, ok := tk.next()
+				if !ok {
+					return "", nil, tk.errf("unexpected EOF in TYPE of LAYER %s", name)
+				}
 				if x == ";" {
 					break
 				}
@@ -289,7 +296,10 @@ func parseMacroBody(tk *tokenizer, name string) (*cell.Cell, error) {
 		case "CLASS":
 			var words []string
 			for {
-				x, _ := tk.next()
+				x, ok := tk.next()
+				if !ok {
+					return nil, tk.errf("unexpected EOF in CLASS of MACRO %s", name)
+				}
 				if x == ";" {
 					break
 				}
@@ -457,7 +467,11 @@ func parsePinBody(tk *tokenizer, name string) (*cell.Pin, error) {
 				if key == "" {
 					key = x
 				} else {
-					vals[key], _ = strconv.ParseFloat(x, 64)
+					v, err := strconv.ParseFloat(x, 64)
+					if err != nil {
+						return nil, tk.errf("bad number %q for %s in PIN %s PROPERTY", x, key, name)
+					}
+					vals[key] = v
 					key = ""
 				}
 			}
@@ -467,9 +481,15 @@ func parsePinBody(tk *tokenizer, name string) (*cell.Pin, error) {
 			}
 		case "PORT":
 			for {
-				x, _ := tk.next()
+				x, ok := tk.next()
+				if !ok {
+					return nil, tk.errf("unexpected EOF in PORT of PIN %s", name)
+				}
 				if x == "LAYER" {
-					p.Layer, _ = tk.next()
+					var ok bool
+					if p.Layer, ok = tk.next(); !ok {
+						return nil, tk.errf("unexpected EOF after LAYER in PORT of PIN %s", name)
+					}
 					tk.expect(";")
 				} else if x == "POINT" {
 					var err error
@@ -502,7 +522,10 @@ func parseObs(tk *tokenizer, c *cell.Cell) error {
 		}
 		switch w {
 		case "LAYER":
-			layer, _ = tk.next()
+			var ok bool
+			if layer, ok = tk.next(); !ok {
+				return tk.errf("unexpected EOF after LAYER in OBS")
+			}
 			tk.expect(";")
 		case "RECT":
 			var r [4]float64

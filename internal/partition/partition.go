@@ -348,6 +348,18 @@ func LegalizeTiers(d *netlist.Design, die geom.Rect, rowHeight float64) (*TierLe
 				before[c.ID] = c.Loc
 			}
 		}
+		// Every spilled cell changed dies above, so the rescan must
+		// have picked it up — a miss would leave it unlegalized on top
+		// of a macro, the exact overlap this pass exists to fix.
+		inPass := make(map[int]bool, len(cells))
+		for _, c := range cells {
+			inPass[c.ID] = true
+		}
+		for _, s := range spill {
+			if !inPass[s.ID] {
+				return nil, fmt.Errorf("partition: spilled cell %s missed the logic-die legalization pass", s.Name)
+			}
+		}
 		if len(cells) > 0 {
 			_, _, failed, err := place.LegalizeBestEffort(cells, fp, rowHeight)
 			if err != nil {
@@ -359,7 +371,6 @@ func LegalizeTiers(d *netlist.Design, die geom.Rect, rowHeight float64) (*TierLe
 			account(cells, before)
 		}
 	}
-	_ = spill
 	if n > 0 {
 		out.MeanDisp = sum / float64(n)
 	}

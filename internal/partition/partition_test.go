@@ -169,6 +169,54 @@ func TestLegalizeTiersDisplacesOverlaps(t *testing.T) {
 	_ = place.CheckLegal // silence import when assertions change
 }
 
+// TestLegalizeTiersSpillToLogicDie pins the spill path end to end: when
+// the macro die has no room at all (a macro covering the whole die),
+// every macro-die cell must spill, change dies, be picked up by the
+// logic-die pass (the consistency check on the once-discarded spill
+// list), legalize there, and be counted in Spilled and the displacement
+// stats.
+func TestLegalizeTiersSpillToLogicDie(t *testing.T) {
+	lib := cell.NewStdLib28(cell.DefaultLibOptions())
+	d := netlist.NewDesign("spill", lib)
+	sram, err := cell.NewSRAM(cell.SRAMSpec{Name: "m", Words: 8192, Bits: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := d.AddInstance("mem", sram)
+	mem.Loc = geom.Pt(0, 0)
+	mem.Die = netlist.MacroDie
+	mem.Fixed, mem.Placed = true, true
+	// The macro covers the die bar a 1.2 µm strip: wide enough that
+	// placement rows exist on the macro die, too narrow for a DFF
+	// (1.52 µm) — so every cell fails there and must spill.
+	die := geom.R(0, 0, sram.Width+1.2, sram.Height)
+
+	var cells []*netlist.Instance
+	for i := 0; i < 12; i++ {
+		c := d.AddInstance("s"+itoa(i), lib.MustCell("DFF_X1"))
+		c.Loc = geom.Pt(5+float64(i)*2, 5)
+		c.Die = netlist.MacroDie
+		c.Placed = true
+		cells = append(cells, c)
+	}
+	leg, err := LegalizeTiers(d, die, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leg.Spilled != len(cells) {
+		t.Fatalf("Spilled = %d, want all %d cells", leg.Spilled, len(cells))
+	}
+	for _, c := range cells {
+		if c.Die != netlist.LogicDie {
+			t.Fatalf("%s still on the macro die after spilling", c.Name)
+		}
+	}
+	if leg.MeanDisp <= 0 || leg.MaxDisp <= 0 {
+		t.Fatalf("spilled cells not accounted in displacement: mean %v max %v",
+			leg.MeanDisp, leg.MaxDisp)
+	}
+}
+
 func TestBinBalance(t *testing.T) {
 	lib := cell.NewStdLib28(cell.DefaultLibOptions())
 	d := netlist.NewDesign("bb", lib)

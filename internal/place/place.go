@@ -57,6 +57,18 @@ type Options struct {
 	// result-defining configuration.
 	Fast bool
 
+	// Analytic switches global placement to the electrostatics-style
+	// analytical engine (analytic.go): WA wirelength gradient plus a
+	// Poisson density field descended jointly, with a die-aware weight
+	// on nets that cross F2F bumps. Deterministic at any Workers
+	// setting but NOT bit-identical to the default quadratic engine,
+	// so — like Fast — the flag is part of the result-defining
+	// configuration.
+	Analytic bool
+	// AnalyticIters bounds the analytic engine's descent iterations
+	// (default 160). Ignored unless Analytic is set.
+	AnalyticIters int
+
 	// Obs, when non-nil, is the stage span the placer hangs its
 	// global/legalize phase spans under and whose registry receives
 	// the placement metrics. nil disables instrumentation.
@@ -83,6 +95,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxFill <= 0 {
 		o.MaxFill = 0.85
 	}
+	if o.AnalyticIters <= 0 {
+		o.AnalyticIters = 160
+	}
 	return o
 }
 
@@ -102,6 +117,9 @@ type Result struct {
 func Place(d *netlist.Design, fp *floorplan.Floorplan, rowHeight float64, opt Options) (*Result, error) {
 	t0 := time.Now()
 	opt = opt.withDefaults()
+	if opt.Analytic {
+		return placeAnalytic(d, fp, rowHeight, opt)
+	}
 	movable := movableCells(d)
 	if len(movable) == 0 {
 		return &Result{}, nil

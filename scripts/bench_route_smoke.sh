@@ -11,8 +11,8 @@ set -eu
 dir=$(mktemp -d)
 trap 'rm -rf "$dir"' EXIT
 
-echo "bench-route-smoke: running the flat route benchmarks (N=1, count 1)"
-BENCH_ROUTE_N=1 BENCH_ROUTE_J=4 $GO test -bench 'BenchmarkRouteFlat' \
+echo "bench-route-smoke: running the flat route+place benchmarks (N=1, count 1)"
+BENCH_ROUTE_N=1 BENCH_ROUTE_J=4 $GO test -bench 'BenchmarkRouteFlat|BenchmarkPlaceFlat' \
 	-count 1 -benchtime 1x -run '^$' . >"$dir/bench.out"
 $GO run ./cmd/benchjson <"$dir/bench.out" >"$dir/bench.json"
 cat "$dir/bench.json"
@@ -32,5 +32,7 @@ need '"gomaxprocs"'
 need '"workers": 4'
 need '"route_cp_speedup/flat_sharded"'
 need '"route_occupancy/flat_parallel"'
+need '"flat_place_serial_over_analytic"'
+need '"flat_place_analytic_hpwl_over_default"'
 
 echo "bench-route-smoke: OK"
